@@ -1,0 +1,46 @@
+# Container-based reproducibility framework for stochastic process algebra.
+# Stdlib-only Go; no network access needed for any target.
+
+GO ?= go
+
+.PHONY: all build vet test race bench repro fuzz goldens clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One benchmark per paper table/figure plus ablations and parallel scaling.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper into ./out.
+repro:
+	$(GO) run ./cmd/repro -outdir out
+
+# Run each fuzz target briefly (seeds always run under plain `make test`).
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/pepa
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/biopepa
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/gpepa
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/recipe
+	$(GO) test -fuzz=FuzzRun -fuzztime=30s ./internal/shellenv
+	$(GO) test -fuzz=FuzzUnmarshalTar -fuzztime=30s ./internal/vfs
+	$(GO) test -fuzz=FuzzUnmarshal -fuzztime=30s ./internal/image
+
+# Rewrite the golden experiment outputs after an intentional change.
+goldens:
+	$(GO) test -run TestGolden -update .
+
+clean:
+	rm -rf out
+	$(GO) clean -testcache

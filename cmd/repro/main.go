@@ -1,0 +1,321 @@
+// Command repro regenerates every table and figure of the paper's
+// evaluation:
+//
+//	table1   Table I   — the two application-to-machine mappings
+//	fig1     Fig 1     — simple PEPA model, container vs native validation
+//	fig2     Fig 2     — activity diagram of machine M3 under Mapping A
+//	fig3     Fig 3     — finishing-time CDF of M1 under Mapping A
+//	fig4     Fig 4     — finishing-time CDF of M1 under Mapping B
+//	fig5     Fig 5     — clientServerScalability.gpepa in the GPA container
+//	fig6     Fig 6     — hub collection listing + pull of every container
+//	matrix   §III      — cross-platform validation matrix (7 hosts x 3 tools)
+//	motivation §I-II   — native-install failures vs container pulls
+//	security  §II.C    — Docker vs Singularity escalation behaviour
+//
+// Usage: repro [-only <experiment>] [-outdir DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/hostenv"
+	"repro/internal/hub"
+	"repro/internal/robustness"
+	"repro/internal/runtime"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+}
+
+type experiment struct {
+	name string
+	desc string
+	fn   func(*state) (string, error)
+}
+
+// state carries artifacts shared between experiments (built images, hub).
+type state struct {
+	fw      *core.Framework
+	builder *hostenv.Host
+	builds  map[core.Tool]*runtime.BuildResult
+	hubSrv  *hub.Server
+	hubCli  *hub.Client
+	digests map[core.Tool]string
+	study   *robustness.Study
+}
+
+func newState() (*state, error) {
+	st := &state{fw: core.New(), study: robustness.NewStudy()}
+	var err error
+	st.builder, err = hostenv.ByName(hostenv.BuildHost)
+	if err != nil {
+		return nil, err
+	}
+	if err := st.builder.InstallSingularity(); err != nil {
+		return nil, err
+	}
+	st.builds, err = st.fw.BuildAll(st.builder)
+	if err != nil {
+		return nil, err
+	}
+	st.hubSrv = hub.NewServer(hub.NewStore())
+	addr, err := st.hubSrv.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	st.hubCli = hub.NewClient("http://" + addr)
+	st.digests, err = st.fw.PushAll(st.hubCli, st.builds)
+	if err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func experiments() []experiment {
+	return []experiment{
+		{"table1", "Table I: mappings A and B", table1},
+		{"fig1", "Fig 1: PEPA container validation", fig1},
+		{"fig2", "Fig 2: activity diagram of M3 (Mapping A)", fig2},
+		{"fig3", "Fig 3: finishing-time CDF of M1, Mapping A", fig3},
+		{"fig4", "Fig 4: finishing-time CDF of M1, Mapping B", fig4},
+		{"fig5", "Fig 5: clientServerScalability.gpepa in the GPA container", fig5},
+		{"fig6", "Fig 6: hub collection + pull of each container", fig6},
+		{"matrix", "SIII: cross-platform validation matrix", matrix},
+		{"motivation", "SI-II: native install failures vs container pulls", motivation},
+		{"security", "SII.C: Docker vs Singularity privilege escalation", security},
+		{"futurework", "SIV: containerizing a further tool (CSL model checker)", futurework},
+		{"badges", "SII.B: ACM artifact badge self-assessment", badges},
+	}
+}
+
+func run() error {
+	only := flag.String("only", "", "run a single experiment by name")
+	outdir := flag.String("outdir", "", "also write each experiment's output to DIR/<name>.txt")
+	flag.Parse()
+
+	st, err := newState()
+	if err != nil {
+		return err
+	}
+	defer st.hubSrv.Close()
+	for _, ex := range experiments() {
+		if *only != "" && ex.name != *only {
+			continue
+		}
+		out, err := ex.fn(st)
+		if err != nil {
+			return fmt.Errorf("%s: %w", ex.name, err)
+		}
+		banner := fmt.Sprintf("==== %s — %s ====", ex.name, ex.desc)
+		fmt.Println(banner)
+		fmt.Println(out)
+		if *outdir != "" {
+			if err := os.MkdirAll(*outdir, 0o755); err != nil {
+				return err
+			}
+			if err := os.WriteFile(filepath.Join(*outdir, ex.name+".txt"), []byte(out), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func table1(st *state) (string, error) {
+	if err := robustness.CheckTableI(); err != nil {
+		return "", err
+	}
+	return robustness.FormatTableI(), nil
+}
+
+func fig1(st *state) (string, error) {
+	rep, err := st.fw.Validate(core.ToolPEPA, st.builder, st.builds[core.ToolPEPA].Image,
+		"simple.pepa", core.SimplePEPAModel)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "tool=%s host=%s match=%v\n", rep.Tool, rep.Host, rep.Match)
+	fmt.Fprintf(&b, "image digest: %s\n", rep.Digest)
+	b.WriteString("--- containerized output ---\n")
+	b.WriteString(rep.ContainerOut)
+	return b.String(), nil
+}
+
+func fig2(st *state) (string, error) {
+	txt, err := st.study.ActivityText(robustness.MappingA, 2)
+	if err != nil {
+		return "", err
+	}
+	dot, err := st.study.ActivityDiagram(robustness.MappingA, 2)
+	if err != nil {
+		return "", err
+	}
+	return txt + "\n" + dot, nil
+}
+
+func cdfFigure(st *state, mapping string) (string, error) {
+	times := make([]float64, 61)
+	for i := range times {
+		times[i] = float64(i) * 10
+	}
+	cdf, err := st.study.FinishingCDF(mapping, 0, times)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "finishing-time CDF of machine M1, Mapping %s\n", mapping)
+	b.WriteString("t\tP(T<=t)\n")
+	for i := range cdf.Times {
+		fmt.Fprintf(&b, "%.1f\t%.6f\n", cdf.Times[i], cdf.Probs[i])
+	}
+	fmt.Fprintf(&b, "median %.2f  mean %.2f\n", cdf.Quantile(0.5), cdf.Mean())
+	return b.String(), nil
+}
+
+func fig3(st *state) (string, error) { return cdfFigure(st, robustness.MappingA) }
+func fig4(st *state) (string, error) { return cdfFigure(st, robustness.MappingB) }
+
+func fig5(st *state) (string, error) {
+	ex := core.ExampleModel(core.ToolGPA)
+	rep, err := st.fw.Validate(core.ToolGPA, st.builder, st.builds[core.ToolGPA].Image,
+		ex.Name, ex.Source, ex.Args...)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "clientServerScalability.gpepa: container output matches native: %v\n", rep.Match)
+	b.WriteString(rep.ContainerOut)
+	return b.String(), nil
+}
+
+func fig6(st *state) (string, error) {
+	var b strings.Builder
+	colls, err := st.hubCli.Collections()
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "hub collections: %s\n", strings.Join(colls, ", "))
+	entries, err := st.hubCli.List(st.fw.Collection)
+	if err != nil {
+		return "", err
+	}
+	for _, e := range entries {
+		fmt.Fprintf(&b, "  %s:%s  %s  %d bytes (built on %s)\n", e.Container, e.Tag, e.Digest[:19], e.Size, e.BuildHost)
+	}
+	b.WriteString("pulling each container with digest verification:\n")
+	for _, tool := range core.Tools() {
+		img, d, err := st.hubCli.Pull(st.fw.Collection, string(tool), "latest", st.digests[tool])
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "  pulled %s  digest-ok=%v\n", img.Ref(), d == st.digests[tool])
+	}
+	return b.String(), nil
+}
+
+func matrix(st *state) (string, error) {
+	entries, err := st.fw.ValidationMatrix(st.hubCli)
+	if err != nil {
+		return "", err
+	}
+	return core.FormatMatrix(entries), nil
+}
+
+func motivation(st *state) (string, error) {
+	var b strings.Builder
+	b.WriteString("native install of each tool from the host's own repositories:\n")
+	tools := core.Tools()
+	var hostNames []string
+	hostNames = append(hostNames, hostenv.Names()...)
+	sort.Strings(hostNames)
+	for _, hn := range hostNames {
+		for _, tool := range tools {
+			h, err := hostenv.ByName(hn)
+			if err != nil {
+				return "", err
+			}
+			pkg, err := tool.Package()
+			if err != nil {
+				return "", err
+			}
+			if err := h.NativeInstall(pkg); err != nil {
+				short := err.Error()
+				if i := strings.Index(short, "pkgmgr:"); i >= 0 {
+					short = short[i:]
+				}
+				fmt.Fprintf(&b, "  %-24s %-8s FAIL: %s\n", hn, tool, short)
+			} else {
+				fmt.Fprintf(&b, "  %-24s %-8s ok\n", hn, tool)
+			}
+		}
+	}
+	b.WriteString("container pull+run succeeds on every profile (see matrix).\n")
+	return b.String(), nil
+}
+
+func badges(st *state) (string, error) {
+	report, err := st.fw.AssessBadges(st.hubCli)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("ACM artifact badges (ref [1]) measured against this artifact:\n")
+	b.WriteString(report.String())
+	fmt.Fprintf(&b, "earned %d/5 badges\n", len(report.Earned()))
+	return b.String(), nil
+}
+
+func futurework(st *state) (string, error) {
+	build, err := st.fw.Build(core.ToolMC, st.builder)
+	if err != nil {
+		return "", err
+	}
+	props := "S >= 0.8 [ \"Proc\" ]\nP >= 0.5 [ F<=1 \"ProcDown\" ]\nT >= 2 [ serve ]\n"
+	rep, err := st.fw.ValidateWithFiles(core.ToolMC, st.builder, build.Image, "simple.pepa",
+		map[string]string{"simple.pepa": core.SimplePEPAModel, "props.csl": props}, "props.csl")
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "fourth container %s built (digest %s)\n", build.Image.Ref(), mustDigest(build))
+	fmt.Fprintf(&b, "container output identical to native: %v\n", rep.Match)
+	b.WriteString(rep.ContainerOut)
+	return b.String(), nil
+}
+
+func mustDigest(b *runtime.BuildResult) string {
+	if len(b.Digest) >= 19 {
+		return b.Digest[:19]
+	}
+	return b.Digest
+}
+
+func security(st *state) (string, error) {
+	var b strings.Builder
+	img := st.builds[core.ToolPEPA].Image
+	for _, iso := range []runtime.Isolation{runtime.IsolationSingularity, runtime.IsolationDocker} {
+		res, err := st.fw.Engine.Run(img, st.builder, runtime.RunOptions{
+			Isolation:         iso,
+			AttemptEscalation: true,
+			Script:            "whoami",
+		})
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "%-12s user-in-container=%-8s escalation-possible=%v\n",
+			iso, res.User, res.EscalationSucceeded)
+	}
+	b.WriteString("Singularity's no-escalation property is why multi-tenant HPC sites accept it (SII.C).\n")
+	return b.String(), nil
+}

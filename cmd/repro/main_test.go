@@ -1,0 +1,87 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCmd(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	oldArgs, oldStdout, oldFlags := os.Args, os.Stdout, flag.CommandLine
+	defer func() {
+		os.Args, os.Stdout, flag.CommandLine = oldArgs, oldStdout, oldFlags
+	}()
+	flag.CommandLine = flag.NewFlagSet("repro", flag.ContinueOnError)
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	os.Args = append([]string{"repro"}, args...)
+	runErr := run()
+	w.Close()
+	var out strings.Builder
+	buf := make([]byte, 1<<16)
+	for {
+		n, err := r.Read(buf)
+		out.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	r.Close()
+	return out.String(), runErr
+}
+
+func TestSingleExperiments(t *testing.T) {
+	cases := map[string]string{
+		"table1":     "Mapping A",
+		"fig1":       "match=true",
+		"fig2":       "digraph activity",
+		"fig6":       "digest-ok=true",
+		"security":   "escalation-possible=false",
+		"futurework": "container output identical to native: true",
+		"badges":     "earned 5/5 badges",
+	}
+	for name, want := range cases {
+		out, err := runCmd(t, "-only", name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !strings.Contains(out, want) {
+			t.Errorf("%s output missing %q:\n%s", name, want, out)
+		}
+	}
+}
+
+func TestOutdirWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := runCmd(t, "-only", "table1", "-outdir", dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "table1.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "a5,a9,a12,a17,a20") {
+		t.Errorf("table1.txt content:\n%s", data)
+	}
+}
+
+func TestFullRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment suite in -short mode")
+	}
+	out, err := runCmd(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, banner := range []string{"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "matrix", "motivation", "security", "futurework", "badges"} {
+		if !strings.Contains(out, "==== "+banner) {
+			t.Errorf("experiment %s missing from full run", banner)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+// Command schub is the container hub: it serves the registry API and also
+// acts as a push/pull/list client.
+//
+// Usage:
+//
+//	schub serve -addr 127.0.0.1:7443 [-autobuild]
+//	schub push -hub http://127.0.0.1:7443 -collection pepa-containers -image pepa.scif
+//	schub pull -hub http://127.0.0.1:7443 -collection pepa-containers -name pepa -tag latest -o pepa.scif
+//	schub list -hub http://127.0.0.1:7443 -collection pepa-containers
+//	schub build -hub http://127.0.0.1:7443 -collection pepa-containers -name pepa -tag v1 -recipe pepa.def
+//
+// With -autobuild the server builds pushed recipes itself on the CentOS
+// build-host profile (Singularity-Hub's model); the build subcommand is
+// the matching client.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"repro/internal/core"
+	"repro/internal/hub"
+	"repro/internal/image"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "schub:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	if len(os.Args) < 2 {
+		return fmt.Errorf("usage: schub serve|push|pull|list [flags]")
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7443", "serve address")
+	hubURL := fs.String("hub", "http://127.0.0.1:7443", "hub base URL")
+	collection := fs.String("collection", "pepa-containers", "collection name")
+	imagePath := fs.String("image", "", "image file (push)")
+	name := fs.String("name", "", "container name (pull)")
+	tag := fs.String("tag", "latest", "tag")
+	out := fs.String("o", "", "output path (pull)")
+	digest := fs.String("digest", "", "expected digest (pull)")
+	autobuild := fs.Bool("autobuild", false, "serve: build pushed recipes server-side")
+	recipePath := fs.String("recipe", "", "build: definition file to submit")
+	statePath := fs.String("state", "", "serve: persist the registry to this directory (loaded on start, saved on shutdown)")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		return err
+	}
+
+	switch cmd {
+	case "serve":
+		store := hub.NewStore()
+		if *statePath != "" {
+			loaded, err := hub.LoadOrNew(*statePath)
+			if err != nil {
+				return err
+			}
+			store = loaded
+			fmt.Printf("registry state: %s (%d collections)\n", *statePath, len(store.Collections()))
+		}
+		srv := hub.NewServer(store)
+		if *autobuild {
+			builder, err := core.New().NewHubBuilder()
+			if err != nil {
+				return err
+			}
+			srv.EnableAutoBuild(builder)
+			fmt.Println("auto-build enabled (build host: " + builder.Host.Name + ")")
+		}
+		bound, err := srv.Listen(*addr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("hub serving on http://%s\n", bound)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+		if *statePath != "" {
+			if err := store.Save(*statePath); err != nil {
+				fmt.Fprintln(os.Stderr, "schub: saving state:", err)
+			} else {
+				fmt.Printf("registry state saved to %s\n", *statePath)
+			}
+		}
+		return srv.Close()
+	case "push":
+		if *imagePath == "" {
+			return fmt.Errorf("-image is required")
+		}
+		blob, err := os.ReadFile(*imagePath)
+		if err != nil {
+			return err
+		}
+		img, err := image.Unmarshal(blob)
+		if err != nil {
+			return err
+		}
+		d, err := hub.NewClient(*hubURL).Push(*collection, img)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("pushed %s to %s/%s\ndigest: %s\n", img.Ref(), *hubURL, *collection, d)
+		return nil
+	case "pull":
+		if *name == "" {
+			return fmt.Errorf("-name is required")
+		}
+		img, d, err := hub.NewClient(*hubURL).Pull(*collection, *name, *tag, *digest)
+		if err != nil {
+			return err
+		}
+		target := *out
+		if target == "" {
+			target = *name + ".scif"
+		}
+		blob, err := img.Marshal()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(target, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("pulled %s (digest %s) to %s\n", img.Ref(), d, target)
+		return nil
+	case "build":
+		if *recipePath == "" || *name == "" {
+			return fmt.Errorf("-recipe and -name are required")
+		}
+		src, err := os.ReadFile(*recipePath)
+		if err != nil {
+			return err
+		}
+		d, err := hub.NewClient(*hubURL).RemoteBuild(*collection, *name, *tag, string(src))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("hub built %s:%s from %s\ndigest: %s\n", *name, *tag, *recipePath, d)
+		return nil
+	case "list":
+		client := hub.NewClient(*hubURL)
+		entries, err := client.List(*collection)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("collection %s:\n", *collection)
+		for _, e := range entries {
+			fmt.Printf("  %s:%s  %s  %d bytes  (built on %s)\n", e.Container, e.Tag, e.Digest[:19], e.Size, e.BuildHost)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown subcommand %q", cmd)
+	}
+}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hostenv"
+)
+
+func runCmd(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	oldArgs, oldStdout, oldFlags := os.Args, os.Stdout, flag.CommandLine
+	defer func() {
+		os.Args, os.Stdout, flag.CommandLine = oldArgs, oldStdout, oldFlags
+	}()
+	flag.CommandLine = flag.NewFlagSet("scrun", flag.ContinueOnError)
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	os.Args = append([]string{"scrun"}, args...)
+	runErr := run()
+	w.Close()
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	r.Close()
+	return string(buf[:n]), runErr
+}
+
+// buildImage creates a real pepa container image file for the tests.
+func buildImage(t *testing.T) string {
+	t.Helper()
+	fw := core.New()
+	host, err := hostenv.ByName(hostenv.BuildHost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := host.InstallSingularity(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := fw.Build(core.ToolPEPA, host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := res.Image.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "pepa.scif")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunWithBind(t *testing.T) {
+	img := buildImage(t)
+	modelDir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(modelDir, "m.pepa"), []byte(core.SimplePEPAModel), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCmd(t, "-image", img, "-host", hostenv.Ubuntu1804, "-bind", modelDir+":/data", "--", "/data/m.pepa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "steady-state distribution") {
+		t.Errorf("output:\n%s", out)
+	}
+	if !strings.Contains(out, "ubuntu-18.04-bionic") {
+		t.Errorf("host banner missing:\n%s", out)
+	}
+}
+
+func TestEscalationFlag(t *testing.T) {
+	img := buildImage(t)
+	modelDir := t.TempDir()
+	os.WriteFile(filepath.Join(modelDir, "m.pepa"), []byte(core.SimplePEPAModel), 0o644)
+	out, err := runCmd(t, "-image", img, "-isolation", "singularity", "-escalate",
+		"-bind", modelDir+":/data", "--", "/data/m.pepa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "privilege escalation succeeded: false") {
+		t.Errorf("output:\n%s", out)
+	}
+	out, err = runCmd(t, "-image", img, "-isolation", "docker", "-escalate",
+		"-bind", modelDir+":/data", "--", "/data/m.pepa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "privilege escalation succeeded: true") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := runCmd(t); err == nil {
+		t.Error("missing -image accepted")
+	}
+	if _, err := runCmd(t, "-image", filepath.Join(t.TempDir(), "none.scif")); err == nil {
+		t.Error("missing image file accepted")
+	}
+	img := buildImage(t)
+	if _, err := runCmd(t, "-image", img, "-isolation", "vmware"); err == nil {
+		t.Error("unknown isolation accepted")
+	}
+	if _, err := runCmd(t, "-image", img, "-bind", "nocolon"); err == nil {
+		t.Error("bad bind spec accepted")
+	}
+	if _, err := runCmd(t, "-image", img, "-host", "beos"); err == nil {
+		t.Error("unknown host accepted")
+	}
+}

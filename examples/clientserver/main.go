@@ -1,0 +1,99 @@
+// Clientserver: the Fig 5 workload — GPAnalyser's client/server
+// scalability model — swept over server-pool sizes with the fluid engine,
+// plus a fluid-vs-stochastic cross check.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/gpepa"
+)
+
+const template = `
+rr = 2.0;
+rt = 0.27;
+rs = 4.0;
+rb = 1.0;
+
+Client = (request, rr).Client_think;
+Client_think = (think, rt).Client;
+
+Server = (request, rs).Server_log;
+Server_log = (log, rb).Server;
+
+Clients{Client[100]} <request> Servers{Server[NSERVERS]}
+`
+
+func build(servers int) *gpepa.FluidSystem {
+	src := strings.Replace(template, "NSERVERS", fmt.Sprint(servers), 1)
+	m, err := gpepa.Parse(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := gpepa.Compile(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return sys
+}
+
+func main() {
+	fmt.Println("client/server scalability (100 clients, varying servers)")
+	fmt.Println("servers\trequest-throughput\tclients-waiting\tserver-utilization")
+	for _, servers := range []int{2, 5, 10, 20, 40, 80} {
+		sys := build(servers)
+		res, err := sys.Solve(300, 60, gpepa.SolveOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		final := res.Final()
+		tp := sys.ActionThroughput("request", final)
+		waiting, err := res.Series("Clients", "Client")
+		if err != nil {
+			log.Fatal(err)
+		}
+		busy, err := res.Series("Servers", "Server_log")
+		if err != nil {
+			log.Fatal(err)
+		}
+		util := busy[len(busy)-1] / float64(servers)
+		fmt.Printf("%d\t%.4f\t%.4f\t%.4f\n", servers, tp, waiting[len(waiting)-1], util)
+	}
+
+	// The same sweep through the ScalabilitySweep API, with automatic
+	// saturation (knee) detection.
+	m, err := gpepa.Parse(strings.Replace(template, "NSERVERS", "10", 1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	counts := []float64{2, 5, 10, 20, 40, 80, 160}
+	points, err := gpepa.ScalabilitySweep(m, "Servers", "Server", counts, 300, "request")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if knee := gpepa.Saturation(points, 0.01); knee >= 0 {
+		fmt.Printf("\nsaturation: adding servers past %.0f no longer improves throughput (%.2f req/s — clients are the bottleneck)\n",
+			points[knee].Count, points[knee].Throughput)
+	}
+
+	// Cross-check the fluid limit against the mean of exact stochastic
+	// trajectories for the 10-server configuration.
+	sys := build(10)
+	fluid, err := sys.Solve(30, 30, gpepa.SolveOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mean, err := sys.MeanOfSimulations(30, 30, 25, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nfluid vs stochastic mean (clients thinking, 10 servers):")
+	fmt.Println("t\tfluid\tsim-mean")
+	ff, _ := fluid.Series("Clients", "Client_think")
+	sm, _ := mean.Series("Clients", "Client_think")
+	for k := 0; k <= 30; k += 5 {
+		fmt.Printf("%.0f\t%.3f\t%.3f\n", fluid.Times[k], ff[k], sm[k])
+	}
+}

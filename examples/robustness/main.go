@@ -1,0 +1,78 @@
+// Robustness: the ISPDC'18 replication of §III — Table I, the activity
+// diagram of machine M3 (Fig 2), the finishing-time CDFs of machine M1
+// under Mapping A and Mapping B (Figs 3 and 4), and the makespan-based
+// robustness comparison of the two mappings.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/robustness"
+)
+
+func main() {
+	if err := robustness.CheckTableI(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Table I — mappings of applications to machines")
+	fmt.Println(robustness.FormatTableI())
+
+	s := robustness.NewStudy()
+
+	fmt.Println("Fig 2 — activity diagram of machine M3, Mapping A")
+	txt, err := s.ActivityText(robustness.MappingA, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(txt)
+
+	times := make([]float64, 61)
+	for i := range times {
+		times[i] = float64(i) * 10
+	}
+	for _, spec := range []struct {
+		fig     string
+		mapping string
+	}{
+		{"Fig 3", robustness.MappingA},
+		{"Fig 4", robustness.MappingB},
+	} {
+		cdf, err := s.FinishingCDF(spec.mapping, 0, times)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s — finishing-time CDF of M1, Mapping %s\n", spec.fig, spec.mapping)
+		fmt.Println("t\tP(T<=t)")
+		for i := 0; i < len(times); i += 6 {
+			fmt.Printf("%.0f\t%.6f\n", cdf.Times[i], cdf.Probs[i])
+		}
+		fmt.Printf("median %.1f  mean %.1f\n\n", cdf.Quantile(0.5), cdf.Mean())
+	}
+
+	// Robustness metric: probability each mapping meets a deadline.
+	for _, tau := range []float64{200, 300, 400} {
+		ra, err := s.Robustness(robustness.MappingA, tau, 40)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rb, err := s.Robustness(robustness.MappingB, tau, 40)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("P(makespan <= %.0f): Mapping A %.4f, Mapping B %.4f\n", tau, ra, rb)
+	}
+
+	// §IV: robustness under unpredictable ETC variation — which static
+	// allocation should be deployed when execution times are uncertain?
+	fmt.Println("\nrobustness under ±20% ETC perturbation (deadline 300):")
+	a, b, winner, err := s.CompareMappings(300, 0.2, 8, 2019, 30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Mapping A: nominal %.4f, worst %.4f, mean %.4f, best %.4f\n",
+		a.Nominal, a.Worst, a.Mean, a.Best)
+	fmt.Printf("Mapping B: nominal %.4f, worst %.4f, mean %.4f, best %.4f\n",
+		b.Nominal, b.Worst, b.Mean, b.Best)
+	fmt.Printf("more robust allocation (worst case): Mapping %s\n", winner)
+}

@@ -1,0 +1,245 @@
+package apps
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/runtime"
+	"repro/internal/vfs"
+)
+
+func fsWith(t *testing.T, path, content string) *vfs.FS {
+	t.Helper()
+	fs := vfs.New()
+	if err := fs.MkdirAll("/models", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+const pepaModel = `
+r = 1.0;
+P = (work, r).P1;
+P1 = (rest, 2).P;
+P
+`
+
+func TestPEPASolverSteadyState(t *testing.T) {
+	fs := fsWith(t, "/models/m.pepa", pepaModel)
+	var out bytes.Buffer
+	if err := PEPASolver([]string{"/models/m.pepa"}, fs, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"2 states", "steady-state distribution", "throughput", "work", "rest"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	// pi(P) = 2/3 at rate ordering r=1 out, 2 back.
+	if !strings.Contains(s, "0.666667") {
+		t.Errorf("expected pi(P)=0.666667 in output:\n%s", s)
+	}
+}
+
+func TestPEPASolverCDF(t *testing.T) {
+	src := "r = 1.0;\nP0 = (step, r).PEnd;\nPEnd = (idle, 0.000001).PEnd;\nP0\n"
+	fs := fsWith(t, "/models/c.pepa", src)
+	var out bytes.Buffer
+	if err := PEPASolver([]string{"/models/c.pepa", "cdf", "PEnd", "4", "4"}, fs, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "passage-time CDF") {
+		t.Errorf("output = %s", s)
+	}
+	// CDF(1) for Exp(1) is 1-1/e ~ 0.632121.
+	if !strings.Contains(s, "0.632121") {
+		t.Errorf("expected exponential CDF value in output:\n%s", s)
+	}
+}
+
+func TestPEPASolverCheck(t *testing.T) {
+	fs := fsWith(t, "/models/m.pepa", pepaModel)
+	var out bytes.Buffer
+	// pepaModel has work rate 1 and rest rate 2, so pi(P1) = 1/3.
+	err := PEPASolver([]string{"/models/m.pepa", "check", `S >= 0.3 [ "P1" ]`, `T >= 0.3 [ work ]`}, fs, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if strings.Count(s, "= true") != 2 {
+		t.Errorf("expected both properties to hold:\n%s", s)
+	}
+	var out2 bytes.Buffer
+	if err := PEPASolver([]string{"/models/m.pepa", "check"}, fs, &out2); err == nil {
+		t.Error("check without properties accepted")
+	}
+	if err := PEPASolver([]string{"/models/m.pepa", "check", "garbage"}, fs, &out2); err == nil {
+		t.Error("bad property accepted")
+	}
+}
+
+func TestPEPASolverErrors(t *testing.T) {
+	fs := fsWith(t, "/models/bad.pepa", "P = ; P")
+	var out bytes.Buffer
+	if err := PEPASolver([]string{"/models/bad.pepa"}, fs, &out); err == nil {
+		t.Error("bad model accepted")
+	}
+	if err := PEPASolver(nil, fs, &out); err == nil {
+		t.Error("missing args accepted")
+	}
+	if err := PEPASolver([]string{"/missing.pepa"}, fs, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+	good := fsWith(t, "/models/g.pepa", pepaModel)
+	if err := PEPASolver([]string{"/models/g.pepa", "cdf", "Nowhere", "1", "2"}, good, &out); err == nil {
+		t.Error("unmatched CDF pattern accepted")
+	}
+}
+
+const bioModel = `
+k = 0.5;
+kineticLawOf decay : fMA(k);
+S = (decay, 1) <<;
+S[10]
+`
+
+func TestBioPEPASolverODE(t *testing.T) {
+	fs := fsWith(t, "/models/d.biopepa", bioModel)
+	var out bytes.Buffer
+	if err := BioPEPASolver([]string{"/models/d.biopepa", "ode", "4", "4"}, fs, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Bio-PEPA ODE analysis") || !strings.Contains(s, "\tS") {
+		t.Errorf("output = %s", s)
+	}
+	// S(4) = 10 e^{-2} ~ 1.353353.
+	if !strings.Contains(s, "1.353353") {
+		t.Errorf("expected decay value in output:\n%s", s)
+	}
+}
+
+func TestBioPEPASolverSSADeterministic(t *testing.T) {
+	fs := fsWith(t, "/models/d.biopepa", bioModel)
+	var a, b bytes.Buffer
+	if err := BioPEPASolver([]string{"/models/d.biopepa", "ssa", "4", "4", "7"}, fs, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := BioPEPASolver([]string{"/models/d.biopepa", "ssa", "4", "4", "7"}, fs, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("SSA output not deterministic for fixed seed")
+	}
+	if !strings.Contains(a.String(), "reactions fired") {
+		t.Errorf("output = %s", a.String())
+	}
+}
+
+func TestBioPEPASolverErrors(t *testing.T) {
+	fs := fsWith(t, "/models/d.biopepa", bioModel)
+	var out bytes.Buffer
+	if err := BioPEPASolver([]string{"/models/d.biopepa", "wat", "4", "4"}, fs, &out); err == nil {
+		t.Error("unknown analysis accepted")
+	}
+	if err := BioPEPASolver([]string{"/models/d.biopepa", "ode", "x", "4"}, fs, &out); err == nil {
+		t.Error("bad horizon accepted")
+	}
+	if err := BioPEPASolver([]string{"/models/d.biopepa"}, fs, &out); err == nil {
+		t.Error("missing args accepted")
+	}
+}
+
+const gpepaModel = `
+rr = 2.0;
+rt = 0.27;
+rs = 4.0;
+rb = 1.0;
+Client = (request, rr).Client_think;
+Client_think = (think, rt).Client;
+Server = (request, rs).Server_log;
+Server_log = (log, rb).Server;
+Clients{Client[100]} <request> Servers{Server[10]}
+`
+
+func TestGPAnalyserFluid(t *testing.T) {
+	fs := fsWith(t, "/models/cs.gpepa", gpepaModel)
+	var out bytes.Buffer
+	if err := GPAnalyser([]string{"/models/cs.gpepa", "fluid", "50", "10"}, fs, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"GPEPA fluid analysis", "Clients:Client", "Servers:Server", "action throughput"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	if !strings.Contains(s, "100.000000") {
+		t.Errorf("initial client count missing:\n%s", s)
+	}
+}
+
+func TestGPAnalyserSim(t *testing.T) {
+	fs := fsWith(t, "/models/cs.gpepa", gpepaModel)
+	var out bytes.Buffer
+	if err := GPAnalyser([]string{"/models/cs.gpepa", "sim", "10", "5", "3"}, fs, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "stochastic simulation") {
+		t.Errorf("output = %s", out.String())
+	}
+}
+
+func TestGPAnalyserSweep(t *testing.T) {
+	fs := fsWith(t, "/models/cs.gpepa", gpepaModel)
+	var out bytes.Buffer
+	err := GPAnalyser([]string{"/models/cs.gpepa", "sweep", "Servers", "Server", "5,10,40,80", "300", "request"}, fs, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "GPEPA scalability sweep") {
+		t.Errorf("output:\n%s", s)
+	}
+	if !strings.Contains(s, "saturation at count") {
+		t.Errorf("saturation missing:\n%s", s)
+	}
+	// 5 servers: server-bound at 5*rs*... initial check: throughput 4.0 at 5.
+	if !strings.Contains(s, "5\t4.000000") {
+		t.Errorf("server-bound point missing:\n%s", s)
+	}
+	var bad bytes.Buffer
+	if err := GPAnalyser([]string{"/models/cs.gpepa", "sweep", "Servers", "Server", "x", "300", "request"}, fs, &bad); err == nil {
+		t.Error("bad counts accepted")
+	}
+	if err := GPAnalyser([]string{"/models/cs.gpepa", "sweep", "Servers"}, fs, &bad); err == nil {
+		t.Error("short sweep args accepted")
+	}
+}
+
+func TestGPAnalyserErrors(t *testing.T) {
+	fs := fsWith(t, "/models/cs.gpepa", gpepaModel)
+	var out bytes.Buffer
+	if err := GPAnalyser([]string{"/models/cs.gpepa", "fluid", "0", "10"}, fs, &out); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if err := GPAnalyser([]string{"/models/cs.gpepa", "nope", "10", "5"}, fs, &out); err == nil {
+		t.Error("unknown analysis accepted")
+	}
+}
+
+func TestRegisterAll(t *testing.T) {
+	e := runtime.NewEngine()
+	RegisterAll(e)
+	for _, name := range []string{PEPAApp, BioPEPAApp, GPAApp} {
+		if _, ok := e.Apps[name]; !ok {
+			t.Errorf("app %s not registered", name)
+		}
+	}
+}

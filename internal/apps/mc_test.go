@@ -1,0 +1,52 @@
+package apps
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const mcProps = `
+# steady-state and throughput properties of the work/rest cycle
+S >= 0.3 [ "P1" ]
+T >= 0.5 [ work ]
+T <= 0.5 [ rest ]
+`
+
+func TestModelCheckerRunsProperties(t *testing.T) {
+	fs := fsWith(t, "/models/m.pepa", pepaModel)
+	if err := fs.WriteFile("/models/props.csl", []byte(mcProps), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := ModelChecker([]string{"/models/m.pepa", "/models/props.csl"}, fs, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "model checking 3 propert(ies)") {
+		t.Errorf("header missing:\n%s", s)
+	}
+	// pi(P1)=1/3, tput(work)=tput(rest)=2/3: first two hold, third fails.
+	if strings.Count(s, "= true") != 2 || strings.Count(s, "= false") != 1 {
+		t.Errorf("verdicts wrong:\n%s", s)
+	}
+	if !strings.Contains(s, "2/3 properties hold") {
+		t.Errorf("summary missing:\n%s", s)
+	}
+}
+
+func TestModelCheckerErrors(t *testing.T) {
+	fs := fsWith(t, "/models/m.pepa", pepaModel)
+	var out bytes.Buffer
+	if err := ModelChecker([]string{"/models/m.pepa"}, fs, &out); err == nil {
+		t.Error("missing props file accepted")
+	}
+	fs.WriteFile("/models/empty.csl", []byte("# only comments\n"), 0o644)
+	if err := ModelChecker([]string{"/models/m.pepa", "/models/empty.csl"}, fs, &out); err == nil {
+		t.Error("empty property file accepted")
+	}
+	fs.WriteFile("/models/bad.csl", []byte("wat\n"), 0o644)
+	if err := ModelChecker([]string{"/models/m.pepa", "/models/bad.csl"}, fs, &out); err == nil {
+		t.Error("unparsable property accepted")
+	}
+}

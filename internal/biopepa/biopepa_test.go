@@ -1,0 +1,493 @@
+package biopepa
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// enzymeSrc is the basic enzyme-kinetics system of the Bio-PEPA users'
+// manual (§ examples): E + S <-> ES -> E + P with mass-action kinetics.
+const enzymeSrc = `
+k1 = 0.002;  // binding
+k2 = 0.1;    // unbinding
+k3 = 0.05;   // catalysis
+
+kineticLawOf bind    : fMA(k1);
+kineticLawOf unbind  : fMA(k2);
+kineticLawOf convert : fMA(k3);
+
+S  = (bind, 1) << + (unbind, 1) >>;
+E  = (bind, 1) << + (unbind, 1) >> + (convert, 1) >>;
+ES = (bind, 1) >> + (unbind, 1) << + (convert, 1) <<;
+P  = (convert, 1) >>;
+
+S[200] <*> E[50] <*> ES[0] <*> P[0]
+`
+
+// inhibitedSrc adds a competitive inhibitor acting on the binding step.
+const inhibitedSrc = `
+k1 = 0.002;
+k2 = 0.1;
+k3 = 0.05;
+
+kineticLawOf bind    : fMA(k1);
+kineticLawOf unbind  : fMA(k2);
+kineticLawOf convert : fMA(k3);
+
+S  = (bind, 1) << + (unbind, 1) >>;
+E  = (bind, 1) << + (unbind, 1) >> + (convert, 1) >>;
+ES = (bind, 1) >> + (unbind, 1) << + (convert, 1) <<;
+P  = (convert, 1) >>;
+I  = (bind, 1) (-);
+
+S[200] <*> E[50] <*> ES[0] <*> P[0] <*> I[100]
+`
+
+// mmSrc is the reduced Michaelis-Menten form.
+const mmSrc = `
+v = 2.0;
+kM = 10.0;
+
+kineticLawOf convert : fMM(v, kM);
+
+S = (convert, 1) <<;
+E = (convert, 1) (+);
+P = (convert, 1) >>;
+
+S[100] <*> E[5] <*> P[0]
+`
+
+func TestParseEnzymeModel(t *testing.T) {
+	m, err := Parse(enzymeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Species) != 4 {
+		t.Fatalf("species = %d, want 4", len(m.Species))
+	}
+	if m.ByName["S"].Initial != 200 || m.ByName["E"].Initial != 50 {
+		t.Errorf("initial amounts wrong: S=%g E=%g", m.ByName["S"].Initial, m.ByName["E"].Initial)
+	}
+	rxs, err := m.Reactions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rxs) != 3 {
+		t.Fatalf("reactions = %d, want 3", len(rxs))
+	}
+	var bind *Reaction
+	for _, rx := range rxs {
+		if rx.Name == "bind" {
+			bind = rx
+		}
+	}
+	if bind == nil || len(bind.Reactants) != 2 || len(bind.Products) != 1 {
+		t.Errorf("bind reaction structure wrong: %+v", bind)
+	}
+}
+
+func TestParseRoles(t *testing.T) {
+	m, err := Parse(`
+k = 1;
+kineticLawOf r : fMA(k);
+A = (r, 2) <<;
+B = (r, 1) >>;
+C = (r, 1) (+);
+D = (r, 1) (-);
+F = (r, 1) (.);
+A[5] <*> B[0] <*> C[1] <*> D[1] <*> F[1]
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rxs, err := m.Reactions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx := rxs[0]
+	if rx.Reactants[0].Stoich != 2 {
+		t.Errorf("stoichiometry = %g, want 2", rx.Reactants[0].Stoich)
+	}
+	if len(rx.Modifiers) != 3 {
+		t.Errorf("modifiers = %d, want 3", len(rx.Modifiers))
+	}
+}
+
+func TestParseSelfReferenceForm(t *testing.T) {
+	// The manual writes "S = (bind, 1) << S;" — trailing self reference.
+	m, err := Parse(`
+k = 1;
+kineticLawOf decay : fMA(k);
+S = (decay, 1) << S;
+S[10]
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Species) != 1 {
+		t.Error("self-reference form not parsed")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := map[string]string{
+		"k = 1; kineticLawOf r : fMA(k); S = (r,1) << Other; S[1]":                        "foreign reference in role",
+		"k = 1; S = (r,1) <<; S[1]":                                                       "missing kinetic law",
+		"k = 1; kineticLawOf r : fMA(k); S[1]":                                            "no species",
+		"k = 1; k = 2; kineticLawOf r : fMA(k); S = (r,1)<<; S[1]":                        "duplicate parameter",
+		"k = 1; kineticLawOf r : fMA(k); kineticLawOf r : fMA(k); S = (r,1)<<; S[1]":      "duplicate law",
+		"k = 1; kineticLawOf r : fMA(k); S = (r,1)<<; S[1] <*> S[2]":                      "species twice in system",
+		"k = 1; kineticLawOf r : fMA(k); kineticLawOf unused : fMA(k); S = (r,1)<<; S[1]": "law without participants",
+	}
+	for src, why := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("accepted bad model (%s)", why)
+		}
+	}
+}
+
+func TestMassActionRate(t *testing.T) {
+	m := MustParse(enzymeSrc)
+	rxs, _ := m.Reactions()
+	env := m.Env(m.InitialState())
+	for _, rx := range rxs {
+		v, err := rx.Law.Rate(env, rx)
+		if err != nil {
+			t.Fatalf("%s: %v", rx.Name, err)
+		}
+		switch rx.Name {
+		case "bind": // k1 * S * E = 0.002 * 200 * 50 = 20
+			if math.Abs(v-20) > 1e-12 {
+				t.Errorf("bind rate = %g, want 20", v)
+			}
+		case "unbind", "convert": // ES = 0
+			if v != 0 {
+				t.Errorf("%s rate = %g, want 0", rx.Name, v)
+			}
+		}
+	}
+}
+
+func TestInhibitorReducesRate(t *testing.T) {
+	plain := MustParse(enzymeSrc)
+	inhib := MustParse(inhibitedSrc)
+	prx, _ := plain.Reactions()
+	irx, _ := inhib.Reactions()
+	var pv, iv float64
+	for _, rx := range prx {
+		if rx.Name == "bind" {
+			pv, _ = rx.Law.Rate(plain.Env(plain.InitialState()), rx)
+		}
+	}
+	for _, rx := range irx {
+		if rx.Name == "bind" {
+			iv, _ = rx.Law.Rate(inhib.Env(inhib.InitialState()), rx)
+		}
+	}
+	if !(iv < pv) {
+		t.Errorf("inhibited rate %g not below plain rate %g", iv, pv)
+	}
+	// fMA divides by (1 + I) per inhibitor: 20 / 101.
+	if math.Abs(iv-20.0/101) > 1e-12 {
+		t.Errorf("inhibited rate = %g, want %g", iv, 20.0/101)
+	}
+}
+
+func TestMichaelisMentenRate(t *testing.T) {
+	m := MustParse(mmSrc)
+	rxs, _ := m.Reactions()
+	env := m.Env(m.InitialState())
+	v, err := rxs[0].Law.Rate(env, rxs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v*E*S/(kM+S) = 2*5*100/110.
+	want := 2.0 * 5 * 100 / 110
+	if math.Abs(v-want) > 1e-12 {
+		t.Errorf("fMM rate = %g, want %g", v, want)
+	}
+}
+
+func TestMichaelisMentenValidation(t *testing.T) {
+	// fMM without an enzyme must fail at rate evaluation.
+	m := MustParse(`
+v = 1; kM = 1;
+kineticLawOf r : fMM(v, kM);
+S = (r,1) <<;
+P = (r,1) >>;
+S[10] <*> P[0]
+`)
+	rxs, _ := m.Reactions()
+	if _, err := rxs[0].Law.Rate(m.Env(m.InitialState()), rxs[0]); err == nil {
+		t.Error("fMM without enzyme accepted")
+	}
+}
+
+func TestODEConservation(t *testing.T) {
+	m := MustParse(enzymeSrc)
+	res, err := m.SolveODE(100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Conservation: S + ES + P = 200 and E + ES = 50 throughout.
+	si, ei, esi, pi := speciesIndex(m, "S"), speciesIndex(m, "E"), speciesIndex(m, "ES"), speciesIndex(m, "P")
+	for k := range res.Times {
+		x := res.X[k]
+		if math.Abs(x[si]+x[esi]+x[pi]-200) > 1e-6 {
+			t.Errorf("substrate conservation violated at t=%g: %g", res.Times[k], x[si]+x[esi]+x[pi])
+		}
+		if math.Abs(x[ei]+x[esi]-50) > 1e-6 {
+			t.Errorf("enzyme conservation violated at t=%g: %g", res.Times[k], x[ei]+x[esi])
+		}
+	}
+}
+
+func TestODESubstrateConvertsToProduct(t *testing.T) {
+	m := MustParse(enzymeSrc)
+	res, err := m.SolveODE(400, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := res.Series("S")
+	p, _ := res.Series("P")
+	if !(s[len(s)-1] < 5) {
+		t.Errorf("substrate not consumed: final S = %g", s[len(s)-1])
+	}
+	if !(p[len(p)-1] > 195) {
+		t.Errorf("product not formed: final P = %g", p[len(p)-1])
+	}
+	for k := 1; k < len(p); k++ {
+		if p[k] < p[k-1]-1e-9 {
+			t.Errorf("product series not monotone at %d", k)
+		}
+	}
+}
+
+func TestInhibitionSlowsConversion(t *testing.T) {
+	plain := MustParse(enzymeSrc)
+	inhib := MustParse(inhibitedSrc)
+	rp, err := plain.SolveODE(100, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri, err := inhib.SolveODE(100, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, _ := rp.Series("P")
+	ppi, _ := ri.Series("P")
+	if !(ppi[len(ppi)-1] < pp[len(pp)-1]) {
+		t.Errorf("inhibitor did not slow product formation: %g vs %g", ppi[len(ppi)-1], pp[len(pp)-1])
+	}
+}
+
+func TestSSAConservationAndDeterminism(t *testing.T) {
+	m := MustParse(enzymeSrc)
+	a, err := m.SimulateSSA(50, 50, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.SimulateSSA(50, 50, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Jumps != b.Jumps {
+		t.Fatalf("SSA not deterministic: %d vs %d jumps", a.Jumps, b.Jumps)
+	}
+	si, esi, pi := speciesIndex(m, "S"), speciesIndex(m, "ES"), speciesIndex(m, "P")
+	for k := range a.Times {
+		total := a.X[k][si] + a.X[k][esi] + a.X[k][pi]
+		if total != 200 {
+			t.Errorf("SSA conservation violated at sample %d: %g", k, total)
+		}
+	}
+	if a.Jumps == 0 {
+		t.Error("SSA fired no reactions")
+	}
+}
+
+func TestSSAMeanTracksODE(t *testing.T) {
+	m := MustParse(enzymeSrc)
+	odeRes, err := m.SolveODE(60, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssaRes, err := m.MeanSSA(60, 20, 30, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	po, _ := odeRes.Series("P")
+	ps, _ := ssaRes.Series("P")
+	for k := range po {
+		if math.Abs(po[k]-ps[k]) > 12 {
+			t.Errorf("t=%g: ODE P=%g vs SSA mean P=%g", odeRes.Times[k], po[k], ps[k])
+		}
+	}
+}
+
+func TestBuildCTMCSmall(t *testing.T) {
+	m := MustParse(`
+k = 1.0;
+kineticLawOf decay : fMA(k);
+S = (decay, 1) <<;
+S[3]
+`)
+	space, err := m.BuildCTMC(CTMCOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(space.States) != 4 {
+		t.Fatalf("states = %d, want 4 (3,2,1,0)", len(space.States))
+	}
+	// Passage from 3 to 0 is the sum of three exponentials with rates
+	// 3k, 2k, k; its mean is 1/3 + 1/2 + 1 = 11/6.
+	var target int
+	for i, st := range space.States {
+		if st[0] == 0 {
+			target = i
+		}
+	}
+	times := make([]float64, 600)
+	for i := range times {
+		times[i] = float64(i) * 0.05
+	}
+	cdf, err := space.Chain.FirstPassageCDF(space.Chain.PointMass(0), []int{target}, times, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := cdf.Mean(), 11.0/6; math.Abs(got-want) > 0.02 {
+		t.Errorf("mean extinction time = %g, want %g", got, want)
+	}
+}
+
+func TestBuildCTMCBounds(t *testing.T) {
+	// A birth process with no cap would explode; MaxCount must bound it.
+	m := MustParse(`
+k = 1.0;
+kineticLawOf birth : k;
+S = (birth, 1) >>;
+S[0]
+`)
+	space, err := m.BuildCTMC(CTMCOptions{MaxCount: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(space.States) != 11 {
+		t.Errorf("states = %d, want 11 (0..10)", len(space.States))
+	}
+	if _, err := m.BuildCTMC(CTMCOptions{MaxCount: 1e6, MaxStates: 50}); err == nil {
+		t.Error("unbounded birth chain did not hit MaxStates")
+	}
+}
+
+func TestPrintParseRoundTrip(t *testing.T) {
+	m := MustParse(enzymeSrc)
+	printed := m.String()
+	m2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, printed)
+	}
+	if m2.String() != printed {
+		t.Errorf("print/parse not a fixpoint:\n%s\nvs\n%s", printed, m2.String())
+	}
+}
+
+func TestExprParsing(t *testing.T) {
+	m := MustParse(`
+a = 2;
+b = a * 3 + 1;
+c = (a + b) / 2 - 1;
+kineticLawOf r : a * b;
+S = (r,1) <<;
+S[1]
+`)
+	if m.Params["b"] != 7 {
+		t.Errorf("b = %g, want 7", m.Params["b"])
+	}
+	if m.Params["c"] != 3.5 {
+		t.Errorf("c = %g, want 3.5", m.Params["c"])
+	}
+}
+
+func TestExplicitLawUsesSpeciesConcentration(t *testing.T) {
+	m := MustParse(`
+k = 0.5;
+kineticLawOf r : k * S;
+S = (r,1) <<;
+S[10]
+`)
+	res, err := m.SolveODE(10, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := res.Series("S")
+	// dS/dt = -0.5 S => S(t) = 10 e^{-t/2}.
+	for k, tm := range res.Times {
+		want := 10 * math.Exp(-0.5*tm)
+		if math.Abs(s[k]-want) > 1e-5 {
+			t.Errorf("S(%g) = %g, want %g", tm, s[k], want)
+		}
+	}
+}
+
+func TestODENonNegativityProperty(t *testing.T) {
+	f := func(kRaw uint8) bool {
+		k := float64(kRaw%100)/100 + 0.001
+		src := "k = " + strings.TrimRight(strings.TrimRight(
+			// fixed-point format to stay lexer-friendly
+			fmtFixed(k), "0"), ".") + ";\n" +
+			"kineticLawOf decay : fMA(k);\nS = (decay, 1) <<;\nS[5]"
+		m, err := Parse(src)
+		if err != nil {
+			return false
+		}
+		res, err := m.SolveODE(20, 20)
+		if err != nil {
+			return false
+		}
+		for _, x := range res.X {
+			if x[0] < -1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func fmtFixed(v float64) string {
+	n := int(v*10000 + 0.5)
+	whole := n / 10000
+	frac := n % 10000
+	digits := []byte{'0', '0', '0', '0'}
+	for i := 3; i >= 0 && frac > 0; i-- {
+		digits[i] = byte('0' + frac%10)
+		frac /= 10
+	}
+	return itoa(whole) + "." + string(digits)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+func speciesIndex(m *Model, name string) int {
+	for i, sp := range m.Species {
+		if sp.Name == name {
+			return i
+		}
+	}
+	return -1
+}

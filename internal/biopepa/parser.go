@@ -1,0 +1,428 @@
+package biopepa
+
+import (
+	"fmt"
+
+	"repro/internal/pepa"
+)
+
+// Parse parses a Bio-PEPA model in the plug-in's concrete syntax:
+//
+//	k1 = 0.1;                          // parameter
+//	kineticLawOf bind : fMA(k1);       // mass-action law
+//	kineticLawOf conv : fMM(v, kM);    // Michaelis–Menten law
+//	kineticLawOf leak : k1 * S;        // explicit law
+//	S = (bind, 1) << + (rel, 1) >>;    // species with roles
+//	E = (bind, 1) (+);                 // enzyme/activator
+//	S[100] <*> E[20]                   // initial amounts
+//
+// Roles: << reactant, >> product, (+) activator, (-) inhibitor,
+// (.) generic modifier. "(bind, 1) << S" (with a trailing self reference,
+// as written in the manual) is also accepted.
+func Parse(src string) (*Model, error) {
+	toks, err := pepa.LexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &bparser{toks: toks}
+	m := NewModel()
+	for !p.at(pepa.TokEOF) {
+		switch {
+		case p.at(pepa.TokIdent) && p.cur().Text == "kineticLawOf":
+			p.next()
+			name := p.next()
+			if name.Kind != pepa.TokIdent {
+				return nil, p.errHere("expected reaction name after kineticLawOf")
+			}
+			if err := p.expect(pepa.TokColon); err != nil {
+				return nil, err
+			}
+			law, err := p.parseLaw()
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := m.Laws[name.Text]; dup {
+				return nil, p.errHere("duplicate kinetic law for %q", name.Text)
+			}
+			m.AddLaw(name.Text, law)
+			if err := p.expect(pepa.TokSemi); err != nil {
+				return nil, err
+			}
+		case p.at(pepa.TokIdent) && p.cur().Text == "compartment":
+			p.next()
+			name := p.next()
+			if name.Kind != pepa.TokIdent {
+				return nil, p.errHere("expected compartment name")
+			}
+			if err := p.expect(pepa.TokEquals); err != nil {
+				return nil, err
+			}
+			size := p.next()
+			if size.Kind != pepa.TokNumber {
+				return nil, p.errHere("expected compartment size")
+			}
+			m.Compartments[name.Text] = size.Num
+			if err := p.expect(pepa.TokSemi); err != nil {
+				return nil, err
+			}
+		case p.at(pepa.TokIdent) && p.atOffset(1, pepa.TokEquals):
+			name := p.next().Text
+			p.next() // '='
+			if p.looksLikeSpeciesBody() {
+				sp := &Species{Name: name}
+				if err := p.parseSpeciesBody(sp); err != nil {
+					return nil, err
+				}
+				if err := m.AddSpecies(sp); err != nil {
+					return nil, err
+				}
+			} else {
+				// Parameter definition (possibly an expression over
+				// previously defined parameters).
+				v, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				val, err := v.Eval(m.Params)
+				if err != nil {
+					return nil, fmt.Errorf("biopepa: in parameter %q: %w", name, err)
+				}
+				if _, dup := m.Params[name]; dup {
+					return nil, p.errHere("duplicate parameter %q", name)
+				}
+				m.AddParam(name, val)
+			}
+			if err := p.expect(pepa.TokSemi); err != nil {
+				return nil, err
+			}
+		case p.at(pepa.TokIdent) && p.atOffset(1, pepa.TokLBracket):
+			// System line: S[100] <*> E[20] ...
+			if err := p.parseSystem(m); err != nil {
+				return nil, err
+			}
+			if p.at(pepa.TokSemi) {
+				p.next()
+			}
+			if !p.at(pepa.TokEOF) {
+				return nil, p.errHere("unexpected input after system line")
+			}
+		default:
+			return nil, p.errHere("unexpected token %q", p.cur().Text)
+		}
+	}
+	if len(m.Species) == 0 {
+		return nil, fmt.Errorf("biopepa: model defines no species")
+	}
+	// Validate: every participation references a law.
+	if _, err := m.Reactions(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// MustParse is Parse that panics on error.
+func MustParse(src string) *Model {
+	m, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+type bparser struct {
+	toks []pepa.Token
+	pos  int
+}
+
+func (p *bparser) cur() pepa.Token          { return p.toks[p.pos] }
+func (p *bparser) at(k pepa.TokenKind) bool { return p.toks[p.pos].Kind == k }
+
+func (p *bparser) atOffset(off int, k pepa.TokenKind) bool {
+	if p.pos+off >= len(p.toks) {
+		return k == pepa.TokEOF
+	}
+	return p.toks[p.pos+off].Kind == k
+}
+
+func (p *bparser) next() pepa.Token {
+	t := p.toks[p.pos]
+	if t.Kind != pepa.TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *bparser) expect(k pepa.TokenKind) error {
+	if !p.at(k) {
+		return p.errHere("expected %s, found %q", k, p.cur().Text)
+	}
+	p.next()
+	return nil
+}
+
+func (p *bparser) errHere(format string, args ...any) error {
+	t := p.cur()
+	return fmt.Errorf("biopepa: %d:%d: %s", t.Line, t.Col, fmt.Sprintf(format, args...))
+}
+
+// looksLikeSpeciesBody reports whether the upcoming tokens form a species
+// participation "(rx[, n]) ROLE" rather than a parenthesized arithmetic
+// expression. It distinguishes "S = (bind, 1) <<" from "c = (a + b) / 2".
+func (p *bparser) looksLikeSpeciesBody() bool {
+	if !p.at(pepa.TokLParen) || !p.atOffset(1, pepa.TokIdent) {
+		return false
+	}
+	i := 2
+	if p.atOffset(i, pepa.TokComma) {
+		if !p.atOffset(i+1, pepa.TokNumber) {
+			return false
+		}
+		i += 2
+	}
+	if !p.atOffset(i, pepa.TokRParen) {
+		return false
+	}
+	i++
+	// A role must follow: <<, >>, (+), (-), (.).
+	switch {
+	case p.atOffset(i, pepa.TokLAngle) && p.atOffset(i+1, pepa.TokLAngle):
+		return true
+	case p.atOffset(i, pepa.TokRAngle) && p.atOffset(i+1, pepa.TokRAngle):
+		return true
+	case p.atOffset(i, pepa.TokLParen) &&
+		(p.atOffset(i+1, pepa.TokPlus) || p.atOffset(i+1, pepa.TokMinus) || p.atOffset(i+1, pepa.TokDot)) &&
+		p.atOffset(i+2, pepa.TokRParen):
+		return true
+	}
+	return false
+}
+
+// parseLaw parses fMA(e), fMM(e, e), or an explicit expression.
+func (p *bparser) parseLaw() (KineticLaw, error) {
+	if p.at(pepa.TokIdent) {
+		switch p.cur().Text {
+		case "fMA":
+			p.next()
+			if err := p.expect(pepa.TokLParen); err != nil {
+				return nil, err
+			}
+			k, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(pepa.TokRParen); err != nil {
+				return nil, err
+			}
+			return &MassAction{K: k}, nil
+		case "fMM":
+			p.next()
+			if err := p.expect(pepa.TokLParen); err != nil {
+				return nil, err
+			}
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(pepa.TokComma); err != nil {
+				return nil, err
+			}
+			k, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(pepa.TokRParen); err != nil {
+				return nil, err
+			}
+			return &MichaelisMenten{V: v, K: k}, nil
+		}
+	}
+	body, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &ExplicitLaw{Body: body}, nil
+}
+
+// parseSpeciesBody parses "(rx, n) ROLE [Name]" terms joined by '+'.
+func (p *bparser) parseSpeciesBody(sp *Species) error {
+	for {
+		if err := p.expect(pepa.TokLParen); err != nil {
+			return err
+		}
+		rx := p.next()
+		if rx.Kind != pepa.TokIdent {
+			return p.errHere("expected reaction name in species %q", sp.Name)
+		}
+		stoich := 1.0
+		if p.at(pepa.TokComma) {
+			p.next()
+			n := p.next()
+			if n.Kind != pepa.TokNumber {
+				return p.errHere("expected stoichiometry in species %q", sp.Name)
+			}
+			stoich = n.Num
+		}
+		if err := p.expect(pepa.TokRParen); err != nil {
+			return err
+		}
+		role, err := p.parseRole()
+		if err != nil {
+			return err
+		}
+		// Optional trailing self reference "<< S".
+		if p.at(pepa.TokIdent) {
+			if p.cur().Text != sp.Name {
+				return p.errHere("species %q role references %q; only a self reference is allowed", sp.Name, p.cur().Text)
+			}
+			p.next()
+		}
+		sp.Participations = append(sp.Participations, Participation{
+			Reaction: rx.Text, Stoich: stoich, Role: role,
+		})
+		if p.at(pepa.TokPlus) {
+			p.next()
+			continue
+		}
+		return nil
+	}
+}
+
+// parseRole parses <<, >>, (+), (-), (.).
+func (p *bparser) parseRole() (Role, error) {
+	switch {
+	case p.at(pepa.TokLAngle) && p.atOffset(1, pepa.TokLAngle):
+		p.next()
+		p.next()
+		return Reactant, nil
+	case p.at(pepa.TokRAngle) && p.atOffset(1, pepa.TokRAngle):
+		p.next()
+		p.next()
+		return Product, nil
+	case p.at(pepa.TokLParen) && p.atOffset(1, pepa.TokPlus) && p.atOffset(2, pepa.TokRParen):
+		p.next()
+		p.next()
+		p.next()
+		return Activator, nil
+	case p.at(pepa.TokLParen) && p.atOffset(1, pepa.TokMinus) && p.atOffset(2, pepa.TokRParen):
+		p.next()
+		p.next()
+		p.next()
+		return Inhibitor, nil
+	case p.at(pepa.TokLParen) && p.atOffset(1, pepa.TokDot) && p.atOffset(2, pepa.TokRParen):
+		p.next()
+		p.next()
+		p.next()
+		return Modifier, nil
+	default:
+		return 0, p.errHere("expected a species role (<<, >>, (+), (-), (.))")
+	}
+}
+
+// parseSystem parses "S[100] <*> E[20] ..." and assigns initial amounts.
+func (p *bparser) parseSystem(m *Model) error {
+	seen := map[string]bool{}
+	for {
+		name := p.next()
+		if name.Kind != pepa.TokIdent {
+			return p.errHere("expected species name in system line")
+		}
+		sp, ok := m.ByName[name.Text]
+		if !ok {
+			return p.errHere("system line references undefined species %q", name.Text)
+		}
+		if seen[name.Text] {
+			return p.errHere("species %q appears twice in system line", name.Text)
+		}
+		seen[name.Text] = true
+		if err := p.expect(pepa.TokLBracket); err != nil {
+			return err
+		}
+		amount := p.next()
+		if amount.Kind != pepa.TokNumber {
+			return p.errHere("expected initial amount for %q", name.Text)
+		}
+		if err := p.expect(pepa.TokRBracket); err != nil {
+			return err
+		}
+		sp.Initial = amount.Num
+		// Separator: <*> or ||, or end.
+		if p.at(pepa.TokLAngle) && p.atOffset(1, pepa.TokStar) && p.atOffset(2, pepa.TokRAngle) {
+			p.next()
+			p.next()
+			p.next()
+			continue
+		}
+		if p.at(pepa.TokParallel) {
+			p.next()
+			continue
+		}
+		return nil
+	}
+}
+
+// parseExpr parses arithmetic over numbers, parameters and species names.
+func (p *bparser) parseExpr() (Expr, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(pepa.TokPlus) || p.at(pepa.TokMinus) {
+		op := byte('+')
+		if p.next().Kind == pepa.TokMinus {
+			op = '-'
+		}
+		right, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		left = &Bin{Op: op, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *bparser) parseTerm() (Expr, error) {
+	left, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(pepa.TokStar) || p.at(pepa.TokSlash) {
+		op := byte('*')
+		if p.next().Kind == pepa.TokSlash {
+			op = '/'
+		}
+		right, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		left = &Bin{Op: op, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *bparser) parseFactor() (Expr, error) {
+	switch {
+	case p.at(pepa.TokNumber):
+		return &Num{Value: p.next().Num}, nil
+	case p.at(pepa.TokIdent):
+		return &Var{Name: p.next().Text}, nil
+	case p.at(pepa.TokLParen):
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(pepa.TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case p.at(pepa.TokMinus):
+		p.next()
+		e, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return &Bin{Op: '-', Left: &Num{Value: 0}, Right: e}, nil
+	default:
+		return nil, p.errHere("expected an expression, found %q", p.cur().Text)
+	}
+}

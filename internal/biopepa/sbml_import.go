@@ -1,0 +1,309 @@
+package biopepa
+
+import (
+	"encoding/xml"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// This file completes the ref [16] mapping in the other direction: SBML
+// Level 2 documents (as produced by ToSBML, or by compatible tools using
+// infix formula text) import back into Bio-PEPA models. The round trip
+// Model -> SBML -> Model preserves the reaction network and dynamics
+// (kinetic laws come back as explicit rate expressions, which evaluate
+// identically).
+
+// Pow is x^y over kinetic-law expressions (SBML formulas use powers for
+// stoichiometric mass action).
+type Pow struct {
+	Base, Exp Expr
+}
+
+// Eval implements Expr.
+func (p *Pow) Eval(env map[string]float64) (float64, error) {
+	b, err := p.Base.Eval(env)
+	if err != nil {
+		return 0, err
+	}
+	e, err := p.Exp.Eval(env)
+	if err != nil {
+		return 0, err
+	}
+	return pow(b, e), nil
+}
+
+func pow(b, e float64) float64 {
+	// Integer exponents cover every formula we emit; math.Pow handles the
+	// rest. Implemented via repeated multiplication for exact small cases.
+	if e == float64(int(e)) && e >= 0 && e <= 8 {
+		out := 1.0
+		for i := 0; i < int(e); i++ {
+			out *= b
+		}
+		return out
+	}
+	return math.Pow(b, e)
+}
+
+func (p *Pow) String() string { return p.Base.String() + "^" + p.Exp.String() }
+
+// sbmlIn mirrors the subset of SBML we read.
+type sbmlIn struct {
+	XMLName xml.Name `xml:"sbml"`
+	Model   struct {
+		ID           string `xml:"id,attr"`
+		Compartments []struct {
+			ID   string  `xml:"id,attr"`
+			Size float64 `xml:"size,attr"`
+		} `xml:"listOfCompartments>compartment"`
+		Species []struct {
+			ID            string  `xml:"id,attr"`
+			InitialAmount float64 `xml:"initialAmount,attr"`
+		} `xml:"listOfSpecies>species"`
+		Parameters []struct {
+			ID    string  `xml:"id,attr"`
+			Value float64 `xml:"value,attr"`
+		} `xml:"listOfParameters>parameter"`
+		Reactions []struct {
+			ID        string `xml:"id,attr"`
+			Reactants []struct {
+				Species string  `xml:"species,attr"`
+				Stoich  float64 `xml:"stoichiometry,attr"`
+			} `xml:"listOfReactants>speciesReference"`
+			Products []struct {
+				Species string  `xml:"species,attr"`
+				Stoich  float64 `xml:"stoichiometry,attr"`
+			} `xml:"listOfProducts>speciesReference"`
+			Modifiers []struct {
+				Species string `xml:"species,attr"`
+			} `xml:"listOfModifiers>modifierSpeciesReference"`
+			Formula string `xml:"kineticLaw>math>formula"`
+		} `xml:"listOfReactions>reaction"`
+	} `xml:"model"`
+}
+
+// FromSBML imports an SBML Level 2 document with infix kinetic formulas.
+// Modifier roles import as generic modifiers (SBML does not distinguish
+// activator from inhibitor; the distinction lives in the formula, which is
+// preserved verbatim as an explicit law).
+func FromSBML(data []byte) (*Model, error) {
+	var doc sbmlIn
+	if err := xml.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("biopepa: bad SBML: %w", err)
+	}
+	if len(doc.Model.Species) == 0 {
+		return nil, fmt.Errorf("biopepa: SBML model has no species")
+	}
+	m := NewModel()
+	for _, c := range doc.Model.Compartments {
+		if c.ID != defaultCompartment {
+			m.Compartments[c.ID] = c.Size
+		}
+	}
+	for _, p := range doc.Model.Parameters {
+		m.AddParam(p.ID, p.Value)
+	}
+	// Species first (participations attach below).
+	for _, sp := range doc.Model.Species {
+		if err := m.AddSpecies(&Species{Name: sp.ID, Initial: sp.InitialAmount}); err != nil {
+			return nil, err
+		}
+	}
+	for _, rx := range doc.Model.Reactions {
+		if rx.ID == "" {
+			return nil, fmt.Errorf("biopepa: SBML reaction without id")
+		}
+		if strings.TrimSpace(rx.Formula) == "" {
+			return nil, fmt.Errorf("biopepa: SBML reaction %q has no kinetic formula", rx.ID)
+		}
+		law, err := ParseFormula(rx.Formula)
+		if err != nil {
+			return nil, fmt.Errorf("biopepa: reaction %q: %w", rx.ID, err)
+		}
+		m.AddLaw(rx.ID, &ExplicitLaw{Body: law})
+		attach := func(species string, stoich float64, role Role) error {
+			sp, ok := m.ByName[species]
+			if !ok {
+				return fmt.Errorf("biopepa: reaction %q references undefined species %q", rx.ID, species)
+			}
+			if stoich == 0 {
+				stoich = 1
+			}
+			sp.Participations = append(sp.Participations, Participation{
+				Reaction: rx.ID, Stoich: stoich, Role: role,
+			})
+			return nil
+		}
+		for _, r := range rx.Reactants {
+			if err := attach(r.Species, r.Stoich, Reactant); err != nil {
+				return nil, err
+			}
+		}
+		for _, p := range rx.Products {
+			if err := attach(p.Species, p.Stoich, Product); err != nil {
+				return nil, err
+			}
+		}
+		for _, mod := range rx.Modifiers {
+			if err := attach(mod.Species, 1, Modifier); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if _, err := m.Reactions(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ParseFormula parses an infix kinetic formula: identifiers, numbers,
+// + - * / ^, and parentheses.
+func ParseFormula(src string) (Expr, error) {
+	toks, err := scanFormula(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &formulaParser{toks: toks}
+	e, err := p.parseSum()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.toks) {
+		return nil, fmt.Errorf("trailing input %q in formula", p.toks[p.pos])
+	}
+	return e, nil
+}
+
+func scanFormula(src string) ([]string, error) {
+	var toks []string
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n':
+			i++
+		case strings.IndexByte("+-*/^()", c) >= 0:
+			toks = append(toks, string(c))
+			i++
+		case c >= '0' && c <= '9' || c == '.':
+			j := i
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9' || src[j] == '.' || src[j] == 'e' || src[j] == 'E' ||
+				((src[j] == '+' || src[j] == '-') && j > i && (src[j-1] == 'e' || src[j-1] == 'E'))) {
+				j++
+			}
+			toks = append(toks, src[i:j])
+			i = j
+		case c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z':
+			j := i
+			for j < len(src) && (src[j] == '_' || src[j] >= 'a' && src[j] <= 'z' || src[j] >= 'A' && src[j] <= 'Z' || src[j] >= '0' && src[j] <= '9') {
+				j++
+			}
+			toks = append(toks, src[i:j])
+			i = j
+		default:
+			return nil, fmt.Errorf("unexpected character %q in formula", string(c))
+		}
+	}
+	return toks, nil
+}
+
+type formulaParser struct {
+	toks []string
+	pos  int
+}
+
+func (p *formulaParser) peek() string {
+	if p.pos >= len(p.toks) {
+		return ""
+	}
+	return p.toks[p.pos]
+}
+
+func (p *formulaParser) next() string {
+	t := p.peek()
+	if t != "" {
+		p.pos++
+	}
+	return t
+}
+
+func (p *formulaParser) parseSum() (Expr, error) {
+	left, err := p.parseProduct()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == "+" || p.peek() == "-" {
+		op := p.next()[0]
+		right, err := p.parseProduct()
+		if err != nil {
+			return nil, err
+		}
+		left = &Bin{Op: op, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *formulaParser) parseProduct() (Expr, error) {
+	left, err := p.parsePower()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == "*" || p.peek() == "/" {
+		op := p.next()[0]
+		right, err := p.parsePower()
+		if err != nil {
+			return nil, err
+		}
+		left = &Bin{Op: op, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *formulaParser) parsePower() (Expr, error) {
+	base, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek() == "^" {
+		p.next()
+		exp, err := p.parsePower() // right-associative
+		if err != nil {
+			return nil, err
+		}
+		return &Pow{Base: base, Exp: exp}, nil
+	}
+	return base, nil
+}
+
+func (p *formulaParser) parseAtom() (Expr, error) {
+	t := p.next()
+	switch {
+	case t == "":
+		return nil, fmt.Errorf("unexpected end of formula")
+	case t == "(":
+		e, err := p.parseSum()
+		if err != nil {
+			return nil, err
+		}
+		if p.next() != ")" {
+			return nil, fmt.Errorf("missing ')' in formula")
+		}
+		return e, nil
+	case t == "-":
+		e, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		return &Bin{Op: '-', Left: &Num{Value: 0}, Right: e}, nil
+	case t[0] >= '0' && t[0] <= '9' || t[0] == '.':
+		v, err := strconv.ParseFloat(t, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q in formula", t)
+		}
+		return &Num{Value: v}, nil
+	default:
+		return &Var{Name: t}, nil
+	}
+}

@@ -1,0 +1,181 @@
+package biopepa
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSBMLRoundTripPreservesDynamics(t *testing.T) {
+	orig := MustParse(enzymeSrc)
+	doc, err := orig.ToSBML("enzyme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromSBML(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Species) != len(orig.Species) {
+		t.Fatalf("species = %d, want %d", len(back.Species), len(orig.Species))
+	}
+	ro, err := orig.SolveODE(100, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := back.SolveODE(100, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sp := range []string{"S", "E", "ES", "P"} {
+		so, _ := ro.Series(sp)
+		sb, _ := rb.Series(sp)
+		for k := range so {
+			if math.Abs(so[k]-sb[k]) > 1e-6 {
+				t.Fatalf("species %s diverges at sample %d: %g vs %g", sp, k, so[k], sb[k])
+			}
+		}
+	}
+}
+
+func TestSBMLRoundTripInhibited(t *testing.T) {
+	orig := MustParse(inhibitedSrc)
+	doc, err := orig.ToSBML("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromSBML(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro, _ := orig.SolveODE(50, 10)
+	rb, err := back.SolveODE(50, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	po, _ := ro.Series("P")
+	pb, _ := rb.Series("P")
+	for k := range po {
+		if math.Abs(po[k]-pb[k]) > 1e-6 {
+			t.Fatalf("inhibited product diverges at %d: %g vs %g", k, po[k], pb[k])
+		}
+	}
+}
+
+func TestSBMLRoundTripMichaelisMenten(t *testing.T) {
+	orig := MustParse(mmSrc)
+	doc, err := orig.ToSBML("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromSBML(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro, _ := orig.SolveODE(80, 16)
+	rb, err := back.SolveODE(80, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	so, _ := ro.Series("S")
+	sb, _ := rb.Series("S")
+	for k := range so {
+		if math.Abs(so[k]-sb[k]) > 1e-6 {
+			t.Fatalf("MM substrate diverges at %d: %g vs %g", k, so[k], sb[k])
+		}
+	}
+}
+
+func TestSBMLRoundTripStoichiometry(t *testing.T) {
+	orig := MustParse(`
+k = 0.01;
+kineticLawOf dimerize : fMA(k);
+A = (dimerize, 2) <<;
+D = (dimerize, 1) >>;
+A[100] <*> D[0]
+`)
+	doc, err := orig.ToSBML("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromSBML(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Conservation A + 2D = 100 must hold for the imported model too.
+	res, err := back.SolveODE(50, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := res.Series("A")
+	d, _ := res.Series("D")
+	for k := range a {
+		if math.Abs(a[k]+2*d[k]-100) > 1e-5 {
+			t.Fatalf("stoichiometry lost: A+2D = %g at %d", a[k]+2*d[k], k)
+		}
+	}
+}
+
+func TestFromSBMLErrors(t *testing.T) {
+	bad := []string{
+		"not xml at all <",
+		`<?xml version="1.0"?><sbml><model></model></sbml>`, // no species
+		`<?xml version="1.0"?><sbml><model>
+			<listOfSpecies><species id="S" initialAmount="1"/></listOfSpecies>
+			<listOfReactions><reaction id="r">
+			  <listOfReactants><speciesReference species="S" stoichiometry="1"/></listOfReactants>
+			</reaction></listOfReactions></model></sbml>`, // no formula
+		`<?xml version="1.0"?><sbml><model>
+			<listOfSpecies><species id="S" initialAmount="1"/></listOfSpecies>
+			<listOfReactions><reaction id="r">
+			  <listOfReactants><speciesReference species="Ghost" stoichiometry="1"/></listOfReactants>
+			  <kineticLaw><math><formula>1</formula></math></kineticLaw>
+			</reaction></listOfReactions></model></sbml>`, // undefined species
+	}
+	for i, src := range bad {
+		if _, err := FromSBML([]byte(src)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestParseFormula(t *testing.T) {
+	env := map[string]float64{"k": 2, "S": 3, "E": 4}
+	cases := map[string]float64{
+		"k * S * E":           24,
+		"k*S*E":               24,
+		"S^2":                 9,
+		"k * S^2":             18,
+		"(S + E) / k":         3.5,
+		"1 / (1 + S)":         0.25,
+		"-k + S":              1,
+		"2e1 + S":             23,
+		"S ^ 2 ^ 1":           9, // right-associative
+		"k * E * S / (k + S)": 4.8,
+	}
+	for src, want := range cases {
+		e, err := ParseFormula(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		got, err := e.Eval(env)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("%q = %g, want %g", src, got, want)
+		}
+	}
+	for _, bad := range []string{"", "k +", "(k", "k @ S", "1..2", "k S"} {
+		if _, err := ParseFormula(bad); err == nil {
+			t.Errorf("accepted bad formula %q", bad)
+		}
+	}
+}
+
+func TestPowString(t *testing.T) {
+	p := &Pow{Base: &Var{Name: "S"}, Exp: &Num{Value: 2}}
+	if !strings.Contains(p.String(), "S^2") {
+		t.Errorf("Pow.String = %q", p.String())
+	}
+}

@@ -1,0 +1,142 @@
+package biopepa
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func TestToSBMLStructure(t *testing.T) {
+	m := MustParse(enzymeSrc)
+	out, err := m.ToSBML("enzyme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(out)
+	for _, want := range []string{
+		`<?xml version="1.0" encoding="UTF-8"?>`,
+		`xmlns="http://www.sbml.org/sbml/level2/version4"`,
+		`level="2"`, `version="4"`,
+		`<model id="enzyme">`,
+		`<compartment id="cell" size="1">`,
+		`<species id="S" compartment="cell" initialAmount="200">`,
+		`<species id="ES" compartment="cell" initialAmount="0">`,
+		`<parameter id="k1" value="0.002">`,
+		`<reaction id="bind"`,
+		`<speciesReference species="S" stoichiometry="1">`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("SBML missing %q", want)
+		}
+	}
+	// Output must be well-formed XML.
+	var any struct{}
+	if err := xml.Unmarshal(out, &any); err != nil {
+		t.Fatalf("output is not well-formed XML: %v", err)
+	}
+}
+
+func TestToSBMLMassActionFormula(t *testing.T) {
+	m := MustParse(enzymeSrc)
+	out, err := m.ToSBML("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "<formula>k1 * S * E</formula>") {
+		t.Errorf("bind formula missing:\n%s", out)
+	}
+}
+
+func TestToSBMLInhibitorFormula(t *testing.T) {
+	m := MustParse(inhibitedSrc)
+	out, err := m.ToSBML("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(out)
+	if !strings.Contains(s, "(1 / (1 + I))") {
+		t.Errorf("inhibitor factor missing:\n%s", s)
+	}
+	if !strings.Contains(s, `<modifierSpeciesReference species="I">`) {
+		t.Errorf("modifier reference missing:\n%s", s)
+	}
+}
+
+func TestToSBMLMichaelisMenten(t *testing.T) {
+	m := MustParse(mmSrc)
+	out, err := m.ToSBML("mm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "<formula>v * E * S / (kM + S)</formula>") {
+		t.Errorf("fMM formula missing:\n%s", out)
+	}
+}
+
+func TestToSBMLExplicitLaw(t *testing.T) {
+	m := MustParse("k = 0.5;\nkineticLawOf r : k * S;\nS = (r,1) <<;\nS[10]\n")
+	out, err := m.ToSBML("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "<formula>(k * S)</formula>") {
+		t.Errorf("explicit formula missing:\n%s", out)
+	}
+}
+
+func TestToSBMLCompartments(t *testing.T) {
+	m := MustParse(`
+compartment cytosol = 2.5;
+k = 1;
+kineticLawOf r : fMA(k);
+S = (r,1) <<;
+S[5]
+`)
+	out, err := m.ToSBML("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(out)
+	if !strings.Contains(s, `<compartment id="cytosol" size="2.5">`) {
+		t.Errorf("compartment missing:\n%s", s)
+	}
+	if !strings.Contains(s, `compartment="cytosol"`) {
+		t.Errorf("species not placed in compartment:\n%s", s)
+	}
+}
+
+func TestToSBMLDeterministic(t *testing.T) {
+	m := MustParse(enzymeSrc)
+	a, err := m.ToSBML("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.ToSBML("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("SBML output not deterministic")
+	}
+}
+
+func TestToSBMLStoichiometry(t *testing.T) {
+	m := MustParse(`
+k = 1;
+kineticLawOf dimerize : fMA(k);
+A = (dimerize, 2) <<;
+D = (dimerize, 1) >>;
+A[10] <*> D[0]
+`)
+	out, err := m.ToSBML("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(out)
+	if !strings.Contains(s, `stoichiometry="2"`) {
+		t.Errorf("stoichiometry 2 missing:\n%s", s)
+	}
+	if !strings.Contains(s, "A^2") {
+		t.Errorf("squared mass-action term missing:\n%s", s)
+	}
+}

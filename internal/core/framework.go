@@ -1,0 +1,420 @@
+// Package core implements the paper's contribution: the container-based
+// reproducibility framework for stochastic-process-algebra tooling. It
+// wires the pieces together —
+//
+//	recipes (internal/recipe) -> build (internal/runtime) ->
+//	push/pull (internal/hub) -> run on host profiles (internal/hostenv) ->
+//	compare containerized vs native solver output
+//
+// — and exposes the two headline experiments:
+//
+//   - Validate: run a model natively and inside the container on the same
+//     host and check byte-identical output (Fig 1 / Fig 5 validation);
+//   - ValidationMatrix: build once on the CentOS 7.4 build host, push to
+//     the hub, pull and run on every host profile of §III, and verify both
+//     the image digests and the solver outputs agree everywhere.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/hostenv"
+	"repro/internal/hub"
+	"repro/internal/image"
+	"repro/internal/par"
+	"repro/internal/pkgmgr"
+	"repro/internal/recipe"
+	"repro/internal/runtime"
+)
+
+// Tool identifies one of the three containerized applications.
+type Tool string
+
+// The containerized tools of the paper, plus the §IV future-work addition.
+const (
+	ToolPEPA    Tool = "pepa"
+	ToolBioPEPA Tool = "biopepa"
+	ToolGPA     Tool = "gpa"
+	// ToolMC is the CSL-style model checker — the paper's future work
+	// ("identification and containerization of other ... process calculi
+	// modeling tools") realized.
+	ToolMC Tool = "pepa-mc"
+)
+
+// Tools lists the paper's three tools in canonical order (the validation
+// matrix of §III covers exactly these).
+func Tools() []Tool { return []Tool{ToolPEPA, ToolBioPEPA, ToolGPA} }
+
+// ExtendedTools additionally includes the future-work model checker.
+func ExtendedTools() []Tool { return []Tool{ToolPEPA, ToolBioPEPA, ToolGPA, ToolMC} }
+
+// toolSpec couples a tool with its recipe ingredients.
+type toolSpec struct {
+	pkg     string // distro package installed in %post
+	binary  string // path of the app binary inside the container
+	app     string // runtime app name
+	testCmd string // %test command
+}
+
+var specs = map[Tool]toolSpec{
+	ToolPEPA: {
+		pkg:     pkgmgr.PkgPEPAPlugin,
+		binary:  "/usr/local/bin/pepa-solver",
+		app:     apps.PEPAApp,
+		testCmd: "test -e /opt/eclipse/plugins/pepa.jar",
+	},
+	ToolBioPEPA: {
+		pkg:     pkgmgr.PkgBioPEPA,
+		binary:  "/usr/local/bin/biopepa-solver",
+		app:     apps.BioPEPAApp,
+		testCmd: "test -e /opt/eclipse/plugins/biopepa.jar",
+	},
+	ToolGPA: {
+		pkg:     pkgmgr.PkgGPAnalyser,
+		binary:  "/usr/local/bin/gpa",
+		app:     apps.GPAApp,
+		testCmd: "test -e /opt/gpa/gpa.jar",
+	},
+	ToolMC: {
+		pkg:     pkgmgr.PkgModelChecker,
+		binary:  "/usr/local/bin/pepa-mc",
+		app:     apps.MCApp,
+		testCmd: "test -e /opt/pepa-mc/mc.jar",
+	},
+}
+
+// Package returns the distro package backing a tool.
+func (t Tool) Package() (string, error) {
+	s, ok := specs[t]
+	if !ok {
+		return "", fmt.Errorf("core: unknown tool %q", t)
+	}
+	return s.pkg, nil
+}
+
+// Recipe generates the Singularity definition file for a tool. These are
+// the "build recipes on GitHub" of the paper.
+func Recipe(t Tool) (*recipe.Recipe, error) {
+	s, ok := specs[t]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown tool %q", t)
+	}
+	src := fmt.Sprintf(`Bootstrap: library
+From: centos:7.4
+
+%%help
+    Containerized %s modelling tool.
+    Bind a model directory to /data and pass the model path plus
+    analysis arguments: run <model> [analysis args...].
+
+%%labels
+    Maintainer repro
+    Tool %s
+    SingularityVersion 2.5.2
+
+%%environment
+    export LC_ALL=C
+
+%%post
+    pkg install %s
+    mkdir -p /data /usr/local/bin
+    echo '#!app:%s' > %s
+    chmod 755 %s
+
+%%runscript
+    %s $ARG1 $ARG2 $ARG3 $ARG4 $ARG5 $ARG6 $ARG7 $ARG8
+
+%%test
+    %s
+`, t, t, s.pkg, s.app, s.binary, s.binary, s.binary, s.testCmd)
+	return recipe.Parse(src)
+}
+
+// Framework is the reproducibility harness.
+type Framework struct {
+	Engine *runtime.Engine
+	// Collection is the hub collection name ("pepa-containers" mirrors the
+	// paper's Singularity-Hub collection 2351).
+	Collection string
+}
+
+// New creates a framework with all applications registered.
+func New() *Framework {
+	e := runtime.NewEngine()
+	apps.RegisterAll(e)
+	return &Framework{Engine: e, Collection: "pepa-containers"}
+}
+
+// Build builds the container for one tool on a host.
+func (f *Framework) Build(t Tool, host *hostenv.Host) (*runtime.BuildResult, error) {
+	rcp, err := Recipe(t)
+	if err != nil {
+		return nil, err
+	}
+	return f.Engine.Build(rcp, host, runtime.BuildContext{}, string(t), "latest")
+}
+
+// BuildAll builds the paper's three containers in parallel (the builds share only
+// read-only engine state; digests are content-addressed, so concurrency
+// cannot change the result), returning results keyed by tool.
+func (f *Framework) BuildAll(host *hostenv.Host) (map[Tool]*runtime.BuildResult, error) {
+	tools := Tools()
+	results, err := par.Map(len(tools), 0, func(i int) (*runtime.BuildResult, error) {
+		res, err := f.Build(tools[i], host)
+		if err != nil {
+			return nil, fmt.Errorf("core: building %s: %w", tools[i], err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := map[Tool]*runtime.BuildResult{}
+	for i, t := range tools {
+		out[t] = results[i]
+	}
+	return out, nil
+}
+
+// PushAll pushes built images to a hub, returning digests by tool.
+func (f *Framework) PushAll(client *hub.Client, builds map[Tool]*runtime.BuildResult) (map[Tool]string, error) {
+	digests := map[Tool]string{}
+	for _, t := range Tools() {
+		b, ok := builds[t]
+		if !ok {
+			return nil, fmt.Errorf("core: no build for %s", t)
+		}
+		d, err := client.Push(f.Collection, b.Image)
+		if err != nil {
+			return nil, fmt.Errorf("core: pushing %s: %w", t, err)
+		}
+		digests[t] = d
+	}
+	return digests, nil
+}
+
+// modelDir is where Validate places model files on the host, bound to
+// /data inside the container.
+const (
+	hostModelDir      = "/home/modeler/models"
+	containerModelDir = "/data"
+)
+
+// ValidationReport is the outcome of one native-vs-container comparison.
+type ValidationReport struct {
+	Tool         Tool
+	Host         string
+	ModelPath    string
+	Args         []string
+	NativeOut    string
+	ContainerOut string
+	Match        bool
+	Digest       string
+}
+
+// Validate runs a model through a tool both natively and inside its
+// container on the same host and compares the outputs byte for byte —
+// the Fig 1 / Fig 5 validation methodology.
+func (f *Framework) Validate(t Tool, host *hostenv.Host, img *image.Image, modelName, modelSrc string, args ...string) (*ValidationReport, error) {
+	return f.ValidateWithFiles(t, host, img, modelName, map[string]string{modelName: modelSrc}, args...)
+}
+
+// ValidateWithFiles is Validate for tools needing several input files
+// (e.g. the model checker's model + properties): every file in files is
+// written to the host model directory and bound to /data; mainFile names
+// the first argument; extra args that name files must use their bare file
+// names (they are rewritten per run location).
+func (f *Framework) ValidateWithFiles(t Tool, host *hostenv.Host, img *image.Image, mainFile string, files map[string]string, args ...string) (*ValidationReport, error) {
+	s, ok := specs[t]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown tool %q", t)
+	}
+	if _, ok := files[mainFile]; !ok {
+		return nil, fmt.Errorf("core: main file %q not among provided files", mainFile)
+	}
+	if err := host.FS.MkdirAll(hostModelDir, 0o755); err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	isFile := map[string]bool{}
+	for _, name := range names {
+		if err := host.FS.WriteFile(hostModelDir+"/"+name, []byte(files[name]), 0o644); err != nil {
+			return nil, err
+		}
+		isFile[name] = true
+	}
+	qualify := func(dir string) []string {
+		out := []string{dir + "/" + mainFile}
+		for _, a := range args {
+			if isFile[a] {
+				out = append(out, dir+"/"+a)
+			} else {
+				out = append(out, a)
+			}
+		}
+		return out
+	}
+	hostPath := hostModelDir + "/" + mainFile
+	nativeOut, err := f.Engine.NativeRun(s.app, qualify(hostModelDir), host)
+	if err != nil {
+		return nil, fmt.Errorf("core: native run of %s on %s: %w", t, host.Name, err)
+	}
+	run, err := f.Engine.Run(img, host, runtime.RunOptions{
+		Isolation: runtime.IsolationSingularity,
+		Args:      qualify(containerModelDir),
+		Binds:     []runtime.Bind{{HostPath: hostModelDir, ContainerPath: containerModelDir}},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: container run of %s on %s: %w", t, host.Name, err)
+	}
+	// The only permitted difference is the model path echoed nowhere in
+	// our report formats, so outputs must be identical.
+	digest, err := img.Digest()
+	if err != nil {
+		return nil, err
+	}
+	return &ValidationReport{
+		Tool: t, Host: host.Name, ModelPath: hostPath, Args: args,
+		NativeOut: nativeOut, ContainerOut: run.Stdout,
+		Match:  nativeOut == run.Stdout,
+		Digest: digest,
+	}, nil
+}
+
+// MatrixEntry is one cell of the cross-platform validation matrix.
+type MatrixEntry struct {
+	Tool   Tool
+	Host   string
+	Digest string
+	// DigestMatch: the pulled image's digest equals the build digest.
+	DigestMatch bool
+	// OutputMatch: the containerized output on this host equals the
+	// containerized output on the build host.
+	OutputMatch bool
+	// NativeInstallOK: whether installing the tool natively from this
+	// host's own repository would have succeeded (the motivation column).
+	NativeInstallOK bool
+	NativeErr       string
+}
+
+// ValidationMatrix reproduces the §III experiment: build all containers on
+// the build host, push them to a hub, then on every profile pull (with
+// digest verification) and run the canned example model, comparing output
+// against the build host's run. It also records whether a native install
+// would have succeeded on each profile.
+func (f *Framework) ValidationMatrix(client *hub.Client) ([]MatrixEntry, error) {
+	builder, err := hostenv.ByName(hostenv.BuildHost)
+	if err != nil {
+		return nil, err
+	}
+	if err := builder.InstallSingularity(); err != nil {
+		return nil, err
+	}
+	builds, err := f.BuildAll(builder)
+	if err != nil {
+		return nil, err
+	}
+	digests, err := f.PushAll(client, builds)
+	if err != nil {
+		return nil, err
+	}
+	// Reference outputs from the build host.
+	reference := map[Tool]string{}
+	if err := builder.FS.MkdirAll(hostModelDir, 0o755); err != nil {
+		return nil, err
+	}
+	for _, t := range Tools() {
+		ex := ExampleModel(t)
+		if err := builder.FS.WriteFile(hostModelDir+"/"+ex.Name, []byte(ex.Source), 0o644); err != nil {
+			return nil, err
+		}
+		run, err := f.Engine.Run(builds[t].Image, builder, runtime.RunOptions{
+			Isolation: runtime.IsolationSingularity,
+			Args:      append([]string{containerModelDir + "/" + ex.Name}, ex.Args...),
+			Binds:     []runtime.Bind{{HostPath: hostModelDir, ContainerPath: containerModelDir}},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: reference run of %s: %w", t, err)
+		}
+		reference[t] = run.Stdout
+	}
+	// The host profiles are independent (each gets a fresh filesystem and
+	// its own pulls over the concurrency-safe HTTP client), so the matrix
+	// rows compute in parallel — one worker per host, rows assembled in
+	// profile order.
+	names := hostenv.Names()
+	perHost, err := par.Map(len(names), 0, func(h int) ([]MatrixEntry, error) {
+		name := names[h]
+		host, err := hostenv.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		if err := host.InstallSingularity(); err != nil {
+			return nil, fmt.Errorf("core: installing runtime on %s: %w", name, err)
+		}
+		var rows []MatrixEntry
+		for _, t := range Tools() {
+			entry := MatrixEntry{Tool: t, Host: name}
+			pkg, _ := t.Package()
+			probe := host.Clone()
+			if nerr := probe.NativeInstall(pkg); nerr != nil {
+				entry.NativeErr = nerr.Error()
+			} else {
+				entry.NativeInstallOK = true
+			}
+			img, gotDigest, err := client.Pull(f.Collection, string(t), "latest", digests[t])
+			if err != nil {
+				return nil, fmt.Errorf("core: pulling %s on %s: %w", t, name, err)
+			}
+			entry.Digest = gotDigest
+			entry.DigestMatch = gotDigest == digests[t]
+			ex := ExampleModel(t)
+			if err := host.FS.MkdirAll(hostModelDir, 0o755); err != nil {
+				return nil, err
+			}
+			if err := host.FS.WriteFile(hostModelDir+"/"+ex.Name, []byte(ex.Source), 0o644); err != nil {
+				return nil, err
+			}
+			run, err := f.Engine.Run(img, host, runtime.RunOptions{
+				Isolation: runtime.IsolationSingularity,
+				Args:      append([]string{containerModelDir + "/" + ex.Name}, ex.Args...),
+				Binds:     []runtime.Bind{{HostPath: hostModelDir, ContainerPath: containerModelDir}},
+			})
+			if err != nil {
+				return nil, fmt.Errorf("core: running %s on %s: %w", t, name, err)
+			}
+			entry.OutputMatch = run.Stdout == reference[t]
+			rows = append(rows, entry)
+		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []MatrixEntry
+	for _, rows := range perHost {
+		out = append(out, rows...)
+	}
+	return out, nil
+}
+
+// FormatMatrix renders the validation matrix as a text table.
+func FormatMatrix(entries []MatrixEntry) string {
+	var b strings.Builder
+	b.WriteString("host\ttool\tnative-install\tdigest-ok\toutput-ok\n")
+	for _, e := range entries {
+		native := "FAIL"
+		if e.NativeInstallOK {
+			native = "ok"
+		}
+		fmt.Fprintf(&b, "%s\t%s\t%s\t%v\t%v\n", e.Host, e.Tool, native, e.DigestMatch, e.OutputMatch)
+	}
+	return b.String()
+}

@@ -1,0 +1,183 @@
+package core
+
+// Example is a canned model with default analysis arguments, used by the
+// container validation runs.
+type Example struct {
+	Name   string   // file name, e.g. "simple.pepa"
+	Source string   // model text
+	Args   []string // analysis arguments passed after the model path
+}
+
+// SimplePEPAModel is the Fig 1 validation model: a worker/repairman-style
+// two-component system small enough to eyeball, exercising prefix, choice,
+// cooperation, and passive rates.
+const SimplePEPAModel = `// Fig 1 validation model: a processor serving jobs with occasional faults.
+lambda = 2.0;   // job arrival
+mu     = 3.0;   // service
+phi    = 0.1;   // fault
+rho    = 1.0;   // repair
+
+Proc      = (serve, mu).Proc + (fault, phi).ProcDown;
+ProcDown  = (repair, rho).Proc;
+Jobs      = (serve, T).Jobs + (arrive, lambda).Jobs;
+
+Proc <serve> Jobs
+`
+
+// ActiveBadgeModel is a rendition of the PEPA Active Badge example
+// (Clark/Gilmore/Hillston) from the Edinburgh PEPA examples page used in
+// §III: a person moving through three corridors wearing a badge that
+// reports location to a database.
+const ActiveBadgeModel = `// Active Badge model (3 corridors, 1 person, 1 database).
+m = 0.2;  // move rate
+r = 0.5;  // badge report rate
+p = 1.0;  // database processing
+
+P1 = (move12, m).P2 + (rep1, r).P1;
+P2 = (move23, m).P3 + (rep2, r).P2;
+P3 = (move31, m).P1 + (rep3, r).P3;
+
+DB = (rep1, T).DB1 + (rep2, T).DB2 + (rep3, T).DB3;
+DB1 = (proc, p).DB;
+DB2 = (proc, p).DB;
+DB3 = (proc, p).DB;
+
+P1 <rep1,rep2,rep3> DB
+`
+
+// AlternatingBitModel is a rendition of the alternating-bit protocol
+// example (Edwards, PREP 2001) used in the paper's container validation:
+// a sender/receiver pair over a lossy channel with acknowledgements.
+const AlternatingBitModel = `// Alternating bit protocol over a lossy channel.
+s  = 4.0;  // send rate
+a  = 4.0;  // ack rate
+l  = 0.5;  // loss rate
+to = 1.0;  // timeout/resend
+
+// The sender accepts late acknowledgements in every state (after a
+// timeout the pending ack may still arrive); ignoring them would deadlock
+// the cooperation.
+Send0 = (msg0, s).WaitAck0 + (ack0, T).Send1 + (ack1, T).Send0;
+WaitAck0 = (ack0, T).Send1 + (ack1, T).WaitAck0 + (timeout0, to).Send0;
+Send1 = (msg1, s).WaitAck1 + (ack1, T).Send0 + (ack0, T).Send1;
+WaitAck1 = (ack1, T).Send0 + (ack0, T).WaitAck1 + (timeout1, to).Send1;
+
+Chan = (msg0, T).Deliver0 + (msg1, T).Deliver1;
+Deliver0 = (recv0, s).AckBack0 + (drop0, l).Chan;
+Deliver1 = (recv1, s).AckBack1 + (drop1, l).Chan;
+AckBack0 = (ack0, a).Chan;
+AckBack1 = (ack1, a).Chan;
+
+Send0 <msg0,msg1,ack0,ack1> Chan
+`
+
+// PCLAN4Model is a rendition of the "PC LAN 4" model from the Edinburgh
+// PEPA examples page used in §III: four workstations contending for a
+// shared medium; each station thinks, then transmits while holding the
+// channel exclusively.
+const PCLAN4Model = `// PC LAN with 4 stations contending for one shared medium: after each
+// transmission the medium is busy propagating the frame, during which no
+// other station can transmit.
+think = 0.4;  // per-station think rate
+tx    = 2.0;  // transmission rate
+prop  = 5.0;  // propagation/recovery rate of the medium
+
+PC1 = (think1, think).PC1w; PC1w = (tx1, tx).PC1;
+PC2 = (think2, think).PC2w; PC2w = (tx2, tx).PC2;
+PC3 = (think3, think).PC3w; PC3w = (tx3, tx).PC3;
+PC4 = (think4, think).PC4w; PC4w = (tx4, tx).PC4;
+
+Medium = (tx1, T).Busy + (tx2, T).Busy + (tx3, T).Busy + (tx4, T).Busy;
+Busy   = (propagate, prop).Medium;
+
+(((PC1 || PC2) || PC3) || PC4) <tx1,tx2,tx3,tx4> Medium
+`
+
+// EnzymeBioPEPAModel is the enzyme-kinetics validation model from the
+// Bio-PEPA users' manual: E + S <-> ES -> E + P with mass-action kinetics.
+const EnzymeBioPEPAModel = `// Bio-PEPA users' manual: basic enzyme kinetics.
+k1 = 0.002;
+k2 = 0.1;
+k3 = 0.05;
+
+kineticLawOf bind    : fMA(k1);
+kineticLawOf unbind  : fMA(k2);
+kineticLawOf convert : fMA(k3);
+
+S  = (bind, 1) << + (unbind, 1) >>;
+E  = (bind, 1) << + (unbind, 1) >> + (convert, 1) >>;
+ES = (bind, 1) >> + (unbind, 1) << + (convert, 1) <<;
+P  = (convert, 1) >>;
+
+S[200] <*> E[50] <*> ES[0] <*> P[0]
+`
+
+// InhibitedBioPEPAModel adds a competitive inhibitor to the enzyme system
+// (the second manual example the paper validates with).
+const InhibitedBioPEPAModel = `// Bio-PEPA users' manual: enzyme kinetics with inhibitor.
+k1 = 0.002;
+k2 = 0.1;
+k3 = 0.05;
+
+kineticLawOf bind    : fMA(k1);
+kineticLawOf unbind  : fMA(k2);
+kineticLawOf convert : fMA(k3);
+
+S  = (bind, 1) << + (unbind, 1) >>;
+E  = (bind, 1) << + (unbind, 1) >> + (convert, 1) >>;
+ES = (bind, 1) >> + (unbind, 1) << + (convert, 1) <<;
+P  = (convert, 1) >>;
+I  = (bind, 1) (-);
+
+S[200] <*> E[50] <*> ES[0] <*> P[0] <*> I[100]
+`
+
+// ClientServerGPEPAModel is the clientServerScalability.gpepa example
+// bundled with GPAnalyser (Fig 5): clients issuing requests to a server
+// pool, with the servers "rewarded for satisfying requests".
+const ClientServerGPEPAModel = `// GPAnalyser example: client/server scalability.
+rr = 2.0;    // client request rate
+rt = 0.27;   // client think rate
+rs = 4.0;    // server service rate
+rb = 1.0;    // server logging rate
+
+Client = (request, rr).Client_think;
+Client_think = (think, rt).Client;
+
+Server = (request, rs).Server_log;
+Server_log = (log, rb).Server;
+
+Clients{Client[100]} <request> Servers{Server[10]}
+`
+
+// ClientServerPowerGPEPAModel is the companion power-consumption example:
+// servers toggle between active and low-power states.
+const ClientServerPowerGPEPAModel = `// GPAnalyser example: client/server power consumption.
+rr = 1.5;
+rt = 0.3;
+rs = 3.0;
+sleep = 0.2;
+wake  = 0.8;
+
+Client = (request, rr).Client_think;
+Client_think = (think, rt).Client;
+
+Server = (request, rs).Server + (doze, sleep).Server_sleep;
+Server_sleep = (wakeup, wake).Server;
+
+Clients{Client[80]} <request> Servers{Server[12]}
+`
+
+// ExampleModel returns the canned validation model for a tool.
+func ExampleModel(t Tool) Example {
+	switch t {
+	case ToolPEPA:
+		return Example{Name: "simple.pepa", Source: SimplePEPAModel}
+	case ToolBioPEPA:
+		return Example{Name: "enzyme.biopepa", Source: EnzymeBioPEPAModel, Args: []string{"ode", "50", "10"}}
+	case ToolGPA:
+		return Example{Name: "clientServerScalability.gpepa", Source: ClientServerGPEPAModel, Args: []string{"fluid", "50", "10"}}
+	default:
+		return Example{}
+	}
+}

@@ -1,0 +1,162 @@
+package ctmc
+
+import (
+	"fmt"
+
+	"repro/internal/numeric/linalg"
+	"repro/internal/sparseutil"
+)
+
+// This file provides the direct (non-transient) absorption analyses of the
+// workbench: mean time to absorption and absorption probabilities, solved
+// as linear systems over the transient sub-generator. For passage-time
+// *distributions* use FirstPassageCDF; for the mean alone these solvers
+// are exact and much cheaper than integrating the CDF.
+
+// MeanTimeToAbsorption computes E[T_target | start=s] for every state s,
+// where T_target is the hitting time of the target set. Target states get
+// 0. States that cannot reach the target make the system singular, which
+// is reported as an error.
+//
+// The vector m solves (-Q_TT)·m = 1 restricted to transient (non-target)
+// states, with Q_TT the sub-generator over those states.
+func (c *Chain) MeanTimeToAbsorption(targets []int) ([]float64, error) {
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("ctmc: empty target set")
+	}
+	isTarget := make([]bool, c.N)
+	for _, s := range targets {
+		if s < 0 || s >= c.N {
+			return nil, fmt.Errorf("ctmc: target state %d out of range", s)
+		}
+		isTarget[s] = true
+	}
+	// Index the transient states.
+	var trans []int
+	pos := make([]int, c.N)
+	for i := range pos {
+		pos[i] = -1
+	}
+	for s := 0; s < c.N; s++ {
+		if !isTarget[s] {
+			pos[s] = len(trans)
+			trans = append(trans, s)
+		}
+	}
+	n := len(trans)
+	out := make([]float64, c.N)
+	if n == 0 {
+		return out, nil
+	}
+	if n > 4000 {
+		return nil, fmt.Errorf("ctmc: %d transient states exceed the dense absorption solver's limit", n)
+	}
+	a := linalg.NewDense(n, n)
+	b := make([]float64, n)
+	for i, s := range trans {
+		b[i] = 1
+		c.Q.Row(s, func(j int, v float64) {
+			if pos[j] >= 0 {
+				a.Add(i, pos[j], -v)
+			}
+		})
+	}
+	m, err := linalg.SolveDense(a, b)
+	if err != nil {
+		return nil, fmt.Errorf("ctmc: absorption solve failed (states unable to reach the target?): %w", err)
+	}
+	for i, s := range trans {
+		if m[i] < 0 {
+			return nil, fmt.Errorf("ctmc: negative mean hitting time %g at state %d", m[i], s)
+		}
+		out[s] = m[i]
+	}
+	return out, nil
+}
+
+// AbsorptionProbability computes, for every state, the probability of
+// hitting set A before set B (both made absorbing). States in A get 1,
+// states in B get 0.
+func (c *Chain) AbsorptionProbability(setA, setB []int) ([]float64, error) {
+	if len(setA) == 0 || len(setB) == 0 {
+		return nil, fmt.Errorf("ctmc: both competing sets must be nonempty")
+	}
+	class := make([]int, c.N) // 0 transient, 1 in A, 2 in B
+	for _, s := range setA {
+		if s < 0 || s >= c.N {
+			return nil, fmt.Errorf("ctmc: state %d out of range", s)
+		}
+		class[s] = 1
+	}
+	for _, s := range setB {
+		if s < 0 || s >= c.N {
+			return nil, fmt.Errorf("ctmc: state %d out of range", s)
+		}
+		if class[s] == 1 {
+			return nil, fmt.Errorf("ctmc: state %d in both sets", s)
+		}
+		class[s] = 2
+	}
+	var trans []int
+	pos := make([]int, c.N)
+	for i := range pos {
+		pos[i] = -1
+	}
+	for s := 0; s < c.N; s++ {
+		if class[s] == 0 {
+			pos[s] = len(trans)
+			trans = append(trans, s)
+		}
+	}
+	out := make([]float64, c.N)
+	for _, s := range setA {
+		out[s] = 1
+	}
+	n := len(trans)
+	if n == 0 {
+		return out, nil
+	}
+	if n > 4000 {
+		return nil, fmt.Errorf("ctmc: %d transient states exceed the dense absorption solver's limit", n)
+	}
+	// (-Q_TT)·h = Q_TA·1 where h is the hit-A-first probability.
+	a := linalg.NewDense(n, n)
+	b := make([]float64, n)
+	for i, s := range trans {
+		c.Q.Row(s, func(j int, v float64) {
+			switch {
+			case pos[j] >= 0:
+				a.Add(i, pos[j], -v)
+			case class[j] == 1 && j != s:
+				b[i] += v
+			}
+		})
+	}
+	h, err := linalg.SolveDense(a, b)
+	if err != nil {
+		return nil, fmt.Errorf("ctmc: absorption-probability solve failed: %w", err)
+	}
+	for i, s := range trans {
+		if h[i] < -1e-9 || h[i] > 1+1e-9 {
+			return nil, fmt.Errorf("ctmc: absorption probability %g out of [0,1] at state %d", h[i], s)
+		}
+		out[s] = sparseutil.Clamp01(h[i])
+	}
+	return out, nil
+}
+
+// ExpectedSojourn returns 1/exitRate per state (the mean holding time),
+// with +Inf represented as 0 exit encoded by returning 0 for absorbing
+// states and an ok=false flag list.
+func (c *Chain) ExpectedSojourn() (mean []float64, absorbing []bool) {
+	mean = make([]float64, c.N)
+	absorbing = make([]bool, c.N)
+	for s, r := range c.ExitRate {
+		if r == 0 {
+			absorbing[s] = true
+			continue
+		}
+		mean[s] = 1 / r
+	}
+	return mean, absorbing
+}

@@ -1,0 +1,152 @@
+package ctmc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMeanTimeToAbsorptionErlang(t *testing.T) {
+	// k exponential stages of rate lambda: mean hitting time of the end is
+	// k/lambda from the start, (k-i)/lambda from stage i.
+	k, lambda := 4, 2.0
+	rates := map[[2]int]float64{}
+	for i := 0; i < k; i++ {
+		rates[[2]int{i, i + 1}] = lambda
+	}
+	c := NewChain(k+1, rates)
+	m, err := c.MeanTimeToAbsorption([]int{k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i <= k; i++ {
+		want := float64(k-i) / lambda
+		if math.Abs(m[i]-want) > 1e-12 {
+			t.Errorf("m[%d] = %g, want %g", i, m[i], want)
+		}
+	}
+}
+
+func TestMeanTimeToAbsorptionWithBacktracking(t *testing.T) {
+	// Birth-death on {0,1,2} absorbing at 2, all rates 1: first-step
+	// analysis gives m0 = 1 + m1 and m1 = 1/2 + m0/2, so m0 = 3, m1 = 2.
+	c := NewChain(3, map[[2]int]float64{
+		{0, 1}: 1,
+		{1, 0}: 1, {1, 2}: 1,
+	})
+	m, err := c.MeanTimeToAbsorption([]int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m[0]-3) > 1e-10 || math.Abs(m[1]-2) > 1e-10 {
+		t.Errorf("m = %v, want [3 2 0]", m)
+	}
+}
+
+func TestMeanTimeMatchesCDFMean(t *testing.T) {
+	// Cross-check the direct solver against trapezoidal integration of the
+	// passage CDF.
+	c := NewChain(4, map[[2]int]float64{
+		{0, 1}: 1.5, {1, 0}: 0.5, {1, 2}: 2, {2, 3}: 0.8,
+	})
+	m, err := c.MeanTimeToAbsorption([]int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := make([]float64, 4001)
+	for i := range times {
+		times[i] = float64(i) * 0.01
+	}
+	cdf, err := c.FirstPassageCDF(c.PointMass(0), []int{3}, times, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cdf.Mean()-m[0]) > 0.02 {
+		t.Errorf("CDF mean %g vs direct mean %g", cdf.Mean(), m[0])
+	}
+}
+
+func TestMeanTimeUnreachableTarget(t *testing.T) {
+	// State 0 cycles with 1 and never reaches 2.
+	c := NewChain(3, map[[2]int]float64{
+		{0, 1}: 1, {1, 0}: 1,
+	})
+	if _, err := c.MeanTimeToAbsorption([]int{2}); err == nil {
+		t.Error("unreachable target accepted")
+	}
+}
+
+func TestMeanTimeBadInputs(t *testing.T) {
+	c := NewChain(2, map[[2]int]float64{{0, 1}: 1})
+	if _, err := c.MeanTimeToAbsorption(nil); err == nil {
+		t.Error("empty target accepted")
+	}
+	if _, err := c.MeanTimeToAbsorption([]int{5}); err == nil {
+		t.Error("out-of-range target accepted")
+	}
+}
+
+func TestAbsorptionProbabilityGamblersRuin(t *testing.T) {
+	// Symmetric gambler's ruin on {0..4}: P(hit 4 before 0 | start=i) = i/4.
+	n := 5
+	rates := map[[2]int]float64{}
+	for i := 1; i < n-1; i++ {
+		rates[[2]int{i, i - 1}] = 1
+		rates[[2]int{i, i + 1}] = 1
+	}
+	c := NewChain(n, rates)
+	h, err := c.AbsorptionProbability([]int{4}, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		want := float64(i) / 4
+		if math.Abs(h[i]-want) > 1e-12 {
+			t.Errorf("h[%d] = %g, want %g", i, h[i], want)
+		}
+	}
+}
+
+func TestAbsorptionProbabilityBiased(t *testing.T) {
+	// Up-rate 2, down-rate 1 on {0..3}: h_i = (1-(1/2)^i)/(1-(1/2)^3).
+	rates := map[[2]int]float64{}
+	for i := 1; i < 3; i++ {
+		rates[[2]int{i, i - 1}] = 1
+		rates[[2]int{i, i + 1}] = 2
+	}
+	c := NewChain(4, rates)
+	h, err := c.AbsorptionProbability([]int{3}, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	denom := 1 - math.Pow(0.5, 3)
+	for i := 0; i < 4; i++ {
+		want := (1 - math.Pow(0.5, float64(i))) / denom
+		if math.Abs(h[i]-want) > 1e-12 {
+			t.Errorf("h[%d] = %g, want %g", i, h[i], want)
+		}
+	}
+}
+
+func TestAbsorptionProbabilityValidation(t *testing.T) {
+	c := NewChain(3, map[[2]int]float64{{1, 0}: 1, {1, 2}: 1})
+	if _, err := c.AbsorptionProbability(nil, []int{0}); err == nil {
+		t.Error("empty set A accepted")
+	}
+	if _, err := c.AbsorptionProbability([]int{0}, []int{0}); err == nil {
+		t.Error("overlapping sets accepted")
+	}
+	if _, err := c.AbsorptionProbability([]int{9}, []int{0}); err == nil {
+		t.Error("out-of-range state accepted")
+	}
+}
+
+func TestExpectedSojourn(t *testing.T) {
+	c := NewChain(3, map[[2]int]float64{{0, 1}: 4, {1, 2}: 2})
+	mean, absorbing := c.ExpectedSojourn()
+	if mean[0] != 0.25 || mean[1] != 0.5 {
+		t.Errorf("sojourn = %v", mean)
+	}
+	if absorbing[0] || absorbing[1] || !absorbing[2] {
+		t.Errorf("absorbing flags = %v", absorbing)
+	}
+}

@@ -1,0 +1,455 @@
+// Package ctmc assembles continuous-time Markov chains from derived PEPA
+// state spaces and solves them: steady-state distributions (iterative
+// Gauss–Seidel with a dense LU fallback), transient distributions via
+// uniformization with truncated Poisson weights, first-passage-time CDFs
+// via the absorbing-state transform, and the standard PEPA reward measures
+// (throughput, utilization).
+package ctmc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/numeric/linalg"
+	"repro/internal/numeric/poisson"
+	"repro/internal/numeric/sparse"
+	"repro/internal/pepa/derive"
+)
+
+// Chain is a CTMC: a generator matrix Q (CSR) plus the action-labelled
+// rate matrices needed for throughput rewards.
+type Chain struct {
+	N int
+	// Q is the infinitesimal generator: Q[i][j] is the total rate from i to
+	// j (i != j), and Q[i][i] = -sum of the row's off-diagonal rates.
+	Q *sparse.CSR
+	// ExitRate[i] is the total outgoing rate of state i.
+	ExitRate []float64
+	// ActionRate maps an action type to the per-state total rate at which
+	// that action fires (for throughput).
+	ActionRate map[string][]float64
+	// Initial is the index of the initial state (0 for derived spaces).
+	Initial int
+}
+
+// FromStateSpace builds the CTMC of a derived PEPA state space.
+func FromStateSpace(ss *derive.StateSpace) *Chain {
+	n := ss.NumStates()
+	coo := sparse.NewCOO(n, n)
+	exit := make([]float64, n)
+	actRate := map[string][]float64{}
+	for _, a := range ss.ActionTypes {
+		actRate[a] = make([]float64, n)
+	}
+	for s := 0; s < n; s++ {
+		for _, tr := range ss.Trans[s] {
+			coo.Add(s, tr.To, tr.Rate)
+			exit[s] += tr.Rate
+			actRate[tr.Action][s] += tr.Rate
+		}
+		coo.Add(s, s, -exit[s])
+	}
+	return &Chain{N: n, Q: coo.ToCSR(), ExitRate: exit, ActionRate: actRate, Initial: 0}
+}
+
+// NewChain builds a CTMC directly from a dense rate map (tests, synthetic
+// chains). rates[i][j] is the transition rate from i to j.
+func NewChain(n int, rates map[[2]int]float64) *Chain {
+	coo := sparse.NewCOO(n, n)
+	exit := make([]float64, n)
+	keys := make([][2]int, 0, len(rates))
+	for k := range rates {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a][0] != keys[b][0] {
+			return keys[a][0] < keys[b][0]
+		}
+		return keys[a][1] < keys[b][1]
+	})
+	for _, k := range keys {
+		r := rates[k]
+		if k[0] == k[1] {
+			continue
+		}
+		if r < 0 {
+			panic(fmt.Sprintf("ctmc: negative rate %g at %v", r, k))
+		}
+		coo.Add(k[0], k[1], r)
+		exit[k[0]] += r
+	}
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, -exit[i])
+	}
+	return &Chain{N: n, Q: coo.ToCSR(), ExitRate: exit, ActionRate: map[string][]float64{}}
+}
+
+// MaxExitRate returns the uniformization constant max_i |q_ii|.
+func (c *Chain) MaxExitRate() float64 {
+	var m float64
+	for _, r := range c.ExitRate {
+		if r > m {
+			m = r
+		}
+	}
+	return m
+}
+
+// SteadyStateOptions tunes the stationary solver.
+type SteadyStateOptions struct {
+	Tol       float64 // convergence tolerance (default 1e-12)
+	MaxIter   int     // Gauss–Seidel sweep budget (default 20000)
+	DenseOnly bool    // skip the iterative attempt (tests)
+	// DenseLimit is the largest N for which the dense LU fallback is
+	// attempted (default 2000).
+	DenseLimit int
+}
+
+func (o SteadyStateOptions) withDefaults() SteadyStateOptions {
+	if o.Tol <= 0 {
+		o.Tol = 1e-12
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 20000
+	}
+	if o.DenseLimit <= 0 {
+		o.DenseLimit = 2000
+	}
+	return o
+}
+
+// SteadyState solves pi·Q = 0, sum(pi) = 1 for an irreducible chain. It
+// first runs normalized Gauss–Seidel on Qᵀ·piᵀ = 0, then power iteration
+// on the uniformized DTMC (which handles chains too large or too stiff
+// for Gauss–Seidel), and finally falls back to a dense LU solve with the
+// normalization condition replacing one equation.
+func (c *Chain) SteadyState(opt SteadyStateOptions) ([]float64, error) {
+	opt = opt.withDefaults()
+	if c.N == 0 {
+		return nil, fmt.Errorf("ctmc: empty chain")
+	}
+	if c.N == 1 {
+		return []float64{1}, nil
+	}
+	qt := c.Q.Transpose()
+	if !opt.DenseOnly {
+		if pi, ok := c.steadyIterative(qt, opt); ok {
+			return pi, nil
+		}
+		if pi, ok := c.steadyPower(opt); ok {
+			return pi, nil
+		}
+	}
+	if c.N > opt.DenseLimit {
+		return nil, fmt.Errorf("ctmc: iterative steady-state failed to converge and chain (n=%d) exceeds dense fallback limit %d", c.N, opt.DenseLimit)
+	}
+	return c.steadyDense(qt)
+}
+
+// steadyPower runs power iteration on the uniformized DTMC
+// P = I + Q/(1.1·q): the stationary distribution of P equals that of the
+// CTMC, and the slack factor guarantees aperiodicity.
+func (c *Chain) steadyPower(opt SteadyStateOptions) ([]float64, bool) {
+	q := c.MaxExitRate()
+	if q == 0 {
+		return nil, false
+	}
+	p := c.uniformized(q * 1.1)
+	pi, res, err := sparse.PowerIteration(p, sparse.IterOptions{MaxIter: opt.MaxIter * 5, Tol: opt.Tol})
+	if err != nil || !res.Converged {
+		return nil, false
+	}
+	// Verify the CTMC residual before accepting.
+	if linalg.NormInf(c.Q.VecMul(pi)) > math.Sqrt(opt.Tol) {
+		return nil, false
+	}
+	return pi, true
+}
+
+// steadyIterative runs Gauss–Seidel sweeps on Qᵀx = 0 with renormalization;
+// the trivial solution is avoided by the normalization step.
+func (c *Chain) steadyIterative(qt *sparse.CSR, opt SteadyStateOptions) ([]float64, bool) {
+	n := c.N
+	pi := make([]float64, n)
+	for i := range pi {
+		pi[i] = 1 / float64(n)
+	}
+	diag := make([]float64, n)
+	for i := 0; i < n; i++ {
+		diag[i] = qt.At(i, i)
+		if diag[i] == 0 {
+			// Absorbing state: the chain is not irreducible; Gauss–Seidel
+			// in this form cannot proceed.
+			return nil, false
+		}
+	}
+	for it := 0; it < opt.MaxIter; it++ {
+		var delta float64
+		for i := 0; i < n; i++ {
+			var s float64
+			for k := qt.RowPtr[i]; k < qt.RowPtr[i+1]; k++ {
+				j := qt.ColIdx[k]
+				if j != i {
+					s -= qt.Val[k] * pi[j]
+				}
+			}
+			nx := s / diag[i]
+			if nx < 0 {
+				nx = 0
+			}
+			if d := math.Abs(nx - pi[i]); d > delta {
+				delta = d
+			}
+			pi[i] = nx
+		}
+		if sum := linalg.Normalize1(pi); sum == 0 {
+			return nil, false
+		}
+		if delta < opt.Tol {
+			// Verify the residual ||piQ||_inf before accepting.
+			res := c.Q.VecMul(pi)
+			if linalg.NormInf(res) < math.Sqrt(opt.Tol) {
+				return pi, true
+			}
+			return nil, false
+		}
+	}
+	return nil, false
+}
+
+// steadyDense solves the dense system Qᵀ·piᵀ = 0 with the last equation
+// replaced by sum(pi) = 1.
+func (c *Chain) steadyDense(qt *sparse.CSR) ([]float64, error) {
+	n := c.N
+	a := linalg.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for k := qt.RowPtr[i]; k < qt.RowPtr[i+1]; k++ {
+			a.Set(i, qt.ColIdx[k], qt.Val[k])
+		}
+	}
+	b := make([]float64, n)
+	for j := 0; j < n; j++ {
+		a.Set(n-1, j, 1)
+	}
+	b[n-1] = 1
+	pi, err := linalg.SolveDense(a, b)
+	if err != nil {
+		return nil, fmt.Errorf("ctmc: dense steady-state solve: %w", err)
+	}
+	for i, v := range pi {
+		if v < 0 && v > -1e-9 {
+			pi[i] = 0
+		} else if v < 0 {
+			return nil, fmt.Errorf("ctmc: steady-state produced negative probability %g at state %d (chain reducible?)", v, i)
+		}
+	}
+	linalg.Normalize1(pi)
+	return pi, nil
+}
+
+// Transient computes the state distribution at time t from the initial
+// distribution p0 by uniformization:
+//
+//	p(t) = sum_k Poisson(q·t; k) · p0 · P^k,  P = I + Q/q,
+//
+// with q the uniformization rate and the Poisson sum truncated to capture
+// 1-eps of the mass.
+func (c *Chain) Transient(p0 []float64, t, eps float64) ([]float64, error) {
+	if len(p0) != c.N {
+		return nil, fmt.Errorf("ctmc: initial distribution length %d != %d states", len(p0), c.N)
+	}
+	if t < 0 {
+		return nil, fmt.Errorf("ctmc: negative time %g", t)
+	}
+	if eps <= 0 {
+		eps = 1e-10
+	}
+	q := c.MaxExitRate()
+	if q == 0 || t == 0 {
+		out := append([]float64(nil), p0...)
+		return out, nil
+	}
+	// Uniformized DTMC P = I + Q/q as CSR.
+	p := c.uniformized(q)
+	w, err := poisson.Compute(q*t, eps)
+	if err != nil {
+		return nil, err
+	}
+	cur := append([]float64(nil), p0...)
+	acc := make([]float64, c.N)
+	next := make([]float64, c.N)
+	for k := 0; k <= w.Right; k++ {
+		if pw := w.Pmf(k); pw > 0 {
+			linalg.AXPY(pw, cur, acc)
+		}
+		if k == w.Right {
+			break
+		}
+		p.VecMulTo(next, cur)
+		cur, next = next, cur
+	}
+	// Renormalize the truncation slack.
+	linalg.Normalize1(acc)
+	return acc, nil
+}
+
+// TransientSeries evaluates the transient distribution on an ascending
+// time grid. Instead of solving each horizon from scratch (O(sum q·t_k)
+// matrix-vector products), it propagates incrementally from grid point to
+// grid point (O(q·t_max) total): p(t_{k+1}) = Transient(p(t_k), dt).
+// Truncation error accumulates additively over the grid, so the per-step
+// eps is tightened by the number of steps.
+func (c *Chain) TransientSeries(p0 []float64, times []float64, eps float64) ([][]float64, error) {
+	if eps <= 0 {
+		eps = 1e-10
+	}
+	out := make([][]float64, len(times))
+	if len(times) == 0 {
+		return out, nil
+	}
+	stepEps := eps / float64(len(times))
+	cur := append([]float64(nil), p0...)
+	prevT := 0.0
+	for i, t := range times {
+		dt := t - prevT
+		if dt < 0 {
+			return nil, fmt.Errorf("ctmc: TransientSeries needs an ascending grid (t[%d]=%g < %g)", i, t, prevT)
+		}
+		pt, err := c.Transient(cur, dt, stepEps)
+		if err != nil {
+			return nil, fmt.Errorf("ctmc: transient step to t=%g: %w", t, err)
+		}
+		out[i] = pt
+		cur = append(cur[:0], pt...)
+		prevT = t
+	}
+	return out, nil
+}
+
+func (c *Chain) uniformized(q float64) *sparse.CSR {
+	coo := sparse.NewCOO(c.N, c.N)
+	for i := 0; i < c.N; i++ {
+		var offDiag float64
+		c.Q.Row(i, func(j int, v float64) {
+			if j != i {
+				coo.Add(i, j, v/q)
+				offDiag += v / q
+			}
+		})
+		coo.Add(i, i, 1-offDiag)
+	}
+	return coo.ToCSR()
+}
+
+// PointMass returns a distribution concentrated on state s.
+func (c *Chain) PointMass(s int) []float64 {
+	p := make([]float64, c.N)
+	p[s] = 1
+	return p
+}
+
+// Throughput returns the steady-state throughput of an action: the
+// expected number of completions per unit time, sum_s pi(s)·rate_a(s).
+func (c *Chain) Throughput(pi []float64, action string) (float64, error) {
+	rates, ok := c.ActionRate[action]
+	if !ok {
+		return 0, fmt.Errorf("ctmc: unknown action type %q", action)
+	}
+	return linalg.Dot(pi, rates), nil
+}
+
+// Utilization returns the steady-state probability mass of the states
+// selected by the predicate over state indices.
+func (c *Chain) Utilization(pi []float64, selected []int) float64 {
+	var u float64
+	for _, s := range selected {
+		u += pi[s]
+	}
+	return u
+}
+
+// PassageCDF computes the first-passage-time distribution from the source
+// distribution p0 to the target set: targets are made absorbing and the
+// CDF value at time t is the probability mass absorbed by t.
+type PassageCDF struct {
+	Times []float64
+	Probs []float64
+}
+
+// FirstPassageCDF evaluates P(T_target <= t) on the given ascending time
+// grid. Target states are transformed to absorbing states; if p0 already
+// places mass on a target, that mass counts as passed at t=0.
+func (c *Chain) FirstPassageCDF(p0 []float64, targets []int, times []float64, eps float64) (*PassageCDF, error) {
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("ctmc: empty passage target set")
+	}
+	isTarget := make([]bool, c.N)
+	for _, s := range targets {
+		if s < 0 || s >= c.N {
+			return nil, fmt.Errorf("ctmc: target state %d out of range", s)
+		}
+		isTarget[s] = true
+	}
+	// Build the absorbing chain Q~: zero out rows of target states.
+	coo := sparse.NewCOO(c.N, c.N)
+	exit := make([]float64, c.N)
+	for i := 0; i < c.N; i++ {
+		if isTarget[i] {
+			continue
+		}
+		var rowExit float64
+		c.Q.Row(i, func(j int, v float64) {
+			if j != i && v > 0 {
+				coo.Add(i, j, v)
+				rowExit += v
+			}
+		})
+		coo.Add(i, i, -rowExit)
+		exit[i] = rowExit
+	}
+	abs := &Chain{N: c.N, Q: coo.ToCSR(), ExitRate: exit, ActionRate: map[string][]float64{}}
+	cdf := &PassageCDF{Times: append([]float64(nil), times...), Probs: make([]float64, len(times))}
+	series, err := abs.TransientSeries(p0, times, eps)
+	if err != nil {
+		return nil, fmt.Errorf("ctmc: passage transient: %w", err)
+	}
+	for i, pt := range series {
+		var mass float64
+		for s, v := range pt {
+			if isTarget[s] {
+				mass += v
+			}
+		}
+		if mass > 1 {
+			mass = 1
+		}
+		cdf.Probs[i] = mass
+	}
+	return cdf, nil
+}
+
+// Quantile returns the earliest grid time at which the CDF reaches p, or
+// +Inf if it never does on the grid.
+func (c *PassageCDF) Quantile(p float64) float64 {
+	for i, v := range c.Probs {
+		if v >= p {
+			return c.Times[i]
+		}
+	}
+	return math.Inf(1)
+}
+
+// Mean estimates the mean passage time by trapezoidal integration of the
+// complementary CDF over the grid (a lower bound if the CDF has not
+// reached 1 by the final grid point).
+func (c *PassageCDF) Mean() float64 {
+	var m float64
+	for i := 1; i < len(c.Times); i++ {
+		dt := c.Times[i] - c.Times[i-1]
+		surv0 := 1 - c.Probs[i-1]
+		surv1 := 1 - c.Probs[i]
+		m += dt * (surv0 + surv1) / 2
+	}
+	return m
+}

@@ -1,0 +1,127 @@
+// Package diagram renders the activity/derivation diagrams the PEPA
+// workbench draws (Fig 2 of the paper): the states of a derived model and
+// the activities connecting them, as Graphviz DOT and as plain text.
+package diagram
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/pepa/derive"
+)
+
+// Options controls rendering.
+type Options struct {
+	// Title is the diagram caption (e.g. "Machine M3, Mapping A").
+	Title string
+	// Highlight marks state ids to emphasise (e.g. absorbing states).
+	Highlight []int
+	// ShortLabels numbers states S0..Sn instead of full canonical terms
+	// (full terms appear in a legend).
+	ShortLabels bool
+}
+
+// DOT renders the state space in Graphviz syntax. Output is deterministic:
+// states by id, transitions in stored order.
+func DOT(ss *derive.StateSpace, opt Options) string {
+	var b strings.Builder
+	b.WriteString("digraph activity {\n")
+	b.WriteString("  rankdir=LR;\n")
+	if opt.Title != "" {
+		fmt.Fprintf(&b, "  label=%q;\n", opt.Title)
+	}
+	hi := map[int]bool{}
+	for _, s := range opt.Highlight {
+		hi[s] = true
+	}
+	for id, term := range ss.States {
+		label := term
+		if opt.ShortLabels {
+			label = fmt.Sprintf("S%d", id)
+		}
+		attrs := fmt.Sprintf("label=%q", label)
+		if hi[id] {
+			attrs += ", style=filled, fillcolor=lightgrey"
+		}
+		if id == 0 {
+			attrs += ", shape=doublecircle"
+		} else {
+			attrs += ", shape=circle"
+		}
+		fmt.Fprintf(&b, "  n%d [%s];\n", id, attrs)
+	}
+	for id := range ss.States {
+		for _, tr := range ss.Trans[id] {
+			fmt.Fprintf(&b, "  n%d -> n%d [label=\"(%s, %.4g)\"];\n", tr.From, tr.To, tr.Action, tr.Rate)
+		}
+	}
+	if opt.ShortLabels {
+		b.WriteString("  // legend\n")
+		for id, term := range ss.States {
+			fmt.Fprintf(&b, "  // S%d = %s\n", id, term)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Text renders a plain-text activity table: one line per transition plus a
+// state legend, suitable for terminal output and golden tests.
+func Text(ss *derive.StateSpace, opt Options) string {
+	var b strings.Builder
+	if opt.Title != "" {
+		b.WriteString(opt.Title + "\n")
+		b.WriteString(strings.Repeat("=", len(opt.Title)) + "\n")
+	}
+	fmt.Fprintf(&b, "states: %d, transitions: %d\n", ss.NumStates(), ss.NumTransitions())
+	for id, term := range ss.States {
+		marker := " "
+		if id == 0 {
+			marker = ">"
+		}
+		if len(ss.Trans[id]) == 0 {
+			marker = "*" // absorbing
+		}
+		fmt.Fprintf(&b, "%s S%-3d %s\n", marker, id, term)
+	}
+	b.WriteString("activities:\n")
+	for id := range ss.States {
+		for _, tr := range ss.Trans[id] {
+			fmt.Fprintf(&b, "  S%d --(%s, %.4g)--> S%d\n", tr.From, tr.Action, tr.Rate, tr.To)
+		}
+	}
+	return b.String()
+}
+
+// ActionSummary tabulates, per action type, the number of transitions and
+// the total rate mass — the "activity summary" panel of the workbench.
+func ActionSummary(ss *derive.StateSpace) string {
+	type row struct {
+		count int
+		total float64
+	}
+	rows := map[string]*row{}
+	for id := range ss.States {
+		for _, tr := range ss.Trans[id] {
+			r := rows[tr.Action]
+			if r == nil {
+				r = &row{}
+				rows[tr.Action] = r
+			}
+			r.count++
+			r.total += tr.Rate
+		}
+	}
+	names := make([]string, 0, len(rows))
+	for n := range rows {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString("action\ttransitions\ttotal-rate\n")
+	for _, n := range names {
+		fmt.Fprintf(&b, "%s\t%d\t%.6g\n", n, rows[n].count, rows[n].total)
+	}
+	return b.String()
+}

@@ -1,0 +1,143 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/pepa"
+)
+
+const workRest = "r = 1.0; s = 2.0;\nP = (work, r).P1;\nP1 = (rest, s).P;\nP\n"
+
+func TestThroughputSweepMonotone(t *testing.T) {
+	m := pepa.MustParse(workRest)
+	series, err := RateSweep(m, "r", Linspace(0.5, 4, 8), Throughput{Action: "work"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series.Points) != 8 {
+		t.Fatalf("points = %d", len(series.Points))
+	}
+	// Throughput(work) = r*s/(r+s), increasing in r.
+	for i := 1; i < len(series.Points); i++ {
+		if series.Points[i].Measure <= series.Points[i-1].Measure {
+			t.Errorf("throughput not increasing at %g", series.Points[i].Value)
+		}
+	}
+	// Check exact value at r=2, s=2: 2*2/4 = 1.
+	for _, p := range series.Points {
+		want := p.Value * 2 / (p.Value + 2)
+		if math.Abs(p.Measure-want) > 1e-8 {
+			t.Errorf("throughput(r=%g) = %g, want %g", p.Value, p.Measure, want)
+		}
+	}
+}
+
+func TestSweepDoesNotMutateModel(t *testing.T) {
+	m := pepa.MustParse(workRest)
+	if _, err := RateSweep(m, "r", []float64{5, 10}, Throughput{Action: "work"}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Rates["r"] != 1 {
+		t.Errorf("sweep mutated the model: r = %g", m.Rates["r"])
+	}
+}
+
+func TestUtilizationSweep(t *testing.T) {
+	m := pepa.MustParse(workRest)
+	series, err := RateSweep(m, "s", Linspace(0.5, 4, 4), Utilization{Pattern: "P1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// pi(P1) = r/(r+s) = 1/(1+s), decreasing in s.
+	for i, p := range series.Points {
+		want := 1 / (1 + p.Value)
+		if math.Abs(p.Measure-want) > 1e-8 {
+			t.Errorf("utilization(s=%g) = %g, want %g", p.Value, p.Measure, want)
+		}
+		if i > 0 && p.Measure >= series.Points[i-1].Measure {
+			t.Error("utilization not decreasing in s")
+		}
+	}
+}
+
+func TestPassageQuantileSweep(t *testing.T) {
+	src := "r = 1.0;\nP0 = (go, r).PEnd;\nPEnd = (idle, 0.000001).PEnd;\nP0\n"
+	m := pepa.MustParse(src)
+	series, err := RateSweep(m, "r", []float64{0.5, 1, 2}, PassageQuantile{
+		Pattern: "PEnd", Quantile: 0.5, Horizon: 20, Samples: 400,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Median of Exp(r) is ln2/r: halving with each doubling of r.
+	for _, p := range series.Points {
+		want := math.Ln2 / p.Value
+		if math.Abs(p.Measure-want) > 0.1 {
+			t.Errorf("median(r=%g) = %g, want %g", p.Value, p.Measure, want)
+		}
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	m := pepa.MustParse(workRest)
+	if _, err := RateSweep(m, "ghost", []float64{1}, Throughput{Action: "work"}); err == nil {
+		t.Error("unknown rate accepted")
+	}
+	if _, err := RateSweep(m, "r", nil, Throughput{Action: "work"}); err == nil {
+		t.Error("empty sweep accepted")
+	}
+	if _, err := RateSweep(m, "r", []float64{0}, Throughput{Action: "work"}); err == nil {
+		t.Error("zero rate value accepted")
+	}
+	if _, err := RateSweep(m, "r", []float64{1}, Throughput{Action: "ghost"}); err == nil {
+		t.Error("unknown action accepted")
+	}
+	if _, err := RateSweep(m, "r", []float64{1}, PassageQuantile{Pattern: "Nowhere"}); err == nil {
+		t.Error("unmatched passage pattern accepted")
+	}
+}
+
+func TestSeriesTSV(t *testing.T) {
+	s := &Series{Parameter: "r", Measure: "throughput(work)", Points: []Point{{1, 0.5}, {2, 0.75}}}
+	tsv := s.TSV()
+	if !strings.HasPrefix(tsv, "r\tthroughput(work)\n") {
+		t.Errorf("tsv header wrong:\n%s", tsv)
+	}
+	if !strings.Contains(tsv, "2\t0.750000") {
+		t.Errorf("tsv rows wrong:\n%s", tsv)
+	}
+}
+
+func TestLinspaceGeomspace(t *testing.T) {
+	lin := Linspace(0, 10, 11)
+	if len(lin) != 11 || lin[0] != 0 || lin[10] != 10 || lin[5] != 5 {
+		t.Errorf("linspace = %v", lin)
+	}
+	geo := Geomspace(1, 100, 3)
+	if len(geo) != 3 || geo[0] != 1 || math.Abs(geo[1]-10) > 1e-9 || math.Abs(geo[2]-100) > 1e-9 {
+		t.Errorf("geomspace = %v", geo)
+	}
+	if got := Linspace(3, 9, 1); len(got) != 1 || got[0] != 3 {
+		t.Errorf("degenerate linspace = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Geomspace with zero bound did not panic")
+		}
+	}()
+	Geomspace(0, 1, 3)
+}
+
+func TestMeasureNames(t *testing.T) {
+	if (Throughput{Action: "a"}).Name() != "throughput(a)" {
+		t.Error("throughput name")
+	}
+	if (Utilization{Pattern: "P"}).Name() != "utilization(P)" {
+		t.Error("utilization name")
+	}
+	if !strings.Contains((PassageQuantile{Pattern: "D", Quantile: 0.5}).Name(), "q0.50") {
+		t.Error("passage name")
+	}
+}

@@ -1,0 +1,298 @@
+package gpepa
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/numeric/ode"
+	"repro/internal/pepa"
+	"repro/internal/pepa/derive"
+)
+
+// LocalState identifies one ODE variable: the count of components of a
+// group currently in a given sequential derivative state.
+type LocalState struct {
+	Group string
+	State string // canonical term syntax of the sequential derivative
+}
+
+// localTransition is one activity of a sequential derivative.
+type localTransition struct {
+	action string
+	rate   float64 // active rate (fluid analysis requires active rates)
+	from   int     // variable index
+	to     int     // variable index
+}
+
+// FluidSystem is the compiled mean-field ODE system of a GPEPA model.
+type FluidSystem struct {
+	Model *Model
+	// Vars lists the ODE variables in deterministic order.
+	Vars []LocalState
+	// Index maps a LocalState to its variable position.
+	Index map[LocalState]int
+	// X0 is the initial population vector.
+	X0 []float64
+	// Actions is the sorted set of action types appearing in any group.
+	Actions []string
+
+	groups     []*Group
+	transByGrp map[string][]localTransition // group label -> local transitions
+	groupVars  map[string][]int             // group label -> variable indices
+}
+
+// Compile derives every group's sequential state space and assembles the
+// fluid ODE structure. It fails if any component offers a passive rate:
+// GPAnalyser's fluid analysis requires fully specified (active) rates.
+func Compile(m *Model) (*FluidSystem, error) {
+	fs := &FluidSystem{
+		Model:      m,
+		Index:      map[LocalState]int{},
+		transByGrp: map[string][]localTransition{},
+		groupVars:  map[string][]int{},
+	}
+	d := derive.NewDeriver(m.Defs)
+	actions := map[string]bool{}
+	fs.groups = m.Groups()
+	for _, g := range fs.groups {
+		// Discover the derivative states of this group's components by BFS
+		// over single-component transitions.
+		var order []string
+		seen := map[string]pepa.Process{}
+		var queue []pepa.Process
+		for _, s := range g.Seeds {
+			p := &pepa.Const{Name: s.Component}
+			key := p.String()
+			if _, ok := seen[key]; !ok {
+				seen[key] = p
+				order = append(order, key)
+				queue = append(queue, p)
+			}
+		}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			ts, err := d.Transitions(cur)
+			if err != nil {
+				return nil, fmt.Errorf("gpepa: deriving component %s of group %q: %w", cur, g.Label, err)
+			}
+			for _, tr := range ts {
+				key := tr.Target.String()
+				if _, ok := seen[key]; !ok {
+					seen[key] = tr.Target
+					order = append(order, key)
+					queue = append(queue, tr.Target)
+				}
+			}
+		}
+		// Register variables in discovery order (deterministic: BFS from
+		// declared seeds with the deriver's stable transition order).
+		for _, key := range order {
+			ls := LocalState{Group: g.Label, State: key}
+			fs.Index[ls] = len(fs.Vars)
+			fs.Vars = append(fs.Vars, ls)
+			fs.groupVars[g.Label] = append(fs.groupVars[g.Label], fs.Index[ls])
+		}
+		// Record local transitions with variable indices.
+		for _, key := range order {
+			from := fs.Index[LocalState{Group: g.Label, State: key}]
+			ts, err := d.Transitions(seen[key])
+			if err != nil {
+				return nil, err
+			}
+			for _, tr := range ts {
+				if tr.Rate.Passive {
+					return nil, fmt.Errorf("gpepa: component state %s in group %q offers action %q at a passive rate; fluid analysis requires active rates", key, g.Label, tr.Action)
+				}
+				to := fs.Index[LocalState{Group: g.Label, State: tr.Target.String()}]
+				fs.transByGrp[g.Label] = append(fs.transByGrp[g.Label], localTransition{
+					action: tr.Action, rate: tr.Rate.Value, from: from, to: to,
+				})
+				actions[tr.Action] = true
+			}
+		}
+	}
+	// Initial populations.
+	fs.X0 = make([]float64, len(fs.Vars))
+	for _, g := range fs.groups {
+		for _, s := range g.Seeds {
+			idx := fs.Index[LocalState{Group: g.Label, State: s.Component}]
+			fs.X0[idx] += s.Count
+		}
+	}
+	for a := range actions {
+		fs.Actions = append(fs.Actions, a)
+	}
+	sort.Strings(fs.Actions)
+	return fs, nil
+}
+
+// apparentInGroup computes A_G(a)(x) = sum over local a-transitions of
+// x_from * rate.
+func (fs *FluidSystem) apparentInGroup(label, action string, x []float64) float64 {
+	var total float64
+	for _, tr := range fs.transByGrp[label] {
+		if tr.action == action {
+			total += x[tr.from] * tr.rate
+		}
+	}
+	return total
+}
+
+// treeRate evaluates the total rate of an action over the grouped system
+// tree: min at synchronizing nodes, sum at interleaving nodes.
+func (fs *FluidSystem) treeRate(e GroupExpr, action string, x []float64) float64 {
+	switch t := e.(type) {
+	case *Group:
+		return fs.apparentInGroup(t.Label, action, x)
+	case *GroupCoop:
+		l := fs.treeRate(t.Left, action, x)
+		r := fs.treeRate(t.Right, action, x)
+		if pepa.Contains(t.Set, action) {
+			if l < r {
+				return l
+			}
+			return r
+		}
+		return l + r
+	default:
+		panic(fmt.Sprintf("gpepa: unknown group expr %T", e))
+	}
+}
+
+// distribute walks the tree allocating the action's total rate R to group
+// leaves: synchronizing children both receive R; interleaving children
+// split R proportionally to their subtree apparent rates.
+func (fs *FluidSystem) distribute(e GroupExpr, action string, x []float64, r float64, leafRate map[string]float64) {
+	if r == 0 {
+		return
+	}
+	switch t := e.(type) {
+	case *Group:
+		leafRate[t.Label] += r
+	case *GroupCoop:
+		if pepa.Contains(t.Set, action) {
+			fs.distribute(t.Left, action, x, r, leafRate)
+			fs.distribute(t.Right, action, x, r, leafRate)
+			return
+		}
+		l := fs.treeRate(t.Left, action, x)
+		rr := fs.treeRate(t.Right, action, x)
+		if l+rr == 0 {
+			return
+		}
+		fs.distribute(t.Left, action, x, r*l/(l+rr), leafRate)
+		fs.distribute(t.Right, action, x, r*rr/(l+rr), leafRate)
+	}
+}
+
+// Derivative computes dx/dt at population x into dst.
+func (fs *FluidSystem) Derivative(x, dst []float64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for _, action := range fs.Actions {
+		total := fs.treeRate(fs.Model.System, action, x)
+		if total <= 0 {
+			continue
+		}
+		leafRate := map[string]float64{}
+		fs.distribute(fs.Model.System, action, x, total, leafRate)
+		for _, g := range fs.groups {
+			rg := leafRate[g.Label]
+			if rg == 0 {
+				continue
+			}
+			ag := fs.apparentInGroup(g.Label, action, x)
+			if ag == 0 {
+				continue
+			}
+			for _, tr := range fs.transByGrp[g.Label] {
+				if tr.action != action {
+					continue
+				}
+				flow := rg * (x[tr.from] * tr.rate / ag)
+				dst[tr.from] -= flow
+				dst[tr.to] += flow
+			}
+		}
+	}
+}
+
+// ActionThroughput returns the instantaneous system-wide rate of an action
+// at population x (the fluid analogue of PEPA throughput).
+func (fs *FluidSystem) ActionThroughput(action string, x []float64) float64 {
+	return fs.treeRate(fs.Model.System, action, x)
+}
+
+// GroupPopulation sums the variables of one group at population x.
+func (fs *FluidSystem) GroupPopulation(label string, x []float64) float64 {
+	var total float64
+	for _, idx := range fs.groupVars[label] {
+		total += x[idx]
+	}
+	return total
+}
+
+// FluidResult is a solved fluid trajectory.
+type FluidResult struct {
+	System *FluidSystem
+	Times  []float64
+	X      [][]float64 // X[k][i] = count of Vars[i] at Times[k]
+}
+
+// SolveOptions tunes the fluid integration.
+type SolveOptions struct {
+	RelTol float64 // default 1e-8
+	AbsTol float64 // default 1e-10
+}
+
+// Solve integrates the fluid ODEs over [0, horizon] sampling n+1 evenly
+// spaced points.
+func (fs *FluidSystem) Solve(horizon float64, n int, opt SolveOptions) (*FluidResult, error) {
+	if horizon <= 0 {
+		return nil, fmt.Errorf("gpepa: horizon must be positive, got %g", horizon)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("gpepa: need at least one output interval")
+	}
+	if opt.RelTol <= 0 {
+		opt.RelTol = 1e-8
+	}
+	if opt.AbsTol <= 0 {
+		opt.AbsTol = 1e-10
+	}
+	grid := ode.Grid(0, horizon, n)
+	sol, err := ode.DormandPrince(func(t float64, y, dst []float64) {
+		fs.Derivative(y, dst)
+	}, fs.X0, grid, ode.DormandPrinceOptions{RelTol: opt.RelTol, AbsTol: opt.AbsTol})
+	if err != nil {
+		return nil, fmt.Errorf("gpepa: fluid integration: %w", err)
+	}
+	return &FluidResult{System: fs, Times: sol.T, X: sol.Y}, nil
+}
+
+// Series extracts the time series of one local state.
+func (r *FluidResult) Series(group, state string) ([]float64, error) {
+	idx, ok := r.System.Index[LocalState{Group: group, State: state}]
+	if !ok {
+		return nil, fmt.Errorf("gpepa: unknown local state %s:%s", group, state)
+	}
+	out := make([]float64, len(r.X))
+	for k, x := range r.X {
+		out[k] = x[idx]
+	}
+	return out, nil
+}
+
+// ThroughputSeries evaluates the fluid throughput of an action over time.
+func (r *FluidResult) ThroughputSeries(action string) []float64 {
+	out := make([]float64, len(r.X))
+	for k, x := range r.X {
+		out[k] = r.System.ActionThroughput(action, x)
+	}
+	return out
+}
+
+// Final returns the final sampled population vector.
+func (r *FluidResult) Final() []float64 { return r.X[len(r.X)-1] }

@@ -1,0 +1,42 @@
+package gpepa
+
+import "testing"
+
+// FuzzParse checks the GPEPA parser never panics; compilable models must
+// also compile without panicking.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		clientServerSrc,
+		"A = (a, 1).A;\nG{A[3]}",
+		"A = (a, 1).B; B = (b, 2).A;\nG{A[3], B[2]}",
+		"A = (a, 1).A; B = (a, 2).B;\nG{A[5]} <a> H{B[2]}",
+		"A = (a, 1).A;\nG{A[5]} || H{A[2]}",
+		"A = (a, 1).A;\n(G{A[5]} <a> H{A[2]}) <a> K{A[1]}",
+		"G{A[3]}",
+		"A = (a, T).A;\nG{A[3]}",
+		"A = (a, 1).A;\nG{}",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := Parse(src)
+		if err != nil {
+			return
+		}
+		printed := m.String()
+		m2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printer emitted unparsable output: %v\nprinted:\n%s", err, printed)
+		}
+		if m2.String() != printed {
+			t.Fatalf("print/parse not a fixpoint for %q", src)
+		}
+		if fs, err := Compile(m); err == nil {
+			// A compiled system must produce a finite derivative.
+			dst := make([]float64, len(fs.X0))
+			fs.Derivative(fs.X0, dst)
+		}
+	})
+}

@@ -1,0 +1,446 @@
+package gpepa
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// clientServerSrc is the structure of GPAnalyser's bundled
+// clientServerScalability.gpepa example: clients cycle through
+// request/think, servers cycle through serve/reset, coupled on request.
+const clientServerSrc = `
+rr = 2.0;    // client request rate
+rt = 0.27;   // client think rate
+rs = 4.0;    // server service rate
+rb = 1.0;    // server reset (bookkeeping) rate
+
+Client = (request, rr).Client_think;
+Client_think = (think, rt).Client;
+
+Server = (request, rs).Server_log;
+Server_log = (log, rb).Server;
+
+Clients{Client[100]} <request> Servers{Server[10]}
+`
+
+func compileClientServer(t *testing.T) *FluidSystem {
+	t.Helper()
+	m, err := Parse(clientServerSrc)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fs, err := Compile(m)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return fs
+}
+
+func TestParseGroups(t *testing.T) {
+	m, err := Parse(clientServerSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := m.Groups()
+	if len(gs) != 2 {
+		t.Fatalf("groups = %d, want 2", len(gs))
+	}
+	if gs[0].Label != "Clients" || gs[0].Seeds[0].Component != "Client" || gs[0].Seeds[0].Count != 100 {
+		t.Errorf("first group = %+v", gs[0])
+	}
+	coop, ok := m.System.(*GroupCoop)
+	if !ok {
+		t.Fatalf("system is %T", m.System)
+	}
+	if len(coop.Set) != 1 || coop.Set[0] != "request" {
+		t.Errorf("coop set = %v", coop.Set)
+	}
+}
+
+func TestParseMultiSeedGroup(t *testing.T) {
+	m, err := Parse(`
+A = (a, 1).B;
+B = (b, 1).A;
+G{A[3], B[2]}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := m.Groups()[0]
+	if len(g.Seeds) != 2 || g.Seeds[1].Count != 2 {
+		t.Errorf("seeds = %+v", g.Seeds)
+	}
+	fs, err := Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.GroupPopulation("G", fs.X0); got != 5 {
+		t.Errorf("initial population = %g, want 5", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := map[string]string{
+		"G{A[3]}":                         "undefined component",
+		"A = (a,1).A; G{A[3]} || G{A[2]}": "duplicate group label",
+		"A = (a,1).A; G{}":                "empty group",
+		"A = (a,1).A; G{A[3]} trailing":   "trailing tokens",
+		"A = (a,1).A;":                    "no system equation",
+		"A = (a,1).A; G{A 3}":             "missing brackets",
+	}
+	for src, why := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("accepted bad model (%s): %q", why, src)
+		}
+	}
+}
+
+func TestParseStringRoundTrip(t *testing.T) {
+	m := MustParse(clientServerSrc)
+	printed := m.String()
+	m2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, printed)
+	}
+	if m2.String() != printed {
+		t.Errorf("print/parse not a fixpoint:\n%s\nvs\n%s", printed, m2.String())
+	}
+}
+
+func TestCompileVariables(t *testing.T) {
+	fs := compileClientServer(t)
+	if len(fs.Vars) != 4 {
+		t.Fatalf("vars = %v, want 4 local states", fs.Vars)
+	}
+	if fs.X0[fs.Index[LocalState{Group: "Clients", State: "Client"}]] != 100 {
+		t.Errorf("initial clients wrong: %v", fs.X0)
+	}
+	if len(fs.Actions) != 3 {
+		t.Errorf("actions = %v", fs.Actions)
+	}
+}
+
+func TestCompileRejectsPassive(t *testing.T) {
+	_, err := Parse(`
+C = (a, T).C;
+G{C[5]}
+`)
+	if err == nil {
+		// Parse succeeds (passive is legal syntax); Compile must reject.
+		m := MustParse("C = (a, T).C;\nG{C[5]}")
+		if _, cerr := Compile(m); cerr == nil {
+			t.Error("passive rate accepted by fluid compilation")
+		}
+		return
+	}
+	// If Parse rejected it, that is acceptable too, but our grammar allows it.
+	t.Logf("parse rejected passive model: %v", err)
+}
+
+func TestMassConservationPerGroup(t *testing.T) {
+	fs := compileClientServer(t)
+	res, err := fs.Solve(50, 100, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range res.Times {
+		c := fs.GroupPopulation("Clients", res.X[k])
+		s := fs.GroupPopulation("Servers", res.X[k])
+		if math.Abs(c-100) > 1e-6 {
+			t.Errorf("client mass at t=%g: %g", res.Times[k], c)
+		}
+		if math.Abs(s-10) > 1e-6 {
+			t.Errorf("server mass at t=%g: %g", res.Times[k], s)
+		}
+	}
+}
+
+func TestNonNegativity(t *testing.T) {
+	fs := compileClientServer(t)
+	res, err := fs.Solve(50, 200, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range res.Times {
+		for i, v := range res.X[k] {
+			if v < -1e-6 {
+				t.Errorf("negative population %g for %v at t=%g", v, fs.Vars[i], res.Times[k])
+			}
+		}
+	}
+}
+
+func TestFluidEquilibriumBalance(t *testing.T) {
+	// At equilibrium the request and think flows balance for clients.
+	fs := compileClientServer(t)
+	res, err := fs.Solve(200, 100, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := res.Final()
+	dst := make([]float64, len(final))
+	fs.Derivative(final, dst)
+	for i, v := range dst {
+		if math.Abs(v) > 1e-4 {
+			t.Errorf("nonzero derivative %g for %v at equilibrium", v, fs.Vars[i])
+		}
+	}
+}
+
+func TestMinCouplingCapsThroughput(t *testing.T) {
+	// Server capacity is 10 * rs = 40; client demand is 100 * rr = 200 at
+	// t=0, so the coupled request rate must start at 40.
+	fs := compileClientServer(t)
+	tp := fs.ActionThroughput("request", fs.X0)
+	if math.Abs(tp-40) > 1e-9 {
+		t.Errorf("initial request throughput = %g, want 40 (server-bound)", tp)
+	}
+}
+
+func TestScalabilityShape(t *testing.T) {
+	// More servers => higher equilibrium request throughput, saturating
+	// when clients become the bottleneck (the Fig 5 experiment's shape).
+	build := func(servers int) float64 {
+		src := strings.Replace(clientServerSrc, "Server[10]", "Server["+itoa(servers)+"]", 1)
+		m := MustParse(src)
+		fs, err := Compile(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := fs.Solve(300, 60, SolveOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fs.ActionThroughput("request", res.Final())
+	}
+	t5, t20, t80 := build(5), build(20), build(80)
+	if !(t5 < t20) {
+		t.Errorf("throughput not increasing in servers: 5->%g 20->%g", t5, t20)
+	}
+	if t80 < t20 {
+		t.Errorf("throughput decreased with more servers: 20->%g 80->%g", t20, t80)
+	}
+	// With 80 servers the clients are the bottleneck; doubling servers
+	// again changes little.
+	t160 := build(160)
+	if math.Abs(t160-t80)/t80 > 0.05 {
+		t.Errorf("client-bound regime not saturated: 80->%g 160->%g", t80, t160)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}
+
+// powerSrc mirrors core.ClientServerPowerGPEPAModel: servers doze into a
+// low-power state when idle.
+const powerSrc = `
+rr = 1.5;
+rt = 0.3;
+rs = 3.0;
+sleep = 0.2;
+wake  = 0.8;
+
+Client = (request, rr).Client_think;
+Client_think = (think, rt).Client;
+
+Server = (request, rs).Server + (doze, sleep).Server_sleep;
+Server_sleep = (wakeup, wake).Server;
+
+Clients{Client[80]} <request> Servers{Server[12]}
+`
+
+func TestPowerModelFluidAndReward(t *testing.T) {
+	m, err := Parse(powerSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fs.Solve(100, 200, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Server mass conserved across awake/sleep states.
+	for k := range res.Times {
+		if got := fs.GroupPopulation("Servers", res.X[k]); got < 12-1e-6 || got > 12+1e-6 {
+			t.Fatalf("server mass = %g at t=%g", got, res.Times[k])
+		}
+	}
+	// Power reward: awake servers draw 10 units, sleeping 1 unit.
+	power, err := res.AccumulatedStateReward(map[LocalState]float64{
+		{Group: "Servers", State: "Server"}:       10,
+		{Group: "Servers", State: "Server_sleep"}: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if power <= 0 || power > 12*10*100 {
+		t.Errorf("accumulated power = %g", power)
+	}
+	// Some servers must actually doze at equilibrium.
+	sleeping, err := res.Series("Servers", "Server_sleep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sleeping[len(sleeping)-1] <= 0 {
+		t.Error("no servers sleeping at equilibrium")
+	}
+}
+
+func TestSimulationConservesMass(t *testing.T) {
+	fs := compileClientServer(t)
+	res, err := fs.Simulate(20, 40, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range res.Times {
+		c := fs.GroupPopulation("Clients", res.X[k])
+		if c != 100 {
+			t.Errorf("client mass at sample %d: %g", k, c)
+		}
+	}
+	if res.Jumps == 0 {
+		t.Error("simulation fired no reactions")
+	}
+}
+
+func TestSimulationDeterministicBySeed(t *testing.T) {
+	fs := compileClientServer(t)
+	a, err := fs.Simulate(10, 20, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fs.Simulate(10, 20, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Jumps != b.Jumps {
+		t.Fatalf("jump counts differ: %d vs %d", a.Jumps, b.Jumps)
+	}
+	for k := range a.X {
+		for i := range a.X[k] {
+			if a.X[k][i] != b.X[k][i] {
+				t.Fatalf("trajectories diverge at sample %d", k)
+			}
+		}
+	}
+}
+
+func TestFluidApproximatesStochasticMean(t *testing.T) {
+	fs := compileClientServer(t)
+	fluid, err := fs.Solve(30, 30, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, err := fs.MeanOfSimulations(30, 30, 40, 2019)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := fs.Index[LocalState{Group: "Clients", State: "Client_think"}]
+	for k := range fluid.Times {
+		f := fluid.X[k][idx]
+		s := mean.X[k][idx]
+		// Mean-field error is O(1/sqrt(N·k)); allow a generous band.
+		if math.Abs(f-s) > 8 {
+			t.Errorf("t=%g: fluid %g vs stochastic mean %g", fluid.Times[k], f, s)
+		}
+	}
+}
+
+func TestSeriesAndThroughputSeries(t *testing.T) {
+	fs := compileClientServer(t)
+	res, err := fs.Solve(10, 10, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := res.Series("Clients", "Client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 11 || s[0] != 100 {
+		t.Errorf("series = %v", s[:3])
+	}
+	if _, err := res.Series("Nope", "X"); err == nil {
+		t.Error("unknown series accepted")
+	}
+	tp := res.ThroughputSeries("request")
+	if len(tp) != 11 || tp[0] != 40 {
+		t.Errorf("throughput series start = %g, want 40", tp[0])
+	}
+}
+
+func TestSolveBadInputs(t *testing.T) {
+	fs := compileClientServer(t)
+	if _, err := fs.Solve(0, 10, SolveOptions{}); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if _, err := fs.Solve(10, 0, SolveOptions{}); err == nil {
+		t.Error("zero intervals accepted")
+	}
+	if _, err := fs.Simulate(-1, 10, 1); err == nil {
+		t.Error("negative horizon accepted")
+	}
+}
+
+func TestFluidMassConservationProperty(t *testing.T) {
+	// Property: for random rate assignments the derivative sums to zero
+	// within each group (mass conservation of the vector field).
+	f := func(aRaw, bRaw, cRaw float64) bool {
+		a := math.Mod(math.Abs(aRaw), 10) + 0.1
+		b := math.Mod(math.Abs(bRaw), 10) + 0.1
+		c := math.Mod(math.Abs(cRaw), 10) + 0.1
+		src := "ra = " + ftoa(a) + "; rb = " + ftoa(b) + "; rc = " + ftoa(c) + ";\n" +
+			"C = (req, ra).D; D = (thk, rb).C;\n" +
+			"S = (req, rc).S1; S1 = (log, 1).S;\n" +
+			"G1{C[50]} <req> G2{S[5]}"
+		m, err := Parse(src)
+		if err != nil {
+			return false
+		}
+		fs, err := Compile(m)
+		if err != nil {
+			return false
+		}
+		dst := make([]float64, len(fs.X0))
+		fs.Derivative(fs.X0, dst)
+		var g1, g2 float64
+		for i, v := range dst {
+			if fs.Vars[i].Group == "G1" {
+				g1 += v
+			} else {
+				g2 += v
+			}
+		}
+		return math.Abs(g1) < 1e-9 && math.Abs(g2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func ftoa(v float64) string {
+	// Render with fixed precision to stay lexer-friendly.
+	i := int(v * 1000)
+	return itoa(i/1000) + "." + pad3(i%1000)
+}
+
+func pad3(n int) string {
+	s := itoa(n)
+	for len(s) < 3 {
+		s = "0" + s
+	}
+	return s
+}

@@ -1,0 +1,112 @@
+package gpepa
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAccumulatedActionReward(t *testing.T) {
+	fs := compileClientServer(t)
+	res, err := fs.Solve(100, 200, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := res.AccumulatedActionReward("request")
+	// Request throughput starts at 40 (server-bound) and relaxes to the
+	// equilibrium; the integral over 100 time units must be positive and
+	// below the 40/unit upper bound.
+	if total <= 0 || total > 40*100 {
+		t.Errorf("accumulated reward = %g", total)
+	}
+	// Longer horizon accumulates more reward.
+	res2, err := fs.Solve(200, 400, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res2.AccumulatedActionReward("request"); got <= total {
+		t.Errorf("reward not increasing with horizon: %g then %g", total, got)
+	}
+}
+
+func TestAccumulatedRewardMatchesEquilibriumRate(t *testing.T) {
+	// Once equilibrated, reward accrues at equilibrium throughput; compare
+	// the increment over [T, 2T] with rate*T.
+	fs := compileClientServer(t)
+	resA, err := fs.Solve(300, 600, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := fs.Solve(600, 1200, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	increment := resB.AccumulatedActionReward("request") - resA.AccumulatedActionReward("request")
+	eqRate := fs.ActionThroughput("request", resB.Final())
+	if math.Abs(increment-eqRate*300)/(eqRate*300) > 0.01 {
+		t.Errorf("increment %g vs equilibrium rate*T %g", increment, eqRate*300)
+	}
+}
+
+func TestAccumulatedStateReward(t *testing.T) {
+	fs := compileClientServer(t)
+	res, err := fs.Solve(50, 100, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "Power draw": 1 unit per busy (logging) server per time unit.
+	reward, err := res.AccumulatedStateReward(map[LocalState]float64{
+		{Group: "Servers", State: "Server_log"}: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reward <= 0 || reward > 10*50 {
+		t.Errorf("state reward = %g", reward)
+	}
+	if _, err := res.AccumulatedStateReward(map[LocalState]float64{{Group: "X", State: "Y"}: 1}); err == nil {
+		t.Error("unknown local state accepted")
+	}
+}
+
+func TestFluidSteadyState(t *testing.T) {
+	fs := compileClientServer(t)
+	x, tEq, err := fs.SteadyState(FluidSteadyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tEq <= 0 {
+		t.Errorf("equilibrium time = %g", tEq)
+	}
+	// The derivative must vanish at the reported equilibrium.
+	dst := make([]float64, len(x))
+	fs.Derivative(x, dst)
+	for i, v := range dst {
+		if math.Abs(v) > 1e-4 {
+			t.Errorf("derivative[%d] = %g at claimed equilibrium", i, v)
+		}
+	}
+	// Mass is conserved at equilibrium.
+	if got := fs.GroupPopulation("Clients", x); math.Abs(got-100) > 1e-6 {
+		t.Errorf("client mass at equilibrium = %g", got)
+	}
+	// The equilibrium matches a long fixed-horizon solve.
+	res, err := fs.Solve(500, 100, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := res.Final()
+	for i := range x {
+		if math.Abs(x[i]-final[i]) > 0.01 {
+			t.Errorf("equilibrium[%d] = %g vs long-run %g", i, x[i], final[i])
+		}
+	}
+}
+
+func TestFluidSteadyStateHorizonExhaustion(t *testing.T) {
+	// A pure drift system (one-way counter) never equilibrates... all our
+	// models conserve mass, so emulate by tiny horizon instead.
+	fs := compileClientServer(t)
+	if _, _, err := fs.SteadyState(FluidSteadyOptions{Tol: 1e-15, MaxHorizon: 0.5, Step: 0.2}); err == nil {
+		t.Error("expected horizon exhaustion with impossible tolerance")
+	}
+}

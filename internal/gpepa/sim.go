@@ -1,0 +1,169 @@
+package gpepa
+
+import (
+	"fmt"
+
+	"repro/internal/par"
+	"repro/internal/pepa"
+	"repro/internal/rng"
+)
+
+// SimResult is a stochastic trajectory of the population CTMC underlying a
+// GPEPA model, sampled on an even grid by the Gillespie direct method.
+type SimResult struct {
+	System *FluidSystem
+	Times  []float64
+	X      [][]float64 // population counts at each grid point
+	Jumps  int         // total reactions fired
+}
+
+// Simulate runs one exact stochastic trajectory of the grouped population
+// CTMC to the horizon, recording state on n+1 evenly spaced sample points.
+// The jump process is the exact GPEPA semantics: shared actions fire at
+// the min-coupled tree rate and move one component in every synchronizing
+// group; independent actions move one component in one group.
+func (fs *FluidSystem) Simulate(horizon float64, n int, seed uint64) (*SimResult, error) {
+	if horizon <= 0 || n < 1 {
+		return nil, fmt.Errorf("gpepa: bad simulation parameters horizon=%g n=%d", horizon, n)
+	}
+	r := rng.New(seed)
+	x := append([]float64(nil), fs.X0...)
+	res := &SimResult{System: fs}
+	res.Times = make([]float64, n+1)
+	res.X = make([][]float64, n+1)
+	dt := horizon / float64(n)
+	for i := range res.Times {
+		res.Times[i] = float64(i) * dt
+	}
+	res.X[0] = append([]float64(nil), x...)
+	nextSample := 1
+
+	t := 0.0
+	rates := make([]float64, len(fs.Actions))
+	for {
+		var total float64
+		for i, a := range fs.Actions {
+			rates[i] = fs.treeRate(fs.Model.System, a, x)
+			total += rates[i]
+		}
+		if total <= 0 {
+			break // absorbed
+		}
+		t += r.Exp(total)
+		for nextSample <= n && res.Times[nextSample] < t {
+			res.X[nextSample] = append([]float64(nil), x...)
+			nextSample++
+		}
+		if t >= horizon {
+			break
+		}
+		action := fs.Actions[r.Choose(rates)]
+		fs.fire(fs.Model.System, action, x, r)
+		res.Jumps++
+	}
+	for nextSample <= n {
+		res.X[nextSample] = append([]float64(nil), x...)
+		nextSample++
+	}
+	return res, nil
+}
+
+// fire applies one occurrence of the action to the population vector,
+// choosing participating components by the semantics' probabilities:
+// synchronizing subtrees each fire one component; interleaving subtrees
+// are chosen proportionally to their apparent rates.
+func (fs *FluidSystem) fire(e GroupExpr, action string, x []float64, r *rng.Source) {
+	switch t := e.(type) {
+	case *Group:
+		// Choose a local transition proportional to x_from * rate.
+		trs := fs.transByGrp[t.Label]
+		weights := make([]float64, 0, len(trs))
+		idxs := make([]int, 0, len(trs))
+		for i, tr := range trs {
+			if tr.action == action {
+				weights = append(weights, x[tr.from]*tr.rate)
+				idxs = append(idxs, i)
+			}
+		}
+		if len(weights) == 0 {
+			return
+		}
+		var anyPositive bool
+		for _, w := range weights {
+			if w > 0 {
+				anyPositive = true
+				break
+			}
+		}
+		if !anyPositive {
+			return
+		}
+		tr := trs[idxs[r.Choose(weights)]]
+		x[tr.from]--
+		x[tr.to]++
+	case *GroupCoop:
+		if pepa.Contains(t.Set, action) {
+			fs.fire(t.Left, action, x, r)
+			fs.fire(t.Right, action, x, r)
+			return
+		}
+		l := fs.treeRate(t.Left, action, x)
+		rr := fs.treeRate(t.Right, action, x)
+		if l+rr <= 0 {
+			return
+		}
+		if r.Choose([]float64{l, rr}) == 0 {
+			fs.fire(t.Left, action, x, r)
+		} else {
+			fs.fire(t.Right, action, x, r)
+		}
+	}
+}
+
+// MeanOfSimulations averages k independent trajectories on the shared
+// grid, for comparing the stochastic mean against the fluid limit.
+// Replications run in parallel (the compiled system is read-only during
+// simulation); the reduction runs in replication order, so the result is
+// bit-identical regardless of scheduling.
+func (fs *FluidSystem) MeanOfSimulations(horizon float64, n int, k int, seed uint64) (*SimResult, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("gpepa: need at least one replication")
+	}
+	runs, err := par.Map(k, 0, func(rep int) (*SimResult, error) {
+		return fs.Simulate(horizon, n, seed+uint64(rep)*0x9E3779B9)
+	})
+	if err != nil {
+		return nil, err
+	}
+	acc := &SimResult{System: fs, Times: runs[0].Times, X: make([][]float64, len(runs[0].X))}
+	for i := range acc.X {
+		acc.X[i] = make([]float64, len(runs[0].X[i]))
+	}
+	for _, res := range runs {
+		for i := range res.X {
+			for j := range res.X[i] {
+				acc.X[i][j] += res.X[i][j]
+			}
+		}
+		acc.Jumps += res.Jumps
+	}
+	for i := range acc.X {
+		for j := range acc.X[i] {
+			acc.X[i][j] /= float64(k)
+		}
+	}
+	return acc, nil
+}
+
+// Series extracts the time series of one local state from a simulation.
+func (s *SimResult) Series(group, state string) ([]float64, error) {
+	idx, ok := s.System.Index[LocalState{Group: group, State: state}]
+	if !ok {
+		return nil, fmt.Errorf("gpepa: unknown local state %s:%s", group, state)
+	}
+	out := make([]float64, len(s.X))
+	for k, x := range s.X {
+		out[k] = x[idx]
+	}
+	return out, nil
+}

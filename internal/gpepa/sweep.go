@@ -1,0 +1,110 @@
+package gpepa
+
+import (
+	"fmt"
+
+	"repro/internal/par"
+)
+
+// This file implements GPAnalyser's scalability experiments (the analysis
+// behind clientServerScalability.gpepa, Fig 5): re-solve the fluid model
+// while one group's population varies, recording an equilibrium measure
+// per point.
+
+// SweepPoint is one population sample.
+type SweepPoint struct {
+	Count float64
+	// Throughput of the measured action at the solve horizon.
+	Throughput float64
+	// Final holds the full population vector at the horizon.
+	Final []float64
+}
+
+// cloneWithCount deep-copies the system tree, replacing the seed count of
+// (group, component). The sequential definitions are shared (immutable).
+func cloneWithCount(m *Model, group, component string, count float64) (*Model, error) {
+	found := false
+	var cloneExpr func(e GroupExpr) GroupExpr
+	cloneExpr = func(e GroupExpr) GroupExpr {
+		switch t := e.(type) {
+		case *Group:
+			g := &Group{Label: t.Label, Seeds: append([]Seed(nil), t.Seeds...)}
+			if g.Label == group {
+				for i := range g.Seeds {
+					if g.Seeds[i].Component == component {
+						g.Seeds[i].Count = count
+						found = true
+					}
+				}
+			}
+			return g
+		case *GroupCoop:
+			return &GroupCoop{Left: cloneExpr(t.Left), Right: cloneExpr(t.Right), Set: t.Set}
+		default:
+			panic(fmt.Sprintf("gpepa: unknown group expr %T", e))
+		}
+	}
+	clone := &Model{Defs: m.Defs, System: cloneExpr(m.System)}
+	if !found {
+		return nil, fmt.Errorf("gpepa: no seed %s[...] in group %q", component, group)
+	}
+	return clone, nil
+}
+
+// ScalabilitySweep solves the fluid model to the horizon for each
+// population count of (group, component) and records the equilibrium
+// throughput of the action. Points are independent and solve in parallel,
+// assembled in sweep order.
+func ScalabilitySweep(m *Model, group, component string, counts []float64, horizon float64, action string) ([]SweepPoint, error) {
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("gpepa: empty sweep")
+	}
+	if horizon <= 0 {
+		return nil, fmt.Errorf("gpepa: horizon must be positive")
+	}
+	for _, c := range counts {
+		if c < 0 {
+			return nil, fmt.Errorf("gpepa: negative population %g", c)
+		}
+	}
+	return par.Map(len(counts), 0, func(i int) (SweepPoint, error) {
+		clone, err := cloneWithCount(m, group, component, counts[i])
+		if err != nil {
+			return SweepPoint{}, err
+		}
+		sys, err := Compile(clone)
+		if err != nil {
+			return SweepPoint{}, fmt.Errorf("gpepa: count=%g: %w", counts[i], err)
+		}
+		res, err := sys.Solve(horizon, 50, SolveOptions{})
+		if err != nil {
+			return SweepPoint{}, fmt.Errorf("gpepa: count=%g: %w", counts[i], err)
+		}
+		final := res.Final()
+		return SweepPoint{
+			Count:      counts[i],
+			Throughput: sys.ActionThroughput(action, final),
+			Final:      final,
+		}, nil
+	})
+}
+
+// Saturation locates the knee of a scalability sweep: the first count at
+// which throughput stops improving by more than relTol relative to the
+// previous point. It returns the index into the sweep, or -1 if the
+// throughput is still climbing at the end.
+func Saturation(points []SweepPoint, relTol float64) int {
+	if relTol <= 0 {
+		relTol = 0.01
+	}
+	for i := 1; i < len(points); i++ {
+		prev := points[i-1].Throughput
+		if prev <= 0 {
+			continue
+		}
+		if (points[i].Throughput-prev)/prev < relTol {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,78 @@
+package gpepa
+
+import (
+	"math"
+	"testing"
+)
+
+func TestScalabilitySweepShape(t *testing.T) {
+	m := MustParse(clientServerSrc)
+	counts := []float64{2, 5, 10, 20, 40, 80, 160}
+	points, err := ScalabilitySweep(m, "Servers", "Server", counts, 300, "request")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(counts) {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Server-bound regime: throughput ~ servers * rs * (rb/(rs+rb))
+	// utilisation factor; must increase monotonically before saturation.
+	for i := 1; i < 4; i++ {
+		if points[i].Throughput <= points[i-1].Throughput {
+			t.Errorf("throughput not increasing at count=%g", counts[i])
+		}
+	}
+	// Client-bound regime: doubling servers changes little.
+	last, prev := points[len(points)-1].Throughput, points[len(points)-2].Throughput
+	if math.Abs(last-prev)/prev > 0.05 {
+		t.Errorf("no saturation: %g -> %g", prev, last)
+	}
+	knee := Saturation(points, 0.01)
+	if knee < 0 {
+		t.Error("Saturation found no knee")
+	}
+	if counts[knee] < 20 || counts[knee] > 160 {
+		t.Errorf("knee at count=%g, expected between 20 and 160", counts[knee])
+	}
+}
+
+func TestScalabilitySweepDoesNotMutateModel(t *testing.T) {
+	m := MustParse(clientServerSrc)
+	before := m.System.String()
+	if _, err := ScalabilitySweep(m, "Servers", "Server", []float64{3, 6}, 50, "request"); err != nil {
+		t.Fatal(err)
+	}
+	if m.System.String() != before {
+		t.Error("sweep mutated the model's system equation")
+	}
+}
+
+func TestScalabilitySweepErrors(t *testing.T) {
+	m := MustParse(clientServerSrc)
+	if _, err := ScalabilitySweep(m, "Servers", "Server", nil, 50, "request"); err == nil {
+		t.Error("empty sweep accepted")
+	}
+	if _, err := ScalabilitySweep(m, "Servers", "Server", []float64{1}, 0, "request"); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if _, err := ScalabilitySweep(m, "Servers", "Server", []float64{-1}, 50, "request"); err == nil {
+		t.Error("negative population accepted")
+	}
+	if _, err := ScalabilitySweep(m, "Ghost", "Server", []float64{1}, 50, "request"); err == nil {
+		t.Error("unknown group accepted")
+	}
+	if _, err := ScalabilitySweep(m, "Servers", "Ghost", []float64{1}, 50, "request"); err == nil {
+		t.Error("unknown component accepted")
+	}
+}
+
+func TestSaturationEdgeCases(t *testing.T) {
+	climbing := []SweepPoint{{Throughput: 1}, {Throughput: 2}, {Throughput: 4}}
+	if got := Saturation(climbing, 0.01); got != -1 {
+		t.Errorf("climbing sweep knee = %d, want -1", got)
+	}
+	flat := []SweepPoint{{Throughput: 5}, {Throughput: 5.001}}
+	if got := Saturation(flat, 0.01); got != 1 {
+		t.Errorf("flat sweep knee = %d, want 1", got)
+	}
+}

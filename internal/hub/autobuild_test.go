@@ -1,0 +1,88 @@
+package hub
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/image"
+	"repro/internal/vfs"
+)
+
+// stubBuilder builds a fixed image from any recipe containing "From:".
+type stubBuilder struct{ fail bool }
+
+func (b *stubBuilder) BuildFromRecipe(src, name, tag string) (*image.Image, error) {
+	if b.fail || !strings.Contains(src, "From:") {
+		return nil, fmt.Errorf("stub: bad recipe")
+	}
+	fs := vfs.New()
+	fs.WriteFile("/payload", []byte(src), 0o644)
+	return &image.Image{
+		Meta: image.Metadata{Name: name, Tag: tag, RecipeSource: src, BuildHost: "hub-builder"},
+		FS:   fs,
+	}, nil
+}
+
+func autoBuildClient(t *testing.T, b Builder) (*Client, func()) {
+	t.Helper()
+	srv := NewServer(NewStore())
+	srv.EnableAutoBuild(b)
+	ts := httptest.NewServer(srv.Handler())
+	return NewClient(ts.URL), ts.Close
+}
+
+func TestRemoteBuildStoresImage(t *testing.T) {
+	c, done := autoBuildClient(t, &stubBuilder{})
+	defer done()
+	recipe := "Bootstrap: library\nFrom: centos:7.4\n"
+	digest, err := c.RemoteBuild("coll", "pepa", "latest", recipe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, got, err := c.Pull("coll", "pepa", "latest", digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != digest {
+		t.Errorf("digest = %s, want %s", got, digest)
+	}
+	if img.Meta.RecipeSource != recipe {
+		t.Error("recipe provenance lost")
+	}
+	if img.Meta.BuildHost != "hub-builder" {
+		t.Errorf("build host = %q", img.Meta.BuildHost)
+	}
+}
+
+func TestRemoteBuildRejectsBadRecipe(t *testing.T) {
+	c, done := autoBuildClient(t, &stubBuilder{})
+	defer done()
+	if _, err := c.RemoteBuild("coll", "x", "1", "not a recipe"); err == nil {
+		t.Error("bad recipe accepted")
+	}
+	if _, err := c.RemoteBuild("coll", "x", "1", ""); err == nil {
+		t.Error("empty recipe accepted")
+	}
+}
+
+func TestRemoteBuildWithoutBuilder(t *testing.T) {
+	// A hub without auto-build must refuse.
+	srv := NewServer(NewStore())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	if _, err := c.RemoteBuild("coll", "x", "1", "From: y\n"); err == nil {
+		t.Error("build accepted without a builder")
+	}
+}
+
+func TestRemoteBuildBuilderFailureSurfaces(t *testing.T) {
+	c, done := autoBuildClient(t, &stubBuilder{fail: true})
+	defer done()
+	_, err := c.RemoteBuild("coll", "x", "1", "From: y\n")
+	if err == nil || !strings.Contains(err.Error(), "build failed") {
+		t.Errorf("err = %v", err)
+	}
+}

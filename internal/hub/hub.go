@@ -1,0 +1,333 @@
+// Package hub implements the container registry of the paper's
+// distribution model (the Singularity-Hub stand-in): an HTTP server
+// organizing built images into collections with tags and content digests,
+// plus a client with digest-verified pull — reproducing Fig 6's
+// "collection page + clone of each container" workflow.
+package hub
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/image"
+)
+
+// Entry describes one stored image version.
+type Entry struct {
+	Collection string `json:"collection"`
+	Container  string `json:"container"`
+	Tag        string `json:"tag"`
+	Digest     string `json:"digest"`
+	Size       int    `json:"size"`
+	BuildHost  string `json:"buildHost,omitempty"`
+}
+
+// Store is the in-memory registry state, safe for concurrent use.
+type Store struct {
+	mu     sync.RWMutex
+	blobs  map[string][]byte // key: coll/name:tag
+	digest map[string]string
+	meta   map[string]Entry
+}
+
+// NewStore creates an empty registry store.
+func NewStore() *Store {
+	return &Store{blobs: map[string][]byte{}, digest: map[string]string{}, meta: map[string]Entry{}}
+}
+
+func key(coll, name, tag string) string { return coll + "/" + name + ":" + tag }
+
+// Put stores an image blob, computing and recording its digest.
+func (s *Store) Put(coll, name, tag string, blob []byte) (string, error) {
+	img, err := image.Unmarshal(blob)
+	if err != nil {
+		return "", fmt.Errorf("hub: rejecting malformed image: %w", err)
+	}
+	d, err := img.Digest()
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := key(coll, name, tag)
+	s.blobs[k] = append([]byte(nil), blob...)
+	s.digest[k] = d
+	s.meta[k] = Entry{
+		Collection: coll, Container: name, Tag: tag,
+		Digest: d, Size: len(blob), BuildHost: img.Meta.BuildHost,
+	}
+	return d, nil
+}
+
+// Get retrieves an image blob and its digest.
+func (s *Store) Get(coll, name, tag string) ([]byte, string, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	k := key(coll, name, tag)
+	blob, ok := s.blobs[k]
+	if !ok {
+		return nil, "", false
+	}
+	return append([]byte(nil), blob...), s.digest[k], true
+}
+
+// List returns the entries of one collection, sorted by container then tag.
+func (s *Store) List(coll string) []Entry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Entry
+	for _, e := range s.meta {
+		if e.Collection == coll {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Container != out[j].Container {
+			return out[i].Container < out[j].Container
+		}
+		return out[i].Tag < out[j].Tag
+	})
+	return out
+}
+
+// Collections lists collection names, sorted.
+func (s *Store) Collections() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	set := map[string]bool{}
+	for _, e := range s.meta {
+		set[e.Collection] = true
+	}
+	out := make([]string, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Server wraps a Store with the HTTP API.
+type Server struct {
+	Store   *Store
+	mux     *http.ServeMux
+	ln      net.Listener
+	srv     *http.Server
+	builder Builder // set by EnableAutoBuild
+}
+
+// NewServer creates a server over the store.
+func NewServer(store *Store) *Server {
+	s := &Server{Store: store, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/v1/", s.handle)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+// Handler returns the HTTP handler (for tests via httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Listen starts serving on addr ("127.0.0.1:0" for an ephemeral port) and
+// returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.mux}
+	go s.srv.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// Close stops the server.
+func (s *Server) Close() error {
+	if s.srv != nil {
+		return s.srv.Close()
+	}
+	return nil
+}
+
+// handle routes /v1/{collection}[/{container}/{tag}].
+func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
+	parts := strings.Split(strings.Trim(strings.TrimPrefix(r.URL.Path, "/v1/"), "/"), "/")
+	switch {
+	case len(parts) == 1 && parts[0] == "":
+		// GET /v1/ — list collections.
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		writeJSON(w, s.Store.Collections())
+	case len(parts) == 1:
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		entries := s.Store.List(parts[0])
+		if len(entries) == 0 {
+			http.Error(w, "collection not found", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, entries)
+	case len(parts) == 3:
+		coll, name, tag := parts[0], parts[1], parts[2]
+		switch r.Method {
+		case http.MethodGet:
+			blob, digest, ok := s.Store.Get(coll, name, tag)
+			if !ok {
+				http.Error(w, "image not found", http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Header().Set("X-Image-Digest", digest)
+			w.Write(blob)
+		case http.MethodPut, http.MethodPost:
+			blob, err := io.ReadAll(r.Body)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			digest, err := s.Store.Put(coll, name, tag, blob)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			writeJSON(w, map[string]string{"digest": digest})
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	default:
+		http.Error(w, "not found", http.StatusNotFound)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func jsonDecode(r io.Reader, v any) error {
+	return json.NewDecoder(r).Decode(v)
+}
+
+// Client talks to a hub server.
+type Client struct {
+	BaseURL string // e.g. "http://127.0.0.1:4321"
+	HTTP    *http.Client
+}
+
+// NewClient creates a client for the given base URL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/"), HTTP: &http.Client{}}
+}
+
+// Push uploads an image, returning the server-computed digest. It verifies
+// the server digest against a locally computed one.
+func (c *Client) Push(coll string, img *image.Image) (string, error) {
+	blob, err := img.Marshal()
+	if err != nil {
+		return "", err
+	}
+	localDigest, err := img.Digest()
+	if err != nil {
+		return "", err
+	}
+	url := fmt.Sprintf("%s/v1/%s/%s/%s", c.BaseURL, coll, img.Meta.Name, img.Meta.Tag)
+	req, err := http.NewRequest(http.MethodPut, url, bytes.NewReader(blob))
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return "", fmt.Errorf("hub: push failed: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var out struct {
+		Digest string `json:"digest"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return "", err
+	}
+	if out.Digest != localDigest {
+		return "", fmt.Errorf("hub: server digest %s != local digest %s", out.Digest, localDigest)
+	}
+	return out.Digest, nil
+}
+
+// Pull downloads an image and verifies its digest against the server's
+// advertised value (and, when expectedDigest is non-empty, against that).
+func (c *Client) Pull(coll, name, tag, expectedDigest string) (*image.Image, string, error) {
+	url := fmt.Sprintf("%s/v1/%s/%s/%s", c.BaseURL, coll, name, tag)
+	resp, err := c.HTTP.Get(url)
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return nil, "", fmt.Errorf("hub: pull failed: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, "", err
+	}
+	img, err := image.Unmarshal(blob)
+	if err != nil {
+		return nil, "", err
+	}
+	advertised := resp.Header.Get("X-Image-Digest")
+	if err := img.VerifyDigest(advertised); err != nil {
+		return nil, "", fmt.Errorf("hub: pulled image corrupt: %w", err)
+	}
+	if expectedDigest != "" && advertised != expectedDigest {
+		return nil, "", fmt.Errorf("hub: pulled digest %s != expected %s", advertised, expectedDigest)
+	}
+	return img, advertised, nil
+}
+
+// List fetches the entries of a collection.
+func (c *Client) List(coll string) ([]Entry, error) {
+	resp, err := c.HTTP.Get(fmt.Sprintf("%s/v1/%s", c.BaseURL, coll))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("hub: list failed: %s", resp.Status)
+	}
+	var entries []Entry
+	if err := json.NewDecoder(resp.Body).Decode(&entries); err != nil {
+		return nil, err
+	}
+	return entries, nil
+}
+
+// Collections fetches the collection names.
+func (c *Client) Collections() ([]string, error) {
+	resp, err := c.HTTP.Get(c.BaseURL + "/v1/")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("hub: collections failed: %s", resp.Status)
+	}
+	var out []string
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,117 @@
+package hub
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Persistence: the registry state saves to a directory (an index plus one
+// blob file per image, named by digest) and loads back, so `schub serve
+// -state DIR` survives restarts — a hub that forgets its collections on
+// redeploy would undermine the "containers stay available" premise.
+
+// indexFile is the on-disk catalogue name.
+const indexFile = "index.json"
+
+type persistedEntry struct {
+	Entry
+	Blob string `json:"blob"` // file name within the state directory
+}
+
+// Save writes the store's contents to dir (created if needed). Blobs are
+// content-addressed by digest, so repeated saves rewrite only the index
+// and any new blobs.
+func (s *Store) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var index []persistedEntry
+	for k, e := range s.meta {
+		blobName := blobFileName(s.digest[k])
+		if _, err := os.Stat(filepath.Join(dir, blobName)); err != nil {
+			if err := os.WriteFile(filepath.Join(dir, blobName), s.blobs[k], 0o644); err != nil {
+				return fmt.Errorf("hub: saving blob %s: %w", blobName, err)
+			}
+		}
+		index = append(index, persistedEntry{Entry: e, Blob: blobName})
+	}
+	// Deterministic index order.
+	for i := 1; i < len(index); i++ {
+		for j := i; j > 0 && indexLess(index[j], index[j-1]); j-- {
+			index[j], index[j-1] = index[j-1], index[j]
+		}
+	}
+	data, err := json.MarshalIndent(index, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, indexFile+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, indexFile))
+}
+
+func indexLess(a, b persistedEntry) bool {
+	if a.Collection != b.Collection {
+		return a.Collection < b.Collection
+	}
+	if a.Container != b.Container {
+		return a.Container < b.Container
+	}
+	return a.Tag < b.Tag
+}
+
+func blobFileName(digest string) string {
+	return strings.TrimPrefix(digest, "sha256:") + ".scif"
+}
+
+// Load restores a store from a directory written by Save. Every blob is
+// digest-verified on the way in; corruption is reported, not silently
+// served.
+func Load(dir string) (*Store, error) {
+	data, err := os.ReadFile(filepath.Join(dir, indexFile))
+	if err != nil {
+		return nil, fmt.Errorf("hub: reading index: %w", err)
+	}
+	var index []persistedEntry
+	if err := json.Unmarshal(data, &index); err != nil {
+		return nil, fmt.Errorf("hub: corrupt index: %w", err)
+	}
+	s := NewStore()
+	for _, pe := range index {
+		if strings.Contains(pe.Blob, "/") || strings.Contains(pe.Blob, "..") {
+			return nil, fmt.Errorf("hub: suspicious blob path %q in index", pe.Blob)
+		}
+		blob, err := os.ReadFile(filepath.Join(dir, pe.Blob))
+		if err != nil {
+			return nil, fmt.Errorf("hub: reading blob for %s/%s:%s: %w", pe.Collection, pe.Container, pe.Tag, err)
+		}
+		digest, err := s.Put(pe.Collection, pe.Container, pe.Tag, blob)
+		if err != nil {
+			return nil, fmt.Errorf("hub: restoring %s/%s:%s: %w", pe.Collection, pe.Container, pe.Tag, err)
+		}
+		if digest != pe.Digest {
+			return nil, fmt.Errorf("hub: blob for %s/%s:%s has digest %s, index says %s (corruption)",
+				pe.Collection, pe.Container, pe.Tag, digest, pe.Digest)
+		}
+	}
+	return s, nil
+}
+
+// LoadOrNew loads a store from dir if an index exists there, otherwise
+// returns an empty store (first run).
+func LoadOrNew(dir string) (*Store, error) {
+	if _, err := os.Stat(filepath.Join(dir, indexFile)); err != nil {
+		if os.IsNotExist(err) {
+			return NewStore(), nil
+		}
+		return nil, err
+	}
+	return Load(dir)
+}

@@ -1,0 +1,133 @@
+package hub
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	store := NewStore()
+	for _, spec := range []struct{ coll, name, tag, payload string }{
+		{"pepa-containers", "pepa", "latest", "solver-v1"},
+		{"pepa-containers", "gpa", "latest", "analyser"},
+		{"other", "tool", "v2", "x"},
+	} {
+		img := testImage(spec.name, spec.tag, spec.payload)
+		blob, err := img.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := store.Put(spec.coll, spec.name, spec.tag, blob); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dir := t.TempDir()
+	if err := store.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.Collections(); len(got) != 2 {
+		t.Fatalf("collections = %v", got)
+	}
+	blob, digest, ok := back.Get("pepa-containers", "pepa", "latest")
+	if !ok || len(blob) == 0 {
+		t.Fatal("pepa image lost")
+	}
+	_, origDigest, _ := store.Get("pepa-containers", "pepa", "latest")
+	if digest != origDigest {
+		t.Errorf("digest changed: %s vs %s", digest, origDigest)
+	}
+}
+
+func TestSaveIsIdempotent(t *testing.T) {
+	store := NewStore()
+	img := testImage("a", "1", "x")
+	blob, _ := img.Marshal()
+	store.Put("c", "a", "1", blob)
+	dir := t.TempDir()
+	if err := store.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	first, err := os.ReadFile(filepath.Join(dir, indexFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	second, _ := os.ReadFile(filepath.Join(dir, indexFile))
+	if string(first) != string(second) {
+		t.Error("repeated save changed the index")
+	}
+}
+
+func TestLoadDetectsCorruption(t *testing.T) {
+	store := NewStore()
+	img := testImage("a", "1", "payload")
+	blob, _ := img.Marshal()
+	store.Put("c", "a", "1", blob)
+	dir := t.TempDir()
+	if err := store.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the blob.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".scif") {
+			p := filepath.Join(dir, e.Name())
+			data, _ := os.ReadFile(p)
+			data[len(data)-1] ^= 0xFF
+			os.WriteFile(p, data, 0o644)
+		}
+	}
+	if _, err := Load(dir); err == nil {
+		t.Error("corrupted blob loaded without error")
+	}
+}
+
+func TestLoadRejectsPathTraversal(t *testing.T) {
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, indexFile),
+		[]byte(`[{"collection":"c","container":"a","tag":"1","digest":"sha256:x","size":1,"blob":"../evil"}]`), 0o644)
+	if _, err := Load(dir); err == nil || !strings.Contains(err.Error(), "suspicious blob path") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestLoadOrNew(t *testing.T) {
+	dir := t.TempDir()
+	s, err := LoadOrNew(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Collections()) != 0 {
+		t.Error("fresh store not empty")
+	}
+	img := testImage("a", "1", "x")
+	blob, _ := img.Marshal()
+	s.Put("c", "a", "1", blob)
+	if err := s.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := LoadOrNew(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s2.Collections()) != 1 {
+		t.Error("reloaded store empty")
+	}
+}
+
+func TestLoadMissingIndex(t *testing.T) {
+	if _, err := Load(t.TempDir()); err == nil {
+		t.Error("Load without index succeeded")
+	}
+}

@@ -1,0 +1,41 @@
+package image
+
+import "testing"
+
+// FuzzUnmarshal checks the image decoder never panics on corrupt blobs and
+// that valid images round-trip with stable digests.
+func FuzzUnmarshal(f *testing.F) {
+	good, err := sampleImage().Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("SCIF1\n"))
+	f.Add(good)
+	f.Add(good[:len(good)-10])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		img, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		d1, err := img.Digest()
+		if err != nil {
+			t.Fatalf("digest of unmarshaled image failed: %v", err)
+		}
+		blob, err := img.Marshal()
+		if err != nil {
+			t.Fatalf("remarshal failed: %v", err)
+		}
+		back, err := Unmarshal(blob)
+		if err != nil {
+			t.Fatalf("re-unmarshal failed: %v", err)
+		}
+		d2, err := back.Digest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d1 != d2 {
+			t.Fatal("digest not stable across round trip")
+		}
+	})
+}

@@ -1,0 +1,87 @@
+package image
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	kp, err := NewKeypair("wss2", "test seed phrase")
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := sampleImage()
+	sig, err := kp.Sign(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sig.Verify(img); err != nil {
+		t.Errorf("verify failed: %v", err)
+	}
+	if err := sig.VerifyAgainstKey(img, kp.Public); err != nil {
+		t.Errorf("pinned verify failed: %v", err)
+	}
+}
+
+func TestSignatureDetectsTampering(t *testing.T) {
+	kp, _ := NewKeypair("wss2", "seed")
+	img := sampleImage()
+	sig, err := kp.Sign(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img.FS.WriteFile("/opt/app/bin", []byte("#!app:evil\n"), 0o755)
+	if err := sig.Verify(img); err == nil {
+		t.Error("tampered image passed verification")
+	}
+}
+
+func TestSignatureDetectsForgedSig(t *testing.T) {
+	kp, _ := NewKeypair("wss2", "seed")
+	img := sampleImage()
+	sig, _ := kp.Sign(img)
+	sig.Sig[0] ^= 0xFF
+	if err := sig.Verify(img); err == nil || !strings.Contains(err.Error(), "signature verification failed") {
+		t.Errorf("forged signature accepted: %v", err)
+	}
+}
+
+func TestVerifyAgainstKeyRejectsSubstitution(t *testing.T) {
+	// An attacker re-signs a modified image with their own key; pinning
+	// the maintainer's key catches it.
+	maintainer, _ := NewKeypair("maintainer", "good seed")
+	attacker, _ := NewKeypair("attacker", "evil seed")
+	img := sampleImage()
+	img.FS.WriteFile("/opt/app/bin", []byte("#!app:backdoored\n"), 0o755)
+	forged, err := attacker.Sign(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := forged.Verify(img); err != nil {
+		t.Fatalf("self-consistent forgery should pass unpinned verify: %v", err)
+	}
+	if err := forged.VerifyAgainstKey(img, maintainer.Public); err == nil {
+		t.Error("substituted key accepted by pinned verification")
+	}
+}
+
+func TestKeypairDeterministic(t *testing.T) {
+	a, _ := NewKeypair("x", "same seed")
+	b, _ := NewKeypair("x", "same seed")
+	if !a.Public.Equal(b.Public) {
+		t.Error("same seed produced different keys")
+	}
+	c, _ := NewKeypair("x", "other seed")
+	if a.Public.Equal(c.Public) {
+		t.Error("different seeds produced same key")
+	}
+}
+
+func TestKeypairValidation(t *testing.T) {
+	if _, err := NewKeypair("", "seed"); err == nil {
+		t.Error("empty signer accepted")
+	}
+	if _, err := NewKeypair("x", ""); err == nil {
+		t.Error("empty seed accepted")
+	}
+}

@@ -1,0 +1,408 @@
+// Package sparse implements the compressed sparse row (CSR) matrix format
+// and the iterative kernels (Jacobi, Gauss–Seidel, power iteration) used to
+// solve the large, sparse linear systems that arise from CTMC generator
+// matrices.
+//
+// Matrices are assembled in coordinate (COO) form — duplicate entries are
+// summed — and converted once to CSR for fast products and sweeps. All
+// routines are deterministic.
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Triplet is a single (row, col, value) coordinate entry.
+type Triplet struct {
+	Row, Col int
+	Val      float64
+}
+
+// COO is a coordinate-format accumulator for building sparse matrices.
+// Entries with the same (row, col) are summed when converting to CSR.
+type COO struct {
+	Rows, Cols int
+	entries    []Triplet
+}
+
+// NewCOO creates an empty rows×cols accumulator.
+func NewCOO(rows, cols int) *COO {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("sparse: negative dimension %dx%d", rows, cols))
+	}
+	return &COO{Rows: rows, Cols: cols}
+}
+
+// Add accumulates v at (i, j). Zero values are kept (they may cancel later).
+func (c *COO) Add(i, j int, v float64) {
+	if i < 0 || i >= c.Rows || j < 0 || j >= c.Cols {
+		panic(fmt.Sprintf("sparse: index (%d,%d) out of bounds for %dx%d", i, j, c.Rows, c.Cols))
+	}
+	c.entries = append(c.entries, Triplet{Row: i, Col: j, Val: v})
+}
+
+// NNZ returns the number of accumulated (pre-dedup) entries.
+func (c *COO) NNZ() int { return len(c.entries) }
+
+// ToCSR converts the accumulator to CSR, summing duplicates and dropping
+// exact-zero results.
+func (c *COO) ToCSR() *CSR {
+	ents := make([]Triplet, len(c.entries))
+	copy(ents, c.entries)
+	sort.SliceStable(ents, func(a, b int) bool {
+		if ents[a].Row != ents[b].Row {
+			return ents[a].Row < ents[b].Row
+		}
+		return ents[a].Col < ents[b].Col
+	})
+	m := &CSR{Rows: c.Rows, Cols: c.Cols, RowPtr: make([]int, c.Rows+1)}
+	for k := 0; k < len(ents); {
+		i, j := ents[k].Row, ents[k].Col
+		var v float64
+		for k < len(ents) && ents[k].Row == i && ents[k].Col == j {
+			v += ents[k].Val
+			k++
+		}
+		if v != 0 {
+			m.ColIdx = append(m.ColIdx, j)
+			m.Val = append(m.Val, v)
+			m.RowPtr[i+1]++
+		}
+	}
+	for i := 0; i < c.Rows; i++ {
+		m.RowPtr[i+1] += m.RowPtr[i]
+	}
+	return m
+}
+
+// CSR is a compressed sparse row matrix.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int // len Rows+1
+	ColIdx     []int // len NNZ
+	Val        []float64
+}
+
+// NNZ returns the number of stored nonzeros.
+func (m *CSR) NNZ() int { return len(m.Val) }
+
+// At returns the value at (i, j) (zero if not stored). O(log nnz(row)).
+func (m *CSR) At(i, j int) float64 {
+	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+	idx := sort.SearchInts(m.ColIdx[lo:hi], j) + lo
+	if idx < hi && m.ColIdx[idx] == j {
+		return m.Val[idx]
+	}
+	return 0
+}
+
+// Row iterates the stored entries of row i, calling fn(col, val) for each.
+func (m *CSR) Row(i int, fn func(j int, v float64)) {
+	for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+		fn(m.ColIdx[k], m.Val[k])
+	}
+}
+
+// MulVec computes y = A·x.
+func (m *CSR) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("sparse: MulVec dimension mismatch %d vs %d", len(x), m.Cols))
+	}
+	y := make([]float64, m.Rows)
+	m.MulVecTo(y, x)
+	return y
+}
+
+// MulVecTo computes y = A·x into a caller-provided slice.
+func (m *CSR) MulVecTo(y, x []float64) {
+	for i := 0; i < m.Rows; i++ {
+		var s float64
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			s += m.Val[k] * x[m.ColIdx[k]]
+		}
+		y[i] = s
+	}
+}
+
+// MulVecToParallel computes y = A·x on up to `workers` goroutines
+// (workers <= 0 means GOMAXPROCS), partitioning rows into contiguous
+// blocks balanced by nonzero count. Each worker writes a disjoint slice of
+// y, so the result is bit-identical to the sequential MulVecTo.
+func (m *CSR) MulVecToParallel(y, x []float64, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > m.Rows {
+		workers = m.Rows
+	}
+	// Parallelism only pays past ~50k nonzeros; below that, dispatch cost
+	// dominates.
+	if workers <= 1 || m.NNZ() < 50_000 {
+		m.MulVecTo(y, x)
+		return
+	}
+	// Balance by nonzeros: choose row boundaries so each block holds about
+	// NNZ/workers entries.
+	bounds := make([]int, workers+1)
+	bounds[workers] = m.Rows
+	target := m.NNZ() / workers
+	row := 0
+	for w := 1; w < workers; w++ {
+		quota := w * target
+		for row < m.Rows && m.RowPtr[row] < quota {
+			row++
+		}
+		bounds[w] = row
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := bounds[w], bounds[w+1]
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				var s float64
+				for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+					s += m.Val[k] * x[m.ColIdx[k]]
+				}
+				y[i] = s
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// VecMul computes y = xᵀ·A (row vector times matrix), returning y.
+func (m *CSR) VecMul(x []float64) []float64 {
+	if len(x) != m.Rows {
+		panic(fmt.Sprintf("sparse: VecMul dimension mismatch %d vs %d", len(x), m.Rows))
+	}
+	y := make([]float64, m.Cols)
+	m.VecMulTo(y, x)
+	return y
+}
+
+// VecMulTo computes y = xᵀ·A into a caller-provided slice (zeroed first).
+func (m *CSR) VecMulTo(y, x []float64) {
+	for i := range y {
+		y[i] = 0
+	}
+	for i := 0; i < m.Rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			y[m.ColIdx[k]] += xi * m.Val[k]
+		}
+	}
+}
+
+// Transpose returns Aᵀ as a new CSR matrix.
+func (m *CSR) Transpose() *CSR {
+	t := &CSR{Rows: m.Cols, Cols: m.Rows, RowPtr: make([]int, m.Cols+1)}
+	t.ColIdx = make([]int, m.NNZ())
+	t.Val = make([]float64, m.NNZ())
+	// Count entries per column of m.
+	for _, j := range m.ColIdx {
+		t.RowPtr[j+1]++
+	}
+	for i := 0; i < t.Rows; i++ {
+		t.RowPtr[i+1] += t.RowPtr[i]
+	}
+	next := make([]int, t.Rows)
+	copy(next, t.RowPtr[:t.Rows])
+	for i := 0; i < m.Rows; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			j := m.ColIdx[k]
+			pos := next[j]
+			t.ColIdx[pos] = i
+			t.Val[pos] = m.Val[k]
+			next[j]++
+		}
+	}
+	return t
+}
+
+// ToDense expands the matrix to a row-major dense slice-of-slices, intended
+// for tests and small direct solves.
+func (m *CSR) ToDense() [][]float64 {
+	d := make([][]float64, m.Rows)
+	for i := range d {
+		d[i] = make([]float64, m.Cols)
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			d[i][m.ColIdx[k]] = m.Val[k]
+		}
+	}
+	return d
+}
+
+// Diag returns the diagonal entries of the matrix as a vector.
+func (m *CSR) Diag() []float64 {
+	n := m.Rows
+	if m.Cols < n {
+		n = m.Cols
+	}
+	d := make([]float64, n)
+	for i := 0; i < n; i++ {
+		d[i] = m.At(i, i)
+	}
+	return d
+}
+
+// IterOptions configures the iterative solvers.
+type IterOptions struct {
+	MaxIter int     // maximum sweeps (default 10000)
+	Tol     float64 // infinity-norm convergence tolerance (default 1e-12)
+}
+
+func (o IterOptions) withDefaults() IterOptions {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 10000
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-12
+	}
+	return o
+}
+
+// IterResult reports how an iterative solve terminated.
+type IterResult struct {
+	Iterations int
+	Residual   float64
+	Converged  bool
+}
+
+// GaussSeidel solves A·x = b in place in x using forward Gauss–Seidel
+// sweeps. The matrix must have nonzero diagonal entries.
+func GaussSeidel(a *CSR, x, b []float64, opt IterOptions) (IterResult, error) {
+	opt = opt.withDefaults()
+	if a.Rows != a.Cols || len(x) != a.Rows || len(b) != a.Rows {
+		return IterResult{}, fmt.Errorf("sparse: GaussSeidel dimension mismatch")
+	}
+	diag := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		d := a.At(i, i)
+		if d == 0 {
+			return IterResult{}, fmt.Errorf("sparse: GaussSeidel zero diagonal at row %d", i)
+		}
+		diag[i] = d
+	}
+	var res IterResult
+	for it := 0; it < opt.MaxIter; it++ {
+		var delta float64
+		for i := 0; i < a.Rows; i++ {
+			s := b[i]
+			for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+				j := a.ColIdx[k]
+				if j != i {
+					s -= a.Val[k] * x[j]
+				}
+			}
+			nx := s / diag[i]
+			if d := math.Abs(nx - x[i]); d > delta {
+				delta = d
+			}
+			x[i] = nx
+		}
+		res.Iterations = it + 1
+		res.Residual = delta
+		if delta < opt.Tol {
+			res.Converged = true
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// Jacobi solves A·x = b with Jacobi iterations (useful as a reference
+// implementation and for matrices where Gauss–Seidel ordering matters).
+func Jacobi(a *CSR, x, b []float64, opt IterOptions) (IterResult, error) {
+	opt = opt.withDefaults()
+	if a.Rows != a.Cols || len(x) != a.Rows || len(b) != a.Rows {
+		return IterResult{}, fmt.Errorf("sparse: Jacobi dimension mismatch")
+	}
+	diag := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		d := a.At(i, i)
+		if d == 0 {
+			return IterResult{}, fmt.Errorf("sparse: Jacobi zero diagonal at row %d", i)
+		}
+		diag[i] = d
+	}
+	next := make([]float64, a.Rows)
+	var res IterResult
+	for it := 0; it < opt.MaxIter; it++ {
+		var delta float64
+		for i := 0; i < a.Rows; i++ {
+			s := b[i]
+			for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+				j := a.ColIdx[k]
+				if j != i {
+					s -= a.Val[k] * x[j]
+				}
+			}
+			next[i] = s / diag[i]
+			if d := math.Abs(next[i] - x[i]); d > delta {
+				delta = d
+			}
+		}
+		copy(x, next)
+		res.Iterations = it + 1
+		res.Residual = delta
+		if delta < opt.Tol {
+			res.Converged = true
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// PowerIteration computes the fixed point x = xᵀ·P of a row-stochastic
+// matrix P, starting from a uniform distribution. It renormalizes each
+// step, so it also tolerates sub-stochastic matrices.
+func PowerIteration(p *CSR, opt IterOptions) ([]float64, IterResult, error) {
+	opt = opt.withDefaults()
+	if p.Rows != p.Cols {
+		return nil, IterResult{}, fmt.Errorf("sparse: PowerIteration needs square matrix")
+	}
+	n := p.Rows
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1 / float64(n)
+	}
+	y := make([]float64, n)
+	var res IterResult
+	for it := 0; it < opt.MaxIter; it++ {
+		p.VecMulTo(y, x)
+		var sum float64
+		for _, v := range y {
+			sum += v
+		}
+		if sum == 0 {
+			return nil, res, fmt.Errorf("sparse: PowerIteration collapsed to zero vector")
+		}
+		var delta float64
+		for i := range y {
+			y[i] /= sum
+			if d := math.Abs(y[i] - x[i]); d > delta {
+				delta = d
+			}
+		}
+		copy(x, y)
+		res.Iterations = it + 1
+		res.Residual = delta
+		if delta < opt.Tol {
+			res.Converged = true
+			return x, res, nil
+		}
+	}
+	return x, res, nil
+}

@@ -1,0 +1,259 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func buildTestCSR() *CSR {
+	// [ 4 -1  0 ]
+	// [-1  4 -1 ]
+	// [ 0 -1  4 ]
+	c := NewCOO(3, 3)
+	c.Add(0, 0, 4)
+	c.Add(0, 1, -1)
+	c.Add(1, 0, -1)
+	c.Add(1, 1, 4)
+	c.Add(1, 2, -1)
+	c.Add(2, 1, -1)
+	c.Add(2, 2, 4)
+	return c.ToCSR()
+}
+
+func TestCOODuplicateSummation(t *testing.T) {
+	c := NewCOO(2, 2)
+	c.Add(0, 1, 1.5)
+	c.Add(0, 1, 2.5)
+	c.Add(1, 0, 3)
+	c.Add(1, 0, -3) // cancels to zero and must be dropped
+	m := c.ToCSR()
+	if got := m.At(0, 1); got != 4 {
+		t.Errorf("At(0,1) = %g, want 4", got)
+	}
+	if m.NNZ() != 1 {
+		t.Errorf("NNZ = %d, want 1 (cancelled entry should be dropped)", m.NNZ())
+	}
+}
+
+func TestCSRAtAndRow(t *testing.T) {
+	m := buildTestCSR()
+	if got := m.At(1, 1); got != 4 {
+		t.Errorf("At(1,1) = %g, want 4", got)
+	}
+	if got := m.At(0, 2); got != 0 {
+		t.Errorf("At(0,2) = %g, want 0", got)
+	}
+	var cols []int
+	m.Row(1, func(j int, v float64) { cols = append(cols, j) })
+	if len(cols) != 3 || cols[0] != 0 || cols[1] != 1 || cols[2] != 2 {
+		t.Errorf("Row(1) columns = %v, want [0 1 2]", cols)
+	}
+}
+
+func TestMulVecAgainstDense(t *testing.T) {
+	m := buildTestCSR()
+	x := []float64{1, 2, 3}
+	y := m.MulVec(x)
+	want := []float64{4*1 - 2, -1 + 8 - 3, -2 + 12}
+	for i := range want {
+		if math.Abs(y[i]-want[i]) > 1e-15 {
+			t.Errorf("MulVec[%d] = %g, want %g", i, y[i], want[i])
+		}
+	}
+}
+
+func TestVecMulIsTransposeMulVec(t *testing.T) {
+	m := buildTestCSR()
+	x := []float64{1, -2, 0.5}
+	left := m.VecMul(x)
+	right := m.Transpose().MulVec(x)
+	for i := range left {
+		if math.Abs(left[i]-right[i]) > 1e-14 {
+			t.Errorf("VecMul[%d] = %g, transpose·x = %g", i, left[i], right[i])
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	m := buildTestCSR()
+	tt := m.Transpose().Transpose()
+	if tt.Rows != m.Rows || tt.Cols != m.Cols || tt.NNZ() != m.NNZ() {
+		t.Fatalf("double transpose changed shape")
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if m.At(i, j) != tt.At(i, j) {
+				t.Errorf("double transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestToDenseAndDiag(t *testing.T) {
+	m := buildTestCSR()
+	d := m.ToDense()
+	if d[0][0] != 4 || d[0][1] != -1 || d[2][2] != 4 {
+		t.Errorf("ToDense mismatch: %v", d)
+	}
+	diag := m.Diag()
+	if diag[0] != 4 || diag[1] != 4 || diag[2] != 4 {
+		t.Errorf("Diag = %v, want [4 4 4]", diag)
+	}
+}
+
+func TestGaussSeidelSolvesSPDSystem(t *testing.T) {
+	m := buildTestCSR()
+	b := []float64{1, 2, 3}
+	x := make([]float64, 3)
+	res, err := GaussSeidel(m, x, b, IterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("Gauss-Seidel did not converge: %+v", res)
+	}
+	y := m.MulVec(x)
+	for i := range b {
+		if math.Abs(y[i]-b[i]) > 1e-9 {
+			t.Errorf("residual[%d] = %g", i, y[i]-b[i])
+		}
+	}
+}
+
+func TestJacobiMatchesGaussSeidel(t *testing.T) {
+	m := buildTestCSR()
+	b := []float64{1, 0, -1}
+	xgs := make([]float64, 3)
+	xj := make([]float64, 3)
+	if _, err := GaussSeidel(m, xgs, b, IterOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Jacobi(m, xj, b, IterOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range xgs {
+		if math.Abs(xgs[i]-xj[i]) > 1e-9 {
+			t.Errorf("solver mismatch at %d: GS=%g Jacobi=%g", i, xgs[i], xj[i])
+		}
+	}
+}
+
+func TestGaussSeidelZeroDiagonal(t *testing.T) {
+	c := NewCOO(2, 2)
+	c.Add(0, 1, 1)
+	c.Add(1, 0, 1)
+	m := c.ToCSR()
+	x := make([]float64, 2)
+	if _, err := GaussSeidel(m, x, []float64{1, 1}, IterOptions{}); err == nil {
+		t.Error("GaussSeidel with zero diagonal succeeded, want error")
+	}
+}
+
+func TestPowerIterationTwoState(t *testing.T) {
+	// P = [[0.5 0.5], [0.25 0.75]] has stationary distribution (1/3, 2/3).
+	c := NewCOO(2, 2)
+	c.Add(0, 0, 0.5)
+	c.Add(0, 1, 0.5)
+	c.Add(1, 0, 0.25)
+	c.Add(1, 1, 0.75)
+	pi, res, err := PowerIteration(c.ToCSR(), IterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("power iteration did not converge: %+v", res)
+	}
+	if math.Abs(pi[0]-1.0/3) > 1e-9 || math.Abs(pi[1]-2.0/3) > 1e-9 {
+		t.Errorf("stationary = %v, want [1/3 2/3]", pi)
+	}
+}
+
+func TestMulVecRoundTripProperty(t *testing.T) {
+	// Property: (A^T)^T x == A x for random sparse A.
+	f := func(seed int64) bool {
+		s := uint64(seed)
+		next := func() float64 {
+			s = s*6364136223846793005 + 1442695040888963407
+			return float64(s>>11) / (1 << 53)
+		}
+		n := 8
+		c := NewCOO(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if next() < 0.3 {
+					c.Add(i, j, next()*4-2)
+				}
+			}
+		}
+		m := c.ToCSR()
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = next()*2 - 1
+		}
+		a := m.MulVec(x)
+		b := m.Transpose().Transpose().MulVec(x)
+		for i := range a {
+			if math.Abs(a[i]-b[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulVecToParallelMatchesSequential(t *testing.T) {
+	// Large tridiagonal matrix crosses the parallel threshold.
+	n := 60000
+	c := NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		c.Add(i, i, 4)
+		if i > 0 {
+			c.Add(i, i-1, -1)
+		}
+		if i < n-1 {
+			c.Add(i, i+1, -1)
+		}
+	}
+	m := c.ToCSR()
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(float64(i))
+	}
+	seq := make([]float64, n)
+	m.MulVecTo(seq, x)
+	for _, workers := range []int{0, 1, 2, 7, 16} {
+		parOut := make([]float64, n)
+		m.MulVecToParallel(parOut, x, workers)
+		for i := range seq {
+			if parOut[i] != seq[i] {
+				t.Fatalf("workers=%d: mismatch at row %d: %g vs %g", workers, i, parOut[i], seq[i])
+			}
+		}
+	}
+}
+
+func TestMulVecToParallelSmallMatrixFallsBack(t *testing.T) {
+	m := buildTestCSR()
+	x := []float64{1, 2, 3}
+	y := make([]float64, 3)
+	m.MulVecToParallel(y, x, 8) // below threshold: sequential path
+	want := m.MulVec(x)
+	for i := range want {
+		if y[i] != want[i] {
+			t.Errorf("fallback mismatch at %d", i)
+		}
+	}
+}
+
+func TestOutOfBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Add out of bounds did not panic")
+		}
+	}()
+	NewCOO(2, 2).Add(2, 0, 1)
+}

@@ -1,0 +1,77 @@
+// Package par provides the bounded worker-pool primitive used to
+// parallelize embarrassingly parallel work across the toolchain:
+// simulation ensembles, parameter sweeps, container build fan-out, and the
+// cross-platform validation matrix. Results are always assembled by index,
+// so parallel execution is bit-identical to sequential execution — the
+// property the reproducibility harness depends on.
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// ForEach runs fn(i) for i in [0, n) on up to workers goroutines
+// (workers <= 0 means GOMAXPROCS). It returns the error of the
+// lowest-index failing call (all calls run to completion; deterministic
+// error selection keeps test output stable).
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return fmt.Errorf("par: task %d: %w", i, err)
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("par: task %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Map runs fn over [0, n) in parallel and collects the results by index.
+func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(n, workers, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

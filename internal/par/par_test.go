@@ -1,0 +1,120 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForEachRunsAll(t *testing.T) {
+	var count atomic.Int64
+	seen := make([]atomic.Bool, 100)
+	err := ForEach(100, 8, func(i int) error {
+		count.Add(1)
+		if seen[i].Swap(true) {
+			return fmt.Errorf("index %d ran twice", i)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 100 {
+		t.Errorf("ran %d tasks, want 100", count.Load())
+	}
+}
+
+func TestForEachZeroAndNegative(t *testing.T) {
+	if err := ForEach(0, 4, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Error(err)
+	}
+	if err := ForEach(-3, 4, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForEachSequentialPath(t *testing.T) {
+	var order []int
+	err := ForEach(5, 1, func(i int) error {
+		order = append(order, i)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Errorf("sequential path out of order: %v", order)
+		}
+	}
+}
+
+func TestForEachReportsLowestIndexError(t *testing.T) {
+	err := ForEach(10, 4, func(i int) error {
+		if i == 3 || i == 7 {
+			return fmt.Errorf("boom %d", i)
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "task 3") {
+		t.Errorf("err = %v, want task 3", err)
+	}
+}
+
+func TestForEachAllTasksRunDespiteError(t *testing.T) {
+	var count atomic.Int64
+	ForEach(50, 8, func(i int) error {
+		count.Add(1)
+		if i == 0 {
+			return errors.New("early failure")
+		}
+		return nil
+	})
+	if count.Load() != 50 {
+		t.Errorf("only %d tasks ran after early failure", count.Load())
+	}
+}
+
+func TestMapCollectsByIndex(t *testing.T) {
+	out, err := Map(20, 4, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Errorf("out[%d] = %d", i, v)
+		}
+	}
+	if _, err := Map(3, 2, func(i int) (int, error) {
+		if i == 1 {
+			return 0, errors.New("no")
+		}
+		return i, nil
+	}); err == nil {
+		t.Error("Map swallowed an error")
+	}
+}
+
+func TestParallelEqualsSequentialProperty(t *testing.T) {
+	f := func(nRaw, wRaw uint8) bool {
+		n := int(nRaw % 64)
+		workers := int(wRaw%8) + 1
+		seq, err1 := Map(n, 1, func(i int) (int, error) { return 3*i + 1, nil })
+		parOut, err2 := Map(n, workers, func(i int) (int, error) { return 3*i + 1, nil })
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range seq {
+			if seq[i] != parOut[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

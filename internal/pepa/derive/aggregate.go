@@ -1,0 +1,74 @@
+package derive
+
+import (
+	"sort"
+
+	"repro/internal/pepa"
+)
+
+// This file implements the workbench's aggregation (lumping) of states
+// that differ only by a permutation of interchangeable parallel
+// components. PEPA cooperation over a fixed action set is commutative and
+// associative, so a chain P1 <L> P2 <L> ... <L> Pn can be put in a
+// canonical operand order; states that are permutations of one another
+// collapse to a single canonical state. For n replicas of a k-state
+// component this reduces the state count from k^n to C(n+k-1, k-1) — the
+// standard mitigation for the "state-space explosion" of §II.A.
+//
+// The lumped chain is exactly Markov-equivalent for all measures definable
+// on canonical states (ordinary lumpability of the symmetric partition).
+
+// Canonicalize rewrites a process term into aggregation canonical form:
+// maximal cooperation chains over one action set are flattened, operands
+// canonicalized recursively and sorted, and the chain rebuilt
+// left-associatively. Sequential constructs are returned unchanged.
+func Canonicalize(p pepa.Process) pepa.Process {
+	switch t := p.(type) {
+	case *pepa.Coop:
+		ops := flattenCoop(t)
+		for i, op := range ops {
+			ops[i] = Canonicalize(op)
+		}
+		sort.SliceStable(ops, func(a, b int) bool {
+			return ops[a].String() < ops[b].String()
+		})
+		out := ops[0]
+		for _, op := range ops[1:] {
+			out = pepa.NewCoop(out, op, t.Set)
+		}
+		return out
+	case *pepa.Hide:
+		return pepa.NewHide(Canonicalize(t.Proc), t.Set)
+	default:
+		return p
+	}
+}
+
+// flattenCoop collects the operands of a maximal same-set cooperation
+// chain (both spines).
+func flattenCoop(c *pepa.Coop) []pepa.Process {
+	var ops []pepa.Process
+	var walk func(p pepa.Process)
+	walk = func(p pepa.Process) {
+		if sub, ok := p.(*pepa.Coop); ok && sameSet(sub.Set, c.Set) {
+			walk(sub.Left)
+			walk(sub.Right)
+			return
+		}
+		ops = append(ops, p)
+	}
+	walk(c)
+	return ops
+}
+
+func sameSet(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

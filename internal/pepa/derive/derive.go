@@ -1,0 +1,369 @@
+// Package derive computes the labelled transition system (the "derivation
+// graph") of a PEPA model from Hillston's structured operational semantics,
+// including the apparent-rate cooperation law and passive-rate weighting.
+//
+// The derivation produces a StateSpace: an indexed set of canonical states
+// (process terms rendered in canonical syntax) and, for every state, the
+// list of outgoing activities with their resolved rates. internal/ctmc
+// turns a StateSpace into a generator matrix.
+package derive
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/pepa"
+)
+
+// Transition is one derivable activity of a process term.
+type Transition struct {
+	Action string
+	Rate   pepa.Rate
+	Target pepa.Process
+}
+
+// Deriver computes transitions of process terms under a model's
+// definitions, memoizing by canonical term syntax.
+type Deriver struct {
+	model *pepa.Model
+	memo  map[string][]Transition
+	depth int
+}
+
+// NewDeriver creates a deriver for the model. The model should have passed
+// pepa.Check.
+func NewDeriver(m *pepa.Model) *Deriver {
+	return &Deriver{model: m, memo: map[string][]Transition{}}
+}
+
+const maxConstantDepth = 10000
+
+// Transitions returns the outgoing activities of the term p, resolving
+// constants through the model's definitions. Transitions with identical
+// (action, target) are NOT merged here — the multi-transition structure is
+// preserved so apparent rates aggregate correctly; ctmc merges when
+// building the generator.
+func (d *Deriver) Transitions(p pepa.Process) ([]Transition, error) {
+	key := p.String()
+	if ts, ok := d.memo[key]; ok {
+		return ts, nil
+	}
+	ts, err := d.derive(p)
+	if err != nil {
+		return nil, err
+	}
+	d.memo[key] = ts
+	return ts, nil
+}
+
+func (d *Deriver) derive(p pepa.Process) ([]Transition, error) {
+	switch t := p.(type) {
+	case *pepa.Prefix:
+		r, err := t.Rate.Eval(d.model.Rates)
+		if err != nil {
+			return nil, err
+		}
+		return []Transition{{Action: t.Action, Rate: r, Target: t.Cont}}, nil
+
+	case *pepa.Choice:
+		left, err := d.Transitions(t.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := d.Transitions(t.Right)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]Transition, 0, len(left)+len(right))
+		out = append(out, left...)
+		out = append(out, right...)
+		return out, nil
+
+	case *pepa.Const:
+		def, ok := d.model.Defs[t.Name]
+		if !ok {
+			return nil, fmt.Errorf("derive: undefined process %q", t.Name)
+		}
+		d.depth++
+		if d.depth > maxConstantDepth {
+			return nil, fmt.Errorf("derive: constant resolution exceeded depth %d (unguarded recursion through %q?)", maxConstantDepth, t.Name)
+		}
+		ts, err := d.Transitions(def.Body)
+		d.depth--
+		return ts, err
+
+	case *pepa.Hide:
+		inner, err := d.Transitions(t.Proc)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]Transition, len(inner))
+		for i, tr := range inner {
+			action := tr.Action
+			if pepa.Contains(t.Set, action) {
+				action = pepa.Tau
+			}
+			out[i] = Transition{Action: action, Rate: tr.Rate, Target: pepa.NewHide(tr.Target, t.Set)}
+		}
+		return out, nil
+
+	case *pepa.Coop:
+		return d.deriveCoop(t)
+
+	default:
+		return nil, fmt.Errorf("derive: unknown process node %T", p)
+	}
+}
+
+func (d *Deriver) deriveCoop(c *pepa.Coop) ([]Transition, error) {
+	left, err := d.Transitions(c.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := d.Transitions(c.Right)
+	if err != nil {
+		return nil, err
+	}
+	var out []Transition
+	// Independent moves: actions outside the cooperation set interleave.
+	for _, tr := range left {
+		if pepa.Contains(c.Set, tr.Action) {
+			continue
+		}
+		out = append(out, Transition{
+			Action: tr.Action,
+			Rate:   tr.Rate,
+			Target: pepa.NewCoop(tr.Target, c.Right, c.Set),
+		})
+	}
+	for _, tr := range right {
+		if pepa.Contains(c.Set, tr.Action) {
+			continue
+		}
+		out = append(out, Transition{
+			Action: tr.Action,
+			Rate:   tr.Rate,
+			Target: pepa.NewCoop(c.Left, tr.Target, c.Set),
+		})
+	}
+	// Shared moves: the cooperation rate law over apparent rates.
+	for _, action := range c.Set {
+		raL, err := apparent(left, action)
+		if err != nil {
+			return nil, fmt.Errorf("derive: apparent rate of %q in %s: %w", action, c.Left, err)
+		}
+		raR, err := apparent(right, action)
+		if err != nil {
+			return nil, fmt.Errorf("derive: apparent rate of %q in %s: %w", action, c.Right, err)
+		}
+		if raL.IsZero() || raR.IsZero() {
+			continue // one side cannot participate: the action blocks
+		}
+		if raL.Passive && raR.Passive {
+			return nil, fmt.Errorf("derive: action %q is passive on both sides of a cooperation; the model never resolves its rate", action)
+		}
+		for _, tl := range left {
+			if tl.Action != action {
+				continue
+			}
+			for _, tr := range right {
+				if tr.Action != action {
+					continue
+				}
+				rate := pepa.CoopRate(tl.Rate, raL, tr.Rate, raR)
+				out = append(out, Transition{
+					Action: action,
+					Rate:   rate,
+					Target: pepa.NewCoop(tl.Target, tr.Target, c.Set),
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// apparent computes the apparent rate of an action among a transition list:
+// the sum of the rates of all transitions with that action.
+func apparent(ts []Transition, action string) (pepa.Rate, error) {
+	var total pepa.Rate
+	for _, t := range ts {
+		if t.Action != action {
+			continue
+		}
+		sum, err := total.Add(t.Rate)
+		if err != nil {
+			return pepa.Rate{}, err
+		}
+		total = sum
+	}
+	return total, nil
+}
+
+// ApparentRate exposes the apparent rate r_a(P) of an action in a term,
+// used by tests and by the diagram renderer.
+func (d *Deriver) ApparentRate(p pepa.Process, action string) (pepa.Rate, error) {
+	ts, err := d.Transitions(p)
+	if err != nil {
+		return pepa.Rate{}, err
+	}
+	return apparent(ts, action)
+}
+
+// Activity is a resolved transition between indexed states.
+type Activity struct {
+	Action string
+	Rate   float64 // always active once the full system derives
+	From   int
+	To     int
+}
+
+// StateSpace is the derivation graph of a model's system equation.
+type StateSpace struct {
+	Model  *pepa.Model
+	States []string       // canonical term syntax, index = state id
+	Index  map[string]int // reverse lookup
+	Trans  [][]Activity   // Trans[s] = outgoing activities of state s
+	// ActionTypes is the sorted set of action types occurring on any
+	// transition.
+	ActionTypes []string
+}
+
+// Options bounds the exploration.
+type Options struct {
+	MaxStates int // default 1 << 20
+	// Aggregate lumps states that are permutations of interchangeable
+	// parallel components (see Canonicalize). The lumped chain is
+	// Markov-equivalent for measures on canonical states and can be
+	// exponentially smaller for replicated components.
+	Aggregate bool
+}
+
+// ErrStateSpaceTooLarge is wrapped in the error returned when exploration
+// exceeds Options.MaxStates — PEPA's "state-space explosion" guard.
+var ErrStateSpaceTooLarge = fmt.Errorf("derive: state space exceeds configured bound")
+
+// Explore derives the full state space of the model's system equation by
+// breadth-first search. Every reachable state must resolve all passive
+// rates (a surviving passive activity means the model is incomplete and is
+// reported as an error, matching the PEPA workbench).
+func Explore(m *pepa.Model, opt Options) (*StateSpace, error) {
+	if opt.MaxStates <= 0 {
+		opt.MaxStates = 1 << 20
+	}
+	if m.System == nil {
+		return nil, fmt.Errorf("derive: model has no system equation")
+	}
+	d := NewDeriver(m)
+	ss := &StateSpace{Model: m, Index: map[string]int{}}
+	actionSet := map[string]bool{}
+
+	addState := func(p pepa.Process) (int, error) {
+		key := p.String()
+		if id, ok := ss.Index[key]; ok {
+			return id, nil
+		}
+		if len(ss.States) >= opt.MaxStates {
+			return 0, fmt.Errorf("%w (%d states)", ErrStateSpaceTooLarge, opt.MaxStates)
+		}
+		id := len(ss.States)
+		ss.Index[key] = id
+		ss.States = append(ss.States, key)
+		ss.Trans = append(ss.Trans, nil)
+		return id, nil
+	}
+
+	canon := func(p pepa.Process) pepa.Process { return p }
+	if opt.Aggregate {
+		canon = Canonicalize
+	}
+	type queued struct {
+		id   int
+		term pepa.Process
+	}
+	start := canon(m.System)
+	startID, err := addState(start)
+	if err != nil {
+		return nil, err
+	}
+	queue := []queued{{id: startID, term: start}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		ts, err := d.Transitions(cur.term)
+		if err != nil {
+			return nil, err
+		}
+		for _, tr := range ts {
+			if tr.Rate.Passive {
+				return nil, fmt.Errorf("derive: state %q offers action %q at an unresolved passive rate; cooperation with an active partner is missing", ss.States[cur.id], tr.Action)
+			}
+			if tr.Rate.Value <= 0 {
+				return nil, fmt.Errorf("derive: state %q offers action %q at non-positive rate %g", ss.States[cur.id], tr.Action, tr.Rate.Value)
+			}
+			known := len(ss.States)
+			target := canon(tr.Target)
+			to, err := addState(target)
+			if err != nil {
+				return nil, err
+			}
+			if to == known { // newly discovered
+				queue = append(queue, queued{id: to, term: target})
+			}
+			ss.Trans[cur.id] = append(ss.Trans[cur.id], Activity{
+				Action: tr.Action, Rate: tr.Rate.Value, From: cur.id, To: to,
+			})
+			actionSet[tr.Action] = true
+		}
+	}
+	for a := range actionSet {
+		ss.ActionTypes = append(ss.ActionTypes, a)
+	}
+	sort.Strings(ss.ActionTypes)
+	return ss, nil
+}
+
+// NumStates returns the number of reachable states.
+func (ss *StateSpace) NumStates() int { return len(ss.States) }
+
+// NumTransitions returns the total number of activities in the graph.
+func (ss *StateSpace) NumTransitions() int {
+	var n int
+	for _, ts := range ss.Trans {
+		n += len(ts)
+	}
+	return n
+}
+
+// TotalExitRate returns the sum of outgoing rates of state s.
+func (ss *StateSpace) TotalExitRate(s int) float64 {
+	var r float64
+	for _, t := range ss.Trans[s] {
+		r += t.Rate
+	}
+	return r
+}
+
+// Deadlocks returns the (sorted) ids of absorbing states — states with no
+// outgoing activities.
+func (ss *StateSpace) Deadlocks() []int {
+	var out []int
+	for s, ts := range ss.Trans {
+		if len(ts) == 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// StatesMatching returns ids of states whose canonical syntax satisfies the
+// predicate, in ascending order. Robustness analyses use this to mark
+// "machine finished" target states.
+func (ss *StateSpace) StatesMatching(pred func(term string) bool) []int {
+	var out []int
+	for s, term := range ss.States {
+		if pred(term) {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,46 @@
+package pepa
+
+import "testing"
+
+// FuzzParse checks that the parser never panics and that successful parses
+// reach the print/parse fixpoint. The seed corpus covers every syntactic
+// construct; `go test` runs the seeds, `go test -fuzz=FuzzParse` explores.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"P = (a, 1).P; P",
+		"r = 1.5; P = (work, r).P1; P1 = (rest, 2*r).P; P",
+		"P = (a, T).P; Q = (a, 2).Q; P <a> Q",
+		"P = (a,1).P + (b,2).P; (P || P)/{a}",
+		"P = (a, 1).(b, 2).P; P",
+		"% comment\nP = (a, 1).P; P",
+		"/* block */ P = (a, infty).P; Q = (a, 1).Q; P <a> Q",
+		"P = (a, 1).P; P <a,b,c> P",
+		"x = 1 + 2 * (3 - 4) / 5; P = (a, x + 6).P; P",
+		"P = (a, 1).P Q",
+		"P = ;",
+		"p = (a,1).p; p",
+		"P = (a,1).P; P/{}",
+		"((((P))))",
+		"P = (a, 2*T).P; Q = (a, 1).Q; P <a> Q",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		printed := m.String()
+		m2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printer emitted unparsable output: %v\ninput: %q\nprinted:\n%s", err, src, printed)
+		}
+		if m2.String() != printed {
+			t.Fatalf("print/parse not a fixpoint\ninput: %q\nfirst:\n%s\nsecond:\n%s", src, printed, m2.String())
+		}
+		// Static checks must not panic either.
+		_ = Check(m)
+	})
+}

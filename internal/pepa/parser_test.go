@@ -1,0 +1,327 @@
+package pepa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := LexAll("P = (think, 1.5).P1; // comment\nP <a,b> Q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []TokenKind{TokIdent, TokEquals, TokLParen, TokIdent, TokComma, TokNumber, TokRParen, TokDot, TokIdent, TokSemi, TokIdent, TokLAngle, TokIdent, TokComma, TokIdent, TokRAngle, TokIdent, TokEOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %v (%q), want %v", i, toks[i].Kind, toks[i].Text, k)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := LexAll("% percent comment\n// slash comment\n/* block\ncomment */ P")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 2 || toks[0].Text != "P" {
+		t.Errorf("tokens = %v", toks)
+	}
+	if _, err := LexAll("/* unterminated"); err == nil {
+		t.Error("unterminated block comment accepted")
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks, err := LexAll("1 2.5 1e3 1.5e-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2.5, 1000, 0.015}
+	for i, w := range want {
+		if toks[i].Kind != TokNumber || toks[i].Num != w {
+			t.Errorf("number %d = %v, want %g", i, toks[i], w)
+		}
+	}
+}
+
+func TestLexPassive(t *testing.T) {
+	for _, src := range []string{"T", "infty"} {
+		toks, err := LexAll(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if toks[0].Kind != TokPassive {
+			t.Errorf("%q lexed as %v", src, toks[0].Kind)
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"?", "#", "P | Q"} {
+		if _, err := LexAll(src); err == nil {
+			t.Errorf("%q lexed without error", src)
+		}
+	}
+}
+
+const twoStateModel = `
+r = 1.0;
+s = 2.0;
+P = (work, r).P1;
+P1 = (rest, s).P;
+P
+`
+
+func TestParseTwoState(t *testing.T) {
+	m, err := Parse(twoStateModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rates["r"] != 1 || m.Rates["s"] != 2 {
+		t.Errorf("rates = %v", m.Rates)
+	}
+	if len(m.Defs) != 2 {
+		t.Errorf("defs = %v", m.DefOrder)
+	}
+	if m.System.String() != "P" {
+		t.Errorf("system = %q", m.System.String())
+	}
+	pre, ok := m.Defs["P"].Body.(*Prefix)
+	if !ok {
+		t.Fatalf("P body is %T", m.Defs["P"].Body)
+	}
+	if pre.Action != "work" {
+		t.Errorf("action = %q", pre.Action)
+	}
+}
+
+func TestParseCooperation(t *testing.T) {
+	m, err := Parse(`
+r = 1;
+P = (a, r).P;
+Q = (a, T).Q;
+P <a> Q
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coop, ok := m.System.(*Coop)
+	if !ok {
+		t.Fatalf("system is %T", m.System)
+	}
+	if len(coop.Set) != 1 || coop.Set[0] != "a" {
+		t.Errorf("coop set = %v", coop.Set)
+	}
+}
+
+func TestParseParallelAndEmptySet(t *testing.T) {
+	for _, src := range []string{"P = (a,1).P; Q = (b,1).Q; P || Q", "P = (a,1).P; Q = (b,1).Q; P <> Q"} {
+		m, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		coop, ok := m.System.(*Coop)
+		if !ok {
+			t.Fatalf("system is %T", m.System)
+		}
+		if len(coop.Set) != 0 {
+			t.Errorf("coop set = %v, want empty", coop.Set)
+		}
+	}
+}
+
+func TestParseChoicePrecedence(t *testing.T) {
+	// Choice binds tighter than cooperation: A + B <l> C parses as
+	// (A + B) <l> C.
+	m, err := Parse("A = (a,1).A; B = (b,1).B; C = (l,1).C; A + B <l> C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coop, ok := m.System.(*Coop)
+	if !ok {
+		t.Fatalf("system is %T, want Coop at top", m.System)
+	}
+	if _, ok := coop.Left.(*Choice); !ok {
+		t.Errorf("left of coop is %T, want Choice", coop.Left)
+	}
+}
+
+func TestParseHiding(t *testing.T) {
+	m, err := Parse("P = (a,1).P; Q = (a,T).Q; (P <a> Q)/{a}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, ok := m.System.(*Hide)
+	if !ok {
+		t.Fatalf("system is %T", m.System)
+	}
+	if len(h.Set) != 1 || h.Set[0] != "a" {
+		t.Errorf("hide set = %v", h.Set)
+	}
+}
+
+func TestParseCoopSetSortedDeduped(t *testing.T) {
+	m, err := Parse("P = (a,1).P + (b,1).P; Q = (a,T).Q + (b,T).Q; P <b,a,b> Q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coop := m.System.(*Coop)
+	if len(coop.Set) != 2 || coop.Set[0] != "a" || coop.Set[1] != "b" {
+		t.Errorf("coop set = %v, want [a b]", coop.Set)
+	}
+}
+
+func TestParseRateArithmetic(t *testing.T) {
+	m, err := Parse("base = 2; r = base * 3 + 1; P = (a, r/2).P; P")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rates["r"] != 7 {
+		t.Errorf("r = %g, want 7", m.Rates["r"])
+	}
+	pre := m.Defs["P"].Body.(*Prefix)
+	v, err := pre.Rate.Eval(m.Rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Value != 3.5 {
+		t.Errorf("prefix rate = %v, want 3.5", v)
+	}
+}
+
+func TestParseWeightedPassive(t *testing.T) {
+	m, err := Parse("P = (a, 2*T).P; P")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := m.Defs["P"].Body.(*Prefix)
+	v, err := pre.Rate.Eval(m.Rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Passive || v.Weight != 2 {
+		t.Errorf("rate = %v, want 2*T", v)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := map[string]string{
+		"P = ;":                        "empty definition body",
+		"P = (a, 1).P":                 "missing semicolon then EOF system",
+		"p = (a,1).p; p":               "lowercase process name",
+		"P = (a,1).P; P <A> P":         "uppercase action in coop set",
+		"r = T; P = (a, r).P; P":       "passive rate constant",
+		"P = (a,1).P; P = (b,1).P; P":  "duplicate process definition",
+		"r = 1; r = 2; P = (a,r).P; P": "duplicate rate definition",
+		"P = (a,1).P; P/{}":            "empty hiding set",
+		"P = (a,1).(P; P":              "unclosed paren",
+	}
+	for src, why := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("accepted bad model (%s): %q", why, src)
+		}
+	}
+}
+
+func TestParseMissingSemicolonIsSystem(t *testing.T) {
+	// "P = (a, 1).P" with no semicolon: the definition parse requires ';',
+	// so this errors rather than silently treating the tail as a system.
+	if _, err := Parse("P = (a, 1).P Q"); err == nil {
+		t.Error("dangling token after definition accepted")
+	}
+}
+
+func TestParseDefaultSystemIsLastDefinition(t *testing.T) {
+	m, err := Parse("P = (a,1).Q; Q = (b,1).P;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.System.String() != "Q" {
+		t.Errorf("default system = %q, want Q", m.System.String())
+	}
+}
+
+func TestPrintParseRoundTrip(t *testing.T) {
+	srcs := []string{
+		twoStateModel,
+		"P = (a,1).P + (b,2).P; Q = (a,T).Q; P <a> Q",
+		"P = (a,1).P; Q = (b,1).Q; (P || Q)/{a}",
+		"R = (x,1).(y,2).R; R",
+	}
+	for _, src := range srcs {
+		m1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		printed := m1.String()
+		m2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("reparse of %q failed: %v\nprinted:\n%s", src, err, printed)
+		}
+		if m2.String() != printed {
+			t.Errorf("print/parse not a fixpoint:\nfirst:\n%s\nsecond:\n%s", printed, m2.String())
+		}
+	}
+}
+
+// TestPrintParseRoundTripProperty generates random small models and checks
+// the printer/parser fixpoint property on them.
+func TestPrintParseRoundTripProperty(t *testing.T) {
+	gen := func(seed uint64) string {
+		actions := []string{"a", "b", "c"}
+		names := []string{"P", "Q"}
+		s := seed
+		next := func(n int) int {
+			s = s*6364136223846793005 + 1442695040888963407
+			return int((s >> 33) % uint64(n))
+		}
+		var b strings.Builder
+		for _, name := range names {
+			b.WriteString(name + " = ")
+			terms := next(2) + 1
+			for i := 0; i < terms; i++ {
+				if i > 0 {
+					b.WriteString(" + ")
+				}
+				b.WriteString("(" + actions[next(3)] + ", " + []string{"1", "2.5", "0.5"}[next(3)] + ")." + names[next(2)])
+			}
+			b.WriteString(";\n")
+		}
+		b.WriteString("P <" + actions[next(3)] + "> Q")
+		return b.String()
+	}
+	f := func(seed uint64) bool {
+		src := gen(seed)
+		m1, err := Parse(src)
+		if err != nil {
+			return false
+		}
+		printed := m1.String()
+		m2, err := Parse(printed)
+		if err != nil {
+			return false
+		}
+		return m2.String() == printed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProcessStringParenthesization(t *testing.T) {
+	// A choice under cooperation must print with parentheses so it
+	// reparses with the same structure.
+	m := MustParse("A = (a,1).A; B = (b,1).B; C = (c,1).C; A + B <> C")
+	s := m.System.String()
+	if !strings.Contains(s, "(") {
+		t.Errorf("choice under coop printed without parens: %q", s)
+	}
+	m2 := MustParse("A = (a,1).A; B = (b,1).B; C = (c,1).C; " + s)
+	if m2.System.String() != s {
+		t.Errorf("reparse changed structure: %q vs %q", m2.System.String(), s)
+	}
+}

@@ -1,0 +1,127 @@
+// Package pepa implements the Performance Evaluation Process Algebra of
+// Hillston: the model syntax (lexer, parser, AST, pretty-printer), rate
+// arithmetic including passive rates, and static well-formedness checks.
+//
+// State-space derivation from the structured operational semantics lives in
+// the subpackage pepa/derive, and the Markov-chain numerics in
+// internal/ctmc. Together the three packages form the Go equivalent of the
+// PEPA Eclipse plug-in's modelling pipeline that the paper containerizes.
+package pepa
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tau is the distinguished silent action produced by hiding.
+const Tau = "tau"
+
+// Rate is a PEPA activity rate: either an active (finite, positive) rate or
+// a passive rate ("T" in the concrete syntax) carrying a relative weight.
+// Passive rates are greater than every active rate and are closed under the
+// weighted arithmetic defined by Hillston (w1*T + w2*T = (w1+w2)*T).
+type Rate struct {
+	Value   float64 // active rate; meaningful when !Passive
+	Passive bool
+	Weight  float64 // passive weight; meaningful when Passive
+}
+
+// Active returns an active rate with the given positive value.
+func Active(v float64) Rate { return Rate{Value: v} }
+
+// Passive returns a passive rate with the given positive weight.
+func PassiveRate(w float64) Rate { return Rate{Passive: true, Weight: w} }
+
+// IsZero reports whether the rate contributes nothing (zero active value or
+// zero passive weight).
+func (r Rate) IsZero() bool {
+	if r.Passive {
+		return r.Weight == 0
+	}
+	return r.Value == 0
+}
+
+// Add returns the apparent-rate sum of two rates. Mixing active and passive
+// rates in a sum is illegal in PEPA (it would mean the same action type is
+// offered both actively and passively by one component); Add reports that
+// as an error.
+func (r Rate) Add(o Rate) (Rate, error) {
+	switch {
+	case r.IsZero():
+		return o, nil
+	case o.IsZero():
+		return r, nil
+	case r.Passive && o.Passive:
+		return PassiveRate(r.Weight + o.Weight), nil
+	case !r.Passive && !o.Passive:
+		return Active(r.Value + o.Value), nil
+	default:
+		return Rate{}, fmt.Errorf("pepa: cannot sum active rate and passive rate for one action type")
+	}
+}
+
+// Min returns the apparent-rate minimum used by the cooperation rule:
+// passive rates dominate every active rate; two passive rates compare by
+// weight.
+func (r Rate) Min(o Rate) Rate {
+	switch {
+	case r.Passive && o.Passive:
+		return PassiveRate(math.Min(r.Weight, o.Weight))
+	case r.Passive:
+		return o
+	case o.Passive:
+		return r
+	default:
+		return Active(math.Min(r.Value, o.Value))
+	}
+}
+
+// Ratio returns the fraction r/o of two like-kind rates, used for the
+// proportional split in the cooperation rate law. It panics if the kinds
+// differ or the denominator is zero — callers guarantee both by
+// construction (a transition's rate is always the same kind as, and no
+// larger than, the apparent rate it is part of).
+func (r Rate) Ratio(o Rate) float64 {
+	if r.Passive != o.Passive {
+		panic("pepa: Ratio across active/passive kinds")
+	}
+	if r.Passive {
+		if o.Weight == 0 {
+			panic("pepa: Ratio with zero passive denominator")
+		}
+		return r.Weight / o.Weight
+	}
+	if o.Value == 0 {
+		panic("pepa: Ratio with zero active denominator")
+	}
+	return r.Value / o.Value
+}
+
+// Scale returns the rate multiplied by a nonnegative scalar.
+func (r Rate) Scale(f float64) Rate {
+	if r.Passive {
+		return PassiveRate(r.Weight * f)
+	}
+	return Active(r.Value * f)
+}
+
+// String renders the rate in PEPA concrete syntax.
+func (r Rate) String() string {
+	if r.Passive {
+		if r.Weight == 1 {
+			return "T"
+		}
+		return fmt.Sprintf("%g*T", r.Weight)
+	}
+	return fmt.Sprintf("%g", r.Value)
+}
+
+// CoopRate implements Hillston's cooperation rate law for a shared action:
+// given the rates r1, r2 of the participating transitions and the apparent
+// rates ra1, ra2 of the action in the two cooperands, the combined rate is
+//
+//	(r1/ra1) * (r2/ra2) * min(ra1, ra2).
+func CoopRate(r1, ra1, r2, ra2 Rate) Rate {
+	m := ra1.Min(ra2)
+	return m.Scale(r1.Ratio(ra1) * r2.Ratio(ra2))
+}

@@ -1,0 +1,160 @@
+package pepa
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRateAdd(t *testing.T) {
+	sum, err := Active(2).Add(Active(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Passive || sum.Value != 5 {
+		t.Errorf("2+3 = %v", sum)
+	}
+	psum, err := PassiveRate(1).Add(PassiveRate(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !psum.Passive || psum.Weight != 3 {
+		t.Errorf("T+2T = %v", psum)
+	}
+	if _, err := Active(1).Add(PassiveRate(1)); err == nil {
+		t.Error("active+passive sum accepted")
+	}
+	z, err := Rate{}.Add(PassiveRate(2))
+	if err != nil || !z.Passive || z.Weight != 2 {
+		t.Errorf("0+2T = %v, err %v", z, err)
+	}
+}
+
+func TestRateMin(t *testing.T) {
+	cases := []struct {
+		a, b, want Rate
+	}{
+		{Active(2), Active(5), Active(2)},
+		{Active(5), Active(2), Active(2)},
+		{Active(5), PassiveRate(1), Active(5)}, // passive dominates
+		{PassiveRate(3), Active(0.1), Active(0.1)},
+		{PassiveRate(3), PassiveRate(1), PassiveRate(1)},
+	}
+	for _, c := range cases {
+		if got := c.a.Min(c.b); got != c.want {
+			t.Errorf("min(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestRateString(t *testing.T) {
+	if s := Active(1.5).String(); s != "1.5" {
+		t.Errorf("Active(1.5).String() = %q", s)
+	}
+	if s := PassiveRate(1).String(); s != "T" {
+		t.Errorf("PassiveRate(1).String() = %q", s)
+	}
+	if s := PassiveRate(2).String(); s != "2*T" {
+		t.Errorf("PassiveRate(2).String() = %q", s)
+	}
+}
+
+func TestCoopRateActiveActive(t *testing.T) {
+	// Single a-transition each side: rate = min(r1, r2).
+	got := CoopRate(Active(2), Active(2), Active(3), Active(3))
+	if got.Passive || math.Abs(got.Value-2) > 1e-15 {
+		t.Errorf("coop rate = %v, want 2", got)
+	}
+}
+
+func TestCoopRateActivePassive(t *testing.T) {
+	// Passive side adopts the active apparent rate, split by weight.
+	got := CoopRate(PassiveRate(1), PassiveRate(2), Active(3), Active(3))
+	if got.Passive || math.Abs(got.Value-1.5) > 1e-15 {
+		t.Errorf("coop rate = %v, want 1.5", got)
+	}
+}
+
+func TestCoopRateSplitsProportionally(t *testing.T) {
+	// Left offers a at 1 of apparent 4; right offers a at 3 of apparent 3.
+	// Combined = (1/4)*(3/3)*min(4,3) = 0.75.
+	got := CoopRate(Active(1), Active(4), Active(3), Active(3))
+	if math.Abs(got.Value-0.75) > 1e-15 {
+		t.Errorf("coop rate = %v, want 0.75", got)
+	}
+}
+
+func TestCoopRateLawConservation(t *testing.T) {
+	// Property (Hillston): summing the combined rates over all transition
+	// pairs gives min(ra1, ra2). With k1 and k2 equal-rate transitions per
+	// side, each pair gets (1/k1)(1/k2)min and there are k1·k2 pairs.
+	f := func(r1raw, r2raw float64, k1raw, k2raw uint8) bool {
+		r1 := math.Mod(math.Abs(r1raw), 100) + 0.01
+		r2 := math.Mod(math.Abs(r2raw), 100) + 0.01
+		k1 := int(k1raw%5) + 1
+		k2 := int(k2raw%5) + 1
+		ra1 := Active(r1 * float64(k1))
+		ra2 := Active(r2 * float64(k2))
+		var total float64
+		for i := 0; i < k1; i++ {
+			for j := 0; j < k2; j++ {
+				total += CoopRate(Active(r1), ra1, Active(r2), ra2).Value
+			}
+		}
+		want := math.Min(ra1.Value, ra2.Value)
+		return math.Abs(total-want) < 1e-9*want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRatioPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mixed-kind Ratio did not panic")
+		}
+	}()
+	Active(1).Ratio(PassiveRate(1))
+}
+
+func TestRateExprEval(t *testing.T) {
+	env := map[string]float64{"r": 2, "s": 3}
+	cases := []struct {
+		expr RateExpr
+		want Rate
+	}{
+		{&RateLit{Value: 1.5}, Active(1.5)},
+		{&RateRef{Name: "r"}, Active(2)},
+		{&RateBin{Op: RateAdd, Left: &RateRef{Name: "r"}, Right: &RateRef{Name: "s"}}, Active(5)},
+		{&RateBin{Op: RateMul, Left: &RateLit{Value: 2}, Right: &RatePassive{}}, PassiveRate(2)},
+		{&RateBin{Op: RateDiv, Left: &RateRef{Name: "s"}, Right: &RateLit{Value: 2}}, Active(1.5)},
+		{&RateBin{Op: RateSub, Left: &RateRef{Name: "s"}, Right: &RateRef{Name: "r"}}, Active(1)},
+	}
+	for _, c := range cases {
+		got, err := c.expr.Eval(env)
+		if err != nil {
+			t.Errorf("%s: %v", c.expr, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s = %v, want %v", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestRateExprEvalErrors(t *testing.T) {
+	env := map[string]float64{}
+	bad := []RateExpr{
+		&RateRef{Name: "missing"},
+		&RateBin{Op: RateDiv, Left: &RateLit{Value: 1}, Right: &RateLit{Value: 0}},
+		&RateBin{Op: RateDiv, Left: &RateLit{Value: 1}, Right: &RatePassive{}},
+		&RateBin{Op: RateMul, Left: &RatePassive{}, Right: &RatePassive{}},
+		&RateBin{Op: RateSub, Left: &RatePassive{}, Right: &RateLit{Value: 1}},
+	}
+	for _, e := range bad {
+		if _, err := e.Eval(env); err == nil {
+			t.Errorf("%s evaluated without error", e)
+		}
+	}
+}

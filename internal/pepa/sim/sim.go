@@ -1,0 +1,200 @@
+// Package sim implements discrete-event (Gillespie-style) simulation of
+// PEPA models directly over the structured operational semantics, without
+// materializing the full state space. This is the workbench's escape hatch
+// for models past the state-space-explosion boundary (§II.A of the paper):
+// memory use is proportional to the states *visited*, not the states that
+// exist.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/par"
+	"repro/internal/pepa"
+	"repro/internal/pepa/derive"
+	"repro/internal/rng"
+)
+
+// Options configures a simulation run.
+type Options struct {
+	// Horizon is the simulated time to run for.
+	Horizon float64
+	// Seed fixes the random stream (bit-reproducible trajectories).
+	Seed uint64
+	// MaxEvents bounds the event count (default 10 million).
+	MaxEvents int
+	// Workers bounds the goroutines RunEnsemble uses (<= 0 means
+	// GOMAXPROCS). Replications have independent seeds and results are
+	// reduced in replication order, so the ensemble is bit-identical for
+	// any worker count.
+	Workers int
+}
+
+// Result summarizes one trajectory.
+type Result struct {
+	// Events is the number of activities fired.
+	Events int
+	// Time is the simulated time actually covered (== Horizon unless the
+	// model deadlocked earlier).
+	Time float64
+	// Deadlocked reports whether an absorbing state was reached.
+	Deadlocked bool
+	// FinalState is the canonical term of the last state.
+	FinalState string
+	// ActionCounts is the number of firings per action type.
+	ActionCounts map[string]int
+	// StateTime maps visited canonical states to total sojourn time.
+	// Only populated when Options tracking is on (always, here): the
+	// number of entries equals the number of *distinct* states visited.
+	StateTime map[string]float64
+}
+
+// Throughput estimates the long-run rate of an action from the trajectory.
+func (r *Result) Throughput(action string) float64 {
+	if r.Time <= 0 {
+		return 0
+	}
+	return float64(r.ActionCounts[action]) / r.Time
+}
+
+// Occupancy estimates the long-run probability of states satisfying the
+// predicate.
+func (r *Result) Occupancy(pred func(term string) bool) float64 {
+	if r.Time <= 0 {
+		return 0
+	}
+	var t float64
+	for term, dt := range r.StateTime {
+		if pred(term) {
+			t += dt
+		}
+	}
+	return t / r.Time
+}
+
+// DistinctStates returns the number of distinct states visited.
+func (r *Result) DistinctStates() int { return len(r.StateTime) }
+
+// Run simulates one trajectory of the model's system equation.
+func Run(m *pepa.Model, opt Options) (*Result, error) {
+	if m.System == nil {
+		return nil, fmt.Errorf("sim: model has no system equation")
+	}
+	if opt.Horizon <= 0 {
+		return nil, fmt.Errorf("sim: horizon must be positive, got %g", opt.Horizon)
+	}
+	if opt.MaxEvents <= 0 {
+		opt.MaxEvents = 10_000_000
+	}
+	d := derive.NewDeriver(m)
+	r := rng.New(opt.Seed)
+	res := &Result{ActionCounts: map[string]int{}, StateTime: map[string]float64{}}
+
+	cur := m.System
+	t := 0.0
+	for {
+		trs, err := d.Transitions(cur)
+		if err != nil {
+			return nil, err
+		}
+		var total float64
+		for _, tr := range trs {
+			if tr.Rate.Passive {
+				return nil, fmt.Errorf("sim: state %s offers action %q at an unresolved passive rate", cur, tr.Action)
+			}
+			total += tr.Rate.Value
+		}
+		key := cur.String()
+		if total <= 0 {
+			// Absorbing: the rest of the horizon is spent here.
+			res.StateTime[key] += opt.Horizon - t
+			res.Time = opt.Horizon
+			res.Deadlocked = true
+			res.FinalState = key
+			return res, nil
+		}
+		dwell := r.Exp(total)
+		if t+dwell >= opt.Horizon {
+			res.StateTime[key] += opt.Horizon - t
+			res.Time = opt.Horizon
+			res.FinalState = key
+			return res, nil
+		}
+		res.StateTime[key] += dwell
+		t += dwell
+		// Choose the next activity proportionally to its rate.
+		weights := make([]float64, len(trs))
+		for i, tr := range trs {
+			weights[i] = tr.Rate.Value
+		}
+		chosen := trs[r.Choose(weights)]
+		res.ActionCounts[chosen.Action]++
+		res.Events++
+		cur = chosen.Target
+		if res.Events >= opt.MaxEvents {
+			res.Time = t
+			res.FinalState = cur.String()
+			return res, fmt.Errorf("sim: event budget %d exhausted at t=%g", opt.MaxEvents, t)
+		}
+	}
+}
+
+// Ensemble runs n independent replications (seeds derived from the base
+// seed) and aggregates mean throughputs per action.
+type Ensemble struct {
+	Replications int
+	// MeanThroughput per action across replications.
+	MeanThroughput map[string]float64
+	// MeanEvents is the average number of firings.
+	MeanEvents float64
+	// Deadlocks counts replications that reached an absorbing state.
+	Deadlocks int
+}
+
+// RunEnsemble simulates n replications, in parallel when Options.Workers
+// allows. Each replication derives its own seed and builds its own
+// Deriver, so workers share nothing; the reduction runs in replication
+// order for bit-stable results.
+func RunEnsemble(m *pepa.Model, opt Options, n int) (*Ensemble, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("sim: need at least one replication")
+	}
+	results, err := par.Map(n, opt.Workers, func(i int) (*Result, error) {
+		o := opt
+		o.Seed = opt.Seed + uint64(i)*0x9E3779B97F4A7C15
+		res, err := Run(m, o)
+		if err != nil {
+			return nil, fmt.Errorf("sim: replication %d: %w", i, err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ens := &Ensemble{Replications: n, MeanThroughput: map[string]float64{}}
+	for _, res := range results {
+		for a, c := range res.ActionCounts {
+			ens.MeanThroughput[a] += float64(c) / res.Time
+		}
+		ens.MeanEvents += float64(res.Events)
+		if res.Deadlocked {
+			ens.Deadlocks++
+		}
+	}
+	for a := range ens.MeanThroughput {
+		ens.MeanThroughput[a] /= float64(n)
+	}
+	ens.MeanEvents /= float64(n)
+	return ens, nil
+}
+
+// Actions lists the actions observed by an ensemble, sorted.
+func (e *Ensemble) Actions() []string {
+	out := make([]string, 0, len(e.MeanThroughput))
+	for a := range e.MeanThroughput {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}

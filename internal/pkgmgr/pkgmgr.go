@@ -1,0 +1,426 @@
+// Package pkgmgr simulates a distribution package manager: a universe of
+// versioned packages with dependency ranges, per-distribution repositories
+// with version skew, and a resolver that either produces an install plan or
+// fails with the kind of dependency conflict that motivates the paper —
+// "archaeological dig" reconstruction of the exact JDK/Eclipse versions a
+// modelling tool was built against.
+//
+// Installation materializes package payloads into a vfs.FS, so the same
+// resolver drives both native-host installs (internal/hostenv) and
+// container builds (internal/runtime's %post handler).
+package pkgmgr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/vfs"
+)
+
+// Version is a semantic package version.
+type Version struct {
+	Major, Minor, Patch int
+}
+
+// V is shorthand for constructing a version.
+func V(major, minor, patch int) Version { return Version{major, minor, patch} }
+
+// ParseVersion parses "1", "1.2", or "1.2.3".
+func ParseVersion(s string) (Version, error) {
+	var v Version
+	parts := strings.Split(s, ".")
+	if len(parts) == 0 || len(parts) > 3 {
+		return v, fmt.Errorf("pkgmgr: bad version %q", s)
+	}
+	fields := []*int{&v.Major, &v.Minor, &v.Patch}
+	for i, p := range parts {
+		n := 0
+		if p == "" {
+			return v, fmt.Errorf("pkgmgr: bad version %q", s)
+		}
+		for _, r := range p {
+			if r < '0' || r > '9' {
+				return v, fmt.Errorf("pkgmgr: bad version %q", s)
+			}
+			n = n*10 + int(r-'0')
+		}
+		*fields[i] = n
+	}
+	return v, nil
+}
+
+// Compare returns -1, 0, or 1.
+func (v Version) Compare(o Version) int {
+	switch {
+	case v.Major != o.Major:
+		return sign(v.Major - o.Major)
+	case v.Minor != o.Minor:
+		return sign(v.Minor - o.Minor)
+	default:
+		return sign(v.Patch - o.Patch)
+	}
+}
+
+func sign(n int) int {
+	switch {
+	case n < 0:
+		return -1
+	case n > 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func (v Version) String() string {
+	return fmt.Sprintf("%d.%d.%d", v.Major, v.Minor, v.Patch)
+}
+
+// MaxVersion is the open upper bound for unconstrained dependencies.
+var MaxVersion = Version{1 << 30, 0, 0}
+
+// Dependency is a constraint on another package: Min <= version <= Max.
+type Dependency struct {
+	Name string
+	Min  Version
+	Max  Version
+}
+
+// Any returns an unconstrained dependency on name.
+func Any(name string) Dependency { return Dependency{Name: name, Max: MaxVersion} }
+
+// Range returns a bounded dependency.
+func Range(name string, min, max Version) Dependency {
+	return Dependency{Name: name, Min: min, Max: max}
+}
+
+// Exactly pins a dependency to one version.
+func Exactly(name string, v Version) Dependency {
+	return Dependency{Name: name, Min: v, Max: v}
+}
+
+// Satisfies reports whether version v meets the constraint.
+func (d Dependency) Satisfies(v Version) bool {
+	return d.Min.Compare(v) <= 0 && v.Compare(d.Max) <= 0
+}
+
+func (d Dependency) String() string {
+	if d.Max == MaxVersion {
+		if (d.Min == Version{}) {
+			return d.Name
+		}
+		return fmt.Sprintf("%s (>= %s)", d.Name, d.Min)
+	}
+	if d.Min == d.Max {
+		return fmt.Sprintf("%s (= %s)", d.Name, d.Min)
+	}
+	return fmt.Sprintf("%s (%s..%s)", d.Name, d.Min, d.Max)
+}
+
+// File is a payload file a package installs.
+type File struct {
+	Path string // absolute path in the target filesystem
+	Data string
+	Mode uint32
+}
+
+// Package is one installable unit.
+type Package struct {
+	Name    string
+	Version Version
+	Deps    []Dependency
+	Files   []File
+}
+
+// ID renders "name-1.2.3".
+func (p *Package) ID() string { return p.Name + "-" + p.Version.String() }
+
+// Repository is a named set of package versions (a distro's archive).
+type Repository struct {
+	Name string
+	pkgs map[string][]*Package // name -> versions, kept sorted ascending
+}
+
+// NewRepository creates an empty repository.
+func NewRepository(name string) *Repository {
+	return &Repository{Name: name, pkgs: map[string][]*Package{}}
+}
+
+// Add registers a package version. Duplicate (name, version) replaces.
+func (r *Repository) Add(p *Package) {
+	list := r.pkgs[p.Name]
+	for i, q := range list {
+		if q.Version == p.Version {
+			list[i] = p
+			return
+		}
+	}
+	list = append(list, p)
+	sort.Slice(list, func(a, b int) bool { return list[a].Version.Compare(list[b].Version) < 0 })
+	r.pkgs[p.Name] = list
+}
+
+// Versions lists available versions of a package, ascending.
+func (r *Repository) Versions(name string) []Version {
+	var out []Version
+	for _, p := range r.pkgs[name] {
+		out = append(out, p.Version)
+	}
+	return out
+}
+
+// Best returns the newest version satisfying the dependency, or nil.
+func (r *Repository) Best(d Dependency) *Package {
+	list := r.pkgs[d.Name]
+	for i := len(list) - 1; i >= 0; i-- {
+		if d.Satisfies(list[i].Version) {
+			return list[i]
+		}
+	}
+	return nil
+}
+
+// Names lists package names in the repository, sorted.
+func (r *Repository) Names() []string {
+	out := make([]string, 0, len(r.pkgs))
+	for n := range r.pkgs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns a repository sharing package pointers (packages are
+// immutable by convention).
+func (r *Repository) Clone(name string) *Repository {
+	c := NewRepository(name)
+	for _, list := range r.pkgs {
+		for _, p := range list {
+			c.Add(p)
+		}
+	}
+	return c
+}
+
+// Remove drops a package name entirely (used to model distros that no
+// longer carry a package).
+func (r *Repository) Remove(name string) { delete(r.pkgs, name) }
+
+// RemoveVersion drops a single version.
+func (r *Repository) RemoveVersion(name string, v Version) {
+	list := r.pkgs[name]
+	for i, p := range list {
+		if p.Version == v {
+			r.pkgs[name] = append(list[:i:i], list[i+1:]...)
+			return
+		}
+	}
+}
+
+// ConflictError describes a resolution failure precisely enough for the
+// error messages the paper's users would see.
+type ConflictError struct {
+	Request Dependency
+	// Missing is set when no version of the package exists at all.
+	Missing bool
+	// Available lists versions present but outside the constraint.
+	Available []Version
+	// Chain is the dependency chain that led here (outermost first).
+	Chain []string
+}
+
+func (e *ConflictError) Error() string {
+	var b strings.Builder
+	b.WriteString("pkgmgr: cannot resolve ")
+	b.WriteString(e.Request.String())
+	if len(e.Chain) > 0 {
+		b.WriteString(" (required by " + strings.Join(e.Chain, " -> ") + ")")
+	}
+	if e.Missing {
+		b.WriteString(": package not in repository")
+	} else {
+		var vs []string
+		for _, v := range e.Available {
+			vs = append(vs, v.String())
+		}
+		b.WriteString(": available versions " + strings.Join(vs, ", ") + " do not satisfy the constraint")
+	}
+	return b.String()
+}
+
+// Plan is an ordered install plan (dependencies before dependents).
+type Plan struct {
+	Packages []*Package
+}
+
+// IDs lists the plan's package IDs in install order.
+func (p *Plan) IDs() []string {
+	out := make([]string, len(p.Packages))
+	for i, pkg := range p.Packages {
+		out[i] = pkg.ID()
+	}
+	return out
+}
+
+// Resolve computes an install plan for the requested dependencies against
+// one repository. The solver picks the newest version satisfying each
+// constraint and intersects constraints that reach the same package; a
+// genuinely unsatisfiable intersection is reported as a ConflictError.
+func Resolve(repo *Repository, requests []Dependency) (*Plan, error) {
+	chosen := map[string]*Package{}
+	constraint := map[string]Dependency{}
+	var order []string
+
+	var visit func(d Dependency, chain []string) error
+	visit = func(d Dependency, chain []string) error {
+		if prev, ok := constraint[d.Name]; ok {
+			// Intersect with the previous constraint.
+			merged := prev
+			if d.Min.Compare(merged.Min) > 0 {
+				merged.Min = d.Min
+			}
+			if d.Max.Compare(merged.Max) < 0 {
+				merged.Max = d.Max
+			}
+			if merged.Min.Compare(merged.Max) > 0 {
+				return &ConflictError{Request: d, Available: repo.Versions(d.Name), Chain: append([]string(nil), chain...)}
+			}
+			constraint[d.Name] = merged
+			if cur := chosen[d.Name]; cur != nil && merged.Satisfies(cur.Version) {
+				return nil // already satisfied
+			}
+			// Re-pick under the tightened constraint.
+			d = merged
+		} else {
+			constraint[d.Name] = d
+		}
+		best := repo.Best(constraint[d.Name])
+		if best == nil {
+			vs := repo.Versions(d.Name)
+			return &ConflictError{Request: d, Missing: len(vs) == 0, Available: vs, Chain: append([]string(nil), chain...)}
+		}
+		if cur := chosen[d.Name]; cur != nil && cur.Version == best.Version {
+			return nil
+		}
+		first := chosen[d.Name] == nil
+		chosen[d.Name] = best
+		if first {
+			order = append(order, d.Name)
+		}
+		nextChain := append(append([]string(nil), chain...), best.ID())
+		for _, dep := range best.Deps {
+			if err := visit(dep, nextChain); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, req := range requests {
+		if err := visit(req, nil); err != nil {
+			return nil, err
+		}
+	}
+	// Topologically order: dependencies before dependents (DFS postorder).
+	perm := map[string]bool{}
+	temp := map[string]bool{}
+	var sorted []*Package
+	var topo func(name string) error
+	topo = func(name string) error {
+		if perm[name] {
+			return nil
+		}
+		if temp[name] {
+			return fmt.Errorf("pkgmgr: dependency cycle through %q", name)
+		}
+		temp[name] = true
+		for _, dep := range chosen[name].Deps {
+			if _, ok := chosen[dep.Name]; ok {
+				if err := topo(dep.Name); err != nil {
+					return err
+				}
+			}
+		}
+		temp[name] = false
+		perm[name] = true
+		sorted = append(sorted, chosen[name])
+		return nil
+	}
+	for _, name := range order {
+		if err := topo(name); err != nil {
+			return nil, err
+		}
+	}
+	return &Plan{Packages: sorted}, nil
+}
+
+// DBPath is where the installed-package database lives in a target
+// filesystem.
+const DBPath = "/var/lib/pkg/installed"
+
+// Install materializes a plan into the filesystem: payload files plus a
+// database entry per package. Already-installed identical versions are
+// skipped; a different installed version of the same package is an error
+// (no upgrades in this simulation).
+func Install(fs *vfs.FS, plan *Plan) error {
+	installed, err := Installed(fs)
+	if err != nil {
+		return err
+	}
+	if err := fs.MkdirAll("/var/lib/pkg", 0o755); err != nil {
+		return err
+	}
+	for _, p := range plan.Packages {
+		if cur, ok := installed[p.Name]; ok {
+			if cur == p.Version {
+				continue
+			}
+			return fmt.Errorf("pkgmgr: %s already installed at %s; cannot install %s", p.Name, cur, p.Version)
+		}
+		for _, f := range p.Files {
+			dir := f.Path[:strings.LastIndex(f.Path, "/")]
+			if dir == "" {
+				dir = "/"
+			}
+			if err := fs.MkdirAll(dir, 0o755); err != nil {
+				return fmt.Errorf("pkgmgr: installing %s: %w", p.ID(), err)
+			}
+			mode := f.Mode
+			if mode == 0 {
+				mode = 0o644
+			}
+			if err := fs.WriteFile(f.Path, []byte(f.Data), mode); err != nil {
+				return fmt.Errorf("pkgmgr: installing %s: %w", p.ID(), err)
+			}
+		}
+		if err := fs.AppendFile(DBPath, []byte(p.ID()+"\n"), 0o644); err != nil {
+			return err
+		}
+		installed[p.Name] = p.Version
+	}
+	return nil
+}
+
+// Installed reads the package database of a filesystem.
+func Installed(fs *vfs.FS) (map[string]Version, error) {
+	out := map[string]Version{}
+	data, err := fs.ReadFile(DBPath)
+	if err != nil {
+		return out, nil // no database yet
+	}
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		if line == "" {
+			continue
+		}
+		i := strings.LastIndex(line, "-")
+		if i < 0 {
+			return nil, fmt.Errorf("pkgmgr: corrupt database entry %q", line)
+		}
+		v, err := ParseVersion(line[i+1:])
+		if err != nil {
+			return nil, fmt.Errorf("pkgmgr: corrupt database entry %q: %w", line, err)
+		}
+		out[line[:i]] = v
+	}
+	return out, nil
+}

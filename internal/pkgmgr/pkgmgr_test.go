@@ -1,0 +1,326 @@
+package pkgmgr
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vfs"
+)
+
+func TestVersionParseAndCompare(t *testing.T) {
+	cases := map[string]Version{
+		"1":     V(1, 0, 0),
+		"1.2":   V(1, 2, 0),
+		"1.2.3": V(1, 2, 3),
+	}
+	for s, want := range cases {
+		got, err := ParseVersion(s)
+		if err != nil {
+			t.Fatalf("%q: %v", s, err)
+		}
+		if got != want {
+			t.Errorf("ParseVersion(%q) = %v, want %v", s, got, want)
+		}
+	}
+	for _, bad := range []string{"", "1.2.3.4", "a.b", "1..2"} {
+		if _, err := ParseVersion(bad); err == nil {
+			t.Errorf("ParseVersion(%q) succeeded", bad)
+		}
+	}
+	if V(1, 2, 3).Compare(V(1, 2, 3)) != 0 {
+		t.Error("equal versions compare nonzero")
+	}
+	if V(1, 2, 3).Compare(V(1, 10, 0)) != -1 {
+		t.Error("1.2.3 should be below 1.10.0")
+	}
+	if V(2, 0, 0).Compare(V(1, 99, 99)) != 1 {
+		t.Error("major version should dominate")
+	}
+}
+
+func TestDependencySatisfies(t *testing.T) {
+	d := Range("x", V(1, 0, 0), V(2, 0, 0))
+	if !d.Satisfies(V(1, 5, 0)) || !d.Satisfies(V(1, 0, 0)) || !d.Satisfies(V(2, 0, 0)) {
+		t.Error("in-range versions rejected")
+	}
+	if d.Satisfies(V(0, 9, 0)) || d.Satisfies(V(2, 0, 1)) {
+		t.Error("out-of-range versions accepted")
+	}
+	if !Any("x").Satisfies(V(99, 0, 0)) {
+		t.Error("Any rejected a version")
+	}
+	if !Exactly("x", V(1, 2, 3)).Satisfies(V(1, 2, 3)) {
+		t.Error("Exactly rejected its own version")
+	}
+}
+
+func TestRepositoryBestPicksNewest(t *testing.T) {
+	r := NewRepository("test")
+	r.Add(&Package{Name: "a", Version: V(1, 0, 0)})
+	r.Add(&Package{Name: "a", Version: V(2, 0, 0)})
+	r.Add(&Package{Name: "a", Version: V(1, 5, 0)})
+	best := r.Best(Any("a"))
+	if best == nil || best.Version != V(2, 0, 0) {
+		t.Errorf("Best = %v", best)
+	}
+	best = r.Best(Range("a", V(1, 0, 0), V(1, 9, 0)))
+	if best == nil || best.Version != V(1, 5, 0) {
+		t.Errorf("constrained Best = %v", best)
+	}
+	if r.Best(Any("zzz")) != nil {
+		t.Error("Best of unknown package non-nil")
+	}
+}
+
+func TestResolveSimpleChain(t *testing.T) {
+	r := NewRepository("test")
+	r.Add(&Package{Name: "app", Version: V(1, 0, 0), Deps: []Dependency{Any("lib")}})
+	r.Add(&Package{Name: "lib", Version: V(3, 0, 0), Deps: []Dependency{Any("base")}})
+	r.Add(&Package{Name: "base", Version: V(1, 0, 0)})
+	plan, err := Resolve(r, []Dependency{Any("app")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := plan.IDs()
+	if len(ids) != 3 {
+		t.Fatalf("plan = %v", ids)
+	}
+	// Dependencies must come before dependents.
+	pos := map[string]int{}
+	for i, id := range ids {
+		pos[id] = i
+	}
+	if !(pos["base-1.0.0"] < pos["lib-3.0.0"] && pos["lib-3.0.0"] < pos["app-1.0.0"]) {
+		t.Errorf("bad order: %v", ids)
+	}
+}
+
+func TestResolveConstraintIntersection(t *testing.T) {
+	r := NewRepository("test")
+	r.Add(&Package{Name: "x", Version: V(1, 0, 0)})
+	r.Add(&Package{Name: "x", Version: V(2, 0, 0)})
+	r.Add(&Package{Name: "x", Version: V(3, 0, 0)})
+	r.Add(&Package{Name: "a", Version: V(1, 0, 0), Deps: []Dependency{Range("x", V(1, 0, 0), V(2, 0, 0))}})
+	r.Add(&Package{Name: "b", Version: V(1, 0, 0), Deps: []Dependency{Range("x", V(2, 0, 0), V(3, 0, 0))}})
+	plan, err := Resolve(r, []Dependency{Any("a"), Any("b")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var xv Version
+	for _, p := range plan.Packages {
+		if p.Name == "x" {
+			xv = p.Version
+		}
+	}
+	if xv != V(2, 0, 0) {
+		t.Errorf("intersected x version = %v, want 2.0.0", xv)
+	}
+}
+
+func TestResolveConflict(t *testing.T) {
+	r := NewRepository("test")
+	r.Add(&Package{Name: "x", Version: V(1, 0, 0)})
+	r.Add(&Package{Name: "x", Version: V(3, 0, 0)})
+	r.Add(&Package{Name: "a", Version: V(1, 0, 0), Deps: []Dependency{Exactly("x", V(1, 0, 0))}})
+	r.Add(&Package{Name: "b", Version: V(1, 0, 0), Deps: []Dependency{Exactly("x", V(3, 0, 0))}})
+	_, err := Resolve(r, []Dependency{Any("a"), Any("b")})
+	var ce *ConflictError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error = %v, want ConflictError", err)
+	}
+	if ce.Missing {
+		t.Error("conflict mislabelled as missing")
+	}
+}
+
+func TestResolveMissing(t *testing.T) {
+	r := NewRepository("test")
+	_, err := Resolve(r, []Dependency{Any("ghost")})
+	var ce *ConflictError
+	if !errors.As(err, &ce) || !ce.Missing {
+		t.Fatalf("error = %v, want missing ConflictError", err)
+	}
+	if !strings.Contains(err.Error(), "ghost") {
+		t.Errorf("error message lacks package name: %v", err)
+	}
+}
+
+func TestResolveReportsChain(t *testing.T) {
+	r := NewRepository("test")
+	r.Add(&Package{Name: "top", Version: V(1, 0, 0), Deps: []Dependency{Any("mid")}})
+	r.Add(&Package{Name: "mid", Version: V(2, 0, 0), Deps: []Dependency{Any("leaf")}})
+	_, err := Resolve(r, []Dependency{Any("top")})
+	if err == nil || !strings.Contains(err.Error(), "top-1.0.0 -> mid-2.0.0") {
+		t.Errorf("chain not reported: %v", err)
+	}
+}
+
+func TestResolveDeterministic(t *testing.T) {
+	r := Universe()
+	a, err := Resolve(r, []Dependency{Any(PkgPEPAPlugin)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Resolve(r, []Dependency{Any(PkgPEPAPlugin)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ai, bi := a.IDs(), b.IDs()
+	if len(ai) != len(bi) {
+		t.Fatal("plans differ in length")
+	}
+	for i := range ai {
+		if ai[i] != bi[i] {
+			t.Errorf("plan order differs at %d: %s vs %s", i, ai[i], bi[i])
+		}
+	}
+}
+
+func TestUniversePEPAPluginResolves(t *testing.T) {
+	plan, err := Resolve(Universe(), []Dependency{Any(PkgPEPAPlugin)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]Version{}
+	for _, p := range plan.Packages {
+		got[p.Name] = p.Version
+	}
+	// The plug-in constrains Eclipse to Juno/Luna; newest admissible is 4.4.2.
+	if got[PkgEclipse] != V(4, 4, 2) {
+		t.Errorf("eclipse = %v, want 4.4.2", got[PkgEclipse])
+	}
+	if got[PkgJDK].Major != 8 {
+		t.Errorf("jdk = %v, want a JDK 8", got[PkgJDK])
+	}
+}
+
+func TestUniverseGPAnalyserNeedsExactVisToolkit(t *testing.T) {
+	plan, err := Resolve(Universe(), []Dependency{Any(PkgGPAnalyser)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]Version{}
+	for _, p := range plan.Packages {
+		got[p.Name] = p.Version
+	}
+	if got[PkgVisToolkit] != V(2, 3, 0) {
+		t.Errorf("vis-toolkit = %v, want pinned 2.3.0", got[PkgVisToolkit])
+	}
+	// A repo that has dropped vis-toolkit 2.3 cannot host GPAnalyser.
+	repo := Universe().Clone("newer-distro")
+	repo.RemoveVersion(PkgVisToolkit, V(2, 3, 0))
+	if _, err := Resolve(repo, []Dependency{Any(PkgGPAnalyser)}); err == nil {
+		t.Error("GPAnalyser resolved without its pinned visualization toolkit")
+	}
+}
+
+func TestInstallMaterializesFiles(t *testing.T) {
+	fs := vfs.New()
+	plan, err := Resolve(Universe(), []Dependency{Any(PkgPEPAPlugin)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Install(fs, plan); err != nil {
+		t.Fatal(err)
+	}
+	if !fs.Exists("/opt/eclipse/plugins/pepa.jar") {
+		t.Error("plug-in jar not installed")
+	}
+	if !fs.Exists("/usr/lib/jvm/java-8/bin/java") {
+		t.Error("jdk not installed")
+	}
+	installed, err := Installed(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if installed[PkgEclipse] != V(4, 4, 2) {
+		t.Errorf("database records eclipse %v", installed[PkgEclipse])
+	}
+}
+
+func TestInstallIdempotentAndConflicts(t *testing.T) {
+	fs := vfs.New()
+	u := Universe()
+	plan, _ := Resolve(u, []Dependency{Any(PkgJDK)})
+	if err := Install(fs, plan); err != nil {
+		t.Fatal(err)
+	}
+	if err := Install(fs, plan); err != nil {
+		t.Fatalf("re-install of same plan failed: %v", err)
+	}
+	// Installing a different version of an installed package must fail.
+	plan7, err := Resolve(u, []Dependency{Range(PkgJDK, V(7, 0, 0), V(7, 999, 999))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Install(fs, plan7); err == nil {
+		t.Error("conflicting version install succeeded")
+	}
+}
+
+func TestResolveIdempotenceProperty(t *testing.T) {
+	// Property: resolving the same request twice against the same repo
+	// yields identical plans, and every dependency in the plan is satisfied
+	// by some package in the plan.
+	u := Universe()
+	reqs := [][]Dependency{
+		{Any(PkgPEPAPlugin)},
+		{Any(PkgBioPEPA)},
+		{Any(PkgGPAnalyser)},
+		{Any(PkgPEPAPlugin), Any(PkgGPAnalyser)},
+	}
+	f := func(pick uint8) bool {
+		req := reqs[int(pick)%len(reqs)]
+		p1, err1 := Resolve(u, req)
+		p2, err2 := Resolve(u, req)
+		if (err1 == nil) != (err2 == nil) {
+			return false
+		}
+		if err1 != nil {
+			return true
+		}
+		ids1, ids2 := p1.IDs(), p2.IDs()
+		if len(ids1) != len(ids2) {
+			return false
+		}
+		for i := range ids1 {
+			if ids1[i] != ids2[i] {
+				return false
+			}
+		}
+		have := map[string]Version{}
+		for _, p := range p1.Packages {
+			have[p.Name] = p.Version
+		}
+		for _, p := range p1.Packages {
+			for _, d := range p.Deps {
+				v, ok := have[d.Name]
+				if !ok || !d.Satisfies(v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBioPEPAAndPEPAPluginsConflict(t *testing.T) {
+	// Bio-PEPA (Eclipse <= 4.2) and the PEPA plug-in (Eclipse >= 4.2) can
+	// only coexist on Eclipse 4.2 exactly; with JDK constraints they still
+	// resolve. Removing Eclipse 4.2 from a repo makes them unsatisfiable
+	// together — the version-skew trap the paper describes.
+	u := Universe()
+	if _, err := Resolve(u, []Dependency{Any(PkgPEPAPlugin), Any(PkgBioPEPA)}); err != nil {
+		t.Fatalf("coexistence on Eclipse 4.2 should resolve: %v", err)
+	}
+	repo := u.Clone("no-juno")
+	repo.RemoveVersion(PkgEclipse, V(4, 2, 0))
+	if _, err := Resolve(repo, []Dependency{Any(PkgPEPAPlugin), Any(PkgBioPEPA)}); err == nil {
+		t.Error("plugins resolved together without any shared Eclipse version")
+	}
+}

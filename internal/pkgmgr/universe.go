@@ -1,0 +1,128 @@
+package pkgmgr
+
+import "fmt"
+
+// This file defines the synthetic package universe used throughout the
+// reproduction. It mirrors the dependency structure the paper describes in
+// §I–II: the PEPA and Bio-PEPA Eclipse plug-ins need *specific* JDK and
+// Eclipse versions, GPAnalyser needs a specific JDK and a visualization
+// library, and newer distributions have dropped the old versions — which is
+// exactly why native installs fail on some hosts while containers built
+// once keep working everywhere.
+
+// Tool package names.
+const (
+	PkgJDK         = "jdk"
+	PkgEclipse     = "eclipse"
+	PkgPEPAPlugin  = "pepa-eclipse-plugin"
+	PkgBioPEPA     = "biopepa-eclipse-plugin"
+	PkgGPAnalyser  = "gpanalyser"
+	PkgVisToolkit  = "vis-toolkit" // the "visualization package" GPAnalyser needs
+	PkgXLibs       = "x11-libs"
+	PkgGlibc       = "glibc"
+	PkgCoreutils   = "coreutils"
+	PkgSingularity = "singularity"
+	// PkgModelChecker is the stochastic-probe model checker added as the
+	// paper's §IV future work ("other process calculi modeling tools").
+	PkgModelChecker = "pepa-modelchecker"
+)
+
+func jdk(v Version) *Package {
+	return &Package{
+		Name: PkgJDK, Version: v,
+		Deps: []Dependency{Any(PkgGlibc)},
+		Files: []File{
+			{Path: fmt.Sprintf("/usr/lib/jvm/java-%d/bin/java", v.Major), Data: fmt.Sprintf("jvm %s", v), Mode: 0o755},
+		},
+	}
+}
+
+func eclipse(v Version, jdkMin, jdkMax Version) *Package {
+	return &Package{
+		Name: PkgEclipse, Version: v,
+		Deps: []Dependency{Range(PkgJDK, jdkMin, jdkMax), Any(PkgXLibs)},
+		Files: []File{
+			{Path: "/opt/eclipse/eclipse", Data: fmt.Sprintf("eclipse %s", v), Mode: 0o755},
+			{Path: "/opt/eclipse/version", Data: v.String()},
+		},
+	}
+}
+
+// Universe returns the full upstream archive: every version of every
+// package ever published. Distribution repositories are carved out of it.
+func Universe() *Repository {
+	r := NewRepository("upstream")
+	r.Add(&Package{Name: PkgGlibc, Version: V(2, 17, 0), Files: []File{{Path: "/lib/libc.so", Data: "glibc 2.17"}}})
+	r.Add(&Package{Name: PkgGlibc, Version: V(2, 23, 0), Files: []File{{Path: "/lib/libc.so", Data: "glibc 2.23"}}})
+	r.Add(&Package{Name: PkgGlibc, Version: V(2, 27, 0), Files: []File{{Path: "/lib/libc.so", Data: "glibc 2.27"}}})
+	r.Add(&Package{Name: PkgCoreutils, Version: V(8, 22, 0), Files: []File{{Path: "/bin/sh", Data: "shell", Mode: 0o755}}})
+	r.Add(&Package{Name: PkgCoreutils, Version: V(8, 28, 0), Files: []File{{Path: "/bin/sh", Data: "shell", Mode: 0o755}}})
+	r.Add(&Package{Name: PkgXLibs, Version: V(1, 6, 0), Deps: []Dependency{Any(PkgGlibc)},
+		Files: []File{{Path: "/usr/lib/libX11.so", Data: "x11 1.6"}}})
+	r.Add(&Package{Name: PkgXLibs, Version: V(1, 19, 0), Deps: []Dependency{Any(PkgGlibc)},
+		Files: []File{{Path: "/usr/lib/libX11.so", Data: "x11 1.19"}}})
+
+	r.Add(jdk(V(6, 0, 45)))
+	r.Add(jdk(V(7, 0, 80)))
+	r.Add(jdk(V(8, 0, 181)))
+	r.Add(jdk(V(11, 0, 2)))
+
+	r.Add(eclipse(V(3, 6, 2), V(6, 0, 0), V(7, 999, 0)))  // Helios
+	r.Add(eclipse(V(4, 2, 0), V(6, 0, 0), V(8, 999, 0)))  // Juno
+	r.Add(eclipse(V(4, 4, 2), V(7, 0, 0), V(8, 999, 0)))  // Luna
+	r.Add(eclipse(V(4, 9, 0), V(8, 0, 0), V(11, 999, 0))) // 2018-09
+
+	// The PEPA plug-in was last revised against Eclipse Juno/Luna on JDK
+	// 6–8; it does not load on Eclipse 4.9 / JDK 11.
+	r.Add(&Package{
+		Name: PkgPEPAPlugin, Version: V(1, 5, 0),
+		Deps: []Dependency{
+			Range(PkgEclipse, V(4, 2, 0), V(4, 4, 999)),
+			Range(PkgJDK, V(6, 0, 0), V(8, 999, 999)),
+		},
+		Files: []File{
+			{Path: "/opt/eclipse/plugins/pepa.jar", Data: "pepa plug-in 1.5.0"},
+			{Path: "/opt/eclipse/plugins/pepa.solver", Data: "ctmc steady-state + passage-time"},
+		},
+	})
+	// Bio-PEPA needs the older Eclipse line and JDK 6-7 only.
+	r.Add(&Package{
+		Name: PkgBioPEPA, Version: V(0, 9, 2),
+		Deps: []Dependency{
+			Range(PkgEclipse, V(3, 6, 0), V(4, 2, 999)),
+			Range(PkgJDK, V(6, 0, 0), V(7, 999, 999)),
+		},
+		Files: []File{
+			{Path: "/opt/eclipse/plugins/biopepa.jar", Data: "bio-pepa plug-in 0.9.2"},
+		},
+	})
+	// GPAnalyser is standalone: JDK 7-8 plus the visualization toolkit.
+	r.Add(&Package{
+		Name: PkgGPAnalyser, Version: V(0, 9, 0),
+		Deps: []Dependency{
+			Range(PkgJDK, V(7, 0, 0), V(8, 999, 999)),
+			Exactly(PkgVisToolkit, V(2, 3, 0)),
+		},
+		Files: []File{
+			{Path: "/opt/gpa/gpa.jar", Data: "gpanalyser 0.9.0"},
+			{Path: "/opt/gpa/bin/gpa", Data: "#!gpa launcher", Mode: 0o755},
+		},
+	})
+	r.Add(&Package{Name: PkgVisToolkit, Version: V(2, 3, 0), Deps: []Dependency{Any(PkgXLibs)},
+		Files: []File{{Path: "/usr/lib/libvis.so", Data: "vis 2.3"}}})
+	r.Add(&Package{Name: PkgVisToolkit, Version: V(3, 0, 0), Deps: []Dependency{Any(PkgXLibs)},
+		Files: []File{{Path: "/usr/lib/libvis.so", Data: "vis 3.0"}}})
+
+	r.Add(&Package{Name: PkgSingularity, Version: V(2, 5, 2), Deps: []Dependency{Any(PkgGlibc)},
+		Files: []File{{Path: "/usr/bin/singularity", Data: "singularity 2.5.2", Mode: 0o755}}})
+
+	// The CSL-style model checker (future-work tool): needs any JDK >= 8.
+	r.Add(&Package{
+		Name: PkgModelChecker, Version: V(0, 3, 0),
+		Deps: []Dependency{Range(PkgJDK, V(8, 0, 0), MaxVersion)},
+		Files: []File{
+			{Path: "/opt/pepa-mc/mc.jar", Data: "pepa model checker 0.3.0"},
+		},
+	})
+	return r
+}

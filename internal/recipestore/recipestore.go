@@ -1,0 +1,211 @@
+// Package recipestore is the version-controlled recipe repository of the
+// paper's distribution model (its GitHub half): build recipes are committed
+// with messages and authors, every commit is content-addressed by a SHA-256
+// hash over its tree and ancestry, and any historical recipe can be checked
+// out and rebuilt — "the containers and their build recipes ... can be
+// version controlled to facilitate reproducibility and replication of past
+// results" (§IV).
+package recipestore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Commit is one immutable revision.
+type Commit struct {
+	Hash    string
+	Parent  string // empty for the root commit
+	Author  string
+	Message string
+	// Files maps recipe path (e.g. "pepa/Singularity") to content.
+	Files map[string]string
+}
+
+// Store is an append-only commit store with a single "main" branch.
+type Store struct {
+	commits map[string]*Commit
+	head    string
+	order   []string // commit hashes in commit order
+}
+
+// NewStore returns an empty repository.
+func NewStore() *Store {
+	return &Store{commits: map[string]*Commit{}}
+}
+
+// hashCommit computes the content address of a commit.
+func hashCommit(parent, author, message string, files map[string]string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "parent %s\nauthor %s\nmessage %s\n", parent, author, message)
+	paths := make([]string, 0, len(files))
+	for p := range files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		fmt.Fprintf(h, "file %s %d\n", p, len(files[p]))
+		h.Write([]byte(files[p]))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Commit records a new revision: the given files are *changes* applied on
+// top of the current head's tree (set a path to "" to delete it). Returns
+// the new commit.
+func (s *Store) Commit(author, message string, changes map[string]string) (*Commit, error) {
+	if author == "" || message == "" {
+		return nil, fmt.Errorf("recipestore: commits need an author and a message")
+	}
+	if len(changes) == 0 {
+		return nil, fmt.Errorf("recipestore: empty commit")
+	}
+	tree := map[string]string{}
+	if s.head != "" {
+		for p, c := range s.commits[s.head].Files {
+			tree[p] = c
+		}
+	}
+	changed := false
+	for p, c := range changes {
+		if p == "" || strings.Contains(p, "..") {
+			return nil, fmt.Errorf("recipestore: bad path %q", p)
+		}
+		if c == "" {
+			if _, ok := tree[p]; ok {
+				delete(tree, p)
+				changed = true
+			}
+			continue
+		}
+		if tree[p] != c {
+			tree[p] = c
+			changed = true
+		}
+	}
+	if !changed {
+		return nil, fmt.Errorf("recipestore: commit introduces no changes")
+	}
+	hash := hashCommit(s.head, author, message, tree)
+	c := &Commit{Hash: hash, Parent: s.head, Author: author, Message: message, Files: tree}
+	s.commits[hash] = c
+	s.head = hash
+	s.order = append(s.order, hash)
+	return c, nil
+}
+
+// Head returns the current head commit, or nil for an empty store.
+func (s *Store) Head() *Commit {
+	if s.head == "" {
+		return nil
+	}
+	return s.commits[s.head]
+}
+
+// Get returns a commit by (full or unambiguous-prefix) hash.
+func (s *Store) Get(hash string) (*Commit, error) {
+	if c, ok := s.commits[hash]; ok {
+		return c, nil
+	}
+	var match *Commit
+	for h, c := range s.commits {
+		if strings.HasPrefix(h, hash) {
+			if match != nil {
+				return nil, fmt.Errorf("recipestore: ambiguous hash prefix %q", hash)
+			}
+			match = c
+		}
+	}
+	if match == nil {
+		return nil, fmt.Errorf("recipestore: no commit %q", hash)
+	}
+	return match, nil
+}
+
+// Checkout returns the content of one file at a commit.
+func (s *Store) Checkout(hash, path string) (string, error) {
+	c, err := s.Get(hash)
+	if err != nil {
+		return "", err
+	}
+	content, ok := c.Files[path]
+	if !ok {
+		return "", fmt.Errorf("recipestore: %s not present at commit %s", path, c.Hash[:12])
+	}
+	return content, nil
+}
+
+// Log returns commits newest-first from head.
+func (s *Store) Log() []*Commit {
+	var out []*Commit
+	for h := s.head; h != ""; h = s.commits[h].Parent {
+		out = append(out, s.commits[h])
+	}
+	return out
+}
+
+// Diff lists the paths whose content differs between two commits, sorted.
+func (s *Store) Diff(a, b string) ([]string, error) {
+	ca, err := s.Get(a)
+	if err != nil {
+		return nil, err
+	}
+	cb, err := s.Get(b)
+	if err != nil {
+		return nil, err
+	}
+	set := map[string]bool{}
+	for p, c := range ca.Files {
+		if cb.Files[p] != c {
+			set[p] = true
+		}
+	}
+	for p, c := range cb.Files {
+		if ca.Files[p] != c {
+			set[p] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Paths lists the files present at a commit, sorted.
+func (s *Store) Paths(hash string) ([]string, error) {
+	c, err := s.Get(hash)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(c.Files))
+	for p := range c.Files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Len returns the number of commits.
+func (s *Store) Len() int { return len(s.order) }
+
+// Verify recomputes every commit hash and checks ancestry integrity — the
+// tamper-evidence property that makes the store trustworthy provenance.
+func (s *Store) Verify() error {
+	for _, h := range s.order {
+		c := s.commits[h]
+		if got := hashCommit(c.Parent, c.Author, c.Message, c.Files); got != c.Hash {
+			return fmt.Errorf("recipestore: commit %s fails hash verification", c.Hash[:12])
+		}
+		if c.Parent != "" {
+			if _, ok := s.commits[c.Parent]; !ok {
+				return fmt.Errorf("recipestore: commit %s has missing parent %s", c.Hash[:12], c.Parent[:12])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,172 @@
+package recipestore
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCommitAndCheckout(t *testing.T) {
+	s := NewStore()
+	c1, err := s.Commit("wss2", "add pepa recipe", map[string]string{
+		"pepa/Singularity": "Bootstrap: library\nFrom: centos:7.4\n",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.Parent != "" {
+		t.Errorf("root commit has parent %q", c1.Parent)
+	}
+	content, err := s.Checkout(c1.Hash, "pepa/Singularity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(content, "centos:7.4") {
+		t.Errorf("checkout = %q", content)
+	}
+}
+
+func TestHistoryPreservesOldVersions(t *testing.T) {
+	s := NewStore()
+	c1, _ := s.Commit("a", "v1", map[string]string{"r": "version-one"})
+	c2, err := s.Commit("a", "v2", map[string]string{"r": "version-two"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := s.Checkout(c1.Hash, "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old != "version-one" {
+		t.Errorf("historic checkout = %q", old)
+	}
+	cur, _ := s.Checkout(c2.Hash, "r")
+	if cur != "version-two" {
+		t.Errorf("current checkout = %q", cur)
+	}
+	if s.Head().Hash != c2.Hash {
+		t.Error("head not advanced")
+	}
+}
+
+func TestTreeCarriesForward(t *testing.T) {
+	s := NewStore()
+	s.Commit("a", "one", map[string]string{"x": "1"})
+	c2, _ := s.Commit("a", "two", map[string]string{"y": "2"})
+	paths, err := s.Paths(c2.Hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 || paths[0] != "x" || paths[1] != "y" {
+		t.Errorf("paths = %v", paths)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := NewStore()
+	s.Commit("a", "add", map[string]string{"x": "1", "y": "2"})
+	c2, err := s.Commit("a", "drop x", map[string]string{"x": ""})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Checkout(c2.Hash, "x"); err == nil {
+		t.Error("deleted file still present")
+	}
+	if _, err := s.Checkout(c2.Hash, "y"); err != nil {
+		t.Errorf("unrelated file lost: %v", err)
+	}
+}
+
+func TestCommitValidation(t *testing.T) {
+	s := NewStore()
+	if _, err := s.Commit("", "msg", map[string]string{"x": "1"}); err == nil {
+		t.Error("empty author accepted")
+	}
+	if _, err := s.Commit("a", "", map[string]string{"x": "1"}); err == nil {
+		t.Error("empty message accepted")
+	}
+	if _, err := s.Commit("a", "m", nil); err == nil {
+		t.Error("empty change set accepted")
+	}
+	if _, err := s.Commit("a", "m", map[string]string{"../etc/passwd": "x"}); err == nil {
+		t.Error("path traversal accepted")
+	}
+	s.Commit("a", "m", map[string]string{"x": "1"})
+	if _, err := s.Commit("a", "noop", map[string]string{"x": "1"}); err == nil {
+		t.Error("no-op commit accepted")
+	}
+}
+
+func TestLogOrder(t *testing.T) {
+	s := NewStore()
+	s.Commit("a", "first", map[string]string{"x": "1"})
+	s.Commit("a", "second", map[string]string{"x": "2"})
+	s.Commit("a", "third", map[string]string{"x": "3"})
+	log := s.Log()
+	if len(log) != 3 {
+		t.Fatalf("log = %d entries", len(log))
+	}
+	if log[0].Message != "third" || log[2].Message != "first" {
+		t.Errorf("log order wrong: %s..%s", log[0].Message, log[2].Message)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	s := NewStore()
+	c1, _ := s.Commit("a", "one", map[string]string{"x": "1", "y": "same"})
+	c2, _ := s.Commit("a", "two", map[string]string{"x": "2", "z": "new"})
+	diff, err := s.Diff(c1.Hash, c2.Hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diff) != 2 || diff[0] != "x" || diff[1] != "z" {
+		t.Errorf("diff = %v", diff)
+	}
+}
+
+func TestGetByPrefix(t *testing.T) {
+	s := NewStore()
+	c, _ := s.Commit("a", "m", map[string]string{"x": "1"})
+	got, err := s.Get(c.Hash[:12])
+	if err != nil || got.Hash != c.Hash {
+		t.Errorf("prefix lookup failed: %v", err)
+	}
+	if _, err := s.Get("ffffffff"); err == nil {
+		t.Error("missing hash accepted")
+	}
+}
+
+func TestVerifyDetectsTampering(t *testing.T) {
+	s := NewStore()
+	c, _ := s.Commit("a", "m", map[string]string{"x": "1"})
+	if err := s.Verify(); err != nil {
+		t.Fatalf("clean store fails verify: %v", err)
+	}
+	c.Files["x"] = "tampered"
+	if err := s.Verify(); err == nil {
+		t.Error("tampered store passes verify")
+	}
+}
+
+func TestContentAddressingProperty(t *testing.T) {
+	// Property: the same change sequence yields the same head hash; any
+	// difference in content yields a different hash.
+	f := func(contentA, contentB string) bool {
+		mk := func(content string) string {
+			s := NewStore()
+			c, err := s.Commit("author", "msg", map[string]string{"f": "seed" + content})
+			if err != nil {
+				return ""
+			}
+			return c.Hash
+		}
+		ha1, ha2, hb := mk(contentA), mk(contentA), mk(contentB)
+		if ha1 != ha2 {
+			return false
+		}
+		return (ha1 == hb) == (contentA == contentB)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

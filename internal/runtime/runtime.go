@@ -1,0 +1,335 @@
+// Package runtime implements the container engine: building images from
+// definition files (bootstrap a base filesystem, copy %files, execute
+// %post against the base distro's package repository, record %environment
+// and %runscript) and running them on a host under one of two isolation
+// models:
+//
+//   - IsolationSingularity — the user inside the container is the invoking
+//     host user and privilege escalation is impossible (the design property
+//     that made Singularity acceptable to multi-tenant HPC sites, §II.C);
+//   - IsolationDocker — the engine runs as a root daemon and escalation
+//     inside the container succeeds (the property that slowed Docker's
+//     adoption on shared systems).
+//
+// Images are immutable at run time: each run executes against a copy-on-
+// entry clone of the image filesystem, so runs cannot contaminate each
+// other — another precondition for reproducibility.
+package runtime
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/hostenv"
+	"repro/internal/image"
+	"repro/internal/pkgmgr"
+	"repro/internal/recipe"
+	"repro/internal/shellenv"
+	"repro/internal/vfs"
+)
+
+// Isolation selects the security model for container execution.
+type Isolation int
+
+// Isolation models.
+const (
+	IsolationSingularity Isolation = iota
+	IsolationDocker
+)
+
+func (i Isolation) String() string {
+	switch i {
+	case IsolationSingularity:
+		return "singularity"
+	case IsolationDocker:
+		return "docker"
+	default:
+		return fmt.Sprintf("isolation(%d)", int(i))
+	}
+}
+
+// App is a Go-implemented application that can be installed into container
+// images as an "#!app:" executable. Args are the command-line arguments;
+// fs is the (writable clone of the) container filesystem; output goes to
+// out. The same App values back the native (non-containerized) runs, which
+// is what makes native-vs-container output comparison meaningful.
+type App func(args []string, fs *vfs.FS, out *bytes.Buffer) error
+
+// Engine builds and runs containers.
+type Engine struct {
+	// Bases maps bootstrap references to base filesystems and repos.
+	Bases map[string]struct {
+		FS   func() *vfs.FS
+		Repo *pkgmgr.Repository
+	}
+	// Apps maps app names (the part after "#!app:") to implementations.
+	Apps map[string]App
+	// Version string recorded in build provenance.
+	Version string
+
+	// The build cache: because builds are deterministic functions of
+	// (recipe source, base ref, name, tag), a repeated build can return
+	// the cached image. Runs clone the filesystem, so sharing is safe.
+	cacheMu sync.Mutex
+	cache   map[string]*BuildResult
+	// CacheDisabled turns the cache off (benchmarks of cold builds).
+	CacheDisabled bool
+	// CacheHits counts builds served from the cache.
+	CacheHits int
+}
+
+// NewEngine creates an engine with the standard base images and no apps.
+func NewEngine() *Engine {
+	return &Engine{
+		Bases:   hostenv.BaseImages(),
+		Apps:    map[string]App{},
+		Version: "2.5.2", // mirrors the Singularity version used in the paper
+		cache:   map[string]*BuildResult{},
+	}
+}
+
+// RegisterApp installs a Go application under a name.
+func (e *Engine) RegisterApp(name string, app App) { e.Apps[name] = app }
+
+// BuildContext carries files available to the %files section.
+type BuildContext struct {
+	FS *vfs.FS // nil means an empty context
+}
+
+// BuildResult is a built image plus provenance.
+type BuildResult struct {
+	Image  *image.Image
+	Digest string
+	// PostOutput is the stdout of the %post section.
+	PostOutput string
+	// TestOutput is the stdout of the %test section (empty if no %test).
+	TestOutput string
+}
+
+// Build executes a recipe into an image. The build host only contributes
+// its name (provenance); all software comes from the base image's
+// repository — the insulation from host package skew that the paper's
+// containers provide.
+func (e *Engine) Build(rcp *recipe.Recipe, host *hostenv.Host, ctx BuildContext, name, tag string) (*BuildResult, error) {
+	// Cache lookup: only context-free builds are cacheable (a build
+	// context's files are not part of the key).
+	// The host is part of the key only for provenance accuracy (BuildHost
+	// is recorded in metadata); the digest is host-independent regardless.
+	cacheKey := ""
+	if !e.CacheDisabled && ctx.FS == nil && e.cache != nil {
+		cacheKey = rcp.Source + "\x00" + name + "\x00" + tag + "\x00" + host.Name
+		e.cacheMu.Lock()
+		if res, ok := e.cache[cacheKey]; ok {
+			e.CacheHits++
+			e.cacheMu.Unlock()
+			return res, nil
+		}
+		e.cacheMu.Unlock()
+	}
+	base, ok := e.Bases[rcp.From]
+	if !ok {
+		return nil, fmt.Errorf("runtime: unknown base image %q (available: %s)", rcp.From, strings.Join(hostenv.BaseImageNames(), ", "))
+	}
+	fs := base.FS()
+	// %files: copy from the build context.
+	for _, fp := range rcp.Files {
+		if ctx.FS == nil {
+			return nil, fmt.Errorf("runtime: %%files requested but no build context provided")
+		}
+		if err := ctx.FS.CopyInto(fs, fp.Src, fp.Dst); err != nil {
+			return nil, fmt.Errorf("runtime: %%files %s -> %s: %w", fp.Src, fp.Dst, err)
+		}
+	}
+	// %post: runs as root inside the build sandbox, against the base
+	// distro's repository.
+	env := shellenv.NewEnv(fs)
+	env.User = "root"
+	env.AllowEscalation = true
+	env.Repo = base.Repo
+	env.ExecHook = e.execHook(fs)
+	if rcp.Post != "" {
+		if err := env.Run(rcp.Post); err != nil {
+			return nil, fmt.Errorf("runtime: %%post failed: %w", err)
+		}
+	}
+	img := &image.Image{
+		Meta: image.Metadata{
+			Name: name, Tag: tag, BaseRef: rcp.From,
+			Help: rcp.Help, Labels: rcp.Labels,
+			Environment: rcp.Environment, Runscript: rcp.Runscript, Test: rcp.Test,
+			RecipeSource: rcp.Source,
+			BuildHost:    host.Name,
+		},
+		FS: fs,
+	}
+	res := &BuildResult{Image: img, PostOutput: env.Stdout.String()}
+	// %test runs in the freshly built image under the run isolation model.
+	if rcp.Test != "" {
+		run, err := e.run(img, host, RunOptions{Script: rcp.Test})
+		if err != nil {
+			return nil, fmt.Errorf("runtime: %%test failed: %w", err)
+		}
+		res.TestOutput = run.Stdout
+	}
+	d, err := img.Digest()
+	if err != nil {
+		return nil, err
+	}
+	res.Digest = d
+	if cacheKey != "" {
+		e.cacheMu.Lock()
+		e.cache[cacheKey] = res
+		e.cacheMu.Unlock()
+	}
+	return res, nil
+}
+
+// RunOptions configures a container run.
+type RunOptions struct {
+	Isolation Isolation
+	// Args are appended to the runscript invocation as $1.. (exposed as
+	// ARG1..ARGn variables to the runscript).
+	Args []string
+	// Script overrides the image runscript (used for %test and `exec`).
+	Script string
+	// Binds copies host paths into the container before the run and back
+	// out after it (a simplified bind mount).
+	Binds []Bind
+	// AttemptEscalation makes the run try `sudo whoami` first, recording
+	// whether the isolation model permits it (used by the security tests).
+	AttemptEscalation bool
+}
+
+// Bind is a simplified bind mount: the host path is copied to the
+// container path before the run, and copied back afterwards.
+type Bind struct {
+	HostPath      string
+	ContainerPath string
+}
+
+// RunResult reports a container run.
+type RunResult struct {
+	Stdout string
+	// User is the identity the payload ran as.
+	User string
+	// EscalationSucceeded reports the outcome of AttemptEscalation.
+	EscalationSucceeded bool
+	// Commands is the provenance trace of executed commands.
+	Commands []string
+}
+
+// Run executes the image's runscript on the host.
+func (e *Engine) Run(img *image.Image, host *hostenv.Host, opts RunOptions) (*RunResult, error) {
+	return e.run(img, host, opts)
+}
+
+func (e *Engine) run(img *image.Image, host *hostenv.Host, opts RunOptions) (*RunResult, error) {
+	if !host.HasSingularity() {
+		return nil, fmt.Errorf("runtime: host %s has no container runtime installed", host.Name)
+	}
+	// Copy-on-entry: the image filesystem is never mutated by runs.
+	fs := img.FS.Clone()
+	for _, b := range opts.Binds {
+		if err := host.FS.CopyInto(fs, b.HostPath, b.ContainerPath); err != nil {
+			return nil, fmt.Errorf("runtime: bind %s -> %s: %w", b.HostPath, b.ContainerPath, err)
+		}
+	}
+	env := shellenv.NewEnv(fs)
+	env.ExecHook = e.execHook(fs)
+	switch opts.Isolation {
+	case IsolationSingularity:
+		// User inside == user outside; no escalation.
+		env.User = host.User
+		env.AllowEscalation = false
+	case IsolationDocker:
+		env.User = "root"
+		env.AllowEscalation = true
+	}
+	res := &RunResult{User: env.User}
+	if opts.AttemptEscalation {
+		err := env.Run("sudo whoami")
+		res.EscalationSucceeded = err == nil
+		env.Stdout.Reset()
+	}
+	if img.Meta.Environment != "" {
+		if err := env.Run(img.Meta.Environment); err != nil {
+			return nil, fmt.Errorf("runtime: %%environment failed: %w", err)
+		}
+		env.Stdout.Reset() // environment output is not part of the run output
+	}
+	for i, a := range opts.Args {
+		env.Vars[fmt.Sprintf("ARG%d", i+1)] = a
+	}
+	script := opts.Script
+	if script == "" {
+		script = img.Meta.Runscript
+	}
+	if script == "" {
+		return nil, fmt.Errorf("runtime: image %s has no runscript and no script was given", img.Ref())
+	}
+	if err := env.Run(script); err != nil {
+		return nil, fmt.Errorf("runtime: runscript failed: %w", err)
+	}
+	for _, b := range opts.Binds {
+		if err := fs.CopyInto(host.FS, b.ContainerPath, b.HostPath); err != nil {
+			return nil, fmt.Errorf("runtime: bind-back %s -> %s: %w", b.ContainerPath, b.HostPath, err)
+		}
+	}
+	res.Stdout = env.Stdout.String()
+	res.Commands = env.Trace
+	return res, nil
+}
+
+// appShebang is the interpreter prefix for Go-implemented applications.
+const appShebang = "#!app:"
+
+// execHook dispatches "#!app:<name>" executables to registered Apps.
+func (e *Engine) execHook(fs *vfs.FS) func(string, []string, []byte, *bytes.Buffer) (bool, error) {
+	return func(path string, args []string, data []byte, out *bytes.Buffer) (bool, error) {
+		if !bytes.HasPrefix(data, []byte(appShebang)) {
+			return false, nil
+		}
+		line := string(data[len(appShebang):])
+		if i := strings.IndexByte(line, '\n'); i >= 0 {
+			line = line[:i]
+		}
+		name := strings.TrimSpace(line)
+		app, ok := e.Apps[name]
+		if !ok {
+			return true, fmt.Errorf("runtime: executable %s requests unknown app %q", path, name)
+		}
+		if err := app(args, fs, out); err != nil {
+			return true, fmt.Errorf("runtime: app %s: %w", name, err)
+		}
+		return true, nil
+	}
+}
+
+// InstallAppBinary writes an "#!app:" executable into a filesystem.
+func InstallAppBinary(fs *vfs.FS, path, appName string) error {
+	dir := path[:strings.LastIndex(path, "/")]
+	if dir == "" {
+		dir = "/"
+	}
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return fs.WriteFile(path, []byte(appShebang+appName+"\n"), 0o755)
+}
+
+// NativeRun executes an app directly on a host (no container): the
+// baseline the paper compares containerized runs against. The app sees the
+// host filesystem.
+func (e *Engine) NativeRun(appName string, args []string, host *hostenv.Host) (string, error) {
+	app, ok := e.Apps[appName]
+	if !ok {
+		return "", fmt.Errorf("runtime: unknown app %q", appName)
+	}
+	var out bytes.Buffer
+	if err := app(args, host.FS, &out); err != nil {
+		return "", fmt.Errorf("runtime: native %s on %s: %w", appName, host.Name, err)
+	}
+	return out.String(), nil
+}

@@ -1,0 +1,42 @@
+package shellenv
+
+import (
+	"testing"
+
+	"repro/internal/pkgmgr"
+	"repro/internal/vfs"
+)
+
+// FuzzRun checks that no script can panic the interpreter (errors are
+// fine) and that the filesystem root always survives.
+func FuzzRun(f *testing.F) {
+	seeds := []string{
+		"",
+		"echo hello",
+		"mkdir -p /a/b && echo x > /a/b/c",
+		"X=1\necho $X ${X} $",
+		"echo 'single $X' \"double $X\"",
+		"false || echo rescued; true && echo chained",
+		"pkg install jdk",
+		"cd /; pwd; ls",
+		"rm -rf /a",
+		"test -e / && echo yes",
+		"sudo whoami",
+		"echo > /out",
+		"echo unterminated 'quote",
+		"ln -s a b; cat b",
+		"chmod 755 /missing",
+		"exit 2",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, script string) {
+		env := NewEnv(vfs.New())
+		env.Repo = pkgmgr.Universe()
+		_ = env.Run(script) // must not panic
+		if !env.FS.Exists("/") {
+			t.Fatal("root directory destroyed")
+		}
+	})
+}

@@ -1,0 +1,670 @@
+// Package shellenv implements the small POSIX-flavoured shell interpreter
+// that executes container recipe sections (%post, %test, %runscript) and
+// host provisioning scripts against a vfs.FS.
+//
+// Supported constructs: simple commands, variable assignment and $VAR /
+// ${VAR} expansion, `;`-, `&&`- and `||`-sequencing, output redirection
+// (`>` and `>>`), comments, and a fixed set of builtins (echo, mkdir, cp,
+// rm, ln, cat, test, export, chmod, cd, true, false, exit, pkg, su).
+// `pkg install` drives the simulated package manager; `su`/`sudo` exercise
+// the privilege-escalation policy that distinguishes the Docker and
+// Singularity isolation models in internal/runtime.
+package shellenv
+
+import (
+	"bytes"
+	"fmt"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/pkgmgr"
+	"repro/internal/vfs"
+)
+
+// Env is the execution environment of one shell session.
+type Env struct {
+	FS   *vfs.FS
+	Vars map[string]string
+	// Repo is the package repository "pkg install" resolves against; nil
+	// means no package manager is available.
+	Repo *pkgmgr.Repository
+	// User is the invoking user. AllowEscalation controls whether su/sudo
+	// may switch to root — true models the Docker daemon, false the
+	// Singularity no-escalation design the paper highlights.
+	User            string
+	AllowEscalation bool
+
+	Stdout bytes.Buffer
+	Stderr bytes.Buffer
+
+	// ExecHook, when set, is consulted for executable files before the
+	// default "[exec ...]" behaviour. The container runtime uses it to
+	// dispatch "#!app:" interpreter lines to Go-implemented applications.
+	ExecHook func(path string, args []string, data []byte, out *bytes.Buffer) (handled bool, err error)
+
+	cwd string
+	// Commands executed, for provenance logging.
+	Trace []string
+}
+
+// NewEnv creates an environment over the filesystem with defaults.
+func NewEnv(fs *vfs.FS) *Env {
+	return &Env{FS: fs, Vars: map[string]string{}, User: "user", cwd: "/"}
+}
+
+// ExitError reports a command terminating with a nonzero status.
+type ExitError struct {
+	Cmd    string
+	Status int
+	Detail string
+}
+
+func (e *ExitError) Error() string {
+	if e.Detail != "" {
+		return fmt.Sprintf("shellenv: %s: exit %d: %s", e.Cmd, e.Status, e.Detail)
+	}
+	return fmt.Sprintf("shellenv: %s: exit %d", e.Cmd, e.Status)
+}
+
+// Run executes a script: lines of commands with `;`, `&&`, `||` operators.
+// The first failing command (not guarded by ||) aborts the script, like
+// `set -e`.
+func (env *Env) Run(script string) error {
+	for ln, rawLine := range strings.Split(script, "\n") {
+		line := stripComment(rawLine)
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if err := env.runLine(line); err != nil {
+			return fmt.Errorf("line %d: %w", ln+1, err)
+		}
+	}
+	return nil
+}
+
+func stripComment(line string) string {
+	inSingle, inDouble := false, false
+	for i, r := range line {
+		switch r {
+		case '\'':
+			if !inDouble {
+				inSingle = !inSingle
+			}
+		case '"':
+			if !inSingle {
+				inDouble = !inDouble
+			}
+		case '#':
+			if !inSingle && !inDouble {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+// runLine executes one line honouring `;`, `&&`, `||`.
+func (env *Env) runLine(line string) error {
+	segments, ops, err := splitOps(line)
+	if err != nil {
+		return err
+	}
+	var lastErr error
+	for i, seg := range segments {
+		if i > 0 {
+			switch ops[i-1] {
+			case "&&":
+				if lastErr != nil {
+					continue
+				}
+			case "||":
+				if lastErr == nil {
+					continue
+				}
+			}
+		}
+		lastErr = env.runSimple(seg)
+	}
+	return lastErr
+}
+
+// splitOps splits on ;, && and || outside quotes.
+func splitOps(line string) (segments []string, ops []string, err error) {
+	var cur strings.Builder
+	inSingle, inDouble := false, false
+	flush := func() {
+		segments = append(segments, cur.String())
+		cur.Reset()
+	}
+	rs := []rune(line)
+	for i := 0; i < len(rs); i++ {
+		r := rs[i]
+		switch {
+		case r == '\'' && !inDouble:
+			inSingle = !inSingle
+			cur.WriteRune(r)
+		case r == '"' && !inSingle:
+			inDouble = !inDouble
+			cur.WriteRune(r)
+		case !inSingle && !inDouble && r == ';':
+			flush()
+			ops = append(ops, ";")
+		case !inSingle && !inDouble && r == '&' && i+1 < len(rs) && rs[i+1] == '&':
+			flush()
+			ops = append(ops, "&&")
+			i++
+		case !inSingle && !inDouble && r == '|' && i+1 < len(rs) && rs[i+1] == '|':
+			flush()
+			ops = append(ops, "||")
+			i++
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	if inSingle || inDouble {
+		return nil, nil, fmt.Errorf("shellenv: unterminated quote in %q", line)
+	}
+	flush()
+	return segments, ops, nil
+}
+
+// runSimple executes one simple command (possibly with redirection).
+func (env *Env) runSimple(cmdline string) error {
+	words, err := env.tokenize(cmdline)
+	if err != nil {
+		return err
+	}
+	if len(words) == 0 {
+		return nil
+	}
+	// Variable assignment: NAME=value with no command.
+	if len(words) == 1 {
+		if name, val, ok := splitAssign(words[0]); ok {
+			env.Vars[name] = val
+			return nil
+		}
+	}
+	// Redirection.
+	var redir string
+	appendMode := false
+	for i := 0; i < len(words); i++ {
+		if words[i] == ">" || words[i] == ">>" {
+			if i+1 >= len(words) {
+				return fmt.Errorf("shellenv: redirection without target in %q", cmdline)
+			}
+			redir = env.abspath(words[i+1])
+			appendMode = words[i] == ">>"
+			words = append(words[:i:i], words[i+2:]...)
+			break
+		}
+	}
+	if len(words) == 0 {
+		// A bare redirection ("> file") creates or truncates the target.
+		if redir != "" {
+			if werr := env.FS.WriteFile(redir, nil, 0o644); werr != nil {
+				return &ExitError{Cmd: ">", Status: 1, Detail: werr.Error()}
+			}
+		}
+		return nil
+	}
+	env.Trace = append(env.Trace, strings.Join(words, " "))
+	var out bytes.Buffer
+	err = env.dispatch(words, &out)
+	if redir != "" {
+		var werr error
+		if appendMode {
+			werr = env.FS.AppendFile(redir, out.Bytes(), 0o644)
+		} else {
+			werr = env.FS.WriteFile(redir, out.Bytes(), 0o644)
+		}
+		if werr != nil {
+			return &ExitError{Cmd: words[0], Status: 1, Detail: werr.Error()}
+		}
+	} else {
+		env.Stdout.Write(out.Bytes())
+	}
+	return err
+}
+
+func splitAssign(word string) (name, val string, ok bool) {
+	i := strings.IndexByte(word, '=')
+	if i <= 0 {
+		return "", "", false
+	}
+	name = word[:i]
+	for _, r := range name {
+		if !(r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9') {
+			return "", "", false
+		}
+	}
+	if r := name[0]; r >= '0' && r <= '9' {
+		return "", "", false
+	}
+	return name, word[i+1:], true
+}
+
+// tokenize splits into words, handling quotes and $-expansion.
+func (env *Env) tokenize(line string) ([]string, error) {
+	var words []string
+	var cur strings.Builder
+	started := false
+	rs := []rune(line)
+	for i := 0; i < len(rs); i++ {
+		r := rs[i]
+		switch {
+		case r == ' ' || r == '\t':
+			if started {
+				words = append(words, cur.String())
+				cur.Reset()
+				started = false
+			}
+		case r == '\'':
+			started = true
+			j := i + 1
+			for j < len(rs) && rs[j] != '\'' {
+				cur.WriteRune(rs[j])
+				j++
+			}
+			if j >= len(rs) {
+				return nil, fmt.Errorf("shellenv: unterminated single quote")
+			}
+			i = j
+		case r == '"':
+			started = true
+			j := i + 1
+			var inner strings.Builder
+			for j < len(rs) && rs[j] != '"' {
+				inner.WriteRune(rs[j])
+				j++
+			}
+			if j >= len(rs) {
+				return nil, fmt.Errorf("shellenv: unterminated double quote")
+			}
+			cur.WriteString(env.expand(inner.String()))
+			i = j
+		case r == '$':
+			name, consumed := scanVarName(rs[i+1:])
+			if consumed == 0 {
+				started = true
+				cur.WriteRune(r)
+			} else {
+				// An unquoted variable that expands to nothing produces no
+				// word (sh semantics), so "$ARG3" with ARG3 unset vanishes.
+				val := env.Vars[name]
+				if val != "" {
+					started = true
+					cur.WriteString(val)
+				}
+				i += consumed
+			}
+		case r == '>':
+			// Redirection operators are their own words.
+			if started {
+				words = append(words, cur.String())
+				cur.Reset()
+				started = false
+			}
+			if i+1 < len(rs) && rs[i+1] == '>' {
+				words = append(words, ">>")
+				i++
+			} else {
+				words = append(words, ">")
+			}
+		default:
+			started = true
+			cur.WriteRune(r)
+		}
+	}
+	if started {
+		words = append(words, cur.String())
+	}
+	return words, nil
+}
+
+// expand substitutes $VAR and ${VAR} inside a double-quoted string.
+func (env *Env) expand(s string) string {
+	var b strings.Builder
+	rs := []rune(s)
+	for i := 0; i < len(rs); i++ {
+		if rs[i] == '$' {
+			name, consumed := scanVarName(rs[i+1:])
+			if consumed > 0 {
+				b.WriteString(env.Vars[name])
+				i += consumed
+				continue
+			}
+		}
+		b.WriteRune(rs[i])
+	}
+	return b.String()
+}
+
+func scanVarName(rs []rune) (name string, consumed int) {
+	if len(rs) == 0 {
+		return "", 0
+	}
+	if rs[0] == '{' {
+		for j := 1; j < len(rs); j++ {
+			if rs[j] == '}' {
+				return string(rs[1:j]), j + 1
+			}
+		}
+		return "", 0
+	}
+	j := 0
+	for j < len(rs) && (rs[j] == '_' || rs[j] >= 'a' && rs[j] <= 'z' || rs[j] >= 'A' && rs[j] <= 'Z' || rs[j] >= '0' && rs[j] <= '9') {
+		j++
+	}
+	if j == 0 {
+		return "", 0
+	}
+	return string(rs[:j]), j
+}
+
+func (env *Env) abspath(p string) string {
+	if strings.HasPrefix(p, "/") {
+		return path.Clean(p)
+	}
+	return path.Join(env.cwd, p)
+}
+
+func fail(cmd string, format string, args ...any) error {
+	return &ExitError{Cmd: cmd, Status: 1, Detail: fmt.Sprintf(format, args...)}
+}
+
+// dispatch runs one builtin.
+func (env *Env) dispatch(words []string, out *bytes.Buffer) error {
+	cmd, args := words[0], words[1:]
+	switch cmd {
+	case "true", ":":
+		return nil
+	case "false":
+		return &ExitError{Cmd: "false", Status: 1}
+	case "exit":
+		status := 0
+		if len(args) > 0 {
+			status, _ = strconv.Atoi(args[0])
+		}
+		if status == 0 {
+			return nil
+		}
+		return &ExitError{Cmd: "exit", Status: status}
+	case "echo":
+		noNewline := false
+		if len(args) > 0 && args[0] == "-n" {
+			noNewline = true
+			args = args[1:]
+		}
+		out.WriteString(strings.Join(args, " "))
+		if !noNewline {
+			out.WriteByte('\n')
+		}
+		return nil
+	case "export":
+		for _, a := range args {
+			if name, val, ok := splitAssign(a); ok {
+				env.Vars[name] = val
+			} else {
+				// "export NAME" keeps the current value; nothing to do.
+				if _, exists := env.Vars[a]; !exists {
+					env.Vars[a] = ""
+				}
+			}
+		}
+		return nil
+	case "env":
+		names := make([]string, 0, len(env.Vars))
+		for n := range env.Vars {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(out, "%s=%s\n", n, env.Vars[n])
+		}
+		return nil
+	case "cd":
+		if len(args) != 1 {
+			return fail("cd", "usage: cd <dir>")
+		}
+		target := env.abspath(args[0])
+		n, err := env.FS.Lookup(target)
+		if err != nil || n.Kind != vfs.KindDir {
+			return fail("cd", "%s: not a directory", target)
+		}
+		env.cwd = target
+		return nil
+	case "pwd":
+		fmt.Fprintln(out, env.cwd)
+		return nil
+	case "mkdir":
+		recursive := false
+		if len(args) > 0 && args[0] == "-p" {
+			recursive = true
+			args = args[1:]
+		}
+		if len(args) == 0 {
+			return fail("mkdir", "missing operand")
+		}
+		for _, a := range args {
+			p := env.abspath(a)
+			var err error
+			if recursive {
+				err = env.FS.MkdirAll(p, 0o755)
+			} else {
+				err = env.FS.Mkdir(p, 0o755)
+			}
+			if err != nil {
+				return fail("mkdir", "%v", err)
+			}
+		}
+		return nil
+	case "cat":
+		for _, a := range args {
+			data, err := env.FS.ReadFile(env.abspath(a))
+			if err != nil {
+				return fail("cat", "%v", err)
+			}
+			out.Write(data)
+		}
+		return nil
+	case "cp":
+		recursive := false
+		if len(args) > 0 && (args[0] == "-r" || args[0] == "-R" || args[0] == "-a") {
+			recursive = true
+			args = args[1:]
+		}
+		if len(args) != 2 {
+			return fail("cp", "usage: cp [-r] <src> <dst>")
+		}
+		src, dst := env.abspath(args[0]), env.abspath(args[1])
+		n, err := env.FS.Lookup(src)
+		if err != nil {
+			return fail("cp", "%v", err)
+		}
+		if n.Kind == vfs.KindDir && !recursive {
+			return fail("cp", "%s is a directory (use -r)", src)
+		}
+		if err := env.FS.CopyInto(env.FS, src, dst); err != nil {
+			return fail("cp", "%v", err)
+		}
+		return nil
+	case "rm":
+		recursive := false
+		if len(args) > 0 && (args[0] == "-rf" || args[0] == "-r" || args[0] == "-f") {
+			recursive = args[0] != "-f"
+			args = args[1:]
+		}
+		if len(args) == 0 {
+			return fail("rm", "missing operand")
+		}
+		for _, a := range args {
+			p := env.abspath(a)
+			var err error
+			if recursive {
+				err = env.FS.RemoveAll(p)
+			} else {
+				err = env.FS.Remove(p)
+			}
+			if err != nil {
+				return fail("rm", "%v", err)
+			}
+		}
+		return nil
+	case "ln":
+		if len(args) != 3 || args[0] != "-s" {
+			return fail("ln", "usage: ln -s <target> <link>")
+		}
+		if err := env.FS.Symlink(args[1], env.abspath(args[2])); err != nil {
+			return fail("ln", "%v", err)
+		}
+		return nil
+	case "chmod":
+		if len(args) != 2 {
+			return fail("chmod", "usage: chmod <octal> <path>")
+		}
+		mode, err := strconv.ParseUint(args[0], 8, 32)
+		if err != nil {
+			return fail("chmod", "bad mode %q", args[0])
+		}
+		n, err := env.FS.Lookup(env.abspath(args[1]))
+		if err != nil {
+			return fail("chmod", "%v", err)
+		}
+		n.Mode = uint32(mode) & 0o7777
+		return nil
+	case "test", "[":
+		if len(args) > 0 && args[len(args)-1] == "]" {
+			args = args[:len(args)-1]
+		}
+		ok, err := env.evalTest(args)
+		if err != nil {
+			return fail("test", "%v", err)
+		}
+		if !ok {
+			return &ExitError{Cmd: "test", Status: 1}
+		}
+		return nil
+	case "ls":
+		dir := env.cwd
+		if len(args) == 1 {
+			dir = env.abspath(args[0])
+		}
+		names, err := env.FS.ReadDir(dir)
+		if err != nil {
+			return fail("ls", "%v", err)
+		}
+		for _, n := range names {
+			fmt.Fprintln(out, n)
+		}
+		return nil
+	case "pkg", "apt-get", "yum":
+		return env.pkgCmd(cmd, args, out)
+	case "su", "sudo":
+		if !env.AllowEscalation {
+			return fail(cmd, "privilege escalation denied: user %q stays %q inside this environment (Singularity security model)", env.User, env.User)
+		}
+		if len(args) == 0 {
+			env.User = "root"
+			return nil
+		}
+		// "sudo <command...>" runs the rest as root.
+		savedUser := env.User
+		env.User = "root"
+		err := env.dispatch(args, out)
+		env.User = savedUser
+		return err
+	case "whoami":
+		fmt.Fprintln(out, env.User)
+		return nil
+	default:
+		// Look for an executable file in the filesystem. The ExecHook gets
+		// first refusal (Go-implemented applications); otherwise running a
+		// file just echoes its path (the vfs has no machine code).
+		p := env.abspath(cmd)
+		if n, err := env.FS.Lookup(p); err == nil && n.Kind == vfs.KindFile && n.Mode&0o111 != 0 {
+			if env.ExecHook != nil {
+				handled, err := env.ExecHook(p, args, n.Data, out)
+				if handled {
+					return err
+				}
+			}
+			fmt.Fprintf(out, "[exec %s]\n", p)
+			return nil
+		}
+		return fail(cmd, "command not found")
+	}
+}
+
+func (env *Env) evalTest(args []string) (bool, error) {
+	switch len(args) {
+	case 2:
+		switch args[0] {
+		case "-e":
+			return env.FS.Exists(env.abspath(args[1])), nil
+		case "-f":
+			n, err := env.FS.Lookup(env.abspath(args[1]))
+			return err == nil && n.Kind == vfs.KindFile, nil
+		case "-d":
+			n, err := env.FS.Lookup(env.abspath(args[1]))
+			return err == nil && n.Kind == vfs.KindDir, nil
+		case "-n":
+			return args[1] != "", nil
+		case "-z":
+			return args[1] == "", nil
+		}
+	case 3:
+		switch args[1] {
+		case "=", "==":
+			return args[0] == args[2], nil
+		case "!=":
+			return args[0] != args[2], nil
+		}
+	}
+	return false, fmt.Errorf("unsupported test expression %v", args)
+}
+
+// pkgCmd implements "pkg install a b c" (apt-get/yum install are aliases).
+func (env *Env) pkgCmd(cmd string, args []string, out *bytes.Buffer) error {
+	if len(args) > 0 && args[0] == "-y" {
+		args = args[1:]
+	}
+	if len(args) == 0 || args[0] != "install" {
+		return fail(cmd, "usage: %s install <package>...", cmd)
+	}
+	args = args[1:]
+	if len(args) > 0 && args[0] == "-y" {
+		args = args[1:]
+	}
+	if env.Repo == nil {
+		return fail(cmd, "no package repository configured")
+	}
+	if len(args) == 0 {
+		return fail(cmd, "no packages requested")
+	}
+	var reqs []pkgmgr.Dependency
+	for _, a := range args {
+		// "name=1.2.3" pins a version.
+		if i := strings.IndexByte(a, '='); i > 0 {
+			v, err := pkgmgr.ParseVersion(a[i+1:])
+			if err != nil {
+				return fail(cmd, "bad version in %q: %v", a, err)
+			}
+			reqs = append(reqs, pkgmgr.Exactly(a[:i], v))
+		} else {
+			reqs = append(reqs, pkgmgr.Any(a))
+		}
+	}
+	plan, err := pkgmgr.Resolve(env.Repo, reqs)
+	if err != nil {
+		return fail(cmd, "%v", err)
+	}
+	if err := pkgmgr.Install(env.FS, plan); err != nil {
+		return fail(cmd, "%v", err)
+	}
+	for _, id := range plan.IDs() {
+		fmt.Fprintf(out, "installed %s\n", id)
+	}
+	return nil
+}

@@ -1,0 +1,359 @@
+package shellenv
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/pkgmgr"
+	"repro/internal/vfs"
+)
+
+func newEnv() *Env {
+	return NewEnv(vfs.New())
+}
+
+func TestEchoAndRedirect(t *testing.T) {
+	env := newEnv()
+	if err := env.Run("echo hello world"); err != nil {
+		t.Fatal(err)
+	}
+	if got := env.Stdout.String(); got != "hello world\n" {
+		t.Errorf("stdout = %q", got)
+	}
+	if err := env.Run("echo content > /file"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := env.FS.ReadFile("/file")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "content\n" {
+		t.Errorf("file = %q", data)
+	}
+	if err := env.Run("echo more >> /file"); err != nil {
+		t.Fatal(err)
+	}
+	data, _ = env.FS.ReadFile("/file")
+	if string(data) != "content\nmore\n" {
+		t.Errorf("appended file = %q", data)
+	}
+}
+
+func TestEchoN(t *testing.T) {
+	env := newEnv()
+	if err := env.Run("echo -n abc"); err != nil {
+		t.Fatal(err)
+	}
+	if env.Stdout.String() != "abc" {
+		t.Errorf("stdout = %q", env.Stdout.String())
+	}
+}
+
+func TestVariables(t *testing.T) {
+	env := newEnv()
+	script := `
+NAME=world
+echo hello $NAME
+GREETING="hi ${NAME}"
+echo $GREETING
+`
+	if err := env.Run(script); err != nil {
+		t.Fatal(err)
+	}
+	if got := env.Stdout.String(); got != "hello world\nhi world\n" {
+		t.Errorf("stdout = %q", got)
+	}
+}
+
+func TestExport(t *testing.T) {
+	env := newEnv()
+	if err := env.Run("export PATH=/usr/bin\necho $PATH"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(env.Stdout.String(), "/usr/bin") {
+		t.Errorf("stdout = %q", env.Stdout.String())
+	}
+	if env.Vars["PATH"] != "/usr/bin" {
+		t.Errorf("PATH = %q", env.Vars["PATH"])
+	}
+}
+
+func TestSingleQuotesSuppressExpansion(t *testing.T) {
+	env := newEnv()
+	env.Vars["X"] = "value"
+	if err := env.Run("echo '$X'"); err != nil {
+		t.Fatal(err)
+	}
+	if got := env.Stdout.String(); got != "$X\n" {
+		t.Errorf("stdout = %q", got)
+	}
+}
+
+func TestMkdirCpRmLn(t *testing.T) {
+	env := newEnv()
+	script := `
+mkdir -p /opt/app/bin
+echo binary > /opt/app/bin/tool
+cp -r /opt/app /opt/backup
+ln -s /opt/app/bin/tool /usr-tool
+cat /usr-tool
+rm -rf /opt/app
+test -e /opt/backup/bin/tool
+`
+	if err := env.Run(script); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(env.Stdout.String(), "binary") {
+		t.Errorf("cat output missing: %q", env.Stdout.String())
+	}
+	if env.FS.Exists("/opt/app") {
+		t.Error("rm -rf left /opt/app")
+	}
+}
+
+func TestMkdirWithoutParentFails(t *testing.T) {
+	env := newEnv()
+	if err := env.Run("mkdir /a/b/c"); err == nil {
+		t.Error("mkdir without -p into missing parent succeeded")
+	}
+}
+
+func TestSequencingOperators(t *testing.T) {
+	env := newEnv()
+	if err := env.Run("false || echo rescued"); err != nil {
+		t.Fatalf("|| did not rescue: %v", err)
+	}
+	if !strings.Contains(env.Stdout.String(), "rescued") {
+		t.Error("|| branch did not run")
+	}
+	env2 := newEnv()
+	if err := env2.Run("false && echo never"); err == nil {
+		t.Error("false && ... should propagate failure")
+	}
+	if strings.Contains(env2.Stdout.String(), "never") {
+		t.Error("&& ran after failure")
+	}
+	env3 := newEnv()
+	if err := env3.Run("echo a; echo b"); err != nil {
+		t.Fatal(err)
+	}
+	if env3.Stdout.String() != "a\nb\n" {
+		t.Errorf("stdout = %q", env3.Stdout.String())
+	}
+}
+
+func TestCdPwd(t *testing.T) {
+	env := newEnv()
+	script := `
+mkdir -p /work/dir
+cd /work/dir
+pwd
+echo data > file.txt
+cat /work/dir/file.txt
+`
+	if err := env.Run(script); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(env.Stdout.String(), "/work/dir") {
+		t.Errorf("pwd output missing: %q", env.Stdout.String())
+	}
+	if !strings.Contains(env.Stdout.String(), "data") {
+		t.Error("relative path write failed")
+	}
+	if err := env.Run("cd /missing"); err == nil {
+		t.Error("cd to missing dir succeeded")
+	}
+}
+
+func TestTestBuiltin(t *testing.T) {
+	env := newEnv()
+	env.FS.WriteFile("/f", nil, 0o644)
+	env.FS.Mkdir("/d", 0o755)
+	good := []string{
+		"test -e /f", "test -f /f", "test -d /d",
+		"test abc = abc", "test abc != def", "test -n abc", "test -z ''",
+		"[ -f /f ]",
+	}
+	for _, s := range good {
+		if err := env.Run(s); err != nil {
+			t.Errorf("%q failed: %v", s, err)
+		}
+	}
+	badTests := []string{"test -f /d", "test -d /f", "test abc = def", "test -e /missing"}
+	for _, s := range badTests {
+		if err := env.Run(s); err == nil {
+			t.Errorf("%q succeeded, want failure", s)
+		}
+	}
+}
+
+func TestChmodAndExec(t *testing.T) {
+	env := newEnv()
+	script := `
+echo program > /tool
+chmod 755 /tool
+/tool
+`
+	if err := env.Run(script); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(env.Stdout.String(), "[exec /tool]") {
+		t.Errorf("exec output = %q", env.Stdout.String())
+	}
+	env2 := newEnv()
+	env2.FS.WriteFile("/noexec", []byte("x"), 0o644)
+	if err := env2.Run("/noexec"); err == nil {
+		t.Error("non-executable file ran")
+	}
+}
+
+func TestCommandNotFound(t *testing.T) {
+	env := newEnv()
+	err := env.Run("frobnicate")
+	var ee *ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("error = %v", err)
+	}
+	if !strings.Contains(err.Error(), "command not found") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestComments(t *testing.T) {
+	env := newEnv()
+	script := `
+# full-line comment
+echo visible # trailing comment
+echo 'kept # inside quotes'
+`
+	if err := env.Run(script); err != nil {
+		t.Fatal(err)
+	}
+	out := env.Stdout.String()
+	if !strings.Contains(out, "visible\n") {
+		t.Errorf("stdout = %q", out)
+	}
+	if !strings.Contains(out, "kept # inside quotes") {
+		t.Errorf("quoted hash stripped: %q", out)
+	}
+}
+
+func TestPkgInstall(t *testing.T) {
+	env := newEnv()
+	env.Repo = pkgmgr.Universe()
+	if err := env.Run("pkg install jdk"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(env.Stdout.String(), "installed jdk-11.0.2") {
+		t.Errorf("install output = %q", env.Stdout.String())
+	}
+	if !env.FS.Exists("/usr/lib/jvm/java-11/bin/java") {
+		t.Error("jdk payload missing")
+	}
+}
+
+func TestPkgInstallPinnedVersion(t *testing.T) {
+	env := newEnv()
+	env.Repo = pkgmgr.Universe()
+	if err := env.Run("pkg install jdk=8.0.181"); err != nil {
+		t.Fatal(err)
+	}
+	if !env.FS.Exists("/usr/lib/jvm/java-8/bin/java") {
+		t.Error("pinned jdk payload missing")
+	}
+}
+
+func TestPkgInstallFailureSurfacesConflict(t *testing.T) {
+	env := newEnv()
+	repo := pkgmgr.Universe().Clone("stripped")
+	repo.RemoveVersion(pkgmgr.PkgVisToolkit, pkgmgr.V(2, 3, 0))
+	env.Repo = repo
+	err := env.Run("pkg install gpanalyser")
+	if err == nil {
+		t.Fatal("install resolved against stripped repo")
+	}
+	if !strings.Contains(err.Error(), "vis-toolkit") {
+		t.Errorf("conflict not named: %v", err)
+	}
+}
+
+func TestAptGetAlias(t *testing.T) {
+	env := newEnv()
+	env.Repo = pkgmgr.Universe()
+	if err := env.Run("apt-get install -y x11-libs"); err != nil {
+		t.Fatal(err)
+	}
+	if !env.FS.Exists("/usr/lib/libX11.so") {
+		t.Error("apt-get alias did not install")
+	}
+}
+
+func TestPrivilegeEscalationPolicy(t *testing.T) {
+	// Singularity model: escalation denied.
+	env := newEnv()
+	env.User = "alice"
+	env.AllowEscalation = false
+	if err := env.Run("sudo whoami"); err == nil {
+		t.Error("escalation allowed under Singularity model")
+	}
+	if err := env.Run("whoami"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(env.Stdout.String(), "alice") {
+		t.Errorf("whoami = %q", env.Stdout.String())
+	}
+	// Docker model: escalation allowed, and reverts after the command.
+	env2 := newEnv()
+	env2.User = "alice"
+	env2.AllowEscalation = true
+	if err := env2.Run("sudo whoami"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(env2.Stdout.String(), "root") {
+		t.Errorf("sudo whoami = %q", env2.Stdout.String())
+	}
+	if env2.User != "alice" {
+		t.Errorf("user after sudo = %q", env2.User)
+	}
+}
+
+func TestUnterminatedQuote(t *testing.T) {
+	env := newEnv()
+	if err := env.Run(`echo "oops`); err == nil {
+		t.Error("unterminated quote accepted")
+	}
+}
+
+func TestExitBuiltin(t *testing.T) {
+	env := newEnv()
+	if err := env.Run("exit 0"); err != nil {
+		t.Errorf("exit 0 errored: %v", err)
+	}
+	err := env.Run("exit 3")
+	var ee *ExitError
+	if !errors.As(err, &ee) || ee.Status != 3 {
+		t.Errorf("exit 3 = %v", err)
+	}
+}
+
+func TestTraceRecordsCommands(t *testing.T) {
+	env := newEnv()
+	env.Run("echo a\nmkdir /d")
+	if len(env.Trace) != 2 || !strings.HasPrefix(env.Trace[0], "echo") || !strings.HasPrefix(env.Trace[1], "mkdir") {
+		t.Errorf("trace = %v", env.Trace)
+	}
+}
+
+func TestLs(t *testing.T) {
+	env := newEnv()
+	env.FS.Mkdir("/d", 0o755)
+	env.FS.WriteFile("/d/b", nil, 0o644)
+	env.FS.WriteFile("/d/a", nil, 0o644)
+	if err := env.Run("ls /d"); err != nil {
+		t.Fatal(err)
+	}
+	if env.Stdout.String() != "a\nb\n" {
+		t.Errorf("ls = %q", env.Stdout.String())
+	}
+}

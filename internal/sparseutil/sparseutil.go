@@ -1,0 +1,15 @@
+// Package sparseutil holds tiny numeric helpers shared by the solver
+// packages.
+package sparseutil
+
+// Clamp01 clamps x into [0, 1], absorbing floating-point slack at the
+// boundaries of probability computations.
+func Clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

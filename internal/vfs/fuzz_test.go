@@ -1,0 +1,43 @@
+package vfs
+
+import "testing"
+
+// FuzzUnmarshalTar checks the tar reader never panics on corrupt input and
+// that valid round trips are lossless.
+func FuzzUnmarshalTar(f *testing.F) {
+	mk := func(build func(fs *FS)) []byte {
+		fs := New()
+		build(fs)
+		blob, err := fs.MarshalTar()
+		if err != nil {
+			panic(err)
+		}
+		return blob
+	}
+	f.Add([]byte{})
+	f.Add([]byte("not a tar"))
+	f.Add(mk(func(fs *FS) {}))
+	f.Add(mk(func(fs *FS) {
+		fs.MkdirAll("/a/b", 0o750)
+		fs.WriteFile("/a/b/c", []byte("data"), 0o640)
+		fs.Symlink("c", "/a/b/link")
+	}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fs, err := UnmarshalTar(data)
+		if err != nil {
+			return
+		}
+		// Anything that unmarshals must re-marshal and round-trip.
+		blob, err := fs.MarshalTar()
+		if err != nil {
+			t.Fatalf("remarshal failed: %v", err)
+		}
+		back, err := UnmarshalTar(blob)
+		if err != nil {
+			t.Fatalf("re-unmarshal failed: %v", err)
+		}
+		if !Equal(fs, back) {
+			t.Fatal("canonical round trip not stable")
+		}
+	})
+}

@@ -1,0 +1,345 @@
+package vfs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestMkdirAndWrite(t *testing.T) {
+	fs := New()
+	if err := fs.Mkdir("/etc", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/etc/hosts", []byte("127.0.0.1 localhost\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fs.ReadFile("/etc/hosts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "127.0.0.1 localhost\n" {
+		t.Errorf("content = %q", data)
+	}
+}
+
+func TestMkdirMissingParent(t *testing.T) {
+	fs := New()
+	if err := fs.Mkdir("/a/b", 0o755); err == nil {
+		t.Error("Mkdir with missing parent succeeded")
+	}
+	if err := fs.MkdirAll("/a/b/c", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if !fs.Exists("/a/b") {
+		t.Error("MkdirAll did not create intermediate directory")
+	}
+}
+
+func TestMkdirAllOverFileFails(t *testing.T) {
+	fs := New()
+	if err := fs.WriteFile("/x", nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.MkdirAll("/x/y", 0o755); err == nil {
+		t.Error("MkdirAll through a file succeeded")
+	}
+}
+
+func TestWriteFileErrors(t *testing.T) {
+	fs := New()
+	if err := fs.WriteFile("/nodir/f", nil, 0o644); err == nil {
+		t.Error("write into missing directory succeeded")
+	}
+	if err := fs.WriteFile("/", nil, 0o644); err == nil {
+		t.Error("write over root succeeded")
+	}
+}
+
+func TestAppendFile(t *testing.T) {
+	fs := New()
+	if err := fs.AppendFile("/log", []byte("a"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.AppendFile("/log", []byte("b"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := fs.ReadFile("/log")
+	if string(data) != "ab" {
+		t.Errorf("append result = %q", data)
+	}
+}
+
+func TestSymlinkResolution(t *testing.T) {
+	fs := New()
+	if err := fs.MkdirAll("/opt/app-1.0", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/opt/app-1.0/bin", []byte("binary"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Symlink("app-1.0", "/opt/app"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fs.ReadFile("/opt/app/bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "binary" {
+		t.Errorf("through-symlink read = %q", data)
+	}
+	// Lstat must see the link itself.
+	n, err := fs.Lstat("/opt/app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Kind != KindSymlink || n.Target != "app-1.0" {
+		t.Errorf("Lstat = %+v", n)
+	}
+}
+
+func TestAbsoluteSymlink(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("/usr/lib/jvm/java-8", 0o755)
+	fs.WriteFile("/usr/lib/jvm/java-8/javac", []byte("x"), 0o755)
+	if err := fs.Symlink("/usr/lib/jvm/java-8", "/etc/alternatives"); err == nil {
+		// /etc missing; must fail.
+		t.Error("symlink into missing parent succeeded")
+	}
+	fs.Mkdir("/etc", 0o755)
+	if err := fs.Symlink("/usr/lib/jvm/java-8", "/etc/jvm"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ReadFile("/etc/jvm/javac"); err != nil {
+		t.Errorf("absolute symlink resolution failed: %v", err)
+	}
+}
+
+func TestSymlinkLoop(t *testing.T) {
+	fs := New()
+	if err := fs.Symlink("/b", "/a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Symlink("/a", "/b"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := fs.ReadFile("/a")
+	if !errors.Is(err, ErrLinkLoop) {
+		t.Errorf("loop error = %v", err)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("/d/e", 0o755)
+	fs.WriteFile("/d/e/f", nil, 0o644)
+	if err := fs.Remove("/d/e"); !errors.Is(err, ErrNotEmpty) {
+		t.Errorf("removing non-empty dir: %v", err)
+	}
+	if err := fs.Remove("/d/e/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("/d/e"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("/d/e") {
+		t.Error("directory still exists after Remove")
+	}
+	if err := fs.Remove("/"); err == nil {
+		t.Error("removing root succeeded")
+	}
+}
+
+func TestRemoveAll(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("/tree/a/b", 0o755)
+	fs.WriteFile("/tree/a/b/c", []byte("x"), 0o644)
+	if err := fs.RemoveAll("/tree"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("/tree/a/b/c") || fs.Exists("/tree") {
+		t.Error("RemoveAll left nodes behind")
+	}
+}
+
+func TestReadDirSorted(t *testing.T) {
+	fs := New()
+	fs.Mkdir("/d", 0o755)
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		fs.WriteFile("/d/"+name, nil, 0o644)
+	}
+	fs.Mkdir("/d/sub", 0o755)
+	fs.WriteFile("/d/sub/inner", nil, 0o644)
+	names, err := fs.ReadDir("/d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"alpha", "mid", "sub", "zeta"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("names[%d] = %q, want %q", i, names[i], want[i])
+		}
+	}
+	if _, err := fs.ReadDir("/d/alpha"); !errors.Is(err, ErrNotDir) {
+		t.Errorf("ReadDir on file: %v", err)
+	}
+}
+
+func TestRootReadDir(t *testing.T) {
+	fs := New()
+	fs.Mkdir("/bin", 0o755)
+	fs.Mkdir("/usr", 0o755)
+	names, err := fs.ReadDir("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "bin" || names[1] != "usr" {
+		t.Errorf("root listing = %v", names)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	fs := New()
+	fs.WriteFile("/f", []byte("orig"), 0o644)
+	c := fs.Clone()
+	c.WriteFile("/f", []byte("changed"), 0o644)
+	data, _ := fs.ReadFile("/f")
+	if string(data) != "orig" {
+		t.Error("Clone shares data with original")
+	}
+	if !Equal(fs, fs.Clone()) {
+		t.Error("clone not Equal to original")
+	}
+}
+
+func TestCopyInto(t *testing.T) {
+	src := New()
+	src.MkdirAll("/pkg/bin", 0o755)
+	src.WriteFile("/pkg/bin/tool", []byte("#!run"), 0o755)
+	src.WriteFile("/pkg/README", []byte("doc"), 0o644)
+	dst := New()
+	if err := src.CopyInto(dst, "/pkg", "/opt/pkg"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := dst.ReadFile("/opt/pkg/bin/tool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "#!run" {
+		t.Errorf("copied content = %q", data)
+	}
+	// Single file copy.
+	if err := src.CopyInto(dst, "/pkg/README", "/docs/README"); err != nil {
+		t.Fatal(err)
+	}
+	if !dst.Exists("/docs/README") {
+		t.Error("single-file CopyInto failed")
+	}
+}
+
+func TestTarRoundTrip(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("/etc/app", 0o750)
+	fs.WriteFile("/etc/app/conf", []byte("key=value\n"), 0o600)
+	fs.Symlink("conf", "/etc/app/conf.link")
+	fs.WriteFile("/bin", []byte{0, 1, 2, 255}, 0o755)
+	blob, err := fs.MarshalTar()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalTar(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(fs, back) {
+		t.Error("tar round trip changed filesystem")
+	}
+}
+
+func TestTarDeterminism(t *testing.T) {
+	build := func(order []string) []byte {
+		fs := New()
+		fs.Mkdir("/d", 0o755)
+		for _, n := range order {
+			fs.WriteFile("/d/"+n, []byte(n), 0o644)
+		}
+		blob, err := fs.MarshalTar()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob
+	}
+	a := build([]string{"x", "y", "z"})
+	b := build([]string{"z", "x", "y"})
+	if !bytes.Equal(a, b) {
+		t.Error("tar serialization depends on insertion order")
+	}
+}
+
+func TestTarRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := seed
+		next := func(n int) int {
+			s = s*6364136223846793005 + 1442695040888963407
+			return int((s >> 33) % uint64(n))
+		}
+		fs := New()
+		dirs := []string{"/", "/a", "/a/b", "/c"}
+		fs.MkdirAll("/a/b", 0o755)
+		fs.MkdirAll("/c", 0o755)
+		for i := 0; i < 10; i++ {
+			d := dirs[next(len(dirs))]
+			name := string(rune('f' + i))
+			content := make([]byte, next(64))
+			for j := range content {
+				content[j] = byte(next(256))
+			}
+			if err := fs.WriteFile(d+"/"+name, content, uint32(0o600+next(0o200))); err != nil {
+				return false
+			}
+		}
+		blob, err := fs.MarshalTar()
+		if err != nil {
+			return false
+		}
+		back, err := UnmarshalTar(blob)
+		if err != nil {
+			return false
+		}
+		return Equal(fs, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSizeAndTotalBytes(t *testing.T) {
+	fs := New()
+	fs.Mkdir("/d", 0o755)
+	fs.WriteFile("/d/a", make([]byte, 100), 0o644)
+	fs.WriteFile("/d/b", make([]byte, 23), 0o644)
+	if fs.Size() != 4 { // root, /d, two files
+		t.Errorf("Size = %d, want 4", fs.Size())
+	}
+	if fs.TotalBytes() != 123 {
+		t.Errorf("TotalBytes = %d, want 123", fs.TotalBytes())
+	}
+}
+
+func TestCleanPaths(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("/a/b", 0o755)
+	fs.WriteFile("/a/b/f", []byte("x"), 0o644)
+	for _, p := range []string{"/a//b/f", "/a/./b/f", "/a/b/../b/f", "a/b/f"} {
+		if _, err := fs.ReadFile(p); err != nil {
+			t.Errorf("ReadFile(%q): %v", p, err)
+		}
+	}
+	if _, err := Clean(""); err == nil {
+		t.Error("empty path accepted")
+	}
+}
