@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench repro fuzz goldens clean
+.PHONY: all build vet test race bench repro chaos fuzz goldens clean
 
 all: build vet test
 
@@ -26,6 +26,13 @@ bench:
 # Regenerate every table and figure of the paper into ./out.
 repro:
 	$(GO) run ./cmd/repro -outdir out
+
+# Chaos suite: the fault-injection round trips (fixed seeds, so failures
+# replay exactly), then the Fig 6 pulls under a seeded fault plan.
+chaos:
+	$(GO) test -count=1 -run 'TestChaos|TestBreaker|TestClassify|TestValidationMatrix|TestPushAllPartial|TestFormatMatrixPartial' ./internal/hub ./internal/core ./cmd/repro
+	$(GO) test -count=1 ./internal/faultinject
+	$(GO) run ./cmd/repro -only chaos -chaos-seed 42
 
 # Run each fuzz target briefly (seeds always run under plain `make test`).
 fuzz:

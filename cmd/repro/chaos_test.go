@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestChaosExperimentDeterministic runs the chaos experiment twice with
+// the same seed: all pulls must converge to the right digests and the
+// two outputs — fault-plan decisions, client attempt log, backoffs,
+// breaker state — must be byte-identical.
+func TestChaosExperimentDeterministic(t *testing.T) {
+	run := func() string {
+		out, err := runCmd(t, "-only", "chaos", "-chaos-seed", "42")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("chaos outputs differ for the same seed:\n%s\n--- vs ---\n%s", a, b)
+	}
+	if strings.Count(a, "digest-ok=true") != 3 {
+		t.Errorf("not all pulls converged to the right digest:\n%s", a)
+	}
+	for _, want := range []string{
+		"fault plan decisions:",
+		"-> inject conn-error",
+		"-> inject status 503",
+		"-> inject corrupt",
+		"client attempt log:",
+		"transport error (transient)",
+		"breaker state after run: closed",
+	} {
+		if !strings.Contains(a, want) {
+			t.Errorf("chaos output missing %q:\n%s", want, a)
+		}
+	}
+}
+
+// TestChaosOffByDefault: without -chaos-seed the chaos experiment is
+// not registered, so -only chaos runs nothing.
+func TestChaosOffByDefault(t *testing.T) {
+	out, err := runCmd(t, "-only", "chaos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "==== chaos") {
+		t.Errorf("chaos experiment ran without -chaos-seed:\n%s", out)
+	}
+}

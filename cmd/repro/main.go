@@ -22,8 +22,10 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/hostenv"
 	"repro/internal/hub"
 	"repro/internal/robustness"
@@ -101,6 +103,7 @@ func experiments() []experiment {
 func run() error {
 	only := flag.String("only", "", "run a single experiment by name")
 	outdir := flag.String("outdir", "", "also write each experiment's output to DIR/<name>.txt")
+	chaosSeed := flag.Uint64("chaos-seed", 0, "run the Fig 6 hub experiment under a seeded fault plan (0 = off)")
 	flag.Parse()
 
 	st, err := newState()
@@ -108,7 +111,15 @@ func run() error {
 		return err
 	}
 	defer st.hubSrv.Close()
-	for _, ex := range experiments() {
+	exps := experiments()
+	if *chaosSeed != 0 {
+		seed := *chaosSeed
+		exps = append(exps, experiment{
+			"chaos", "resilience: Fig 6 hub pulls under injected faults",
+			func(st *state) (string, error) { return chaos(st, seed) },
+		})
+	}
+	for _, ex := range exps {
 		if *only != "" && ex.name != *only {
 			continue
 		}
@@ -221,6 +232,50 @@ func fig6(st *state) (string, error) {
 		}
 		fmt.Fprintf(&b, "  pulled %s  digest-ok=%v\n", img.Ref(), d == st.digests[tool])
 	}
+	return b.String(), nil
+}
+
+// chaos re-runs the Fig 6 pulls against a fresh hub whose client
+// transport injects a deterministic fault plan: fail the first pull
+// with a connection error, then a 503, then a digest-corrupting bit
+// flip — so every transient class and the corrupt re-pull path is
+// exercised. Every digest still verifies, and the whole output
+// (decisions, attempt log, digests) is byte-identical for a fixed seed.
+func chaos(st *state, seed uint64) (string, error) {
+	srv := hub.NewServer(hub.NewStore())
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	defer srv.Close()
+	setup := hub.NewClient("http://" + addr)
+	digests, err := st.fw.PushAll(setup, st.builds)
+	if err != nil {
+		return "", err
+	}
+	match := "GET /v1/" + st.fw.Collection + "/"
+	plan := faultinject.NewPlan(seed,
+		faultinject.Rule{Match: match, Kind: faultinject.KindConn, First: 1},
+		faultinject.Rule{Match: match, Kind: faultinject.KindStatus, Status: 503, First: 1},
+		faultinject.Rule{Match: match, Kind: faultinject.KindCorrupt, First: 1},
+	)
+	client := hub.NewClientWithOptions("http://"+addr, hub.ClientOptions{
+		Retry:      hub.RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond},
+		JitterSeed: seed,
+		Transport:  plan.Transport(nil),
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "pulling each container under fault plan (seed %d):\n", seed)
+	for _, tool := range core.Tools() {
+		img, d, err := client.Pull(st.fw.Collection, string(tool), "latest", digests[tool])
+		if err != nil {
+			return "", fmt.Errorf("chaos pull of %s: %w", tool, err)
+		}
+		fmt.Fprintf(&b, "  pulled %s  digest-ok=%v\n", img.Ref(), d == digests[tool])
+	}
+	b.WriteString("fault plan decisions:\n  " + strings.Join(plan.Log(), "\n  ") + "\n")
+	b.WriteString("client attempt log:\n  " + strings.Join(client.AttemptLog(), "\n  ") + "\n")
+	fmt.Fprintf(&b, "breaker state after run: %s\n", client.Breaker().State())
 	return b.String(), nil
 }
 

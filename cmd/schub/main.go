@@ -19,8 +19,10 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/hub"
 	"repro/internal/image"
 )
@@ -49,8 +51,18 @@ func run() error {
 	autobuild := fs.Bool("autobuild", false, "serve: build pushed recipes server-side")
 	recipePath := fs.String("recipe", "", "build: definition file to submit")
 	statePath := fs.String("state", "", "serve: persist the registry to this directory (loaded on start, saved on shutdown)")
+	timeout := fs.Duration("timeout", 30*time.Second, "client: per-request HTTP timeout")
+	retries := fs.Int("retries", 4, "client: total attempt budget per operation")
+	faultSpec := fs.String("fault-spec", "", "serve: inject faults per this spec (e.g. \"503:2,corrupt\"); chaos testing only")
+	faultSeed := fs.Uint64("fault-seed", 1, "serve: seed for the -fault-spec plan")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		return err
+	}
+	client := func() *hub.Client {
+		return hub.NewClientWithOptions(*hubURL, hub.ClientOptions{
+			Timeout: *timeout,
+			Retry:   hub.RetryPolicy{MaxAttempts: *retries},
+		})
 	}
 
 	switch cmd {
@@ -65,6 +77,14 @@ func run() error {
 			fmt.Printf("registry state: %s (%d collections)\n", *statePath, len(store.Collections()))
 		}
 		srv := hub.NewServer(store)
+		if *faultSpec != "" {
+			rules, err := faultinject.ParseSpec(*faultSpec)
+			if err != nil {
+				return err
+			}
+			srv.EnableFaults(faultinject.NewPlan(*faultSeed, rules...))
+			fmt.Printf("fault injection enabled: %s (seed %d)\n", *faultSpec, *faultSeed)
+		}
 		if *autobuild {
 			builder, err := core.New().NewHubBuilder()
 			if err != nil {
@@ -101,7 +121,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		d, err := hub.NewClient(*hubURL).Push(*collection, img)
+		d, err := client().Push(*collection, img)
 		if err != nil {
 			return err
 		}
@@ -111,7 +131,7 @@ func run() error {
 		if *name == "" {
 			return fmt.Errorf("-name is required")
 		}
-		img, d, err := hub.NewClient(*hubURL).Pull(*collection, *name, *tag, *digest)
+		img, d, err := client().Pull(*collection, *name, *tag, *digest)
 		if err != nil {
 			return err
 		}
@@ -136,15 +156,15 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		d, err := hub.NewClient(*hubURL).RemoteBuild(*collection, *name, *tag, string(src))
+		d, err := client().RemoteBuild(*collection, *name, *tag, string(src))
 		if err != nil {
 			return err
 		}
 		fmt.Printf("hub built %s:%s from %s\ndigest: %s\n", *name, *tag, *recipePath, d)
 		return nil
 	case "list":
-		client := hub.NewClient(*hubURL)
-		entries, err := client.List(*collection)
+		c := client()
+		entries, err := c.List(*collection)
 		if err != nil {
 			return err
 		}

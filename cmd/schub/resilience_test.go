@@ -1,0 +1,73 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/hub"
+)
+
+// faultyHub starts a hub whose handler is wrapped in the given spec's
+// fault plan — the server-side of `schub serve -fault-spec`.
+func faultyHub(t *testing.T, spec string) string {
+	t.Helper()
+	rules, err := faultinject.ParseSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := hub.NewServer(hub.NewStore())
+	srv.EnableFaults(faultinject.NewPlan(1, rules...))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return "http://" + addr
+}
+
+// TestClientRetriesAgainstFaultyHub: the CLI client's -retries budget
+// rides out a 503 on push and another on pull.
+func TestClientRetriesAgainstFaultyHub(t *testing.T) {
+	hubURL := faultyHub(t, "503:1,503:1@GET")
+	img := buildImageFile(t)
+	out, err := runCmd(t, "push", "-hub", hubURL, "-collection", "cc", "-image", img, "-retries", "3")
+	if err != nil {
+		t.Fatalf("push did not ride out the 503: %v", err)
+	}
+	if !strings.Contains(out, "digest: sha256:") {
+		t.Errorf("push output = %q", out)
+	}
+	target := filepath.Join(t.TempDir(), "out.scif")
+	out, err = runCmd(t, "pull", "-hub", hubURL, "-collection", "cc", "-name", "pepa", "-o", target, "-retries", "3")
+	if err != nil {
+		t.Fatalf("pull did not ride out the 503: %v", err)
+	}
+	if !strings.Contains(out, "pulled pepa:latest") {
+		t.Errorf("pull output = %q", out)
+	}
+}
+
+// TestRetriesExhausted: a persistent fault plan defeats a one-attempt
+// client, and the error mentions the attempt budget.
+func TestRetriesExhausted(t *testing.T) {
+	hubURL := faultyHub(t, "503:100")
+	img := buildImageFile(t)
+	_, err := runCmd(t, "push", "-hub", hubURL, "-collection", "cc", "-image", img, "-retries", "2")
+	if err == nil {
+		t.Fatal("push against a dead hub succeeded")
+	}
+	if !strings.Contains(err.Error(), "failed after 2 attempts") {
+		t.Errorf("err = %v, want attempt budget in message", err)
+	}
+}
+
+// TestServeRejectsBadFaultSpec: an unparsable -fault-spec errors out
+// before the server binds.
+func TestServeRejectsBadFaultSpec(t *testing.T) {
+	_, err := runCmd(t, "serve", "-addr", "127.0.0.1:0", "-fault-spec", "explode-randomly")
+	if err == nil || !strings.Contains(err.Error(), "unknown fault kind") {
+		t.Errorf("err = %v, want fault-spec parse error", err)
+	}
+}

@@ -179,21 +179,34 @@ func (f *Framework) BuildAll(host *hostenv.Host) (map[Tool]*runtime.BuildResult,
 	return out, nil
 }
 
-// PushAll pushes built images to a hub, returning digests by tool.
+// PushAll pushes built images to a hub, returning digests by tool. It
+// degrades gracefully: every tool is attempted (panics included — the
+// pool supervises them), and on failure the partial digest map is
+// returned together with a *par.MultiError aggregating every per-tool
+// failure.
 func (f *Framework) PushAll(client *hub.Client, builds map[Tool]*runtime.BuildResult) (map[Tool]string, error) {
-	digests := map[Tool]string{}
-	for _, t := range Tools() {
+	tools := Tools()
+	perTool := make([]string, len(tools))
+	err := par.ForEachOpt(len(tools), par.Options{}, func(i int) error {
+		t := tools[i]
 		b, ok := builds[t]
 		if !ok {
-			return nil, fmt.Errorf("core: no build for %s", t)
+			return fmt.Errorf("core: no build for %s", t)
 		}
 		d, err := client.Push(f.Collection, b.Image)
 		if err != nil {
-			return nil, fmt.Errorf("core: pushing %s: %w", t, err)
+			return fmt.Errorf("core: pushing %s: %w", t, err)
 		}
-		digests[t] = d
+		perTool[i] = d
+		return nil
+	})
+	digests := map[Tool]string{}
+	for i, t := range tools {
+		if perTool[i] != "" {
+			digests[t] = perTool[i]
+		}
 	}
-	return digests, nil
+	return digests, err
 }
 
 // modelDir is where Validate places model files on the host, bound to
@@ -288,6 +301,20 @@ func (f *Framework) ValidateWithFiles(t Tool, host *hostenv.Host, img *image.Ima
 	}, nil
 }
 
+// FailureClass tags a failed matrix cell with the retry taxonomy of
+// docs/RESILIENCE.md.
+type FailureClass string
+
+const (
+	// FailureTransient cells failed on infrastructure weather
+	// (connection errors, 5xx, corrupt transfers) and may pass on a
+	// re-run.
+	FailureTransient FailureClass = "transient"
+	// FailureDeterministic cells will fail identically every run
+	// (bad configuration, malformed images, panics).
+	FailureDeterministic FailureClass = "deterministic"
+)
+
 // MatrixEntry is one cell of the cross-platform validation matrix.
 type MatrixEntry struct {
 	Tool   Tool
@@ -302,6 +329,31 @@ type MatrixEntry struct {
 	// host's own repository would have succeeded (the motivation column).
 	NativeInstallOK bool
 	NativeErr       string
+	// Err, when non-empty, records why this cell could not be computed;
+	// the matrix run continues past it (partial report).
+	Err string
+	// FailureClass classifies Err as transient vs deterministic.
+	FailureClass FailureClass
+	// Attempts is the hub client's attempt log for this cell's pull,
+	// when the failure happened in the distribution layer.
+	Attempts []string
+}
+
+// Failed reports whether the cell could not be computed.
+func (e *MatrixEntry) Failed() bool { return e.Err != "" }
+
+// failCell marks an entry as failed, classifying the error and, for hub
+// failures, attaching the relevant slice of the client attempt log.
+func failCell(entry MatrixEntry, client *hub.Client, op string, err error) MatrixEntry {
+	entry.Err = err.Error()
+	entry.FailureClass = FailureDeterministic
+	if hub.Classify(err) == hub.ClassTransient {
+		entry.FailureClass = FailureTransient
+	}
+	if client != nil && op != "" {
+		entry.Attempts = client.AttemptsMatching(op)
+	}
+	return entry
 }
 
 // ValidationMatrix reproduces the §III experiment: build all containers on
@@ -309,6 +361,12 @@ type MatrixEntry struct {
 // digest verification) and run the canned example model, comparing output
 // against the build host's run. It also records whether a native install
 // would have succeeded on each profile.
+//
+// The matrix degrades gracefully under partial failure: a failing push,
+// pull, run, or even a panicking task yields a classified MatrixEntry
+// (transient vs deterministic, with the hub attempt log) while the rest
+// of the matrix completes. Only build-host setup failures — without
+// which there is nothing to compare against — abort the whole run.
 func (f *Framework) ValidationMatrix(client *hub.Client) ([]MatrixEntry, error) {
 	builder, err := hostenv.ByName(hostenv.BuildHost)
 	if err != nil {
@@ -321,9 +379,17 @@ func (f *Framework) ValidationMatrix(client *hub.Client) ([]MatrixEntry, error) 
 	if err != nil {
 		return nil, err
 	}
-	digests, err := f.PushAll(client, builds)
-	if err != nil {
-		return nil, err
+	// Push serially so the hub attempt log stays in tool order; failures
+	// are recorded per tool instead of aborting.
+	digests := map[Tool]string{}
+	toolErr := map[Tool]error{}
+	for _, t := range Tools() {
+		d, err := client.Push(f.Collection, builds[t].Image)
+		if err != nil {
+			toolErr[t] = fmt.Errorf("core: pushing %s: %w", t, err)
+			continue
+		}
+		digests[t] = d
 	}
 	// Reference outputs from the build host.
 	reference := map[Tool]string{}
@@ -331,6 +397,9 @@ func (f *Framework) ValidationMatrix(client *hub.Client) ([]MatrixEntry, error) 
 		return nil, err
 	}
 	for _, t := range Tools() {
+		if toolErr[t] != nil {
+			continue
+		}
 		ex := ExampleModel(t)
 		if err := builder.FS.WriteFile(hostModelDir+"/"+ex.Name, []byte(ex.Source), 0o644); err != nil {
 			return nil, err
@@ -341,57 +410,36 @@ func (f *Framework) ValidationMatrix(client *hub.Client) ([]MatrixEntry, error) 
 			Binds:     []runtime.Bind{{HostPath: hostModelDir, ContainerPath: containerModelDir}},
 		})
 		if err != nil {
-			return nil, fmt.Errorf("core: reference run of %s: %w", t, err)
+			toolErr[t] = fmt.Errorf("core: reference run of %s: %w", t, err)
+			continue
 		}
 		reference[t] = run.Stdout
 	}
 	// The host profiles are independent (each gets a fresh filesystem and
 	// its own pulls over the concurrency-safe HTTP client), so the matrix
 	// rows compute in parallel — one worker per host, rows assembled in
-	// profile order.
+	// profile order. The per-host fn never returns an error: every
+	// failure lands in its cell.
 	names := hostenv.Names()
 	perHost, err := par.Map(len(names), 0, func(h int) ([]MatrixEntry, error) {
 		name := names[h]
-		host, err := hostenv.ByName(name)
-		if err != nil {
-			return nil, err
+		rows := make([]MatrixEntry, 0, len(Tools()))
+		host, herr := hostenv.ByName(name)
+		if herr == nil {
+			if ierr := host.InstallSingularity(); ierr != nil {
+				herr = fmt.Errorf("core: installing runtime on %s: %w", name, ierr)
+			}
 		}
-		if err := host.InstallSingularity(); err != nil {
-			return nil, fmt.Errorf("core: installing runtime on %s: %w", name, err)
-		}
-		var rows []MatrixEntry
 		for _, t := range Tools() {
 			entry := MatrixEntry{Tool: t, Host: name}
-			pkg, _ := t.Package()
-			probe := host.Clone()
-			if nerr := probe.NativeInstall(pkg); nerr != nil {
-				entry.NativeErr = nerr.Error()
-			} else {
-				entry.NativeInstallOK = true
+			switch {
+			case herr != nil:
+				rows = append(rows, failCell(entry, nil, "", herr))
+			case toolErr[t] != nil:
+				rows = append(rows, failCell(entry, nil, "", toolErr[t]))
+			default:
+				rows = append(rows, f.matrixCell(client, host, name, t, digests[t], reference[t]))
 			}
-			img, gotDigest, err := client.Pull(f.Collection, string(t), "latest", digests[t])
-			if err != nil {
-				return nil, fmt.Errorf("core: pulling %s on %s: %w", t, name, err)
-			}
-			entry.Digest = gotDigest
-			entry.DigestMatch = gotDigest == digests[t]
-			ex := ExampleModel(t)
-			if err := host.FS.MkdirAll(hostModelDir, 0o755); err != nil {
-				return nil, err
-			}
-			if err := host.FS.WriteFile(hostModelDir+"/"+ex.Name, []byte(ex.Source), 0o644); err != nil {
-				return nil, err
-			}
-			run, err := f.Engine.Run(img, host, runtime.RunOptions{
-				Isolation: runtime.IsolationSingularity,
-				Args:      append([]string{containerModelDir + "/" + ex.Name}, ex.Args...),
-				Binds:     []runtime.Bind{{HostPath: hostModelDir, ContainerPath: containerModelDir}},
-			})
-			if err != nil {
-				return nil, fmt.Errorf("core: running %s on %s: %w", t, name, err)
-			}
-			entry.OutputMatch = run.Stdout == reference[t]
-			rows = append(rows, entry)
 		}
 		return rows, nil
 	})
@@ -405,16 +453,75 @@ func (f *Framework) ValidationMatrix(client *hub.Client) ([]MatrixEntry, error) 
 	return out, nil
 }
 
-// FormatMatrix renders the validation matrix as a text table.
+// matrixCell computes one (host, tool) cell. It is panic-supervised:
+// a panicking pull or run yields a deterministic-classified failure
+// entry instead of killing the matrix worker.
+func (f *Framework) matrixCell(client *hub.Client, host *hostenv.Host, hostName string, t Tool, wantDigest, reference string) (entry MatrixEntry) {
+	entry = MatrixEntry{Tool: t, Host: hostName}
+	defer func() {
+		if r := recover(); r != nil {
+			entry.Err = fmt.Sprintf("panic: %v", r)
+			entry.FailureClass = FailureDeterministic
+		}
+	}()
+	pkg, _ := t.Package()
+	probe := host.Clone()
+	if nerr := probe.NativeInstall(pkg); nerr != nil {
+		entry.NativeErr = nerr.Error()
+	} else {
+		entry.NativeInstallOK = true
+	}
+	pullOp := fmt.Sprintf("pull %s/%s:latest", f.Collection, t)
+	img, gotDigest, err := client.Pull(f.Collection, string(t), "latest", wantDigest)
+	if err != nil {
+		return failCell(entry, client, pullOp, fmt.Errorf("core: pulling %s on %s: %w", t, hostName, err))
+	}
+	entry.Digest = gotDigest
+	entry.DigestMatch = gotDigest == wantDigest
+	ex := ExampleModel(t)
+	if err := host.FS.MkdirAll(hostModelDir, 0o755); err != nil {
+		return failCell(entry, nil, "", err)
+	}
+	if err := host.FS.WriteFile(hostModelDir+"/"+ex.Name, []byte(ex.Source), 0o644); err != nil {
+		return failCell(entry, nil, "", err)
+	}
+	run, err := f.Engine.Run(img, host, runtime.RunOptions{
+		Isolation: runtime.IsolationSingularity,
+		Args:      append([]string{containerModelDir + "/" + ex.Name}, ex.Args...),
+		Binds:     []runtime.Bind{{HostPath: hostModelDir, ContainerPath: containerModelDir}},
+	})
+	if err != nil {
+		return failCell(entry, nil, "", fmt.Errorf("core: running %s on %s: %w", t, hostName, err))
+	}
+	entry.OutputMatch = run.Stdout == reference
+	return entry
+}
+
+// FormatMatrix renders the validation matrix as a text table. Cells
+// that could not be computed render ERR columns followed by indented
+// classification and attempt-log detail lines — the partial report.
 func FormatMatrix(entries []MatrixEntry) string {
 	var b strings.Builder
 	b.WriteString("host\ttool\tnative-install\tdigest-ok\toutput-ok\n")
+	failed := 0
 	for _, e := range entries {
 		native := "FAIL"
 		if e.NativeInstallOK {
 			native = "ok"
 		}
+		if e.Failed() {
+			failed++
+			fmt.Fprintf(&b, "%s\t%s\t%s\tERR\tERR\n", e.Host, e.Tool, native)
+			fmt.Fprintf(&b, "    !! %s failure: %s\n", e.FailureClass, e.Err)
+			for _, a := range e.Attempts {
+				fmt.Fprintf(&b, "       %s\n", a)
+			}
+			continue
+		}
 		fmt.Fprintf(&b, "%s\t%s\t%s\t%v\t%v\n", e.Host, e.Tool, native, e.DigestMatch, e.OutputMatch)
+	}
+	if failed > 0 {
+		fmt.Fprintf(&b, "partial report: %d/%d cells failed\n", failed, len(entries))
 	}
 	return b.String()
 }

@@ -1,0 +1,109 @@
+package ctmc
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// ring builds a unidirectional n-cycle with distinct rates, whose
+// stationary distribution is non-uniform (so no solver converges by
+// accident from the uniform initial guess).
+func ring(n int) *Chain {
+	rates := map[[2]int]float64{}
+	for i := 0; i < n; i++ {
+		rates[[2]int{i, (i + 1) % n}] = float64(i + 1)
+	}
+	return NewChain(n, rates)
+}
+
+// TestConvergenceErrorTrace starves every stage — one Gauss–Seidel
+// sweep, a handful of power iterations, a dense limit below n — and
+// asserts the structured escalation trace names all three.
+func TestConvergenceErrorTrace(t *testing.T) {
+	c := ring(10)
+	_, err := c.SteadyState(SteadyStateOptions{MaxIter: 1, DenseLimit: 5})
+	if err == nil {
+		t.Fatal("starved solver converged")
+	}
+	var ce *ConvergenceError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %T %v, want *ConvergenceError", err, err)
+	}
+	if ce.N != 10 || len(ce.Stages) != 3 {
+		t.Fatalf("trace = {N: %d, stages: %d}, want 10 and 3", ce.N, len(ce.Stages))
+	}
+	wantMethods := []string{"gauss-seidel", "power-iteration", "dense-lu"}
+	for i, s := range ce.Stages {
+		if s.Method != wantMethods[i] {
+			t.Errorf("stage %d = %q, want %q", i, s.Method, wantMethods[i])
+		}
+		if s.Err == "" {
+			t.Errorf("stage %q has no rejection reason", s.Method)
+		}
+	}
+	if !strings.Contains(ce.Stages[0].Err, "did not converge within 1 sweeps") {
+		t.Errorf("gauss-seidel reason = %q", ce.Stages[0].Err)
+	}
+	if ce.Stages[1].Iterations == 0 {
+		t.Error("power-iteration stage reports no work done")
+	}
+	if !strings.Contains(ce.Stages[2].Err, "exceeds dense fallback limit 5") {
+		t.Errorf("dense-lu reason = %q", ce.Stages[2].Err)
+	}
+	msg := ce.Error()
+	if !strings.Contains(msg, "steady-state failed on all 3 stages (n=10)") {
+		t.Errorf("message = %q", msg)
+	}
+	for _, m := range wantMethods {
+		if !strings.Contains(msg, m) {
+			t.Errorf("message missing stage %q:\n%s", m, msg)
+		}
+	}
+}
+
+// TestConvergenceErrorAbsorbingStage: an absorbing state is reported as
+// the Gauss–Seidel rejection reason when the whole escalation fails.
+func TestConvergenceErrorAbsorbingStage(t *testing.T) {
+	// States 0..3 feed forward into absorbing state 4; keep the budgets
+	// starved and the dense limit below n so every stage fails.
+	rates := map[[2]int]float64{}
+	for i := 0; i < 4; i++ {
+		rates[[2]int{i, i + 1}] = 1
+	}
+	c := NewChain(5, rates)
+	_, err := c.SteadyState(SteadyStateOptions{MaxIter: 1, DenseLimit: 2})
+	var ce *ConvergenceError
+	if !errors.As(err, &ce) {
+		// The starved power iteration may still converge to the absorbing
+		// distribution; that is a legitimate steady state.
+		if err != nil {
+			t.Fatalf("err = %T %v, want *ConvergenceError or success", err, err)
+		}
+		return
+	}
+	if !strings.Contains(ce.Stages[0].Err, "absorbing state") {
+		t.Errorf("gauss-seidel reason = %q, want absorbing-state diagnosis", ce.Stages[0].Err)
+	}
+}
+
+// TestSteadyStateStillSolvesWithSaneBudgets: the escalation machinery
+// must not change the happy path.
+func TestSteadyStateStillSolvesWithSaneBudgets(t *testing.T) {
+	c := ring(10)
+	pi, err := c.SteadyState(SteadyStateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stationary distribution of the cycle: pi_i proportional to 1/rate_i.
+	var norm float64
+	for i := 0; i < 10; i++ {
+		norm += 1 / float64(i+1)
+	}
+	for i, p := range pi {
+		want := (1 / float64(i+1)) / norm
+		if diff := p - want; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("pi[%d] = %g, want %g", i, p, want)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"repro/internal/numeric/linalg"
 	"repro/internal/numeric/poisson"
@@ -119,11 +120,48 @@ func (o SteadyStateOptions) withDefaults() SteadyStateOptions {
 	return o
 }
 
+// StageAttempt records one stage of the steady-state escalation chain
+// (Gauss–Seidel -> power iteration -> dense LU) for diagnosis when the
+// whole chain fails.
+type StageAttempt struct {
+	Method     string  // "gauss-seidel", "power-iteration", "dense-lu"
+	Iterations int     // iterations spent (0 when the stage never ran)
+	Residual   float64 // final ||pi·Q||_inf (NaN when unavailable)
+	Err        string  // why the stage was rejected
+}
+
+// ConvergenceError is the structured escalation trace returned when
+// every steady-state stage fails: it names each attempted solver, the
+// work it did, and why it was rejected, so a non-converging model is
+// debuggable instead of opaque.
+type ConvergenceError struct {
+	N      int // chain size
+	Stages []StageAttempt
+}
+
+func (e *ConvergenceError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ctmc: steady-state failed on all %d stages (n=%d):", len(e.Stages), e.N)
+	for _, s := range e.Stages {
+		fmt.Fprintf(&b, "\n  %-15s", s.Method)
+		if s.Iterations > 0 {
+			fmt.Fprintf(&b, " iters=%d", s.Iterations)
+		}
+		if !math.IsNaN(s.Residual) {
+			fmt.Fprintf(&b, " residual=%.3g", s.Residual)
+		}
+		fmt.Fprintf(&b, ": %s", s.Err)
+	}
+	return b.String()
+}
+
 // SteadyState solves pi·Q = 0, sum(pi) = 1 for an irreducible chain. It
 // first runs normalized Gauss–Seidel on Qᵀ·piᵀ = 0, then power iteration
 // on the uniformized DTMC (which handles chains too large or too stiff
 // for Gauss–Seidel), and finally falls back to a dense LU solve with the
-// normalization condition replacing one equation.
+// normalization condition replacing one equation. When every stage
+// fails the returned error is a *ConvergenceError carrying the full
+// escalation trace.
 func (c *Chain) SteadyState(opt SteadyStateOptions) ([]float64, error) {
 	opt = opt.withDefaults()
 	if c.N == 0 {
@@ -133,43 +171,69 @@ func (c *Chain) SteadyState(opt SteadyStateOptions) ([]float64, error) {
 		return []float64{1}, nil
 	}
 	qt := c.Q.Transpose()
+	var stages []StageAttempt
 	if !opt.DenseOnly {
-		if pi, ok := c.steadyIterative(qt, opt); ok {
+		pi, att, ok := c.steadyIterative(qt, opt)
+		if ok {
 			return pi, nil
 		}
-		if pi, ok := c.steadyPower(opt); ok {
+		stages = append(stages, att)
+		pi, att, ok = c.steadyPower(opt)
+		if ok {
 			return pi, nil
 		}
+		stages = append(stages, att)
 	}
 	if c.N > opt.DenseLimit {
-		return nil, fmt.Errorf("ctmc: iterative steady-state failed to converge and chain (n=%d) exceeds dense fallback limit %d", c.N, opt.DenseLimit)
+		stages = append(stages, StageAttempt{
+			Method:   "dense-lu",
+			Residual: math.NaN(),
+			Err:      fmt.Sprintf("chain (n=%d) exceeds dense fallback limit %d", c.N, opt.DenseLimit),
+		})
+		return nil, &ConvergenceError{N: c.N, Stages: stages}
 	}
-	return c.steadyDense(qt)
+	pi, err := c.steadyDense(qt)
+	if err != nil {
+		stages = append(stages, StageAttempt{Method: "dense-lu", Residual: math.NaN(), Err: err.Error()})
+		return nil, &ConvergenceError{N: c.N, Stages: stages}
+	}
+	return pi, nil
 }
 
 // steadyPower runs power iteration on the uniformized DTMC
 // P = I + Q/(1.1·q): the stationary distribution of P equals that of the
 // CTMC, and the slack factor guarantees aperiodicity.
-func (c *Chain) steadyPower(opt SteadyStateOptions) ([]float64, bool) {
+func (c *Chain) steadyPower(opt SteadyStateOptions) ([]float64, StageAttempt, bool) {
+	att := StageAttempt{Method: "power-iteration", Residual: math.NaN()}
 	q := c.MaxExitRate()
 	if q == 0 {
-		return nil, false
+		att.Err = "zero uniformization rate (no transitions)"
+		return nil, att, false
 	}
 	p := c.uniformized(q * 1.1)
 	pi, res, err := sparse.PowerIteration(p, sparse.IterOptions{MaxIter: opt.MaxIter * 5, Tol: opt.Tol})
-	if err != nil || !res.Converged {
-		return nil, false
+	att.Iterations = res.Iterations
+	if err != nil {
+		att.Err = err.Error()
+		return nil, att, false
+	}
+	if !res.Converged {
+		att.Err = fmt.Sprintf("did not converge within %d iterations", opt.MaxIter*5)
+		return nil, att, false
 	}
 	// Verify the CTMC residual before accepting.
-	if linalg.NormInf(c.Q.VecMul(pi)) > math.Sqrt(opt.Tol) {
-		return nil, false
+	att.Residual = linalg.NormInf(c.Q.VecMul(pi))
+	if att.Residual > math.Sqrt(opt.Tol) {
+		att.Err = fmt.Sprintf("converged but residual %.3g exceeds %.3g", att.Residual, math.Sqrt(opt.Tol))
+		return nil, att, false
 	}
-	return pi, true
+	return pi, att, true
 }
 
 // steadyIterative runs Gauss–Seidel sweeps on Qᵀx = 0 with renormalization;
 // the trivial solution is avoided by the normalization step.
-func (c *Chain) steadyIterative(qt *sparse.CSR, opt SteadyStateOptions) ([]float64, bool) {
+func (c *Chain) steadyIterative(qt *sparse.CSR, opt SteadyStateOptions) ([]float64, StageAttempt, bool) {
+	att := StageAttempt{Method: "gauss-seidel", Residual: math.NaN()}
 	n := c.N
 	pi := make([]float64, n)
 	for i := range pi {
@@ -181,10 +245,12 @@ func (c *Chain) steadyIterative(qt *sparse.CSR, opt SteadyStateOptions) ([]float
 		if diag[i] == 0 {
 			// Absorbing state: the chain is not irreducible; Gauss–Seidel
 			// in this form cannot proceed.
-			return nil, false
+			att.Err = fmt.Sprintf("zero diagonal at state %d (absorbing state; chain not irreducible)", i)
+			return nil, att, false
 		}
 	}
 	for it := 0; it < opt.MaxIter; it++ {
+		att.Iterations = it + 1
 		var delta float64
 		for i := 0; i < n; i++ {
 			var s float64
@@ -204,18 +270,22 @@ func (c *Chain) steadyIterative(qt *sparse.CSR, opt SteadyStateOptions) ([]float
 			pi[i] = nx
 		}
 		if sum := linalg.Normalize1(pi); sum == 0 {
-			return nil, false
+			att.Err = "iterate collapsed to the zero vector"
+			return nil, att, false
 		}
 		if delta < opt.Tol {
 			// Verify the residual ||piQ||_inf before accepting.
-			res := c.Q.VecMul(pi)
-			if linalg.NormInf(res) < math.Sqrt(opt.Tol) {
-				return pi, true
+			att.Residual = linalg.NormInf(c.Q.VecMul(pi))
+			if att.Residual < math.Sqrt(opt.Tol) {
+				return pi, att, true
 			}
-			return nil, false
+			att.Err = fmt.Sprintf("converged but residual %.3g exceeds %.3g", att.Residual, math.Sqrt(opt.Tol))
+			return nil, att, false
 		}
 	}
-	return nil, false
+	att.Residual = linalg.NormInf(c.Q.VecMul(pi))
+	att.Err = fmt.Sprintf("did not converge within %d sweeps", opt.MaxIter)
+	return nil, att, false
 }
 
 // steadyDense solves the dense system Qᵀ·piᵀ = 0 with the last equation

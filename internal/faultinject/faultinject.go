@@ -1,0 +1,265 @@
+// Package faultinject provides a deterministic, seeded fault-injection
+// plan for chaos-testing the container distribution pipeline. Related
+// work (Malka et al., "Docker Does Not Guarantee Reproducibility")
+// shows that registries and transfers are themselves a reproducibility
+// hazard: registries vanish, connections drop, payloads corrupt. This
+// package makes those hazards *reproducible*: a Plan is fully specified
+// by its seed and rule list, so every retry path in internal/hub can be
+// exercised by a bit-identical fault schedule, and a failing chaos run
+// can be replayed exactly from its seed.
+//
+// A Plan is consulted once per operation (an HTTP round trip, or any
+// caller-defined op). Rules fire either on a fixed schedule ("fail the
+// first N matching ops": script mode) or with a seeded probability per
+// op (chaos mode). All randomness comes from internal/rng — never
+// math/rand — so the decision stream is stable across Go releases.
+package faultinject
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/rng"
+)
+
+// Kind enumerates the injectable fault classes.
+type Kind int
+
+const (
+	// KindNone injects nothing (the op passes through).
+	KindNone Kind = iota
+	// KindConn simulates a connection-level failure before any response.
+	KindConn
+	// KindTimeout simulates a transport timeout (a net.Error with
+	// Timeout() == true on the client side).
+	KindTimeout
+	// KindStatus short-circuits the op with an HTTP error status
+	// (429/5xx for transient classes, 4xx for deterministic ones).
+	KindStatus
+	// KindTruncate lets the real response through but cuts its body
+	// short mid-stream (the reader sees io.ErrUnexpectedEOF).
+	KindTruncate
+	// KindCorrupt lets the real response through but flips one
+	// deterministically chosen bit of the body, corrupting the content
+	// digest without changing the length.
+	KindCorrupt
+)
+
+// String names the fault kind for attempt logs.
+func (k Kind) String() string {
+	switch k {
+	case KindNone:
+		return "none"
+	case KindConn:
+		return "conn-error"
+	case KindTimeout:
+		return "timeout"
+	case KindStatus:
+		return "status"
+	case KindTruncate:
+		return "truncate"
+	case KindCorrupt:
+		return "corrupt"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Rule schedules one fault class against matching operations.
+type Rule struct {
+	// Match is a substring matched against the op name (for HTTP ops,
+	// "METHOD /path"). Empty matches every op.
+	Match string
+	// Kind is the fault to inject when the rule fires.
+	Kind Kind
+	// Status is the HTTP status for KindStatus (default 503).
+	Status int
+	// First makes the rule fire on the first N matching consultations
+	// and then go dormant (script mode: "fail first N, then succeed").
+	First int
+	// Prob, when First == 0, fires the rule with this probability per
+	// matching consultation, drawn from the plan's seeded generator
+	// (chaos mode). The draw order — and hence the decision stream —
+	// is deterministic for a serial op sequence.
+	Prob float64
+}
+
+func (r Rule) describe() string {
+	if r.Kind == KindStatus {
+		return fmt.Sprintf("status %d", r.Status)
+	}
+	return r.Kind.String()
+}
+
+// Fault is the decision for one operation.
+type Fault struct {
+	Kind   Kind
+	Status int // for KindStatus
+	// Rule is the index of the rule that fired (-1 for a pass).
+	Rule int
+}
+
+// Active reports whether the fault actually injects anything.
+func (f Fault) Active() bool { return f.Kind != KindNone }
+
+// Plan is a deterministic fault schedule. It is safe for concurrent
+// use; note that under concurrent ops the *assignment* of probabilistic
+// draws to ops follows arrival order, so bit-identical logs are
+// guaranteed for serial op sequences (which is what the chaos tests
+// use) and for purely script-mode (First-based) plans.
+type Plan struct {
+	mu    sync.Mutex
+	seed  uint64
+	src   *rng.Source
+	rules []Rule
+	hits  []int // per-rule fire counts
+	seen  []int // per-rule match counts
+	ops   int
+	log   []string
+}
+
+// NewPlan builds a plan from a seed and an ordered rule list. For each
+// op the rules are consulted in order and the first one that fires
+// decides the fault; a rule that matches but does not fire (dormant
+// script rule, failed probability draw) falls through to the next.
+func NewPlan(seed uint64, rules ...Rule) *Plan {
+	rs := make([]Rule, len(rules))
+	copy(rs, rules)
+	for i := range rs {
+		if rs[i].Kind == KindStatus && rs[i].Status == 0 {
+			rs[i].Status = 503
+		}
+	}
+	return &Plan{
+		seed:  seed,
+		src:   rng.New(seed),
+		rules: rs,
+		hits:  make([]int, len(rs)),
+		seen:  make([]int, len(rs)),
+	}
+}
+
+// Seed returns the plan's seed (for replay instructions in reports).
+func (p *Plan) Seed() uint64 { return p.seed }
+
+// Next decides the fault for one named operation and appends the
+// decision to the plan log.
+func (p *Plan) Next(op string) Fault {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ops++
+	for i, r := range p.rules {
+		if r.Match != "" && !strings.Contains(op, r.Match) {
+			continue
+		}
+		p.seen[i]++
+		fire := false
+		switch {
+		case r.First > 0:
+			fire = p.hits[i] < r.First
+		case r.Prob > 0:
+			fire = p.src.Float64() < r.Prob
+		}
+		if !fire {
+			continue
+		}
+		p.hits[i]++
+		p.log = append(p.log, fmt.Sprintf("op %03d %s -> inject %s (rule %d, hit %d)",
+			p.ops, op, r.describe(), i, p.hits[i]))
+		return Fault{Kind: r.Kind, Status: r.Status, Rule: i}
+	}
+	p.log = append(p.log, fmt.Sprintf("op %03d %s -> pass", p.ops, op))
+	return Fault{Kind: KindNone, Rule: -1}
+}
+
+// bitPos draws a deterministic bit position in [0, nbytes*8) for
+// KindCorrupt mutations.
+func (p *Plan) bitPos(nbytes int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.src.Intn(nbytes * 8)
+}
+
+// Log returns a copy of the decision log, one line per consulted op.
+func (p *Plan) Log() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.log...)
+}
+
+// FormatLog renders the decision log as one newline-joined block.
+func (p *Plan) FormatLog() string {
+	lines := p.Log()
+	if len(lines) == 0 {
+		return "(no operations consulted)"
+	}
+	return strings.Join(lines, "\n")
+}
+
+// Ops returns how many operations have been consulted.
+func (p *Plan) Ops() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ops
+}
+
+// ParseSpec parses a compact fault-plan spec: comma-separated clauses
+// of the form
+//
+//	kind[:count][@match]
+//
+// where kind is conn, timeout, truncate, corrupt, or a numeric HTTP
+// status; count is the First schedule (default 1); and match restricts
+// the rule to ops containing the substring. Examples:
+//
+//	"503:2"                      fail the first two ops with HTTP 503
+//	"conn,corrupt@/v1/pepa"      one conn error, one bit flip on /v1/pepa
+func ParseSpec(spec string) ([]Rule, error) {
+	var rules []Rule
+	for _, clause := range strings.Split(spec, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		rest := clause
+		var match string
+		if at := strings.Index(rest, "@"); at >= 0 {
+			match = rest[at+1:]
+			rest = rest[:at]
+		}
+		kindStr := rest
+		count := 1
+		if colon := strings.Index(rest, ":"); colon >= 0 {
+			kindStr = rest[:colon]
+			n, err := strconv.Atoi(rest[colon+1:])
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("faultinject: bad count in clause %q", clause)
+			}
+			count = n
+		}
+		r := Rule{Match: match, First: count}
+		switch kindStr {
+		case "conn":
+			r.Kind = KindConn
+		case "timeout":
+			r.Kind = KindTimeout
+		case "truncate":
+			r.Kind = KindTruncate
+		case "corrupt":
+			r.Kind = KindCorrupt
+		default:
+			status, err := strconv.Atoi(kindStr)
+			if err != nil || status < 400 || status > 599 {
+				return nil, fmt.Errorf("faultinject: unknown fault kind %q in clause %q", kindStr, clause)
+			}
+			r.Kind = KindStatus
+			r.Status = status
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("faultinject: empty fault spec")
+	}
+	return rules, nil
+}

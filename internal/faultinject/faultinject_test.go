@@ -1,0 +1,239 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestScriptRulesFireInOrder(t *testing.T) {
+	p := NewPlan(7,
+		Rule{Kind: KindConn, First: 1},
+		Rule{Kind: KindStatus, Status: 503, First: 2},
+	)
+	kinds := []Kind{}
+	for i := 0; i < 5; i++ {
+		kinds = append(kinds, p.Next("GET /x").Kind)
+	}
+	want := []Kind{KindConn, KindStatus, KindStatus, KindNone, KindNone}
+	if !reflect.DeepEqual(kinds, want) {
+		t.Errorf("kinds = %v, want %v", kinds, want)
+	}
+}
+
+func TestMatchRestrictsRules(t *testing.T) {
+	p := NewPlan(1, Rule{Match: "/v1/coll", Kind: KindConn, First: 10})
+	if f := p.Next("GET /healthz"); f.Active() {
+		t.Errorf("unmatched op got fault %v", f.Kind)
+	}
+	if f := p.Next("GET /v1/coll/pepa/latest"); f.Kind != KindConn {
+		t.Errorf("matched op got %v, want conn", f.Kind)
+	}
+}
+
+func TestSameSeedSameDecisionsAndLog(t *testing.T) {
+	mk := func() *Plan {
+		return NewPlan(42, Rule{Kind: KindStatus, Status: 503, Prob: 0.5})
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 50; i++ {
+		fa, fb := a.Next("GET /op"), b.Next("GET /op")
+		if fa != fb {
+			t.Fatalf("op %d: decisions diverge: %v vs %v", i, fa, fb)
+		}
+	}
+	la, lb := a.FormatLog(), b.FormatLog()
+	if la != lb {
+		t.Errorf("logs differ:\n%s\nvs\n%s", la, lb)
+	}
+	// A different seed must (with these rules) give a different stream.
+	c := NewPlan(43, Rule{Kind: KindStatus, Status: 503, Prob: 0.5})
+	same := true
+	for i := 0; i < 50; i++ {
+		if c.Next("GET /op").Kind != a2kind(la, i) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seed produced an identical 50-op decision stream")
+	}
+}
+
+// a2kind recovers the i-th decision from a formatted log.
+func a2kind(log string, i int) Kind {
+	line := strings.Split(log, "\n")[i]
+	if strings.Contains(line, "inject") {
+		return KindStatus
+	}
+	return KindNone
+}
+
+func TestParseSpec(t *testing.T) {
+	rules, err := ParseSpec("503:2,conn,corrupt@/v1/pepa,timeout:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Rule{
+		{Kind: KindStatus, Status: 503, First: 2},
+		{Kind: KindConn, First: 1},
+		{Kind: KindCorrupt, First: 1, Match: "/v1/pepa"},
+		{Kind: KindTimeout, First: 3},
+	}
+	if !reflect.DeepEqual(rules, want) {
+		t.Errorf("rules = %+v, want %+v", rules, want)
+	}
+	for _, bad := range []string{"", "bogus", "503:x", "200", "conn:0"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+func backend(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("hello, chaos world"))
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestTransportConnAndTimeout(t *testing.T) {
+	ts := backend(t)
+	plan := NewPlan(1, Rule{Kind: KindConn, First: 1}, Rule{Kind: KindTimeout, First: 1})
+	client := &http.Client{Transport: plan.Transport(nil)}
+	if _, err := client.Get(ts.URL); err == nil {
+		t.Fatal("conn fault not injected")
+	}
+	_, err := client.Get(ts.URL)
+	if err == nil {
+		t.Fatal("timeout fault not injected")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Errorf("timeout fault error = %v, want net.Error with Timeout()", err)
+	}
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != "hello, chaos world" {
+		t.Errorf("clean op body = %q", body)
+	}
+}
+
+func TestTransportStatusTruncateCorrupt(t *testing.T) {
+	ts := backend(t)
+	plan := NewPlan(3,
+		Rule{Kind: KindStatus, Status: 429, First: 1},
+		Rule{Kind: KindTruncate, First: 1},
+		Rule{Kind: KindCorrupt, First: 1},
+	)
+	client := &http.Client{Transport: plan.Transport(nil)}
+
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 429 {
+		t.Errorf("status = %d, want 429", resp.StatusCode)
+	}
+
+	resp, err = client.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("truncated read error = %v, want unexpected EOF", err)
+	}
+
+	resp, err = client.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) == "hello, chaos world" {
+		t.Error("corrupt fault did not change the body")
+	}
+	if len(body) != len("hello, chaos world") {
+		t.Errorf("corrupt fault changed the length: %d", len(body))
+	}
+}
+
+func TestMiddlewareFaults(t *testing.T) {
+	payload := "the payload to protect"
+	plan := NewPlan(9,
+		Rule{Kind: KindStatus, Status: 503, First: 1},
+		Rule{Kind: KindConn, First: 1},
+		Rule{Kind: KindCorrupt, First: 1},
+		Rule{Kind: KindTruncate, First: 1},
+	)
+	h := plan.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(payload))
+	}))
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Errorf("status = %d, want 503", resp.StatusCode)
+	}
+
+	if resp, err := http.Get(ts.URL); err == nil {
+		resp.Body.Close()
+		t.Error("conn fault: request succeeded")
+	}
+
+	resp, err = http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) == payload || len(body) != len(payload) {
+		t.Errorf("corrupt fault: body = %q", body)
+	}
+
+	resp, err = http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err == nil {
+		t.Error("truncate fault: read succeeded in full")
+	}
+
+	// Clean afterwards.
+	resp, err = http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != payload {
+		t.Errorf("clean op body = %q", body)
+	}
+}

@@ -1,0 +1,151 @@
+package faultinject
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// injectedError is a connection-level error carrying a stable message
+// (no addresses or ports), so attempt logs stay byte-identical between
+// runs against ephemeral-port test servers.
+type injectedError struct {
+	msg     string
+	timeout bool
+}
+
+func (e *injectedError) Error() string   { return e.msg }
+func (e *injectedError) Timeout() bool   { return e.timeout }
+func (e *injectedError) Temporary() bool { return true }
+
+// Transport wraps an http.RoundTripper with the plan: each request is
+// one op named "METHOD /path". base == nil uses http.DefaultTransport.
+func (p *Plan) Transport(base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &transport{plan: p, base: base}
+}
+
+type transport struct {
+	plan *Plan
+	base http.RoundTripper
+}
+
+func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	f := t.plan.Next(req.Method + " " + req.URL.Path)
+	switch f.Kind {
+	case KindConn:
+		return nil, &injectedError{msg: "faultinject: injected connection error"}
+	case KindTimeout:
+		return nil, &injectedError{msg: "faultinject: injected timeout", timeout: true}
+	case KindStatus:
+		body := fmt.Sprintf("faultinject: injected status %d", f.Status)
+		return &http.Response{
+			StatusCode:    f.Status,
+			Status:        fmt.Sprintf("%d %s", f.Status, http.StatusText(f.Status)),
+			Proto:         "HTTP/1.1",
+			ProtoMajor:    1,
+			ProtoMinor:    1,
+			Header:        http.Header{"Content-Type": []string{"text/plain"}},
+			Body:          io.NopCloser(strings.NewReader(body)),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}, nil
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil || !f.Active() {
+		return resp, err
+	}
+	blob, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	switch f.Kind {
+	case KindTruncate:
+		cut := blob[:len(blob)/2]
+		// Keep the advertised length and fail the read mid-body, the way
+		// a dropped connection does.
+		resp.Body = io.NopCloser(io.MultiReader(bytes.NewReader(cut), errReader{}))
+	case KindCorrupt:
+		if len(blob) > 0 {
+			mutated := append([]byte(nil), blob...)
+			pos := t.plan.bitPos(len(mutated))
+			mutated[pos/8] ^= 1 << (pos % 8)
+			blob = mutated
+		}
+		resp.Body = io.NopCloser(bytes.NewReader(blob))
+	default:
+		resp.Body = io.NopCloser(bytes.NewReader(blob))
+	}
+	return resp, nil
+}
+
+// errReader fails every read the way a severed connection does.
+type errReader struct{}
+
+func (errReader) Read([]byte) (int, error) { return 0, io.ErrUnexpectedEOF }
+
+// Middleware wraps an http.Handler with the plan, for chaos-testing a
+// server in place: status faults answer directly, connection faults
+// abort the in-flight response (the client sees a closed connection),
+// and truncate/corrupt faults mutate the real response body.
+func (p *Plan) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f := p.Next(r.Method + " " + r.URL.Path)
+		switch f.Kind {
+		case KindNone:
+			next.ServeHTTP(w, r)
+		case KindConn, KindTimeout:
+			// ErrAbortHandler makes net/http drop the connection without
+			// writing a response — the client observes a transport error.
+			panic(http.ErrAbortHandler)
+		case KindStatus:
+			http.Error(w, fmt.Sprintf("faultinject: injected status %d", f.Status), f.Status)
+		case KindTruncate, KindCorrupt:
+			rec := &recorder{header: http.Header{}, status: http.StatusOK}
+			next.ServeHTTP(rec, r)
+			body := rec.body.Bytes()
+			if f.Kind == KindCorrupt && len(body) > 0 {
+				pos := p.bitPos(len(body))
+				body[pos/8] ^= 1 << (pos % 8)
+			}
+			for k, vs := range rec.header {
+				w.Header()[k] = vs
+			}
+			// Declare the full length, then send a prefix: the client's
+			// transport reports an unexpected EOF, as on a cut transfer.
+			w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+			w.WriteHeader(rec.status)
+			if f.Kind == KindTruncate {
+				body = body[:len(body)/2]
+			}
+			w.Write(body)
+			if f.Kind == KindTruncate {
+				// Flush the prefix onto the wire before aborting; otherwise
+				// the partial write sits in the server's buffer, the client
+				// sees a clean connection close and silently retries instead
+				// of observing a truncated transfer.
+				if fl, ok := w.(http.Flusher); ok {
+					fl.Flush()
+				}
+				panic(http.ErrAbortHandler)
+			}
+		}
+	})
+}
+
+// recorder buffers a handler's response so the middleware can mutate it.
+type recorder struct {
+	header http.Header
+	status int
+	body   bytes.Buffer
+}
+
+func (r *recorder) Header() http.Header       { return r.header }
+func (r *recorder) WriteHeader(status int)    { r.status = status }
+func (r *recorder) Write(p []byte) (int, error) { return r.body.Write(p) }

@@ -41,8 +41,12 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	coll, name, tag := parts[0], parts[1], parts[2]
-	recipeSrc, err := io.ReadAll(r.Body)
-	if err != nil || len(recipeSrc) == 0 {
+	// Recipes are text; a generous 1 MiB cap rejects runaway uploads.
+	recipeSrc, err := readBody(w, r, 1<<20)
+	if err != nil {
+		return
+	}
+	if len(recipeSrc) == 0 {
 		http.Error(w, "empty recipe", http.StatusBadRequest)
 		return
 	}
@@ -65,23 +69,31 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 }
 
 // RemoteBuild asks the hub to build a recipe server-side and returns the
-// digest of the stored image.
+// digest of the stored image. Builds are content-addressed and therefore
+// idempotent, so transient failures retry safely.
 func (c *Client) RemoteBuild(coll, name, tag, recipeSrc string) (string, error) {
+	op := fmt.Sprintf("build %s/%s:%s", coll, name, tag)
 	url := fmt.Sprintf("%s/v1/build/%s/%s/%s", c.BaseURL, coll, name, tag)
-	resp, err := c.HTTP.Post(url, "text/plain", strings.NewReader(recipeSrc))
+	var digest string
+	err := c.do(op, func() (*http.Request, error) {
+		req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(recipeSrc))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "text/plain")
+		return req, nil
+	}, func(resp *http.Response) error {
+		var out struct {
+			Digest string `json:"digest"`
+		}
+		if err := jsonDecode(io.LimitReader(resp.Body, c.MaxResponseBytes), &out); err != nil {
+			return fmt.Errorf("%w: decoding build response: %v", ErrCorrupt, err)
+		}
+		digest = out.Digest
+		return nil
+	})
 	if err != nil {
 		return "", err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(resp.Body)
-		return "", fmt.Errorf("hub: remote build failed: %s: %s", resp.Status, strings.TrimSpace(string(body)))
-	}
-	var out struct {
-		Digest string `json:"digest"`
-	}
-	if err := jsonDecode(resp.Body, &out); err != nil {
-		return "", err
-	}
-	return out.Digest, nil
+	return digest, nil
 }

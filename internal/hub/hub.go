@@ -3,20 +3,32 @@
 // organizing built images into collections with tags and content digests,
 // plus a client with digest-verified pull — reproducing Fig 6's
 // "collection page + clone of each container" workflow.
+//
+// The client is resilient by construction: every operation runs through
+// a retry loop with exponential backoff, deterministic seeded jitter,
+// and a circuit breaker (see resilience.go and docs/RESILIENCE.md);
+// response sizes are capped; and corrupt transfers are detected by
+// digest and re-pulled once. The server can be wrapped with a
+// faultinject.Plan to chaos-test all of the above deterministically.
 package hub
 
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/image"
+	"repro/internal/rng"
 )
 
 // Entry describes one stored image version.
@@ -115,16 +127,21 @@ func (s *Store) Collections() []string {
 
 // Server wraps a Store with the HTTP API.
 type Server struct {
-	Store   *Store
-	mux     *http.ServeMux
-	ln      net.Listener
-	srv     *http.Server
-	builder Builder // set by EnableAutoBuild
+	Store *Store
+	// MaxUploadBytes caps PUT/POST request bodies (default 64 MiB);
+	// oversized uploads are rejected with 413.
+	MaxUploadBytes int64
+	mux            *http.ServeMux
+	handler        http.Handler
+	ln             net.Listener
+	srv            *http.Server
+	builder        Builder // set by EnableAutoBuild
 }
 
 // NewServer creates a server over the store.
 func NewServer(store *Store) *Server {
-	s := &Server{Store: store, mux: http.NewServeMux()}
+	s := &Server{Store: store, MaxUploadBytes: 64 << 20, mux: http.NewServeMux()}
+	s.handler = s.mux
 	s.mux.HandleFunc("/v1/", s.handle)
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -132,8 +149,14 @@ func NewServer(store *Store) *Server {
 	return s
 }
 
+// EnableFaults wraps the server's handler with a deterministic fault
+// plan (chaos testing). Must be called before Listen/Handler use.
+func (s *Server) EnableFaults(plan *faultinject.Plan) {
+	s.handler = plan.Middleware(s.mux)
+}
+
 // Handler returns the HTTP handler (for tests via httptest).
-func (s *Server) Handler() http.Handler { return s.mux }
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // Listen starts serving on addr ("127.0.0.1:0" for an ephemeral port) and
 // returns the bound address.
@@ -143,7 +166,7 @@ func (s *Server) Listen(addr string) (string, error) {
 		return "", err
 	}
 	s.ln = ln
-	s.srv = &http.Server{Handler: s.mux}
+	s.srv = &http.Server{Handler: s.handler}
 	go s.srv.Serve(ln)
 	return ln.Addr().String(), nil
 }
@@ -188,13 +211,13 @@ func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Header().Set("Content-Length", strconv.Itoa(len(blob)))
 			w.Header().Set("X-Image-Digest", digest)
 			w.Write(blob)
 		case http.MethodPut, http.MethodPost:
-			blob, err := io.ReadAll(r.Body)
+			blob, err := readBody(w, r, s.MaxUploadBytes)
 			if err != nil {
-				http.Error(w, err.Error(), http.StatusBadRequest)
-				return
+				return // readBody already wrote the status
 			}
 			digest, err := s.Store.Put(coll, name, tag, blob)
 			if err != nil {
@@ -210,28 +233,109 @@ func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// readBody reads a size-capped request body, writing 413 (too large) or
+// 400 (read failure) itself when it fails.
+func readBody(w http.ResponseWriter, r *http.Request, maxBytes int64) ([]byte, error) {
+	body := http.MaxBytesReader(w, r.Body, maxBytes)
+	blob, err := io.ReadAll(body)
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			http.Error(w, fmt.Sprintf("request body exceeds %d bytes", maxBytes), http.StatusRequestEntityTooLarge)
+		} else {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		}
+		return nil, err
+	}
+	return blob, nil
+}
+
+// writeJSON marshals v up front so encode failures become a clean 500
+// instead of a silently truncated 200, and Content-Length is exact.
 func writeJSON(w http.ResponseWriter, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, "encoding response: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	data = append(data, '\n')
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(v)
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.Write(data)
 }
 
 func jsonDecode(r io.Reader, v any) error {
 	return json.NewDecoder(r).Decode(v)
 }
 
-// Client talks to a hub server.
+// Client talks to a hub server. The zero value is not usable; construct
+// with NewClient or NewClientWithOptions. All operations retry
+// transient failures with backoff and run through a circuit breaker.
 type Client struct {
 	BaseURL string // e.g. "http://127.0.0.1:4321"
 	HTTP    *http.Client
+	// Retry tunes the retry loop (zero fields use defaults).
+	Retry RetryPolicy
+	// MaxResponseBytes caps how much of any response body is read
+	// (default 64 MiB).
+	MaxResponseBytes int64
+
+	breaker  *Breaker
+	jmu      sync.Mutex
+	jitter   *rng.Source
+	logMu    sync.Mutex
+	attempts []string
+	sleep    func(time.Duration)
 }
 
-// NewClient creates a client for the given base URL.
+// ClientOptions tunes NewClientWithOptions. Zero fields use defaults.
+type ClientOptions struct {
+	Timeout          time.Duration // HTTP client timeout (default 30s)
+	Retry            RetryPolicy
+	MaxResponseBytes int64
+	BreakerThreshold int    // consecutive failures to trip (default 5)
+	BreakerCooldown  int    // rejections before a half-open probe (default 3)
+	JitterSeed       uint64 // backoff jitter seed (default 1)
+	// Transport overrides the HTTP transport (e.g. a faultinject plan's
+	// Transport for chaos tests).
+	Transport http.RoundTripper
+	// Sleep overrides the inter-retry sleep (tests use a no-op).
+	Sleep func(time.Duration)
+}
+
+// NewClient creates a client for the given base URL with default
+// resilience settings: 30s request timeout, 4 attempts with exponential
+// backoff, 64 MiB response cap, breaker tripping after 5 consecutive
+// failures.
 func NewClient(baseURL string) *Client {
-	return &Client{BaseURL: strings.TrimRight(baseURL, "/"), HTTP: &http.Client{}}
+	return NewClientWithOptions(baseURL, ClientOptions{})
+}
+
+// NewClientWithOptions creates a client with explicit resilience knobs.
+func NewClientWithOptions(baseURL string, opts ClientOptions) *Client {
+	if opts.Timeout <= 0 {
+		opts.Timeout = 30 * time.Second
+	}
+	if opts.MaxResponseBytes <= 0 {
+		opts.MaxResponseBytes = 64 << 20
+	}
+	if opts.Sleep == nil {
+		opts.Sleep = time.Sleep
+	}
+	return &Client{
+		BaseURL:          strings.TrimRight(baseURL, "/"),
+		HTTP:             &http.Client{Timeout: opts.Timeout, Transport: opts.Transport},
+		Retry:            opts.Retry,
+		MaxResponseBytes: opts.MaxResponseBytes,
+		breaker:          NewBreaker(opts.BreakerThreshold, opts.BreakerCooldown),
+		jitter:           newJitter(opts.JitterSeed),
+		sleep:            opts.Sleep,
+	}
 }
 
 // Push uploads an image, returning the server-computed digest. It verifies
-// the server digest against a locally computed one.
+// the server digest against a locally computed one; a mismatch is treated
+// as a corrupt transfer and retried once.
 func (c *Client) Push(coll string, img *image.Image) (string, error) {
 	blob, err := img.Marshal()
 	if err != nil {
@@ -241,75 +345,84 @@ func (c *Client) Push(coll string, img *image.Image) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	op := fmt.Sprintf("push %s/%s:%s", coll, img.Meta.Name, img.Meta.Tag)
 	url := fmt.Sprintf("%s/v1/%s/%s/%s", c.BaseURL, coll, img.Meta.Name, img.Meta.Tag)
-	req, err := http.NewRequest(http.MethodPut, url, bytes.NewReader(blob))
+	var digest string
+	err = c.do(op, func() (*http.Request, error) {
+		return http.NewRequest(http.MethodPut, url, bytes.NewReader(blob))
+	}, func(resp *http.Response) error {
+		var out struct {
+			Digest string `json:"digest"`
+		}
+		if err := jsonDecode(io.LimitReader(resp.Body, c.MaxResponseBytes), &out); err != nil {
+			return fmt.Errorf("%w: decoding push response: %v", ErrCorrupt, err)
+		}
+		if out.Digest != localDigest {
+			return fmt.Errorf("%w: server digest %s != local digest %s", ErrCorrupt, out.Digest, localDigest)
+		}
+		digest = out.Digest
+		return nil
+	})
 	if err != nil {
 		return "", err
 	}
-	resp, err := c.HTTP.Do(req)
-	if err != nil {
-		return "", err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(resp.Body)
-		return "", fmt.Errorf("hub: push failed: %s: %s", resp.Status, strings.TrimSpace(string(body)))
-	}
-	var out struct {
-		Digest string `json:"digest"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return "", err
-	}
-	if out.Digest != localDigest {
-		return "", fmt.Errorf("hub: server digest %s != local digest %s", out.Digest, localDigest)
-	}
-	return out.Digest, nil
+	return digest, nil
 }
 
 // Pull downloads an image and verifies its digest against the server's
 // advertised value (and, when expectedDigest is non-empty, against that).
+// Corrupt or truncated payloads are re-pulled (corruption once,
+// truncation up to the attempt budget).
 func (c *Client) Pull(coll, name, tag, expectedDigest string) (*image.Image, string, error) {
+	op := fmt.Sprintf("pull %s/%s:%s", coll, name, tag)
 	url := fmt.Sprintf("%s/v1/%s/%s/%s", c.BaseURL, coll, name, tag)
-	resp, err := c.HTTP.Get(url)
+	var (
+		img        *image.Image
+		advertised string
+	)
+	err := c.do(op, func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, url, nil)
+	}, func(resp *http.Response) error {
+		lim := io.LimitReader(resp.Body, c.MaxResponseBytes+1)
+		blob, err := io.ReadAll(lim)
+		if err != nil {
+			return err // read/truncation errors classify as transient
+		}
+		if int64(len(blob)) > c.MaxResponseBytes {
+			return fmt.Errorf("hub: response exceeds %d-byte cap", c.MaxResponseBytes)
+		}
+		got, err := image.Unmarshal(blob)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		adv := resp.Header.Get("X-Image-Digest")
+		if err := got.VerifyDigest(adv); err != nil {
+			return fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		if expectedDigest != "" && adv != expectedDigest {
+			return fmt.Errorf("%w: pulled digest %s != expected %s", ErrCorrupt, adv, expectedDigest)
+		}
+		img, advertised = got, adv
+		return nil
+	})
 	if err != nil {
 		return nil, "", err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(resp.Body)
-		return nil, "", fmt.Errorf("hub: pull failed: %s: %s", resp.Status, strings.TrimSpace(string(body)))
-	}
-	blob, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, "", err
-	}
-	img, err := image.Unmarshal(blob)
-	if err != nil {
-		return nil, "", err
-	}
-	advertised := resp.Header.Get("X-Image-Digest")
-	if err := img.VerifyDigest(advertised); err != nil {
-		return nil, "", fmt.Errorf("hub: pulled image corrupt: %w", err)
-	}
-	if expectedDigest != "" && advertised != expectedDigest {
-		return nil, "", fmt.Errorf("hub: pulled digest %s != expected %s", advertised, expectedDigest)
 	}
 	return img, advertised, nil
 }
 
 // List fetches the entries of a collection.
 func (c *Client) List(coll string) ([]Entry, error) {
-	resp, err := c.HTTP.Get(fmt.Sprintf("%s/v1/%s", c.BaseURL, coll))
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("hub: list failed: %s", resp.Status)
-	}
 	var entries []Entry
-	if err := json.NewDecoder(resp.Body).Decode(&entries); err != nil {
+	err := c.do("list "+coll, func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, fmt.Sprintf("%s/v1/%s", c.BaseURL, coll), nil)
+	}, func(resp *http.Response) error {
+		if err := jsonDecode(io.LimitReader(resp.Body, c.MaxResponseBytes), &entries); err != nil {
+			return fmt.Errorf("%w: decoding list response: %v", ErrCorrupt, err)
+		}
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
 	return entries, nil
@@ -317,16 +430,16 @@ func (c *Client) List(coll string) ([]Entry, error) {
 
 // Collections fetches the collection names.
 func (c *Client) Collections() ([]string, error) {
-	resp, err := c.HTTP.Get(c.BaseURL + "/v1/")
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("hub: collections failed: %s", resp.Status)
-	}
 	var out []string
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+	err := c.do("collections", func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, c.BaseURL+"/v1/", nil)
+	}, func(resp *http.Response) error {
+		if err := jsonDecode(io.LimitReader(resp.Body, c.MaxResponseBytes), &out); err != nil {
+			return fmt.Errorf("%w: decoding collections response: %v", ErrCorrupt, err)
+		}
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
 	return out, nil

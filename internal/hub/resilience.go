@@ -1,0 +1,413 @@
+package hub
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// This file is the client-side resilience layer: a retry policy with
+// exponential backoff and deterministic (seeded) jitter, a consecutive-
+// failure circuit breaker, and the transient-vs-deterministic error
+// taxonomy that core's validation matrix reports. All jitter comes from
+// internal/rng so a fixed seed reproduces the attempt log byte-for-byte
+// (see docs/RESILIENCE.md).
+
+// ErrCircuitOpen is returned (possibly wrapped) when the client's
+// circuit breaker rejects an operation without attempting it.
+var ErrCircuitOpen = errors.New("hub: circuit breaker open")
+
+// ErrCorrupt marks responses whose payload failed digest or structural
+// verification: the transfer (or the registry copy) is corrupt. Such
+// errors are retried exactly once — a second identical corruption means
+// the stored content itself is bad.
+var ErrCorrupt = errors.New("hub: response corrupt")
+
+// HTTPError is a non-200 registry response.
+type HTTPError struct {
+	Op     string // e.g. "pull coll/pepa:latest"
+	Status int
+	Msg    string // trimmed response body
+}
+
+func (e *HTTPError) Error() string {
+	msg := e.Msg
+	if msg != "" {
+		msg = ": " + msg
+	}
+	return fmt.Sprintf("hub: %s: HTTP %d %s%s", e.Op, e.Status, http.StatusText(e.Status), msg)
+}
+
+// ErrorClass is the failure taxonomy used by the validation matrix:
+// transient failures (connection errors, timeouts, 429/5xx, corrupt
+// transfers, open breakers) are worth retrying on a later run; anything
+// else is deterministic and will fail again identically.
+type ErrorClass int
+
+const (
+	// ClassDeterministic failures reproduce on every attempt (4xx,
+	// malformed images, configuration errors, panics).
+	ClassDeterministic ErrorClass = iota
+	// ClassTransient failures are infrastructure weather: they may pass
+	// on retry.
+	ClassTransient
+)
+
+// String names the class for reports.
+func (c ErrorClass) String() string {
+	if c == ClassTransient {
+		return "transient"
+	}
+	return "deterministic"
+}
+
+// Classify sorts an error into the transient/deterministic taxonomy.
+func Classify(err error) ErrorClass {
+	switch classify(err) {
+	case classTransient, classCorrupt:
+		return ClassTransient
+	}
+	if errors.Is(err, ErrCircuitOpen) {
+		return ClassTransient
+	}
+	return ClassDeterministic
+}
+
+// errClass is the internal retry decision for one attempt error.
+type errClass int
+
+const (
+	classPermanent errClass = iota
+	classTransient          // retry up to the attempt budget
+	classCorrupt            // retry exactly once
+)
+
+func classify(err error) errClass {
+	if err == nil {
+		return classPermanent
+	}
+	if errors.Is(err, ErrCorrupt) {
+		return classCorrupt
+	}
+	var he *HTTPError
+	if errors.As(err, &he) {
+		if he.Status == http.StatusTooManyRequests || he.Status >= 500 {
+			return classTransient
+		}
+		return classPermanent
+	}
+	var ue *url.Error
+	if errors.As(err, &ue) {
+		return classTransient
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return classTransient
+	}
+	if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+		return classTransient
+	}
+	return classPermanent
+}
+
+// describe renders an attempt error as a short, stable phrase for the
+// attempt log: no URLs, addresses, or ports, so logs are byte-identical
+// across runs against ephemeral-port servers.
+func describe(err error) string {
+	var he *HTTPError
+	if errors.As(err, &he) {
+		return fmt.Sprintf("HTTP %d", he.Status)
+	}
+	if errors.Is(err, ErrCorrupt) {
+		return "corrupt response"
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return "timeout"
+	}
+	var ue *url.Error
+	if errors.As(err, &ue) {
+		return "transport error"
+	}
+	if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+		return "truncated response"
+	}
+	return "error"
+}
+
+// RetryPolicy tunes the client's retry loop.
+type RetryPolicy struct {
+	// MaxAttempts is the total attempt budget per operation (default 4).
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt; it doubles per
+	// retry (default 50ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 2s).
+	MaxDelay time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	return p
+}
+
+// BreakerState is the circuit breaker's visible state.
+type BreakerState int
+
+const (
+	// BreakerClosed: operations flow normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: operations are rejected without being attempted.
+	BreakerOpen
+	// BreakerHalfOpen: one probe operation is allowed through.
+	BreakerHalfOpen
+)
+
+// String names the state for reports.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}
+
+// Breaker is a deterministic consecutive-failure circuit breaker. It
+// trips open after Threshold consecutive transient failures; while open
+// it rejects calls, and after Cooldown rejections it half-opens to let
+// one probe through — probe success closes it, probe failure reopens
+// it. The breaker is counted in operations, not wall time, so chaos
+// tests reproduce its trajectory exactly.
+type Breaker struct {
+	mu          sync.Mutex
+	threshold   int
+	cooldown    int
+	consecutive int
+	rejected    int
+	state       BreakerState
+}
+
+// NewBreaker builds a breaker tripping after threshold consecutive
+// failures and half-opening after cooldown rejected calls (defaults 5
+// and 3 when non-positive).
+func NewBreaker(threshold, cooldown int) *Breaker {
+	if threshold <= 0 {
+		threshold = 5
+	}
+	if cooldown <= 0 {
+		cooldown = 3
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// Allow reports whether an operation may proceed, advancing the
+// open -> half-open cooldown as rejected calls accumulate.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed, BreakerHalfOpen:
+		return true
+	default: // open
+		b.rejected++
+		if b.rejected >= b.cooldown {
+			b.state = BreakerHalfOpen
+			return true
+		}
+		return false
+	}
+}
+
+// Success records a healthy round trip and closes the breaker.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive = 0
+	b.state = BreakerClosed
+}
+
+// Failure records a transient failure, tripping the breaker when the
+// consecutive-failure threshold is reached (immediately, if half-open).
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive++
+	if b.state == BreakerHalfOpen || b.consecutive >= b.threshold {
+		b.state = BreakerOpen
+		b.rejected = 0
+	}
+}
+
+// State returns the current breaker state.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Reset force-closes the breaker and zeroes its counters.
+func (b *Breaker) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive = 0
+	b.rejected = 0
+	b.state = BreakerClosed
+}
+
+// backoff computes the delay before the retry following attempt
+// (1-based): exponential growth from BaseDelay, capped at MaxDelay,
+// scaled by a deterministic jitter factor in [0.5, 1.0).
+func (c *Client) backoff(pol RetryPolicy, attempt int) time.Duration {
+	d := pol.BaseDelay
+	for i := 1; i < attempt && d < pol.MaxDelay; i++ {
+		d *= 2
+	}
+	if d > pol.MaxDelay {
+		d = pol.MaxDelay
+	}
+	c.jmu.Lock()
+	u := c.jitter.Float64()
+	c.jmu.Unlock()
+	return time.Duration(float64(d) * (0.5 + 0.5*u))
+}
+
+// logf appends one line to the client attempt log.
+func (c *Client) logf(format string, args ...any) {
+	c.logMu.Lock()
+	c.attempts = append(c.attempts, fmt.Sprintf(format, args...))
+	c.logMu.Unlock()
+}
+
+// AttemptLog returns a copy of the attempt log: one line per attempt,
+// stable and byte-identical for a fixed jitter seed and fault plan.
+func (c *Client) AttemptLog() []string {
+	c.logMu.Lock()
+	defer c.logMu.Unlock()
+	return append([]string(nil), c.attempts...)
+}
+
+// AttemptsMatching returns the attempt-log lines containing substr
+// (used to attach one operation's attempts to a matrix cell).
+func (c *Client) AttemptsMatching(substr string) []string {
+	c.logMu.Lock()
+	defer c.logMu.Unlock()
+	var out []string
+	for _, line := range c.attempts {
+		if strings.Contains(line, substr) {
+			out = append(out, line)
+		}
+	}
+	return out
+}
+
+// ResetAttemptLog clears the attempt log.
+func (c *Client) ResetAttemptLog() {
+	c.logMu.Lock()
+	c.attempts = nil
+	c.logMu.Unlock()
+}
+
+// Breaker exposes the client's circuit breaker (state inspection and
+// manual reset).
+func (c *Client) Breaker() *Breaker { return c.breaker }
+
+// do runs one logical operation through the breaker and retry loop.
+// mkReq builds a fresh request per attempt (bodies cannot be replayed);
+// handle consumes a 200 response. Transient failures retry with
+// backoff, corrupt payloads retry once, deterministic failures return
+// immediately.
+func (c *Client) do(op string, mkReq func() (*http.Request, error), handle func(*http.Response) error) error {
+	pol := c.Retry.withDefaults()
+	var lastErr error
+	corruptRetried := false
+	for attempt := 1; attempt <= pol.MaxAttempts; attempt++ {
+		if !c.breaker.Allow() {
+			c.logf("%s attempt %d/%d: rejected (breaker open)", op, attempt, pol.MaxAttempts)
+			if lastErr != nil {
+				return fmt.Errorf("%w (last error: %v)", ErrCircuitOpen, lastErr)
+			}
+			return fmt.Errorf("%w: %s", ErrCircuitOpen, op)
+		}
+		err := c.try(op, mkReq, handle)
+		if err == nil {
+			c.breaker.Success()
+			c.logf("%s attempt %d/%d: ok", op, attempt, pol.MaxAttempts)
+			return nil
+		}
+		lastErr = err
+		switch classify(err) {
+		case classPermanent:
+			// The infrastructure answered coherently; only the request is
+			// doomed. Not a breaker event.
+			c.logf("%s attempt %d/%d: %s (deterministic; giving up)", op, attempt, pol.MaxAttempts, describe(err))
+			return err
+		case classCorrupt:
+			c.breaker.Failure()
+			if corruptRetried {
+				c.logf("%s attempt %d/%d: %s (corrupt again; giving up)", op, attempt, pol.MaxAttempts, describe(err))
+				return err
+			}
+			corruptRetried = true
+			c.logf("%s attempt %d/%d: %s (re-pulling once)", op, attempt, pol.MaxAttempts, describe(err))
+		default: // transient
+			c.breaker.Failure()
+			c.logf("%s attempt %d/%d: %s (transient)", op, attempt, pol.MaxAttempts, describe(err))
+		}
+		if attempt == pol.MaxAttempts {
+			break
+		}
+		d := c.backoff(pol, attempt)
+		c.logf("%s backoff %s", op, d.Round(time.Millisecond))
+		c.sleep(d)
+	}
+	return fmt.Errorf("hub: %s failed after %d attempts: %w", op, pol.MaxAttempts, lastErr)
+}
+
+// try performs a single attempt: issue the request, surface non-200
+// statuses as HTTPError, and always drain and close the body so the
+// connection can be reused.
+func (c *Client) try(op string, mkReq func() (*http.Request, error), handle func(*http.Response) error) error {
+	req, err := mkReq()
+	if err != nil {
+		return err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return &HTTPError{Op: op, Status: resp.StatusCode, Msg: strings.TrimSpace(string(msg))}
+	}
+	return handle(resp)
+}
+
+// newJitter builds the client's seeded jitter source.
+func newJitter(seed uint64) *rng.Source {
+	if seed == 0 {
+		seed = 1
+	}
+	return rng.New(seed)
+}

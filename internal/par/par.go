@@ -4,59 +4,181 @@
 // cross-platform validation matrix. Results are always assembled by index,
 // so parallel execution is bit-identical to sequential execution — the
 // property the reproducibility harness depends on.
+//
+// The pool is supervised: a panicking task is recovered in its worker and
+// converted to a *PanicError carrying a stack fragment, so one bad task
+// can neither crash the process nor deadlock the dispatcher. Options adds
+// an opt-in fail-fast mode and ForEachOpt/MapOpt aggregate every failure
+// into a *MultiError instead of reporting only the first.
 package par
 
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 )
 
-// ForEach runs fn(i) for i in [0, n) on up to workers goroutines
-// (workers <= 0 means GOMAXPROCS). It returns the error of the
-// lowest-index failing call (all calls run to completion; deterministic
-// error selection keeps test output stable).
-func ForEach(n, workers int, fn func(i int) error) error {
+// PanicError is a task panic converted to an error by the worker pool.
+type PanicError struct {
+	Index int    // task index that panicked
+	Value any    // the recovered panic value
+	Stack string // trimmed stack fragment of the panicking goroutine
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic: %v\n%s", e.Value, e.Stack)
+}
+
+// MultiError aggregates the failures of one parallel run, ordered by
+// task index. Errs entries wrap the task errors with their indices.
+type MultiError struct {
+	Total int // number of tasks in the run
+	Errs  []error
+}
+
+func (e *MultiError) Error() string {
+	const show = 3
+	msgs := make([]string, 0, show+1)
+	for i, err := range e.Errs {
+		if i == show {
+			msgs = append(msgs, fmt.Sprintf("... and %d more", len(e.Errs)-show))
+			break
+		}
+		msgs = append(msgs, err.Error())
+	}
+	return fmt.Sprintf("par: %d/%d tasks failed: %s", len(e.Errs), e.Total, strings.Join(msgs, "; "))
+}
+
+// Unwrap exposes the per-task errors to errors.Is/As.
+func (e *MultiError) Unwrap() []error { return e.Errs }
+
+// Options tunes a supervised run.
+type Options struct {
+	// Workers bounds concurrency (<= 0 means GOMAXPROCS).
+	Workers int
+	// FailFast stops dispatching new tasks after the first failure.
+	// In-flight tasks still run to completion; undispatched tasks are
+	// simply skipped (their error slots stay nil).
+	FailFast bool
+}
+
+// safeCall runs one task with panic supervision.
+func safeCall(i int, fn func(i int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			buf := make([]byte, 8<<10)
+			n := runtime.Stack(buf, false)
+			err = &PanicError{Index: i, Value: r, Stack: trimStack(string(buf[:n]))}
+		}
+	}()
+	return fn(i)
+}
+
+// trimStack drops the recover machinery frames (the top two call pairs:
+// runtime.Stack inside safeCall's deferred closure) so the fragment
+// starts at the panic site.
+func trimStack(s string) string {
+	lines := strings.Split(s, "\n")
+	const keep = 16
+	if len(lines) > keep {
+		lines = append(lines[:keep], "...")
+	}
+	return strings.Join(lines, "\n")
+}
+
+// run executes the pool and returns the per-task error slice.
+func run(n int, opt Options, fn func(i int) error) []error {
 	if n <= 0 {
 		return nil
 	}
+	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > n {
 		workers = n
 	}
+	errs := make([]error, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return fmt.Errorf("par: task %d: %w", i, err)
+			errs[i] = safeCall(i, fn)
+			if errs[i] != nil && opt.FailFast {
+				break
 			}
 		}
-		return nil
+		return errs
 	}
-	errs := make([]error, n)
-	var wg sync.WaitGroup
-	next := make(chan int)
+	var (
+		wg   sync.WaitGroup
+		next = make(chan int)
+		stop chan struct{}
+		once sync.Once
+	)
+	if opt.FailFast {
+		stop = make(chan struct{})
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				errs[i] = fn(i)
+				if err := safeCall(i, fn); err != nil {
+					errs[i] = err
+					if opt.FailFast {
+						once.Do(func() { close(stop) })
+					}
+				}
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < n; i++ {
-		next <- i
+		select {
+		case <-stop: // nil channel when !FailFast: never selected
+			break dispatch
+		case next <- i:
+		}
 	}
 	close(next)
 	wg.Wait()
+	return errs
+}
+
+// ForEach runs fn(i) for i in [0, n) on up to workers goroutines
+// (workers <= 0 means GOMAXPROCS). It returns the error of the
+// lowest-index failing call (all calls run to completion; deterministic
+// error selection keeps test output stable). A panicking task surfaces
+// as that task's *PanicError instead of crashing the pool.
+func ForEach(n, workers int, fn func(i int) error) error {
+	// The sequential path historically stops at the first error.
+	errs := run(n, Options{Workers: workers, FailFast: workers == 1}, fn)
 	for i, err := range errs {
 		if err != nil {
 			return fmt.Errorf("par: task %d: %w", i, err)
 		}
 	}
 	return nil
+}
+
+// ForEachOpt is the supervised variant: it runs fn over [0, n) under
+// opt and returns nil or a *MultiError aggregating every task failure
+// in index order.
+func ForEachOpt(n int, opt Options, fn func(i int) error) error {
+	errs := run(n, opt, fn)
+	var m *MultiError
+	for i, err := range errs {
+		if err != nil {
+			if m == nil {
+				m = &MultiError{Total: n}
+			}
+			m.Errs = append(m.Errs, fmt.Errorf("task %d: %w", i, err))
+		}
+	}
+	if m == nil {
+		return nil
+	}
+	return m
 }
 
 // Map runs fn over [0, n) in parallel and collects the results by index.
@@ -74,4 +196,20 @@ func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// MapOpt is the supervised Map: on failure it returns the partial
+// result slice (zero values at failed or skipped indices) together with
+// a *MultiError describing every failure.
+func MapOpt[T any](n int, opt Options, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEachOpt(n, opt, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	return out, err
 }

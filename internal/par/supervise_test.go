@@ -1,0 +1,170 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPanicBecomesError is the supervision guarantee: a panicking task
+// surfaces as a *PanicError carrying the panic value and a stack
+// fragment, and every other task still runs.
+func TestPanicBecomesError(t *testing.T) {
+	var count atomic.Int64
+	err := ForEach(20, 4, func(i int) error {
+		count.Add(1)
+		if i == 5 {
+			panic("solver exploded")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("panic was swallowed")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T %v, want *PanicError", err, err)
+	}
+	if pe.Index != 5 || pe.Value != "solver exploded" {
+		t.Errorf("PanicError = {Index: %d, Value: %v}", pe.Index, pe.Value)
+	}
+	if !strings.Contains(pe.Stack, "supervise_test.go") {
+		t.Errorf("stack fragment does not reach the panic site:\n%s", pe.Stack)
+	}
+	if count.Load() != 20 {
+		t.Errorf("only %d/20 tasks ran after the panic", count.Load())
+	}
+}
+
+// TestPanicDoesNotDeadlock guards the original bug: a panic in a worker
+// used to kill the goroutine mid-loop and hang the dispatcher. With
+// more tasks than workers and every task panicking, the pool must still
+// drain and return.
+func TestPanicDoesNotDeadlock(t *testing.T) {
+	done := make(chan error, 1)
+	go func() {
+		done <- ForEach(100, 2, func(i int) error { panic(i) })
+	}()
+	select {
+	case err := <-done:
+		var pe *PanicError
+		if !errors.As(err, &pe) || pe.Index != 0 {
+			t.Errorf("err = %v, want task 0's PanicError", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("pool deadlocked after worker panics")
+	}
+}
+
+func TestPanicSequentialPath(t *testing.T) {
+	err := ForEach(3, 1, func(i int) error {
+		if i == 1 {
+			panic(errors.New("wrapped panic value"))
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Index != 1 {
+		t.Fatalf("err = %v, want task 1's PanicError", err)
+	}
+}
+
+func TestForEachOptAggregatesAllFailures(t *testing.T) {
+	err := ForEachOpt(10, Options{Workers: 4}, func(i int) error {
+		if i%3 == 0 {
+			return fmt.Errorf("boom %d", i)
+		}
+		return nil
+	})
+	var m *MultiError
+	if !errors.As(err, &m) {
+		t.Fatalf("err = %T %v, want *MultiError", err, err)
+	}
+	if m.Total != 10 || len(m.Errs) != 4 {
+		t.Fatalf("MultiError = {Total: %d, failures: %d}, want 10 and 4", m.Total, len(m.Errs))
+	}
+	for i, want := range []string{"task 0", "task 3", "task 6", "task 9"} {
+		if !strings.Contains(m.Errs[i].Error(), want) {
+			t.Errorf("Errs[%d] = %v, want %s (index order)", i, m.Errs[i], want)
+		}
+	}
+	if !strings.Contains(m.Error(), "4/10 tasks failed") || !strings.Contains(m.Error(), "and 1 more") {
+		t.Errorf("summary = %q", m.Error())
+	}
+}
+
+func TestForEachOptNilOnSuccess(t *testing.T) {
+	if err := ForEachOpt(8, Options{Workers: 3}, func(int) error { return nil }); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFailFastSkipsRemainingTasks(t *testing.T) {
+	var count atomic.Int64
+	err := ForEachOpt(1000, Options{Workers: 2, FailFast: true}, func(i int) error {
+		count.Add(1)
+		return fmt.Errorf("boom %d", i)
+	})
+	if err == nil {
+		t.Fatal("failures swallowed")
+	}
+	if n := count.Load(); n >= 1000 {
+		t.Errorf("fail-fast dispatched all %d tasks", n)
+	}
+}
+
+func TestFailFastSequential(t *testing.T) {
+	var count int
+	ForEachOpt(10, Options{Workers: 1, FailFast: true}, func(i int) error {
+		count++
+		if i == 2 {
+			return errors.New("stop here")
+		}
+		return nil
+	})
+	if count != 3 {
+		t.Errorf("sequential fail-fast ran %d tasks, want 3", count)
+	}
+}
+
+func TestMapOptReturnsPartialResults(t *testing.T) {
+	out, err := MapOpt(6, Options{Workers: 3}, func(i int) (int, error) {
+		if i == 2 {
+			return 0, errors.New("no")
+		}
+		if i == 4 {
+			panic("worse")
+		}
+		return i * 10, nil
+	})
+	var m *MultiError
+	if !errors.As(err, &m) || len(m.Errs) != 2 {
+		t.Fatalf("err = %v, want MultiError with 2 failures", err)
+	}
+	want := []int{0, 10, 0, 30, 0, 50}
+	for i, v := range out {
+		if v != want[i] {
+			t.Errorf("out[%d] = %d, want %d", i, v, want[i])
+		}
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Index != 4 {
+		t.Errorf("panic not surfaced through MultiError: %v", err)
+	}
+}
+
+func TestErrorsIsThroughMultiError(t *testing.T) {
+	sentinel := errors.New("sentinel")
+	err := ForEachOpt(3, Options{Workers: 2}, func(i int) error {
+		if i == 1 {
+			return fmt.Errorf("wrapping: %w", sentinel)
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("errors.Is failed through MultiError: %v", err)
+	}
+}
