@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench repro chaos fuzz goldens clean
+.PHONY: all build vet test race bench repro chaos conformance conformance-deep fuzz fuzz-smoke goldens clean
 
 all: build vet test
 
@@ -34,6 +34,15 @@ chaos:
 	$(GO) test -count=1 ./internal/faultinject
 	$(GO) run ./cmd/repro -only chaos -chaos-seed 42
 
+# Cross-solver conformance sweep (see docs/TESTING.md). The default slice
+# matches CI; the deep sweep widens the model window and runs the slow
+# fluid-vs-SSA ensemble on every model index.
+conformance:
+	$(GO) test -count=1 ./internal/conformance -conformance.n=25 -conformance.seed=1
+
+conformance-deep:
+	$(GO) test -count=1 -timeout 30m ./internal/conformance -conformance.n=200 -conformance.seed=1 -conformance.deep
+
 # Run each fuzz target briefly (seeds always run under plain `make test`).
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/pepa
@@ -43,6 +52,13 @@ fuzz:
 	$(GO) test -fuzz=FuzzRun -fuzztime=30s ./internal/shellenv
 	$(GO) test -fuzz=FuzzUnmarshalTar -fuzztime=30s ./internal/vfs
 	$(GO) test -fuzz=FuzzUnmarshal -fuzztime=30s ./internal/image
+
+# CI smoke lane: a few seconds per target over the checked-in seed corpora,
+# enough to catch freshly introduced panics without stalling the pipeline.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzParse -fuzztime=5s ./internal/pepa
+	$(GO) test -fuzz=FuzzParse -fuzztime=5s ./internal/gpepa
+	$(GO) test -fuzz=FuzzUnmarshalTar -fuzztime=5s ./internal/vfs
 
 # Rewrite the golden experiment outputs after an intentional change.
 goldens:

@@ -53,7 +53,7 @@ func run() error {
 	statePath := fs.String("state", "", "serve: persist the registry to this directory (loaded on start, saved on shutdown)")
 	timeout := fs.Duration("timeout", 30*time.Second, "client: per-request HTTP timeout")
 	retries := fs.Int("retries", 4, "client: total attempt budget per operation")
-	faultSpec := fs.String("fault-spec", "", "serve: inject faults per this spec (e.g. \"503:2,corrupt\"); chaos testing only")
+	faultSpec := fs.String("fault-spec", "", "serve: inject faults per this spec (e.g. \"503:2,corrupt\" or \"timeout:p0.1\"); chaos testing only")
 	faultSeed := fs.Uint64("fault-seed", 1, "serve: seed for the -fault-spec plan")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		return err

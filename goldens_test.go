@@ -6,7 +6,6 @@ package repro
 //
 //	go test -run TestGolden -update
 import (
-	"flag"
 	"fmt"
 	"net/http/httptest"
 	"os"
@@ -15,12 +14,15 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/goldentest"
 	"repro/internal/hostenv"
 	"repro/internal/hub"
 	"repro/internal/robustness"
 )
 
-var update = flag.Bool("update", false, "rewrite golden files")
+// The -update flag is shared with the package-level golden tests via
+// internal/goldentest.
+var update = goldentest.Update
 
 func checkGolden(t *testing.T, name, got string) {
 	t.Helper()
@@ -38,7 +40,9 @@ func checkGolden(t *testing.T, name, got string) {
 	if err != nil {
 		t.Fatalf("golden %s missing (run with -update): %v", name, err)
 	}
-	if string(want) != got {
+	// Compare up to end-of-line encoding so a CRLF checkout (git
+	// autocrlf) cannot fail byte-identical content.
+	if goldentest.NormalizeEOL(string(want)) != goldentest.NormalizeEOL(got) {
 		t.Errorf("%s drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
 	}
 }

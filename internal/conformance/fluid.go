@@ -1,0 +1,132 @@
+package conformance
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ctmc"
+	"repro/internal/gpepa"
+	"repro/internal/pepa/derive"
+)
+
+// This file holds the fluid-limit differentials: the GPEPA ODE engine
+// against the exact CTMC transient (where they coincide identically) and
+// against the grouped stochastic simulator (where they coincide in the
+// population limit, with a quantified finite-size gap).
+
+// CheckFluidLinear compares the single-group fluid solution against
+// count times the exact transient distribution of one component. For an
+// uncoupled group the mean-field equations are the Kolmogorov forward
+// equations scaled by the population, so any disagreement beyond ODE and
+// uniformization truncation error is a solver bug, not a modelling
+// approximation.
+func CheckFluidLinear(seed uint64, cfg Config) error {
+	cfg = cfg.withDefaults()
+	const (
+		count   = 40.0
+		horizon = 4.0
+		nGrid   = 16
+	)
+	gm, single, err := GenerateSingleGroup(seed, count)
+	if err != nil {
+		return err
+	}
+	fs, err := gpepa.Compile(gm)
+	if err != nil {
+		return fmt.Errorf("seed-%d grouped model: %w", seed, err)
+	}
+	sol, err := fs.Solve(horizon, nGrid, gpepa.SolveOptions{RelTol: 1e-10, AbsTol: 1e-12})
+	if err != nil {
+		return fmt.Errorf("seed-%d grouped model: fluid solve: %w", seed, err)
+	}
+	ss, err := derive.Explore(single, derive.Options{})
+	if err != nil {
+		return fmt.Errorf("seed-%d single component: %w", seed, err)
+	}
+	chain := ctmc.FromStateSpace(ss)
+	series, err := chain.TransientSeries(chain.PointMass(0), sol.Times, 1e-12)
+	if err != nil {
+		return fmt.Errorf("seed-%d single component: transient: %w", seed, err)
+	}
+	absTol := cfg.Tol.FluidLinearRel * count
+	for k := range sol.Times {
+		var total float64
+		for i, ls := range fs.Vars {
+			idx, ok := ss.Index[ls.State]
+			if !ok {
+				return fmt.Errorf("seed-%d: fluid variable %q has no CTMC state", seed, ls.State)
+			}
+			want := count * series[k][idx]
+			got := sol.X[k][i]
+			total += got
+			if d := math.Abs(got - want); d > absTol {
+				return fmt.Errorf("seed-%d: fluid(%q) at t=%.3g is %.9g, exact transient gives %.9g (|Δ|=%.3g > %.3g)",
+					seed, ls.State, sol.Times[k], got, want, d, absTol)
+			}
+		}
+		// Population conservation: the ODE must keep the group total at
+		// exactly the seeded count (up to integrator round-off).
+		if d := math.Abs(total - count); d > absTol {
+			return fmt.Errorf("seed-%d: fluid total population drifted to %.9g at t=%.3g (want %g)",
+				seed, total, sol.Times[k], count)
+		}
+	}
+	return nil
+}
+
+// CheckFluidCoupled compares the fluid solution of a min-coupled
+// two-group model against the mean of an exact population-SSA ensemble.
+// At population scale K the mean-field gap is O(√K) components in
+// absolute terms (the functional CLT fluctuation order, which dominates
+// near the min-switching surface), so the tolerance per variable and
+// grid point is z·stderr + FluidBias·√K.
+func CheckFluidCoupled(seed uint64, cfg Config) error {
+	cfg = cfg.withDefaults()
+	const (
+		horizon = 4.0
+		nGrid   = 8
+	)
+	gm, err := GenerateGrouped(seed, cfg.FluidScale)
+	if err != nil {
+		return err
+	}
+	fs, err := gpepa.Compile(gm)
+	if err != nil {
+		return fmt.Errorf("seed-%d coupled model: %w", seed, err)
+	}
+	sol, err := fs.Solve(horizon, nGrid, gpepa.SolveOptions{})
+	if err != nil {
+		return fmt.Errorf("seed-%d coupled model: fluid solve: %w", seed, err)
+	}
+	ens, err := fs.EnsembleOfSimulations(horizon, nGrid, cfg.FluidReps, mix(seed, 0xEA7))
+	if err != nil {
+		return fmt.Errorf("seed-%d coupled model: SSA ensemble: %w", seed, err)
+	}
+	sqrtReps := math.Sqrt(float64(ens.Replications))
+	for k := range sol.Times {
+		for i, ls := range fs.Vars {
+			groupPop := fs.GroupPopulation(ls.Group, fs.X0)
+			tol := cfg.Tol.SSAZ*ens.Std[k][i]/sqrtReps + cfg.Tol.FluidBias*math.Sqrt(groupPop)
+			if d := math.Abs(sol.X[k][i] - ens.Mean[k][i]); d > tol {
+				return fmt.Errorf("seed-%d: fluid(%s:%s) at t=%.3g is %.6g, SSA mean %.6g ± %.3g over %d reps (|Δ|=%.3g > tol %.3g)",
+					seed, ls.Group, ls.State, sol.Times[k], sol.X[k][i], ens.Mean[k][i],
+					ens.Std[k][i]/sqrtReps, ens.Replications, d, tol)
+			}
+		}
+	}
+	// Both engines must conserve each group's population exactly.
+	for _, g := range gm.Groups() {
+		want := fs.GroupPopulation(g.Label, fs.X0)
+		for k := range sol.Times {
+			if d := math.Abs(fs.GroupPopulation(g.Label, sol.X[k]) - want); d > 1e-6*want {
+				return fmt.Errorf("seed-%d: fluid group %s population drifted by %.3g at t=%.3g",
+					seed, g.Label, d, sol.Times[k])
+			}
+			if d := math.Abs(fs.GroupPopulation(g.Label, ens.Mean[k]) - want); d > 1e-9*want {
+				return fmt.Errorf("seed-%d: SSA group %s population drifted by %.3g at t=%.3g",
+					seed, g.Label, d, sol.Times[k])
+			}
+		}
+	}
+	return nil
+}

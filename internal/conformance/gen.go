@@ -1,0 +1,325 @@
+// Package conformance is the cross-solver oracle of the reproduction: it
+// generates random well-formed PEPA models (and GPEPA groupings derived
+// from them), solves each model with every independent numerical backend
+// the repo carries — exact CTMC steady state, Gillespie simulation, and
+// the fluid/mean-field ODE limit — and asserts pairwise agreement within
+// principled tolerances. Layered on top are metamorphic invariants
+// (uniform rate rescaling fixes the steady-state distribution, injective
+// renaming is a bisimulation, distributions sum to one, absorption CDFs
+// are monotone) that need no oracle at all.
+//
+// The paper's reproducibility claim is an equivalence check between two
+// packagings of *one* solver; this package is the stronger internal
+// analogue — an equivalence check between three independently implemented
+// solvers — which is what catches silent numerical drift (Malka et al.,
+// "Docker Does Not Guarantee Reproducibility") rather than packaging
+// drift. Tolerance derivations live in docs/TESTING.md.
+package conformance
+
+import (
+	"fmt"
+
+	"repro/internal/gpepa"
+	"repro/internal/pepa"
+	"repro/internal/pepa/derive"
+	"repro/internal/rng"
+)
+
+// GenOptions bounds the random model generator.
+type GenOptions struct {
+	// MaxComponents is the largest number of sequential components
+	// composed in the system equation (default 3, minimum 2).
+	MaxComponents int
+	// MaxStatesPerComponent bounds each component's cycle length
+	// (default 4, minimum 2).
+	MaxStatesPerComponent int
+	// MaxStates bounds the composed state space; larger candidates are
+	// rejected (default 2500).
+	MaxStates int
+	// AllowPassive lets later components offer their shared actions
+	// passively (resolved through the cooperation rate law).
+	AllowPassive bool
+}
+
+func (o GenOptions) withDefaults() GenOptions {
+	if o.MaxComponents < 2 {
+		o.MaxComponents = 3
+	}
+	if o.MaxStatesPerComponent < 2 {
+		o.MaxStatesPerComponent = 4
+	}
+	if o.MaxStates <= 0 {
+		o.MaxStates = 2500
+	}
+	return o
+}
+
+// sharedPool is the action alphabet components may cooperate over.
+var sharedPool = []string{"sync0", "sync1", "sync2"}
+
+// Generated is one accepted random model together with its derived state
+// space (the generator explores every candidate anyway to vet it, so the
+// harness gets the exploration for free).
+type Generated struct {
+	Model *pepa.Model
+	Space *derive.StateSpace
+	// Seed reproduces this exact model via Generate(Seed, opts).
+	Seed uint64
+	// Attempts counts rejected candidates before this one (diagnostic).
+	Attempts int
+}
+
+// Generate produces a well-formed, deadlock-free, strongly connected PEPA
+// model from the seed by rejection sampling: candidates whose composed
+// state space deadlocks, is reducible, is trivial, or exceeds the bound
+// are discarded and the generator re-draws from a deterministically
+// derived sub-seed. The result is a pure function of (seed, opts).
+func Generate(seed uint64, opts GenOptions) (*Generated, error) {
+	opts = opts.withDefaults()
+	const maxAttempts = 300
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		r := rng.New(mix(seed, uint64(attempt)))
+		m := genCandidate(r, opts)
+		if res := pepa.Check(m); res.Err() != nil {
+			continue
+		}
+		ss, err := derive.Explore(m, derive.Options{MaxStates: opts.MaxStates})
+		if err != nil {
+			continue // unresolved passive, blocked cooperation, too large...
+		}
+		if ss.NumStates() < 3 || len(ss.ActionTypes) < 2 {
+			continue // too trivial to differentiate solvers
+		}
+		if len(ss.Deadlocks()) > 0 || !stronglyConnected(ss) {
+			continue // steady state would not exist / not be unique
+		}
+		return &Generated{Model: m, Space: ss, Seed: seed, Attempts: attempt}, nil
+	}
+	return nil, fmt.Errorf("conformance: no viable model within %d attempts of seed %d", maxAttempts, seed)
+}
+
+// mix derives a sub-seed via SplitMix64's finalizer so that (seed,
+// attempt) pairs land in decorrelated streams.
+func mix(seed, attempt uint64) uint64 {
+	z := seed + 0x9E3779B97F4A7C15*(attempt+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// genCandidate draws one unvetted model: 2..MaxComponents cyclic
+// sequential components, each strongly connected by construction, composed
+// left-to-right with cooperation over shared actions (or pure parallel).
+// Every active rate is a RateRef, which is what makes the rate-rescaling
+// metamorphic relation exact (see pepa.ScaleRates).
+func genCandidate(r *rng.Source, opts GenOptions) *pepa.Model {
+	m := pepa.NewModel()
+	nComp := 2 + r.Intn(opts.MaxComponents-1)
+	rateCounter := 0
+	freshRate := func() pepa.RateExpr {
+		name := fmt.Sprintf("r%d", rateCounter)
+		rateCounter++
+		m.DefineRate(name, 0.25+2.25*r.Float64())
+		return &pepa.RateRef{Name: name}
+	}
+
+	type component struct {
+		start   string
+		actions map[string]bool // full alphabet
+		shared  []string        // shared-pool actions it performs
+		passive bool            // shared actions offered passively
+	}
+	comps := make([]*component, nComp)
+
+	for i := 0; i < nComp; i++ {
+		k := 2 + r.Intn(opts.MaxStatesPerComponent-1)
+		c := &component{start: stateName(i, 0), actions: map[string]bool{}}
+		// Each component performs at least one shared action so that
+		// cooperation sets are never vacuous.
+		shared := sharedPool[r.Intn(len(sharedPool))]
+		c.shared = []string{shared}
+		if opts.AllowPassive && i > 0 && r.Float64() < 0.35 {
+			c.passive = true
+		}
+		privCounter := 0
+		pickAction := func() string {
+			// Shared actions appear on roughly a third of the edges.
+			if r.Float64() < 0.33 {
+				return shared
+			}
+			a := fmt.Sprintf("work%d_%d", i, privCounter)
+			privCounter++
+			return a
+		}
+		rateFor := func(action string) pepa.RateExpr {
+			if c.passive && action == shared {
+				return &pepa.RatePassive{}
+			}
+			return freshRate()
+		}
+		for j := 0; j < k; j++ {
+			// The backbone edge j -> j+1 (mod k) keeps the component a
+			// single strongly connected cycle whatever else is drawn.
+			a := pickAction()
+			c.actions[a] = true
+			var body pepa.Process = &pepa.Prefix{
+				Action: a,
+				Rate:   rateFor(a),
+				Cont:   &pepa.Const{Name: stateName(i, (j+1)%k)},
+			}
+			// Optional extra branch to a random state.
+			if r.Float64() < 0.5 {
+				b := pickAction()
+				c.actions[b] = true
+				body = &pepa.Choice{
+					Left: &pepa.Prefix{
+						Action: b,
+						Rate:   rateFor(b),
+						Cont:   &pepa.Const{Name: stateName(i, r.Intn(k))},
+					},
+					Right: body,
+				}
+			}
+			m.Define(stateName(i, j), body)
+		}
+		comps[i] = c
+	}
+
+	// Compose left to right. A passive component must synchronize on its
+	// shared actions (otherwise its passive rate never resolves).
+	sys := pepa.Process(&pepa.Const{Name: comps[0].start})
+	alphabet := map[string]bool{}
+	for a := range comps[0].actions {
+		alphabet[a] = true
+	}
+	for i := 1; i < nComp; i++ {
+		c := comps[i]
+		var set []string
+		for _, a := range c.shared {
+			if alphabet[a] && (c.passive || r.Float64() < 0.7) {
+				set = append(set, a)
+			}
+		}
+		// A passive component whose shared action has no active partner on
+		// the left yields an empty set here; Explore then reports the
+		// unresolved passive rate and the candidate is rejected.
+		sys = pepa.NewCoop(sys, &pepa.Const{Name: c.start}, set)
+		for a := range c.actions {
+			alphabet[a] = true
+		}
+	}
+	m.System = sys
+	return m
+}
+
+func stateName(comp, state int) string { return fmt.Sprintf("C%d_%d", comp, state) }
+
+// stronglyConnected reports whether every state of the (already fully
+// reachable-from-0) space can also reach state 0, which for an Explore
+// result is exactly strong connectivity.
+func stronglyConnected(ss *derive.StateSpace) bool {
+	n := ss.NumStates()
+	rev := make([][]int, n)
+	for s := 0; s < n; s++ {
+		for _, tr := range ss.Trans[s] {
+			rev[tr.To] = append(rev[tr.To], s)
+		}
+	}
+	seen := make([]bool, n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range rev[cur] {
+			if !seen[p] {
+				seen[p] = true
+				count++
+				stack = append(stack, p)
+			}
+		}
+	}
+	return count == n
+}
+
+// genActiveComponent defines a cyclic active-rate component (index idx)
+// in defs, performing the shared action on its first edge, and returns
+// the start-state name. Every rate is a fresh RateRef, as the metamorphic
+// transforms require.
+func genActiveComponent(defs *pepa.Model, r *rng.Source, idx int, shared string) string {
+	k := 2 + r.Intn(2)
+	for j := 0; j < k; j++ {
+		action := shared
+		if j > 0 {
+			action = fmt.Sprintf("work%d_%d", idx, j)
+		}
+		name := fmt.Sprintf("g%d_%d", idx, j)
+		defs.DefineRate(name, 0.4+2.0*r.Float64())
+		defs.Define(stateName(idx, j), &pepa.Prefix{
+			Action: action,
+			Rate:   &pepa.RateRef{Name: name},
+			Cont:   &pepa.Const{Name: stateName(idx, (j+1)%k)},
+		})
+	}
+	return stateName(idx, 0)
+}
+
+// GenerateGrouped derives a GPEPA model from the seed: two fresh active
+// sequential components sharing one action, grouped as
+//
+//	GA{A[k]} <sync> GB{B[k']}
+//
+// with populations scaled by scale. Fluid analysis requires active rates,
+// so passive generation is disabled regardless of opts.
+func GenerateGrouped(seed uint64, scale float64) (*gpepa.Model, error) {
+	const maxAttempts = 300
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		r := rng.New(mix(seed^0xC0FFEE, uint64(attempt)))
+		defs := pepa.NewModel()
+		shared := "sync0"
+		startA := genActiveComponent(defs, r, 0, shared)
+		startB := genActiveComponent(defs, r, 1, shared)
+		ka := float64(3 + r.Intn(3))
+		kb := float64(2 + r.Intn(3))
+		gm := &gpepa.Model{
+			Defs: defs,
+			System: &gpepa.GroupCoop{
+				Left:  &gpepa.Group{Label: "GA", Seeds: []gpepa.Seed{{Component: startA, Count: ka * scale}}},
+				Right: &gpepa.Group{Label: "GB", Seeds: []gpepa.Seed{{Component: startB, Count: kb * scale}}},
+				Set:   []string{shared},
+			},
+		}
+		if _, err := gpepa.Compile(gm); err != nil {
+			continue
+		}
+		return gm, nil
+	}
+	return nil, fmt.Errorf("conformance: no viable grouped model within %d attempts of seed %d", maxAttempts, seed)
+}
+
+// GenerateSingleGroup derives a one-group GPEPA model G{C[count]} plus the
+// matching single-component PEPA model (System = C). With no cooperation
+// the population process is a sum of count independent copies of the
+// component CTMC, so the fluid ODE solution equals count times the exact
+// transient distribution — not approximately, identically. That gives the
+// harness an exact three-way bridge between the ODE integrator, the
+// uniformization engine, and (through the grouped simulator) the SSA.
+func GenerateSingleGroup(seed uint64, count float64) (*gpepa.Model, *pepa.Model, error) {
+	r := rng.New(mix(seed^0xF1D0, 0))
+	defs := pepa.NewModel()
+	start := genActiveComponent(defs, r, 0, "sync0")
+	gm := &gpepa.Model{
+		Defs:   defs,
+		System: &gpepa.Group{Label: "G", Seeds: []gpepa.Seed{{Component: start, Count: count}}},
+	}
+	if _, err := gpepa.Compile(gm); err != nil {
+		return nil, nil, fmt.Errorf("conformance: single-group model from seed %d does not compile: %w", seed, err)
+	}
+	single := defs.Clone()
+	single.System = &pepa.Const{Name: start}
+	if res := pepa.Check(single); res.Err() != nil {
+		return nil, nil, fmt.Errorf("conformance: single-component model from seed %d fails checks: %w", seed, res.Err())
+	}
+	return gm, single, nil
+}

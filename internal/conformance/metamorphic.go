@@ -1,0 +1,213 @@
+package conformance
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ctmc"
+	"repro/internal/pepa/derive"
+)
+
+// This file holds the metamorphic layer: transformations of a model with
+// an exactly known effect on the solution, checked without any numerical
+// oracle. Each relation is documented with the algebraic fact it rests on.
+
+// CheckRateScaling verifies the time-rescaling relation: multiplying every
+// rate constant by c leaves the embedded jump chain — and therefore the
+// steady-state distribution — unchanged, while every throughput scales by
+// exactly c (pi·(c·Q) = c·(pi·Q)).
+func CheckRateScaling(g *Generated, cfg Config) error {
+	cfg = cfg.withDefaults()
+	const c = 3.7
+	scaled, err := g.Model.ScaleRates(c)
+	if err != nil {
+		return fmt.Errorf("seed-%d model: %w", g.Seed, err)
+	}
+	ssScaled, err := derive.Explore(scaled, derive.Options{MaxStates: cfg.Gen.withDefaults().MaxStates})
+	if err != nil {
+		return fmt.Errorf("seed-%d model: exploring rate-scaled copy: %w", g.Seed, err)
+	}
+	if ssScaled.NumStates() != g.Space.NumStates() {
+		return fmt.Errorf("seed-%d model: rate scaling changed state count %d -> %d",
+			g.Seed, g.Space.NumStates(), ssScaled.NumStates())
+	}
+	_, pi, err := solveSteady(g, cfg.Tol)
+	if err != nil {
+		return err
+	}
+	chainScaled := ctmc.FromStateSpace(ssScaled)
+	piScaled, err := chainScaled.SteadyState(ctmc.SteadyStateOptions{})
+	if err != nil {
+		return fmt.Errorf("seed-%d model: steady state of rate-scaled copy: %w", g.Seed, err)
+	}
+	// State strings are rate-name based, so indexing is identical.
+	for s := range pi {
+		if d := math.Abs(pi[s] - piScaled[s]); d > cfg.Tol.ExactAbs {
+			return fmt.Errorf("seed-%d model: rate scaling moved pi[%d] by %.3g (tol %g)",
+				g.Seed, s, d, cfg.Tol.ExactAbs)
+		}
+	}
+	chain := ctmc.FromStateSpace(g.Space)
+	base := chain.Throughputs(pi)
+	scaledThru := chainScaled.Throughputs(piScaled)
+	for _, a := range g.Space.ActionTypes {
+		want := c * base[a]
+		if d := relDiff(scaledThru[a], want); d > cfg.Tol.ExactRel {
+			return fmt.Errorf("seed-%d model: throughput(%s) scaled by %.12g, want %.12g (rel err %.3g)",
+				g.Seed, a, scaledThru[a]/base[a], c, d)
+		}
+	}
+	return nil
+}
+
+// CheckRenaming verifies that injective renaming of actions and of process
+// constants is a bisimulation. An order-preserving rename (a common prefix
+// keeps lexicographic order, hence derivation order) must reproduce the
+// steady-state vector index-for-index; an order-scrambling rename may
+// permute states but must preserve the state count, the transition count,
+// and the probability multiset.
+func CheckRenaming(g *Generated, cfg Config) error {
+	cfg = cfg.withDefaults()
+	maxStates := cfg.Gen.withDefaults().MaxStates
+	_, pi, err := solveSteady(g, cfg.Tol)
+	if err != nil {
+		return err
+	}
+
+	// Order-preserving action rename.
+	keepOrder := g.Model.RenameActions(func(a string) string { return "x" + a })
+	ssKeep, err := derive.Explore(keepOrder, derive.Options{MaxStates: maxStates})
+	if err != nil {
+		return fmt.Errorf("seed-%d model: exploring action-renamed copy: %w", g.Seed, err)
+	}
+	if ssKeep.NumStates() != g.Space.NumStates() || ssKeep.NumTransitions() != g.Space.NumTransitions() {
+		return fmt.Errorf("seed-%d model: action rename changed graph size (%d/%d -> %d/%d states/transitions)",
+			g.Seed, g.Space.NumStates(), g.Space.NumTransitions(), ssKeep.NumStates(), ssKeep.NumTransitions())
+	}
+	piKeep, err := ctmc.FromStateSpace(ssKeep).SteadyState(ctmc.SteadyStateOptions{})
+	if err != nil {
+		return fmt.Errorf("seed-%d model: steady state of action-renamed copy: %w", g.Seed, err)
+	}
+	for s := range pi {
+		if d := math.Abs(pi[s] - piKeep[s]); d > cfg.Tol.ExactAbs {
+			return fmt.Errorf("seed-%d model: action rename moved pi[%d] by %.3g", g.Seed, s, d)
+		}
+	}
+
+	// Order-preserving process rename: again index-for-index.
+	procRenamed := g.Model.RenameProcesses(func(n string) string { return "Z" + n })
+	ssProc, err := derive.Explore(procRenamed, derive.Options{MaxStates: maxStates})
+	if err != nil {
+		return fmt.Errorf("seed-%d model: exploring process-renamed copy: %w", g.Seed, err)
+	}
+	piProc, err := ctmc.FromStateSpace(ssProc).SteadyState(ctmc.SteadyStateOptions{})
+	if err != nil {
+		return fmt.Errorf("seed-%d model: steady state of process-renamed copy: %w", g.Seed, err)
+	}
+	if len(piProc) != len(pi) {
+		return fmt.Errorf("seed-%d model: process rename changed state count %d -> %d", g.Seed, len(pi), len(piProc))
+	}
+	for s := range pi {
+		if d := math.Abs(pi[s] - piProc[s]); d > cfg.Tol.ExactAbs {
+			return fmt.Errorf("seed-%d model: process rename moved pi[%d] by %.3g", g.Seed, s, d)
+		}
+	}
+
+	// Order-scrambling action rename: reverse the lexicographic order of
+	// the alphabet, then compare multisets.
+	alphabet := append([]string(nil), g.Space.ActionTypes...)
+	scramble := make(map[string]string, len(alphabet))
+	for i, a := range alphabet {
+		// "m<reversed index>_" prefixes reverse the sort order while
+		// keeping the map injective.
+		scramble[a] = fmt.Sprintf("m%03d_%s", len(alphabet)-i, a)
+	}
+	scrambled := g.Model.RenameActions(func(a string) string {
+		if to, ok := scramble[a]; ok {
+			return to
+		}
+		return a
+	})
+	ssScr, err := derive.Explore(scrambled, derive.Options{MaxStates: maxStates})
+	if err != nil {
+		return fmt.Errorf("seed-%d model: exploring scrambled copy: %w", g.Seed, err)
+	}
+	if ssScr.NumStates() != g.Space.NumStates() || ssScr.NumTransitions() != g.Space.NumTransitions() {
+		return fmt.Errorf("seed-%d model: scrambling rename changed graph size (%d/%d -> %d/%d)",
+			g.Seed, g.Space.NumStates(), g.Space.NumTransitions(), ssScr.NumStates(), ssScr.NumTransitions())
+	}
+	piScr, err := ctmc.FromStateSpace(ssScr).SteadyState(ctmc.SteadyStateOptions{})
+	if err != nil {
+		return fmt.Errorf("seed-%d model: steady state of scrambled copy: %w", g.Seed, err)
+	}
+	if err := compareMultisets(pi, piScr, cfg.Tol.ExactAbs); err != nil {
+		return fmt.Errorf("seed-%d model: scrambling rename: %w", g.Seed, err)
+	}
+	return nil
+}
+
+// CheckCoopCommutes verifies P <L> Q ~ Q <L> P: the swapped system derives
+// an isomorphic CTMC (same sizes, same probability multiset, identical
+// per-action throughputs).
+func CheckCoopCommutes(g *Generated, cfg Config) error {
+	cfg = cfg.withDefaults()
+	swapped, ok := g.Model.SwapTopCoop()
+	if !ok {
+		return nil // system equation is a bare constant; nothing to swap
+	}
+	ssSwap, err := derive.Explore(swapped, derive.Options{MaxStates: cfg.Gen.withDefaults().MaxStates})
+	if err != nil {
+		return fmt.Errorf("seed-%d model: exploring swapped cooperation: %w", g.Seed, err)
+	}
+	if ssSwap.NumStates() != g.Space.NumStates() || ssSwap.NumTransitions() != g.Space.NumTransitions() {
+		return fmt.Errorf("seed-%d model: swapping cooperation changed graph size (%d/%d -> %d/%d)",
+			g.Seed, g.Space.NumStates(), g.Space.NumTransitions(), ssSwap.NumStates(), ssSwap.NumTransitions())
+	}
+	chain, pi, err := solveSteady(g, cfg.Tol)
+	if err != nil {
+		return err
+	}
+	chainSwap := ctmc.FromStateSpace(ssSwap)
+	piSwap, err := chainSwap.SteadyState(ctmc.SteadyStateOptions{})
+	if err != nil {
+		return fmt.Errorf("seed-%d model: steady state of swapped cooperation: %w", g.Seed, err)
+	}
+	if err := compareMultisets(pi, piSwap, cfg.Tol.ExactAbs); err != nil {
+		return fmt.Errorf("seed-%d model: swapped cooperation: %w", g.Seed, err)
+	}
+	base := chain.Throughputs(pi)
+	swapThru := chainSwap.Throughputs(piSwap)
+	for _, a := range g.Space.ActionTypes {
+		if d := math.Abs(base[a] - swapThru[a]); d > cfg.Tol.ExactAbs+cfg.Tol.ExactRel*math.Abs(base[a]) {
+			return fmt.Errorf("seed-%d model: swapped cooperation moved throughput(%s) from %.12g to %.12g",
+				g.Seed, a, base[a], swapThru[a])
+		}
+	}
+	return nil
+}
+
+// compareMultisets asserts two probability vectors are equal as multisets
+// within the absolute tolerance.
+func compareMultisets(a, b []float64, tol float64) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("multiset sizes differ: %d vs %d", len(a), len(b))
+	}
+	sa, sb := sortedCopy(a), sortedCopy(b)
+	for i := range sa {
+		if d := math.Abs(sa[i] - sb[i]); d > tol {
+			return fmt.Errorf("sorted probability %d differs by %.3g (%.12g vs %.12g, tol %g)",
+				i, d, sa[i], sb[i], tol)
+		}
+	}
+	return nil
+}
+
+// relDiff is the relative difference |a-b|/max(|a|,|b|), zero when both
+// are zero.
+func relDiff(a, b float64) float64 {
+	m := math.Max(math.Abs(a), math.Abs(b))
+	if m == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / m
+}

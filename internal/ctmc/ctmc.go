@@ -429,6 +429,17 @@ func (c *Chain) Throughput(pi []float64, action string) (float64, error) {
 	return linalg.Dot(pi, rates), nil
 }
 
+// Throughputs returns the steady-state throughput of every action type,
+// keyed by action. Conformance checks use this to compare the exact chain
+// against simulation estimates action-by-action.
+func (c *Chain) Throughputs(pi []float64) map[string]float64 {
+	out := make(map[string]float64, len(c.ActionRate))
+	for a, rates := range c.ActionRate {
+		out[a] = linalg.Dot(pi, rates)
+	}
+	return out
+}
+
 // Utilization returns the steady-state probability mass of the states
 // selected by the predicate over state indices.
 func (c *Chain) Utilization(pi []float64, selected []int) float64 {

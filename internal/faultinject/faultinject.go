@@ -207,14 +207,18 @@ func (p *Plan) Ops() int {
 // ParseSpec parses a compact fault-plan spec: comma-separated clauses
 // of the form
 //
-//	kind[:count][@match]
+//	kind[:count][@match]     script mode: fail the first count matches
+//	kind[:p<prob>][@match]   chaos mode: fail each match with probability prob
 //
 // where kind is conn, timeout, truncate, corrupt, or a numeric HTTP
-// status; count is the First schedule (default 1); and match restricts
-// the rule to ops containing the substring. Examples:
+// status; count is the First schedule (default 1); p<prob> (a float in
+// (0, 1]) makes the rule probabilistic, drawn from the plan's seeded
+// generator; and match restricts the rule to ops containing the
+// substring. Examples:
 //
 //	"503:2"                      fail the first two ops with HTTP 503
 //	"conn,corrupt@/v1/pepa"      one conn error, one bit flip on /v1/pepa
+//	"timeout:p0.25"              time out a quarter of all ops, seeded
 func ParseSpec(spec string) ([]Rule, error) {
 	var rules []Rule
 	for _, clause := range strings.Split(spec, ",") {
@@ -227,18 +231,35 @@ func ParseSpec(spec string) ([]Rule, error) {
 		if at := strings.Index(rest, "@"); at >= 0 {
 			match = rest[at+1:]
 			rest = rest[:at]
+			if match == "" {
+				return nil, fmt.Errorf("faultinject: empty match after %q in clause %q (drop the @ to match every op)", "@", clause)
+			}
+			if extra := strings.Index(match, "@"); extra >= 0 {
+				return nil, fmt.Errorf("faultinject: second %q in clause %q (one match per clause)", "@"+match[extra+1:], clause)
+			}
 		}
 		kindStr := rest
 		count := 1
+		prob := 0.0
 		if colon := strings.Index(rest, ":"); colon >= 0 {
 			kindStr = rest[:colon]
-			n, err := strconv.Atoi(rest[colon+1:])
-			if err != nil || n <= 0 {
-				return nil, fmt.Errorf("faultinject: bad count in clause %q", clause)
+			arg := rest[colon+1:]
+			if strings.HasPrefix(arg, "p") {
+				v, err := strconv.ParseFloat(arg[1:], 64)
+				if err != nil || v <= 0 || v > 1 {
+					return nil, fmt.Errorf("faultinject: bad probability %q in clause %q (want p<value> with 0 < value <= 1)", arg, clause)
+				}
+				prob = v
+				count = 0
+			} else {
+				n, err := strconv.Atoi(arg)
+				if err != nil || n <= 0 {
+					return nil, fmt.Errorf("faultinject: bad count %q in clause %q (want a positive integer or p<prob>)", arg, clause)
+				}
+				count = n
 			}
-			count = n
 		}
-		r := Rule{Match: match, First: count}
+		r := Rule{Match: match, First: count, Prob: prob}
 		switch kindStr {
 		case "conn":
 			r.Kind = KindConn
@@ -259,7 +280,7 @@ func ParseSpec(spec string) ([]Rule, error) {
 		rules = append(rules, r)
 	}
 	if len(rules) == 0 {
-		return nil, fmt.Errorf("faultinject: empty fault spec")
+		return nil, fmt.Errorf("faultinject: empty fault spec %q", spec)
 	}
 	return rules, nil
 }

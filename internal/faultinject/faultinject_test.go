@@ -75,7 +75,7 @@ func a2kind(log string, i int) Kind {
 }
 
 func TestParseSpec(t *testing.T) {
-	rules, err := ParseSpec("503:2,conn,corrupt@/v1/pepa,timeout:3")
+	rules, err := ParseSpec("503:2,conn,corrupt@/v1/pepa,timeout:3,truncate:p0.25@/v1/blob")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,14 +84,91 @@ func TestParseSpec(t *testing.T) {
 		{Kind: KindConn, First: 1},
 		{Kind: KindCorrupt, First: 1, Match: "/v1/pepa"},
 		{Kind: KindTimeout, First: 3},
+		{Kind: KindTruncate, Prob: 0.25, Match: "/v1/blob"},
 	}
 	if !reflect.DeepEqual(rules, want) {
 		t.Errorf("rules = %+v, want %+v", rules, want)
 	}
-	for _, bad := range []string{"", "bogus", "503:x", "200", "conn:0"} {
-		if _, err := ParseSpec(bad); err == nil {
-			t.Errorf("spec %q accepted", bad)
+}
+
+// TestParseSpecEdgeCases walks the rejection surface of the spec grammar.
+// Every error must name the offending token, not just fail, so that a
+// user who fat-fingers a 40-character chaos spec can see which clause to
+// fix.
+func TestParseSpecEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		spec    string
+		wantErr string // substring the error must contain
+	}{
+		{"empty", "", `empty fault spec ""`},
+		{"only separators", " , ,\t,", "empty fault spec"},
+		{"unknown kind", "bogus", `unknown fault kind "bogus"`},
+		{"unknown kind in list", "conn,flaky:2", `unknown fault kind "flaky"`},
+		{"status below range", "200", `unknown fault kind "200"`},
+		{"status above range", "600", `unknown fault kind "600"`},
+		{"non-numeric count", "503:x", `bad count "x"`},
+		{"zero count", "conn:0", `bad count "0"`},
+		{"negative count", "conn:-3", `bad count "-3"`},
+		{"duplicate count keys", "conn:1:2", `bad count "1:2"`},
+		{"malformed probability", "conn:pfoo", `bad probability "pfoo"`},
+		{"zero probability", "conn:p0", `bad probability "p0"`},
+		{"probability above one", "conn:p1.5", `bad probability "p1.5"`},
+		{"duplicate probability keys", "conn:p0.5:p0.5", `bad probability "p0.5:p0.5"`},
+		{"empty match", "conn@", `empty match after "@"`},
+		{"duplicate match keys", "conn@a@b", `second "@b"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseSpec(tc.spec)
+			if err == nil {
+				t.Fatalf("spec %q accepted", tc.spec)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("spec %q: error %q does not name the offending token (want substring %q)",
+					tc.spec, err, tc.wantErr)
+			}
+		})
+	}
+
+	// Accepted edge forms: whitespace and trailing separators are
+	// tolerated, and probabilistic rules coexist with script rules.
+	ok := []string{"conn,", " 429:9 ", "conn:p1", "conn:p0.001,503:2@/v1"}
+	for _, spec := range ok {
+		if _, err := ParseSpec(spec); err != nil {
+			t.Errorf("spec %q rejected: %v", spec, err)
 		}
+	}
+}
+
+// TestParseSpecProbabilisticPlan wires a parsed chaos-mode rule into a
+// plan and checks the seeded draw stream actually fires it.
+func TestParseSpecProbabilisticPlan(t *testing.T) {
+	rules, err := ParseSpec("conn:p0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rules[0].First != 0 || rules[0].Prob != 0.5 {
+		t.Fatalf("rule = %+v, want chaos mode with Prob 0.5", rules[0])
+	}
+	plan := NewPlan(7, rules...)
+	fired := 0
+	for i := 0; i < 200; i++ {
+		if plan.Next("GET /x").Active() {
+			fired++
+		}
+	}
+	// 200 draws at p=0.5: outside [60, 140] would be a broken generator,
+	// not bad luck (probability < 1e-8).
+	if fired < 60 || fired > 140 {
+		t.Errorf("p=0.5 rule fired %d/200 times", fired)
+	}
+	replay := NewPlan(7, rules...)
+	for i := 0; i < 200; i++ {
+		replay.Next("GET /x")
+	}
+	if plan.FormatLog() != replay.FormatLog() {
+		t.Error("same seed did not replay the same probabilistic decision stream")
 	}
 }
 

@@ -146,6 +146,6 @@ type recorder struct {
 	body   bytes.Buffer
 }
 
-func (r *recorder) Header() http.Header       { return r.header }
-func (r *recorder) WriteHeader(status int)    { r.status = status }
+func (r *recorder) Header() http.Header         { return r.header }
+func (r *recorder) WriteHeader(status int)      { r.status = status }
 func (r *recorder) Write(p []byte) (int, error) { return r.body.Write(p) }

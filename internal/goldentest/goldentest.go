@@ -1,0 +1,52 @@
+// Package goldentest compares rendered text against checked-in golden
+// files. Comparison is end-of-line normalized so goldens survive CRLF
+// checkouts (git autocrlf on Windows) byte-for-byte otherwise; content
+// drift still fails loudly. Regenerate goldens with `go test -update`
+// in the package under test.
+package goldentest
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Update rewrites golden files instead of comparing. Registered here so
+// every package using this helper shares the same `-update` spelling.
+var Update = flag.Bool("update", false, "rewrite golden files")
+
+// NormalizeEOL maps CRLF (and stray CR) line endings to LF so that the
+// comparison is independent of checkout line-ending configuration.
+func NormalizeEOL(s string) string {
+	s = strings.ReplaceAll(s, "\r\n", "\n")
+	return strings.ReplaceAll(s, "\r", "\n")
+}
+
+// Equal reports whether got matches want up to end-of-line encoding.
+func Equal(got, want string) bool {
+	return NormalizeEOL(got) == NormalizeEOL(want)
+}
+
+// Check compares got against the golden file at path (conventionally
+// testdata/goldens/<name>), rewriting it under -update.
+func Check(t *testing.T, path, got string) {
+	t.Helper()
+	if *Update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(NormalizeEOL(got)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden %s missing (run with -update): %v", path, err)
+	}
+	if !Equal(got, string(want)) {
+		t.Errorf("%s drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}

@@ -1,0 +1,41 @@
+package goldentest
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestNormalizeEOL(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"a\nb\n", "a\nb\n"},
+		{"a\r\nb\r\n", "a\nb\n"},
+		{"a\rb", "a\nb"},
+		{"mixed\r\nlines\nand\rmore", "mixed\nlines\nand\nmore"},
+		{"", ""},
+	}
+	for _, tc := range cases {
+		if got := NormalizeEOL(tc.in); got != tc.want {
+			t.Errorf("NormalizeEOL(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestEqualIgnoresLineEndings(t *testing.T) {
+	if !Equal("x\ny\n", "x\r\ny\r\n") {
+		t.Error("CRLF golden should match LF output")
+	}
+	if Equal("x\ny\n", "x\nz\n") {
+		t.Error("content drift must not be masked by normalization")
+	}
+}
+
+// TestCheckCRLFGolden simulates a golden that went through a CRLF
+// checkout: the comparison must still pass against LF render output.
+func TestCheckCRLFGolden(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sample.txt")
+	if err := os.WriteFile(path, []byte("line one\r\nline two\r\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	Check(t, path, "line one\nline two\n")
+}

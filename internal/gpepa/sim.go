@@ -2,6 +2,7 @@ package gpepa
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/par"
 	"repro/internal/pepa"
@@ -153,6 +154,74 @@ func (fs *FluidSystem) MeanOfSimulations(horizon float64, n int, k int, seed uin
 		}
 	}
 	return acc, nil
+}
+
+// SimEnsemble is the pointwise mean and sample standard deviation of k
+// independent population trajectories on a shared grid. The standard
+// deviations let callers turn the mean into a confidence band — the
+// cross-solver conformance harness compares the fluid ODE solution
+// against Mean ± z·Std/√k plus the O(1/√K) mean-field bias allowance.
+type SimEnsemble struct {
+	System       *FluidSystem
+	Times        []float64
+	Mean         [][]float64 // Mean[k][i]: mean count of Vars[i] at Times[k]
+	Std          [][]float64 // sample standard deviation, same shape
+	Replications int
+	Jumps        int
+}
+
+// EnsembleOfSimulations runs k independent trajectories in parallel and
+// reduces them, in replication order, to pointwise means and sample
+// standard deviations. Like MeanOfSimulations the result is bit-identical
+// for any worker count.
+func (fs *FluidSystem) EnsembleOfSimulations(horizon float64, n, k int, seed uint64) (*SimEnsemble, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("gpepa: ensemble needs at least two replications, got %d", k)
+	}
+	runs, err := par.Map(k, 0, func(rep int) (*SimResult, error) {
+		return fs.Simulate(horizon, n, seed+uint64(rep)*0x9E3779B9)
+	})
+	if err != nil {
+		return nil, err
+	}
+	ens := &SimEnsemble{
+		System:       fs,
+		Times:        runs[0].Times,
+		Mean:         make([][]float64, len(runs[0].X)),
+		Std:          make([][]float64, len(runs[0].X)),
+		Replications: k,
+	}
+	nv := len(fs.Vars)
+	for i := range ens.Mean {
+		ens.Mean[i] = make([]float64, nv)
+		ens.Std[i] = make([]float64, nv)
+	}
+	sumSq := make([][]float64, len(ens.Mean))
+	for i := range sumSq {
+		sumSq[i] = make([]float64, nv)
+	}
+	for _, res := range runs {
+		for i := range res.X {
+			for j, v := range res.X[i] {
+				ens.Mean[i][j] += v
+				sumSq[i][j] += v * v
+			}
+		}
+		ens.Jumps += res.Jumps
+	}
+	kf := float64(k)
+	for i := range ens.Mean {
+		for j := range ens.Mean[i] {
+			m := ens.Mean[i][j] / kf
+			ens.Mean[i][j] = m
+			v := (sumSq[i][j] - kf*m*m) / (kf - 1)
+			if v < 0 {
+				v = 0
+			}
+			ens.Std[i][j] = math.Sqrt(v)
+		}
+	}
+	return ens, nil
 }
 
 // Series extracts the time series of one local state from a simulation.

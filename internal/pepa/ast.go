@@ -202,6 +202,12 @@ func (r *RateBin) String() string {
 }
 
 func trimFloat(v float64) string {
+	if v == 0 {
+		// Negative zero (e.g. a folded 0 * -1) must print as "0": "-0"
+		// reparses as a subtraction yielding +0, breaking the
+		// print/parse fixpoint.
+		return "0"
+	}
 	s := strings.TrimRight(strings.TrimRight(strconvFormat(v), "0"), ".")
 	if s == "" || s == "-" {
 		return "0"

@@ -251,6 +251,9 @@ func TestPrintParseRoundTrip(t *testing.T) {
 		"P = (a,1).P + (b,2).P; Q = (a,T).Q; P <a> Q",
 		"P = (a,1).P; Q = (b,1).Q; (P || Q)/{a}",
 		"R = (x,1).(y,2).R; R",
+		// Fuzzer-found regression: a folded negative-zero rate constant
+		// printed as "-0", which reparses as +0 and broke the fixpoint.
+		"a=(00)*-1;A",
 	}
 	for _, src := range srcs {
 		m1, err := Parse(src)

@@ -8,6 +8,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/par"
@@ -146,10 +147,25 @@ type Ensemble struct {
 	Replications int
 	// MeanThroughput per action across replications.
 	MeanThroughput map[string]float64
+	// ThroughputStd is the sample standard deviation of the per-replication
+	// throughput of each action (zero with a single replication).
+	ThroughputStd map[string]float64
 	// MeanEvents is the average number of firings.
 	MeanEvents float64
 	// Deadlocks counts replications that reached an absorbing state.
 	Deadlocks int
+}
+
+// ThroughputCI returns the mean throughput of the action and the
+// half-width of its z-scaled confidence interval, mean ± z·s/√n. The
+// conformance harness compares this interval against the exact CTMC
+// throughput; z≈3–4 gives the safety margin documented in docs/TESTING.md.
+func (e *Ensemble) ThroughputCI(action string, z float64) (mean, halfWidth float64) {
+	mean = e.MeanThroughput[action]
+	if e.Replications > 1 {
+		halfWidth = z * e.ThroughputStd[action] / math.Sqrt(float64(e.Replications))
+	}
+	return mean, halfWidth
 }
 
 // RunEnsemble simulates n replications, in parallel when Options.Workers
@@ -172,10 +188,17 @@ func RunEnsemble(m *pepa.Model, opt Options, n int) (*Ensemble, error) {
 	if err != nil {
 		return nil, err
 	}
-	ens := &Ensemble{Replications: n, MeanThroughput: map[string]float64{}}
+	ens := &Ensemble{
+		Replications:   n,
+		MeanThroughput: map[string]float64{},
+		ThroughputStd:  map[string]float64{},
+	}
+	sumSq := map[string]float64{}
 	for _, res := range results {
 		for a, c := range res.ActionCounts {
-			ens.MeanThroughput[a] += float64(c) / res.Time
+			x := float64(c) / res.Time
+			ens.MeanThroughput[a] += x
+			sumSq[a] += x * x
 		}
 		ens.MeanEvents += float64(res.Events)
 		if res.Deadlocked {
@@ -184,6 +207,17 @@ func RunEnsemble(m *pepa.Model, opt Options, n int) (*Ensemble, error) {
 	}
 	for a := range ens.MeanThroughput {
 		ens.MeanThroughput[a] /= float64(n)
+	}
+	if n > 1 {
+		for a, mean := range ens.MeanThroughput {
+			// Sample variance from the sum of squares; clamp the tiny
+			// negative values cancellation can produce.
+			v := (sumSq[a] - float64(n)*mean*mean) / float64(n-1)
+			if v < 0 {
+				v = 0
+			}
+			ens.ThroughputStd[a] = math.Sqrt(v)
+		}
 	}
 	ens.MeanEvents /= float64(n)
 	return ens, nil

@@ -1,0 +1,253 @@
+package pepa
+
+// This file provides semantics-preserving (and semantics-scaling) model
+// transforms. They exist for the cross-solver conformance harness in
+// internal/conformance: each transform induces a precise metamorphic
+// relation on the underlying CTMC (renaming is a bisimulation, uniform
+// rate scaling is a time rescaling that fixes the steady-state
+// distribution, operand swapping of a cooperation is a graph isomorphism),
+// so solver output before and after the transform can be compared exactly.
+
+import "fmt"
+
+// CloneProcess returns a deep copy of a process term.
+func CloneProcess(p Process) Process {
+	switch t := p.(type) {
+	case *Prefix:
+		return &Prefix{Action: t.Action, Rate: CloneRateExpr(t.Rate), Cont: CloneProcess(t.Cont)}
+	case *Choice:
+		return &Choice{Left: CloneProcess(t.Left), Right: CloneProcess(t.Right)}
+	case *Coop:
+		return &Coop{Left: CloneProcess(t.Left), Right: CloneProcess(t.Right), Set: append([]string(nil), t.Set...)}
+	case *Hide:
+		return &Hide{Proc: CloneProcess(t.Proc), Set: append([]string(nil), t.Set...)}
+	case *Const:
+		return &Const{Name: t.Name}
+	default:
+		panic(fmt.Sprintf("pepa: CloneProcess of unknown node %T", p))
+	}
+}
+
+// CloneRateExpr returns a deep copy of a rate expression.
+func CloneRateExpr(r RateExpr) RateExpr {
+	switch t := r.(type) {
+	case *RateLit:
+		return &RateLit{Value: t.Value}
+	case *RateRef:
+		return &RateRef{Name: t.Name}
+	case *RatePassive:
+		return &RatePassive{}
+	case *RateBin:
+		return &RateBin{Op: t.Op, Left: CloneRateExpr(t.Left), Right: CloneRateExpr(t.Right)}
+	default:
+		panic(fmt.Sprintf("pepa: CloneRateExpr of unknown node %T", r))
+	}
+}
+
+// Clone returns a deep copy of the model.
+func (m *Model) Clone() *Model {
+	out := NewModel()
+	for _, name := range m.RateOrder {
+		out.DefineRate(name, m.Rates[name])
+	}
+	for _, name := range m.DefOrder {
+		out.Define(name, CloneProcess(m.Defs[name].Body))
+	}
+	if m.System != nil {
+		out.System = CloneProcess(m.System)
+	}
+	return out
+}
+
+// ScaleRates returns a copy of the model with every rate constant
+// multiplied by c. For models whose prefixes draw all active rates from
+// rate constants (possibly through linear +/- arithmetic) this scales
+// every transition rate of the derived CTMC uniformly by c: the
+// steady-state distribution is invariant and every throughput scales by
+// exactly c. Passive prefixes (w*T) are untouched — passive weights are
+// relative and cancel in the cooperation rate law.
+//
+// Models with literal rates in prefix position, or with multiplicative
+// arithmetic between two rate constants, would not scale linearly; those
+// are rejected so a caller cannot silently get a broken metamorphic
+// relation.
+func (m *Model) ScaleRates(c float64) (*Model, error) {
+	if c <= 0 {
+		return nil, fmt.Errorf("pepa: ScaleRates needs a positive factor, got %g", c)
+	}
+	for _, name := range m.DefOrder {
+		if err := checkLinearInConstants(m.Defs[name].Body); err != nil {
+			return nil, fmt.Errorf("pepa: ScaleRates: definition %s: %w", name, err)
+		}
+	}
+	if m.System != nil {
+		if err := checkLinearInConstants(m.System); err != nil {
+			return nil, fmt.Errorf("pepa: ScaleRates: system equation: %w", err)
+		}
+	}
+	out := m.Clone()
+	for name := range out.Rates {
+		out.Rates[name] *= c
+	}
+	return out, nil
+}
+
+// checkLinearInConstants walks a term and rejects rate expressions that
+// are not homogeneous of degree one in the rate constants (literals in
+// active-rate position, products/quotients of two constants).
+func checkLinearInConstants(p Process) error {
+	var check func(r RateExpr) error
+	check = func(r RateExpr) error {
+		switch t := r.(type) {
+		case *RateRef:
+			return nil
+		case *RatePassive:
+			return nil
+		case *RateLit:
+			return fmt.Errorf("literal rate %s does not scale with the rate constants", t.String())
+		case *RateBin:
+			switch t.Op {
+			case RateAdd, RateSub:
+				if err := check(t.Left); err != nil {
+					return err
+				}
+				return check(t.Right)
+			case RateMul:
+				// w*T and T*w are fine (weights are relative); so is
+				// literal*ref (degree one).
+				lLit := isConstantExpr(t.Left)
+				rLit := isConstantExpr(t.Right)
+				if lLit == rLit {
+					return fmt.Errorf("rate product %s is not degree-one in the rate constants", t.String())
+				}
+				if lLit {
+					return check(t.Right)
+				}
+				return check(t.Left)
+			case RateDiv:
+				if !isConstantExpr(t.Right) {
+					return fmt.Errorf("rate quotient %s divides by a rate constant", t.String())
+				}
+				return check(t.Left)
+			}
+		}
+		return nil
+	}
+	var walkErr error
+	walk(p, func(n Process) {
+		if walkErr != nil {
+			return
+		}
+		if pre, ok := n.(*Prefix); ok {
+			walkErr = check(pre.Rate)
+		}
+	})
+	return walkErr
+}
+
+// isConstantExpr reports whether the expression is a pure number (built
+// from literals only).
+func isConstantExpr(r RateExpr) bool {
+	switch t := r.(type) {
+	case *RateLit:
+		return true
+	case *RateBin:
+		return isConstantExpr(t.Left) && isConstantExpr(t.Right)
+	default:
+		return false
+	}
+}
+
+// RenameActions returns a copy of the model with every action renamed
+// through f, including cooperation and hiding sets. f must be injective on
+// the model's action alphabet for the rename to be a bisimulation; the
+// caller is responsible for that (a non-injective f merges action types).
+func (m *Model) RenameActions(f func(string) string) *Model {
+	out := m.Clone()
+	var rename func(p Process)
+	rename = func(p Process) {
+		switch t := p.(type) {
+		case *Prefix:
+			t.Action = f(t.Action)
+			rename(t.Cont)
+		case *Choice:
+			rename(t.Left)
+			rename(t.Right)
+		case *Coop:
+			for i, a := range t.Set {
+				t.Set[i] = f(a)
+			}
+			t.Set = NormalizeSet(t.Set)
+			rename(t.Left)
+			rename(t.Right)
+		case *Hide:
+			for i, a := range t.Set {
+				t.Set[i] = f(a)
+			}
+			t.Set = NormalizeSet(t.Set)
+			rename(t.Proc)
+		case *Const:
+		}
+	}
+	for _, name := range out.DefOrder {
+		rename(out.Defs[name].Body)
+	}
+	if out.System != nil {
+		rename(out.System)
+	}
+	return out
+}
+
+// RenameProcesses returns a copy of the model with every process constant
+// renamed through f (definitions and references). f must be injective on
+// the model's constant names.
+func (m *Model) RenameProcesses(f func(string) string) *Model {
+	src := m.Clone()
+	out := NewModel()
+	for _, name := range src.RateOrder {
+		out.DefineRate(name, src.Rates[name])
+	}
+	var rename func(p Process)
+	rename = func(p Process) {
+		switch t := p.(type) {
+		case *Prefix:
+			rename(t.Cont)
+		case *Choice:
+			rename(t.Left)
+			rename(t.Right)
+		case *Coop:
+			rename(t.Left)
+			rename(t.Right)
+		case *Hide:
+			rename(t.Proc)
+		case *Const:
+			t.Name = f(t.Name)
+		}
+	}
+	for _, name := range src.DefOrder {
+		body := src.Defs[name].Body
+		rename(body)
+		out.Define(f(name), body)
+	}
+	if src.System != nil {
+		rename(src.System)
+		out.System = src.System
+	}
+	return out
+}
+
+// SwapTopCoop returns a copy of the model whose system equation has the
+// operands of its top-level cooperation exchanged (P <L> Q becomes
+// Q <L> P). Cooperation is commutative up to bisimulation, so the derived
+// CTMC is isomorphic: same state and transition counts, identical
+// steady-state probability multiset, identical throughputs. Returns ok ==
+// false when the system equation is not a cooperation.
+func (m *Model) SwapTopCoop() (*Model, bool) {
+	if _, ok := m.System.(*Coop); !ok {
+		return nil, false
+	}
+	out := m.Clone()
+	oc := out.System.(*Coop)
+	oc.Left, oc.Right = oc.Right, oc.Left
+	return out, true
+}
