@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench repro chaos conformance conformance-deep fuzz fuzz-smoke goldens clean
+.PHONY: all build vet test race bench bench-snapshot repro chaos conformance conformance-deep fuzz fuzz-smoke goldens clean
 
 all: build vet test
 
@@ -22,6 +22,13 @@ race:
 # One benchmark per paper table/figure plus ablations and parallel scaling.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Tier-1 benchmarks plus an instrumented full repro run whose metrics and
+# span snapshot lands in BENCH_<date>.json (see docs/OBSERVABILITY.md).
+bench-snapshot:
+	$(GO) test -bench=. -benchtime=1x ./internal/ctmc ./internal/hub ./internal/pepa/... ./internal/gpepa
+	$(GO) run ./cmd/repro -metrics-out BENCH_$$(date +%Y%m%d).json > /dev/null
+	@echo "wrote BENCH_$$(date +%Y%m%d).json"
 
 # Regenerate every table and figure of the paper into ./out.
 repro:

@@ -21,6 +21,7 @@ import (
 	"repro/internal/diagram"
 	"repro/internal/experiment"
 	"repro/internal/export"
+	"repro/internal/obs"
 	"repro/internal/pepa"
 	"repro/internal/pepa/derive"
 	"repro/internal/pepa/sim"
@@ -51,6 +52,7 @@ func run() error {
 	exportMM := fs.String("export-generator", "", "write the generator matrix (Matrix Market) to this file")
 	exportLTS := fs.String("export-lts", "", "write the transition system (CSV) to this file")
 	checkProps := fs.String("check", "", "evaluate ';'-separated CSL-style properties, e.g. 'S>=0.9[\"Proc\"]; T>=2[serve]'")
+	metricsOut := fs.String("metrics-out", "", "write a JSON solver-metrics snapshot to this file on exit")
 
 	args := os.Args[1:]
 	if len(args) == 0 {
@@ -60,6 +62,25 @@ func run() error {
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
+	// The registry stays nil (and free) unless a snapshot was requested.
+	// The snapshot is written on every exit path, including errors, so a
+	// failed solve still leaves its partial solver metrics behind.
+	var reg *obs.Registry
+	if *metricsOut != "" {
+		reg = obs.NewRegistry()
+		defer func() {
+			f, ferr := os.Create(*metricsOut)
+			if ferr != nil {
+				fmt.Fprintln(os.Stderr, "pepa: metrics-out:", ferr)
+				return
+			}
+			defer f.Close()
+			if werr := reg.Snapshot().WriteJSON(f); werr != nil {
+				fmt.Fprintln(os.Stderr, "pepa: metrics-out:", werr)
+			}
+		}()
+	}
+
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -77,7 +98,7 @@ func run() error {
 	}
 	// Simulation and sweeps do not need (or want) the full state space.
 	if *simulate > 0 {
-		ens, err := sim.RunEnsemble(m, sim.Options{Horizon: *simulate, Seed: *simSeed}, *simReps)
+		ens, err := sim.RunEnsemble(m, sim.Options{Horizon: *simulate, Seed: *simSeed, Obs: reg}, *simReps)
 		if err != nil {
 			return err
 		}
@@ -92,10 +113,14 @@ func run() error {
 	if *sweep != "" {
 		return runSweep(m, *sweep, *measure)
 	}
+	deriveSpan := reg.StartSpan("derive")
 	ss, err := derive.Explore(m, derive.Options{MaxStates: *maxStates, Aggregate: *aggregate})
+	deriveSpan.End()
 	if err != nil {
 		return err
 	}
+	reg.Set("pepa_states", float64(ss.NumStates()))
+	reg.Set("pepa_transitions", float64(ss.NumTransitions()))
 	fmt.Printf("derived %d states, %d transitions\n", ss.NumStates(), ss.NumTransitions())
 	if *exportMM != "" {
 		f, err := os.Create(*exportMM)
@@ -165,11 +190,14 @@ func run() error {
 			return fmt.Errorf("no state matches pattern %q", *cdfPattern)
 		}
 		chain := ctmc.FromStateSpace(ss)
+		chain.Obs = reg
 		times := make([]float64, *n+1)
 		for i := range times {
 			times[i] = *tmax * float64(i) / float64(*n)
 		}
+		cdfSpan := reg.StartSpan("passage_cdf")
 		cdf, err := chain.FirstPassageCDF(chain.PointMass(0), targets, times, 1e-10)
+		cdfSpan.End()
 		if err != nil {
 			return err
 		}
@@ -182,11 +210,14 @@ func run() error {
 		return nil
 	default:
 		chain := ctmc.FromStateSpace(ss)
+		chain.Obs = reg
 		if dl := ss.Deadlocks(); len(dl) > 0 {
 			fmt.Printf("model has %d absorbing state(s); steady-state analysis skipped\n", len(dl))
 			return nil
 		}
+		ssSpan := reg.StartSpan("steady_state")
 		pi, err := chain.SteadyState(ctmc.SteadyStateOptions{})
+		ssSpan.End()
 		if err != nil {
 			return err
 		}

@@ -28,6 +28,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/hostenv"
 	"repro/internal/hub"
+	"repro/internal/obs"
 	"repro/internal/robustness"
 	"repro/internal/runtime"
 )
@@ -54,10 +55,13 @@ type state struct {
 	hubCli  *hub.Client
 	digests map[core.Tool]string
 	study   *robustness.Study
+	obs     *obs.Registry // nil unless -metrics-out is set
 }
 
-func newState() (*state, error) {
-	st := &state{fw: core.New(), study: robustness.NewStudy()}
+func newState(reg *obs.Registry) (*state, error) {
+	st := &state{fw: core.New(), study: robustness.NewStudy(), obs: reg}
+	st.fw.SetObs(reg)
+	st.study.Obs = reg
 	var err error
 	st.builder, err = hostenv.ByName(hostenv.BuildHost)
 	if err != nil {
@@ -75,7 +79,7 @@ func newState() (*state, error) {
 	if err != nil {
 		return nil, err
 	}
-	st.hubCli = hub.NewClient("http://" + addr)
+	st.hubCli = hub.NewClientWithOptions("http://"+addr, hub.ClientOptions{Obs: reg})
 	st.digests, err = st.fw.PushAll(st.hubCli, st.builds)
 	if err != nil {
 		return nil, err
@@ -104,9 +108,14 @@ func run() error {
 	only := flag.String("only", "", "run a single experiment by name")
 	outdir := flag.String("outdir", "", "also write each experiment's output to DIR/<name>.txt")
 	chaosSeed := flag.Uint64("chaos-seed", 0, "run the Fig 6 hub experiment under a seeded fault plan (0 = off)")
+	metricsOut := flag.String("metrics-out", "", "write a JSON metrics+span snapshot to this file on exit")
 	flag.Parse()
 
-	st, err := newState()
+	var reg *obs.Registry
+	if *metricsOut != "" {
+		reg = obs.NewRegistry()
+	}
+	st, err := newState(reg)
 	if err != nil {
 		return err
 	}
@@ -123,7 +132,9 @@ func run() error {
 		if *only != "" && ex.name != *only {
 			continue
 		}
+		sp := reg.StartSpan("experiment:" + ex.name)
 		out, err := ex.fn(st)
+		sp.End()
 		if err != nil {
 			return fmt.Errorf("%s: %w", ex.name, err)
 		}
@@ -138,6 +149,20 @@ func run() error {
 				return err
 			}
 		}
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			return err
+		}
+		if err := reg.Snapshot().WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("metrics snapshot written to %s\n", *metricsOut)
 	}
 	return nil
 }
@@ -263,6 +288,7 @@ func chaos(st *state, seed uint64) (string, error) {
 		Retry:      hub.RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond},
 		JitterSeed: seed,
 		Transport:  plan.Transport(nil),
+		Obs:        st.obs,
 	})
 	var b strings.Builder
 	fmt.Fprintf(&b, "pulling each container under fault plan (seed %d):\n", seed)

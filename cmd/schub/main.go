@@ -17,6 +17,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"time"
@@ -25,6 +27,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/hub"
 	"repro/internal/image"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -55,6 +58,8 @@ func run() error {
 	retries := fs.Int("retries", 4, "client: total attempt budget per operation")
 	faultSpec := fs.String("fault-spec", "", "serve: inject faults per this spec (e.g. \"503:2,corrupt\" or \"timeout:p0.1\"); chaos testing only")
 	faultSeed := fs.Uint64("fault-seed", 1, "serve: seed for the -fault-spec plan")
+	metricsAddr := fs.String("metrics-addr", "", "serve: also serve GET /metrics (Prometheus text) on this address")
+	pprofOn := fs.Bool("pprof", false, "serve: expose /debug/pprof on the -metrics-addr listener")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		return err
 	}
@@ -93,11 +98,24 @@ func run() error {
 			srv.EnableAutoBuild(builder)
 			fmt.Println("auto-build enabled (build host: " + builder.Host.Name + ")")
 		}
+		if *metricsAddr != "" {
+			// Enabled last so the middleware observes the fault injector
+			// and auto-build endpoints too.
+			srv.EnableMetrics(obs.NewRegistry())
+		}
 		bound, err := srv.Listen(*addr)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("hub serving on http://%s\n", bound)
+		if *metricsAddr != "" {
+			mln, err := net.Listen("tcp", *metricsAddr)
+			if err != nil {
+				return err
+			}
+			go http.Serve(mln, srv.MetricsHandler(*pprofOn))
+			fmt.Printf("metrics on http://%s/metrics (pprof: %v)\n", mln.Addr(), *pprofOn)
+		}
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt)
 		<-sig

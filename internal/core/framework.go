@@ -24,6 +24,7 @@ import (
 	"repro/internal/hostenv"
 	"repro/internal/hub"
 	"repro/internal/image"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/pkgmgr"
 	"repro/internal/recipe"
@@ -139,6 +140,18 @@ type Framework struct {
 	// Collection is the hub collection name ("pepa-containers" mirrors the
 	// paper's Singularity-Hub collection 2351).
 	Collection string
+	// Obs, when non-nil, receives one span per pipeline stage per tool
+	// (build, push, validate runs, matrix cells). Span methods are
+	// nil-safe, so an uninstrumented framework pays nothing.
+	Obs *obs.Registry
+}
+
+// SetObs attaches a metrics registry to the framework and its engine.
+func (f *Framework) SetObs(reg *obs.Registry) {
+	f.Obs = reg
+	if f.Engine != nil {
+		f.Engine.Obs = reg
+	}
 }
 
 // New creates a framework with all applications registered.
@@ -162,7 +175,11 @@ func (f *Framework) Build(t Tool, host *hostenv.Host) (*runtime.BuildResult, err
 // cannot change the result), returning results keyed by tool.
 func (f *Framework) BuildAll(host *hostenv.Host) (map[Tool]*runtime.BuildResult, error) {
 	tools := Tools()
+	stage := f.Obs.StartSpan("core.build_all")
+	defer stage.End()
 	results, err := par.Map(len(tools), 0, func(i int) (*runtime.BuildResult, error) {
+		sp := stage.StartSpan("build:" + string(tools[i]))
+		defer sp.End()
 		res, err := f.Build(tools[i], host)
 		if err != nil {
 			return nil, fmt.Errorf("core: building %s: %w", tools[i], err)
@@ -187,8 +204,12 @@ func (f *Framework) BuildAll(host *hostenv.Host) (map[Tool]*runtime.BuildResult,
 func (f *Framework) PushAll(client *hub.Client, builds map[Tool]*runtime.BuildResult) (map[Tool]string, error) {
 	tools := Tools()
 	perTool := make([]string, len(tools))
+	stage := f.Obs.StartSpan("core.push_all")
+	defer stage.End()
 	err := par.ForEachOpt(len(tools), par.Options{}, func(i int) error {
 		t := tools[i]
+		sp := stage.StartSpan("push:" + string(t))
+		defer sp.End()
 		b, ok := builds[t]
 		if !ok {
 			return fmt.Errorf("core: no build for %s", t)
@@ -275,15 +296,21 @@ func (f *Framework) ValidateWithFiles(t Tool, host *hostenv.Host, img *image.Ima
 		return out
 	}
 	hostPath := hostModelDir + "/" + mainFile
+	stage := f.Obs.StartSpan("core.validate:" + string(t))
+	defer stage.End()
+	nativeSpan := stage.StartSpan("native_run")
 	nativeOut, err := f.Engine.NativeRun(s.app, qualify(hostModelDir), host)
+	nativeSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: native run of %s on %s: %w", t, host.Name, err)
 	}
+	containerSpan := stage.StartSpan("container_run")
 	run, err := f.Engine.Run(img, host, runtime.RunOptions{
 		Isolation: runtime.IsolationSingularity,
 		Args:      qualify(containerModelDir),
 		Binds:     []runtime.Bind{{HostPath: hostModelDir, ContainerPath: containerModelDir}},
 	})
+	containerSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: container run of %s on %s: %w", t, host.Name, err)
 	}
@@ -379,10 +406,13 @@ func (f *Framework) ValidationMatrix(client *hub.Client) ([]MatrixEntry, error) 
 	if err != nil {
 		return nil, err
 	}
+	matrix := f.Obs.StartSpan("core.validation_matrix")
+	defer matrix.End()
 	// Push serially so the hub attempt log stays in tool order; failures
 	// are recorded per tool instead of aborting.
 	digests := map[Tool]string{}
 	toolErr := map[Tool]error{}
+	pushSpan := matrix.StartSpan("push")
 	for _, t := range Tools() {
 		d, err := client.Push(f.Collection, builds[t].Image)
 		if err != nil {
@@ -391,7 +421,9 @@ func (f *Framework) ValidationMatrix(client *hub.Client) ([]MatrixEntry, error) 
 		}
 		digests[t] = d
 	}
+	pushSpan.End()
 	// Reference outputs from the build host.
+	refSpan := matrix.StartSpan("reference_runs")
 	reference := map[Tool]string{}
 	if err := builder.FS.MkdirAll(hostModelDir, 0o755); err != nil {
 		return nil, err
@@ -415,6 +447,7 @@ func (f *Framework) ValidationMatrix(client *hub.Client) ([]MatrixEntry, error) 
 		}
 		reference[t] = run.Stdout
 	}
+	refSpan.End()
 	// The host profiles are independent (each gets a fresh filesystem and
 	// its own pulls over the concurrency-safe HTTP client), so the matrix
 	// rows compute in parallel — one worker per host, rows assembled in
@@ -438,7 +471,7 @@ func (f *Framework) ValidationMatrix(client *hub.Client) ([]MatrixEntry, error) 
 			case toolErr[t] != nil:
 				rows = append(rows, failCell(entry, nil, "", toolErr[t]))
 			default:
-				rows = append(rows, f.matrixCell(client, host, name, t, digests[t], reference[t]))
+				rows = append(rows, f.matrixCell(matrix, client, host, name, t, digests[t], reference[t]))
 			}
 		}
 		return rows, nil
@@ -456,8 +489,10 @@ func (f *Framework) ValidationMatrix(client *hub.Client) ([]MatrixEntry, error) 
 // matrixCell computes one (host, tool) cell. It is panic-supervised:
 // a panicking pull or run yields a deterministic-classified failure
 // entry instead of killing the matrix worker.
-func (f *Framework) matrixCell(client *hub.Client, host *hostenv.Host, hostName string, t Tool, wantDigest, reference string) (entry MatrixEntry) {
+func (f *Framework) matrixCell(parent *obs.Span, client *hub.Client, host *hostenv.Host, hostName string, t Tool, wantDigest, reference string) (entry MatrixEntry) {
 	entry = MatrixEntry{Tool: t, Host: hostName}
+	sp := parent.StartSpan(fmt.Sprintf("cell:%s/%s", hostName, t))
+	defer sp.End()
 	defer func() {
 		if r := recover(); r != nil {
 			entry.Err = fmt.Sprintf("panic: %v", r)

@@ -15,7 +15,9 @@ import (
 	"repro/internal/numeric/linalg"
 	"repro/internal/numeric/poisson"
 	"repro/internal/numeric/sparse"
+	"repro/internal/obs"
 	"repro/internal/pepa/derive"
+	"repro/internal/sparseutil"
 )
 
 // Chain is a CTMC: a generator matrix Q (CSR) plus the action-labelled
@@ -32,6 +34,9 @@ type Chain struct {
 	ActionRate map[string][]float64
 	// Initial is the index of the initial state (0 for derived spaces).
 	Initial int
+	// Obs, when non-nil, receives solver metrics (stage iterations,
+	// residuals, uniformization truncation depths). Nil costs nothing.
+	Obs *obs.Registry
 }
 
 // FromStateSpace builds the CTMC of a derived PEPA state space.
@@ -174,11 +179,13 @@ func (c *Chain) SteadyState(opt SteadyStateOptions) ([]float64, error) {
 	var stages []StageAttempt
 	if !opt.DenseOnly {
 		pi, att, ok := c.steadyIterative(qt, opt)
+		c.recordStage(att, ok)
 		if ok {
 			return pi, nil
 		}
 		stages = append(stages, att)
 		pi, att, ok = c.steadyPower(opt)
+		c.recordStage(att, ok)
 		if ok {
 			return pi, nil
 		}
@@ -194,10 +201,32 @@ func (c *Chain) SteadyState(opt SteadyStateOptions) ([]float64, error) {
 	}
 	pi, err := c.steadyDense(qt)
 	if err != nil {
-		stages = append(stages, StageAttempt{Method: "dense-lu", Residual: math.NaN(), Err: err.Error()})
+		att := StageAttempt{Method: "dense-lu", Residual: math.NaN(), Err: err.Error()}
+		c.recordStage(att, false)
+		stages = append(stages, att)
 		return nil, &ConvergenceError{N: c.N, Stages: stages}
 	}
+	c.recordStage(StageAttempt{Method: "dense-lu", Residual: math.NaN()}, true)
 	return pi, nil
+}
+
+// recordStage publishes one escalation-chain stage to the metrics
+// registry. All Registry methods are nil-safe, so an uninstrumented
+// chain pays only this call.
+func (c *Chain) recordStage(att StageAttempt, ok bool) {
+	if c.Obs == nil {
+		return
+	}
+	outcome := "rejected"
+	if ok {
+		outcome = "accepted"
+	}
+	method := obs.L("method", att.Method)
+	c.Obs.Inc("ctmc_steady_stages_total", method, obs.L("outcome", outcome))
+	c.Obs.Add("ctmc_steady_iterations_total", float64(att.Iterations), method)
+	if !math.IsNaN(att.Residual) {
+		c.Obs.Set("ctmc_steady_residual", att.Residual, method)
+	}
 }
 
 // steadyPower runs power iteration on the uniformized DTMC
@@ -308,6 +337,11 @@ func (c *Chain) steadyDense(qt *sparse.CSR) ([]float64, error) {
 		return nil, fmt.Errorf("ctmc: dense steady-state solve: %w", err)
 	}
 	for i, v := range pi {
+		if math.IsNaN(v) {
+			// Both ordered branches below are false for NaN; without this
+			// check a singular system would silently yield a NaN vector.
+			return nil, fmt.Errorf("ctmc: steady-state produced NaN at state %d (singular system?)", i)
+		}
 		if v < 0 && v > -1e-9 {
 			pi[i] = 0
 		} else if v < 0 {
@@ -346,6 +380,9 @@ func (c *Chain) Transient(p0 []float64, t, eps float64) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.Obs.Inc("ctmc_transient_solves_total")
+	c.Obs.Add("ctmc_uniformization_terms_total", float64(w.Right+1))
+	c.Obs.Set("ctmc_uniformization_truncation_depth", float64(w.Right))
 	cur := append([]float64(nil), p0...)
 	acc := make([]float64, c.N)
 	next := make([]float64, c.N)
@@ -489,7 +526,7 @@ func (c *Chain) FirstPassageCDF(p0 []float64, targets []int, times []float64, ep
 		coo.Add(i, i, -rowExit)
 		exit[i] = rowExit
 	}
-	abs := &Chain{N: c.N, Q: coo.ToCSR(), ExitRate: exit, ActionRate: map[string][]float64{}}
+	abs := &Chain{N: c.N, Q: coo.ToCSR(), ExitRate: exit, ActionRate: map[string][]float64{}, Obs: c.Obs}
 	cdf := &PassageCDF{Times: append([]float64(nil), times...), Probs: make([]float64, len(times))}
 	series, err := abs.TransientSeries(p0, times, eps)
 	if err != nil {
@@ -502,10 +539,9 @@ func (c *Chain) FirstPassageCDF(p0 []float64, targets []int, times []float64, ep
 				mass += v
 			}
 		}
-		if mass > 1 {
-			mass = 1
-		}
-		cdf.Probs[i] = mass
+		// Clamp01 also maps NaN to 0, so a poisoned transient solve can
+		// not leak NaN into the CDF (it shows up as missing mass instead).
+		cdf.Probs[i] = sparseutil.Clamp01(mass)
 	}
 	return cdf, nil
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/numeric/ode"
+	"repro/internal/obs"
 	"repro/internal/pepa"
 	"repro/internal/pepa/derive"
 )
@@ -35,6 +36,11 @@ type FluidSystem struct {
 	X0 []float64
 	// Actions is the sorted set of action types appearing in any group.
 	Actions []string
+
+	// Obs, when non-nil, receives simulation metrics (trajectories,
+	// reactions fired, replication counts). Safe for the parallel
+	// replication workers; nil costs nothing.
+	Obs *obs.Registry
 
 	groups     []*Group
 	transByGrp map[string][]localTransition // group label -> local transitions

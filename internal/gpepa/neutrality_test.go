@@ -1,0 +1,37 @@
+package gpepa
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestInstrumentationNeutrality: stochastic ensembles must be
+// bit-identical with and without a metrics registry attached.
+func TestInstrumentationNeutrality(t *testing.T) {
+	bare := compileClientServer(t)
+	instr := compileClientServer(t)
+	instr.Obs = obs.NewRegistry()
+
+	ensA, err := bare.EnsembleOfSimulations(5, 20, 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ensB, err := instr.EnsembleOfSimulations(5, 20, 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ensA.Mean, ensB.Mean) || !reflect.DeepEqual(ensA.Std, ensB.Std) {
+		t.Error("ensemble mean/std differ with instrumentation")
+	}
+	if ensA.Jumps != ensB.Jumps {
+		t.Errorf("jump counts differ: %d vs %d", ensA.Jumps, ensB.Jumps)
+	}
+	if got := instr.Obs.Counter("gpepa_sim_replications_total"); got != 4 {
+		t.Errorf("gpepa_sim_replications_total = %g, want 4", got)
+	}
+	if got := instr.Obs.Counter("gpepa_sim_runs_total"); got != 4 {
+		t.Errorf("gpepa_sim_runs_total = %g, want 4", got)
+	}
+}

@@ -66,6 +66,8 @@ func (fs *FluidSystem) Simulate(horizon float64, n int, seed uint64) (*SimResult
 		res.X[nextSample] = append([]float64(nil), x...)
 		nextSample++
 	}
+	fs.Obs.Inc("gpepa_sim_runs_total")
+	fs.Obs.Add("gpepa_sim_jumps_total", float64(res.Jumps))
 	return res, nil
 }
 
@@ -136,6 +138,7 @@ func (fs *FluidSystem) MeanOfSimulations(horizon float64, n int, k int, seed uin
 	if err != nil {
 		return nil, err
 	}
+	fs.Obs.Add("gpepa_sim_replications_total", float64(k))
 	acc := &SimResult{System: fs, Times: runs[0].Times, X: make([][]float64, len(runs[0].X))}
 	for i := range acc.X {
 		acc.X[i] = make([]float64, len(runs[0].X[i]))
@@ -184,6 +187,7 @@ func (fs *FluidSystem) EnsembleOfSimulations(horizon float64, n, k int, seed uin
 	if err != nil {
 		return nil, err
 	}
+	fs.Obs.Add("gpepa_sim_replications_total", float64(k))
 	ens := &SimEnsemble{
 		System:       fs,
 		Times:        runs[0].Times,
@@ -214,8 +218,10 @@ func (fs *FluidSystem) EnsembleOfSimulations(horizon float64, n, k int, seed uin
 		for j := range ens.Mean[i] {
 			m := ens.Mean[i][j] / kf
 			ens.Mean[i][j] = m
+			// NaN (overflowed sums) clamps like cancellation slack does:
+			// ordered comparisons alone would let it through.
 			v := (sumSq[i][j] - kf*m*m) / (kf - 1)
-			if v < 0 {
+			if v < 0 || math.IsNaN(v) {
 				v = 0
 			}
 			ens.Std[i][j] = math.Sqrt(v)

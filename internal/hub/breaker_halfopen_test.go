@@ -1,0 +1,251 @@
+package hub
+
+import (
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+// TestBreakerHalfOpenAdmitsSingleProbe is the regression test for the
+// half-open race: N concurrent callers hit a half-open breaker and
+// exactly one may pass as the probe. The old logic returned true for
+// every caller while half-open, so this fails against it.
+func TestBreakerHalfOpenAdmitsSingleProbe(t *testing.T) {
+	b := NewBreaker(1, 1)
+	b.Failure() // threshold 1: open
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+
+	const callers = 64
+	var admitted atomic.Int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if b.Allow() {
+				admitted.Add(1)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	// Cooldown is 1, so the first rejection half-opens the breaker and
+	// admits that caller as the probe; everyone else must be rejected
+	// while the probe is unresolved.
+	if got := admitted.Load(); got != 1 {
+		t.Fatalf("%d concurrent callers admitted through half-open, want exactly 1", got)
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	// While the probe is in flight, later sequential callers are rejected too.
+	if b.Allow() {
+		t.Fatal("second probe admitted while the first is unresolved")
+	}
+	// Resolving the probe releases the slot.
+	b.Success()
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("resolved probe did not close the breaker")
+	}
+}
+
+// TestBreakerProbeResolvedOnPermanentFailure: a half-open probe that
+// reaches the registry but fails deterministically (404) must resolve
+// the probe — the old code left the breaker half-open with no way to
+// ever resolve, which with single-probe admission would mean rejecting
+// every future operation.
+func TestBreakerProbeResolvedOnPermanentFailure(t *testing.T) {
+	srv := NewServer(NewStore())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	if _, err := NewClientWithOptions(ts.URL, chaosOptions(2)).Push("c", testImage("pepa", "latest", "v1")); err != nil {
+		t.Fatal(err)
+	}
+
+	plan := faultinject.NewPlan(9, faultinject.Rule{Kind: faultinject.KindConn, First: 1})
+	opts := chaosOptions(1) // one attempt per op: breaker events map 1:1 to ops
+	opts.BreakerThreshold = 1
+	opts.BreakerCooldown = 1
+	c := NewClientWithOptions(ts.URL, opts)
+	c.HTTP.Transport = plan.Transport(nil)
+
+	// Op 1: conn error trips the breaker (threshold 1).
+	if _, err := c.List("c"); err == nil {
+		t.Fatal("op under conn fault succeeded")
+	}
+	if c.Breaker().State() != BreakerOpen {
+		t.Fatalf("state = %v, want open", c.Breaker().State())
+	}
+	// Op 2: the rejection reaches the cooldown, half-opens, and the probe
+	// goes through — to a 404 (deterministic). The probe must resolve:
+	// the transport answered, so the breaker closes.
+	_, _, err := c.Pull("c", "missing", "latest", "")
+	var he *HTTPError
+	if !errors.As(err, &he) || he.Status != 404 {
+		t.Fatalf("err = %v, want HTTP 404", err)
+	}
+	if got := c.Breaker().State(); got != BreakerClosed {
+		t.Fatalf("breaker %v after permanent probe, want closed (stuck probe)", got)
+	}
+	// Op 3 flows normally.
+	if _, err := c.List("c"); err != nil {
+		t.Fatalf("breaker did not recover after permanent probe: %v", err)
+	}
+}
+
+// TestBreakerConcurrentChaos hammers one client from many goroutines
+// against a server that injects probabilistic faults. Run under -race
+// this is the breaker's and attempt log's thread-safety proof; the
+// invariant checked here is that every operation terminates with either
+// success or a classified error (no deadlocks, no stuck half-open).
+func TestBreakerConcurrentChaos(t *testing.T) {
+	srv := NewServer(NewStore())
+	plan := faultinject.NewPlan(7,
+		faultinject.Rule{Match: "GET /v1/", Kind: faultinject.KindStatus, Status: 503, Prob: 0.3},
+	)
+	srv.EnableFaults(plan)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	if _, err := NewClientWithOptions(ts.URL, chaosOptions(2)).Push("c", testImage("pepa", "latest", "v1")); err != nil {
+		t.Fatal(err)
+	}
+
+	opts := chaosOptions(3)
+	opts.BreakerThreshold = 2
+	opts.BreakerCooldown = 1
+	c := NewClientWithOptions(ts.URL, opts)
+
+	const workers, opsEach = 16, 10
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*opsEach)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < opsEach; i++ {
+				_, err := c.List("c")
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	var ok, rejected, failed int
+	for err := range errs {
+		switch {
+		case err == nil:
+			ok++
+		case errors.Is(err, ErrCircuitOpen):
+			rejected++
+		default:
+			failed++
+		}
+	}
+	if ok == 0 {
+		t.Errorf("no operation succeeded (ok=%d rejected=%d failed=%d)", ok, rejected, failed)
+	}
+	// The breaker must not be wedged: resolve any state and verify flow.
+	c.Breaker().Reset()
+	if _, err := c.List("c"); err != nil && !errors.Is(err, ErrCircuitOpen) {
+		var he *HTTPError
+		if !errors.As(err, &he) {
+			t.Errorf("post-chaos op failed oddly: %v", err)
+		}
+	}
+}
+
+// TestCircuitOpenErrorShape pins the two ErrCircuitOpen wrap paths to one
+// consistent shape: both carry the operation context, match the sentinel,
+// and classify transient — so the validation matrix renders rejected
+// cells identically whether or not an attempt preceded the rejection.
+func TestCircuitOpenErrorShape(t *testing.T) {
+	srv := NewServer(NewStore())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	newTripped := func(attempts int) *Client {
+		plan := faultinject.NewPlan(3, faultinject.Rule{Kind: faultinject.KindConn, First: 99})
+		opts := chaosOptions(attempts)
+		opts.BreakerThreshold = 1
+		opts.BreakerCooldown = 1 << 20 // never half-opens during the test
+		c := NewClientWithOptions(ts.URL, opts)
+		c.HTTP.Transport = plan.Transport(nil)
+		return c
+	}
+
+	cases := []struct {
+		name string
+		run  func() (string, error) // returns the op string it used
+	}{
+		{
+			// Attempt 1 fails transient, trips the breaker, attempt 2 is
+			// rejected: the lastErr-bearing wrap path.
+			name: "rejected after failed attempt",
+			run: func() (string, error) {
+				c := newTripped(2)
+				_, err := c.List("shape")
+				return "list shape", err
+			},
+		},
+		{
+			// A previous operation tripped the breaker; the next operation
+			// is rejected on attempt 1: the no-lastErr wrap path.
+			name: "rejected on first attempt",
+			run: func() (string, error) {
+				c := newTripped(1)
+				c.List("earlier") // trips
+				_, err := c.List("shape")
+				return "list shape", err
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			op, err := tc.run()
+			if err == nil {
+				t.Fatal("operation unexpectedly succeeded")
+			}
+			if !errors.Is(err, ErrCircuitOpen) {
+				t.Errorf("err = %v, want ErrCircuitOpen sentinel", err)
+			}
+			if !strings.Contains(err.Error(), op) {
+				t.Errorf("error %q dropped the operation context %q", err, op)
+			}
+			if Classify(err) != ClassTransient {
+				t.Errorf("Classify(%v) = %v, want transient", err, Classify(err))
+			}
+		})
+	}
+}
+
+// TestBreakerRejectLogWording: open-state rejections keep the historic
+// log line (byte-identical attempt logs are the regression bar); the new
+// half-open rejection path has its own wording.
+func TestBreakerRejectLogWording(t *testing.T) {
+	srv := NewServer(NewStore())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	plan := faultinject.NewPlan(4, faultinject.Rule{Kind: faultinject.KindConn, First: 99})
+	opts := chaosOptions(3)
+	opts.BreakerThreshold = 1
+	opts.BreakerCooldown = 1 << 20
+	c := NewClientWithOptions(ts.URL, opts)
+	c.HTTP.Transport = plan.Transport(nil)
+	c.List("c")
+	joined := strings.Join(c.AttemptLog(), "\n")
+	if !strings.Contains(joined, "rejected (breaker open)") {
+		t.Errorf("open rejection line drifted:\n%s", joined)
+	}
+	if strings.Contains(joined, "half-open probe in flight") {
+		t.Errorf("sequential run logged a half-open rejection:\n%s", joined)
+	}
+}

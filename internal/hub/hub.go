@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/faultinject"
 	"repro/internal/image"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -136,6 +137,8 @@ type Server struct {
 	ln             net.Listener
 	srv            *http.Server
 	builder        Builder // set by EnableAutoBuild
+	// obs is the optional server metrics registry (EnableMetrics).
+	obs *obs.Registry
 }
 
 // NewServer creates a server over the store.
@@ -286,6 +289,9 @@ type Client struct {
 	logMu    sync.Mutex
 	attempts []string
 	sleep    func(time.Duration)
+	// obs is the optional metrics registry; nil (the default) disables
+	// instrumentation at zero cost and cannot perturb attempt logs.
+	obs *obs.Registry
 }
 
 // ClientOptions tunes NewClientWithOptions. Zero fields use defaults.
@@ -301,6 +307,9 @@ type ClientOptions struct {
 	Transport http.RoundTripper
 	// Sleep overrides the inter-retry sleep (tests use a no-op).
 	Sleep func(time.Duration)
+	// Obs receives client metrics (attempts, retries, backoff, breaker
+	// transitions, bytes moved). Nil disables instrumentation.
+	Obs *obs.Registry
 }
 
 // NewClient creates a client for the given base URL with default
@@ -322,7 +331,7 @@ func NewClientWithOptions(baseURL string, opts ClientOptions) *Client {
 	if opts.Sleep == nil {
 		opts.Sleep = time.Sleep
 	}
-	return &Client{
+	c := &Client{
 		BaseURL:          strings.TrimRight(baseURL, "/"),
 		HTTP:             &http.Client{Timeout: opts.Timeout, Transport: opts.Transport},
 		Retry:            opts.Retry,
@@ -330,7 +339,17 @@ func NewClientWithOptions(baseURL string, opts ClientOptions) *Client {
 		breaker:          NewBreaker(opts.BreakerThreshold, opts.BreakerCooldown),
 		jitter:           newJitter(opts.JitterSeed),
 		sleep:            opts.Sleep,
+		obs:              opts.Obs,
 	}
+	if reg := opts.Obs; reg != nil {
+		reg.Set("hub_breaker_state", float64(BreakerClosed))
+		c.breaker.onTransition = func(from, to BreakerState) {
+			reg.Inc("hub_breaker_transitions_total",
+				obs.L("from", from.String()), obs.L("to", to.String()))
+			reg.Set("hub_breaker_state", float64(to))
+		}
+	}
+	return c
 }
 
 // Push uploads an image, returning the server-computed digest. It verifies
@@ -366,6 +385,7 @@ func (c *Client) Push(coll string, img *image.Image) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	c.obs.Add("hub_client_bytes_pushed_total", float64(len(blob)))
 	return digest, nil
 }
 
@@ -402,6 +422,7 @@ func (c *Client) Pull(coll, name, tag, expectedDigest string) (*image.Image, str
 		if expectedDigest != "" && adv != expectedDigest {
 			return fmt.Errorf("%w: pulled digest %s != expected %s", ErrCorrupt, adv, expectedDigest)
 		}
+		c.obs.Add("hub_client_bytes_pulled_total", float64(len(blob)))
 		img, advertised = got, adv
 		return nil
 	})

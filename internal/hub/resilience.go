@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -193,16 +194,23 @@ func (s BreakerState) String() string {
 // Breaker is a deterministic consecutive-failure circuit breaker. It
 // trips open after Threshold consecutive transient failures; while open
 // it rejects calls, and after Cooldown rejections it half-opens to let
-// one probe through — probe success closes it, probe failure reopens
-// it. The breaker is counted in operations, not wall time, so chaos
-// tests reproduce its trajectory exactly.
+// exactly one in-flight probe through — concurrent callers are rejected
+// until the probe resolves. Probe success (or a deterministic failure,
+// which proves the transport answered coherently) closes the breaker;
+// probe failure reopens it. The breaker is counted in operations, not
+// wall time, so chaos tests reproduce its trajectory exactly.
 type Breaker struct {
 	mu          sync.Mutex
 	threshold   int
 	cooldown    int
 	consecutive int
 	rejected    int
-	state       BreakerState
+	// probing marks the half-open probe slot as taken; every outcome path
+	// (Success, Failure, ProbeHealthy, Reset) releases it.
+	probing bool
+	state   BreakerState
+	// onTransition observes state changes (metrics); called with mu held.
+	onTransition func(from, to BreakerState)
 }
 
 // NewBreaker builds a breaker tripping after threshold consecutive
@@ -218,41 +226,92 @@ func NewBreaker(threshold, cooldown int) *Breaker {
 	return &Breaker{threshold: threshold, cooldown: cooldown}
 }
 
-// Allow reports whether an operation may proceed, advancing the
-// open -> half-open cooldown as rejected calls accumulate.
-func (b *Breaker) Allow() bool {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	switch b.state {
-	case BreakerClosed, BreakerHalfOpen:
-		return true
-	default: // open
-		b.rejected++
-		if b.rejected >= b.cooldown {
-			b.state = BreakerHalfOpen
-			return true
-		}
-		return false
+// setState transitions the breaker, notifying the observer. Caller
+// holds mu.
+func (b *Breaker) setState(s BreakerState) {
+	if b.state == s {
+		return
+	}
+	from := b.state
+	b.state = s
+	if b.onTransition != nil {
+		b.onTransition(from, s)
 	}
 }
 
-// Success records a healthy round trip and closes the breaker.
+// Allow reports whether an operation may proceed, advancing the
+// open -> half-open cooldown as rejected calls accumulate. While
+// half-open, exactly one caller is admitted as the probe; the rest are
+// rejected until Success, Failure, or ProbeHealthy resolves it.
+func (b *Breaker) Allow() bool {
+	ok, _ := b.allow()
+	return ok
+}
+
+// allow is Allow plus the state the decision was made in (for log wording).
+func (b *Breaker) allow() (bool, BreakerState) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true, BreakerClosed
+	case BreakerHalfOpen:
+		if b.probing {
+			// The probe slot is taken: concurrent operations must not all
+			// pass as "the one probe".
+			return false, BreakerHalfOpen
+		}
+		b.probing = true
+		return true, BreakerHalfOpen
+	default: // open
+		b.rejected++
+		if b.rejected >= b.cooldown {
+			b.setState(BreakerHalfOpen)
+			b.probing = true
+			return true, BreakerHalfOpen
+		}
+		return false, BreakerOpen
+	}
+}
+
+// Success records a healthy round trip, resolving any in-flight probe
+// and closing the breaker.
 func (b *Breaker) Success() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.consecutive = 0
-	b.state = BreakerClosed
+	b.probing = false
+	b.setState(BreakerClosed)
 }
 
-// Failure records a transient failure, tripping the breaker when the
-// consecutive-failure threshold is reached (immediately, if half-open).
+// Failure records a transient failure, resolving any in-flight probe and
+// tripping the breaker when the consecutive-failure threshold is reached
+// (immediately, if half-open).
 func (b *Breaker) Failure() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.consecutive++
 	if b.state == BreakerHalfOpen || b.consecutive >= b.threshold {
-		b.state = BreakerOpen
+		b.setState(BreakerOpen)
 		b.rejected = 0
+	}
+	b.probing = false
+}
+
+// ProbeHealthy resolves an in-flight half-open probe whose attempt
+// reached the registry but failed deterministically (e.g. a 404): the
+// transport answered coherently, so the probe proves the infrastructure
+// healthy and the breaker closes. In every other state this is a no-op,
+// preserving the rule that deterministic failures are not breaker
+// events. Without this, a permanently-failing probe left the breaker
+// stuck half-open forever.
+func (b *Breaker) ProbeHealthy() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen && b.probing {
+		b.probing = false
+		b.consecutive = 0
+		b.setState(BreakerClosed)
 	}
 }
 
@@ -269,7 +328,8 @@ func (b *Breaker) Reset() {
 	defer b.mu.Unlock()
 	b.consecutive = 0
 	b.rejected = 0
-	b.state = BreakerClosed
+	b.probing = false
+	b.setState(BreakerClosed)
 }
 
 // backoff computes the delay before the retry following attempt
@@ -336,31 +396,51 @@ func (c *Client) Breaker() *Breaker { return c.breaker }
 // immediately.
 func (c *Client) do(op string, mkReq func() (*http.Request, error), handle func(*http.Response) error) error {
 	pol := c.Retry.withDefaults()
+	kind := obs.L("op", opKind(op))
 	var lastErr error
 	corruptRetried := false
 	for attempt := 1; attempt <= pol.MaxAttempts; attempt++ {
-		if !c.breaker.Allow() {
-			c.logf("%s attempt %d/%d: rejected (breaker open)", op, attempt, pol.MaxAttempts)
+		ok, st := c.breaker.allow()
+		if !ok {
+			reason := "breaker open"
+			if st == BreakerHalfOpen {
+				reason = "half-open probe in flight"
+			}
+			c.logf("%s attempt %d/%d: rejected (%s)", op, attempt, pol.MaxAttempts, reason)
+			c.obs.Inc("hub_client_breaker_rejects_total", kind)
+			// Both wrap paths keep the operation context and the
+			// ErrCircuitOpen sentinel, so Classify and the validation
+			// matrix see one consistent error shape.
 			if lastErr != nil {
-				return fmt.Errorf("%w (last error: %v)", ErrCircuitOpen, lastErr)
+				return fmt.Errorf("%w: %s (last error: %v)", ErrCircuitOpen, op, lastErr)
 			}
 			return fmt.Errorf("%w: %s", ErrCircuitOpen, op)
 		}
-		err := c.try(op, mkReq, handle)
+		c.obs.Inc("hub_client_attempts_total", kind)
+		if attempt > 1 {
+			c.obs.Inc("hub_client_retries_total", kind)
+		}
+		err := c.attempt(op, mkReq, handle)
 		if err == nil {
 			c.breaker.Success()
 			c.logf("%s attempt %d/%d: ok", op, attempt, pol.MaxAttempts)
+			c.obs.Inc("hub_client_outcomes_total", obs.L("class", "ok"))
 			return nil
 		}
 		lastErr = err
 		switch classify(err) {
 		case classPermanent:
 			// The infrastructure answered coherently; only the request is
-			// doomed. Not a breaker event.
+			// doomed. Not a breaker event in the closed state — but an
+			// in-flight half-open probe is resolved (as healthy), so the
+			// breaker can never be left stuck half-open.
+			c.breaker.ProbeHealthy()
 			c.logf("%s attempt %d/%d: %s (deterministic; giving up)", op, attempt, pol.MaxAttempts, describe(err))
+			c.obs.Inc("hub_client_outcomes_total", obs.L("class", "deterministic"))
 			return err
 		case classCorrupt:
 			c.breaker.Failure()
+			c.obs.Inc("hub_client_outcomes_total", obs.L("class", "corrupt"))
 			if corruptRetried {
 				c.logf("%s attempt %d/%d: %s (corrupt again; giving up)", op, attempt, pol.MaxAttempts, describe(err))
 				return err
@@ -370,15 +450,43 @@ func (c *Client) do(op string, mkReq func() (*http.Request, error), handle func(
 		default: // transient
 			c.breaker.Failure()
 			c.logf("%s attempt %d/%d: %s (transient)", op, attempt, pol.MaxAttempts, describe(err))
+			c.obs.Inc("hub_client_outcomes_total", obs.L("class", "transient"))
 		}
 		if attempt == pol.MaxAttempts {
 			break
 		}
 		d := c.backoff(pol, attempt)
 		c.logf("%s backoff %s", op, d.Round(time.Millisecond))
+		c.obs.Inc("hub_client_backoff_sleeps_total")
+		c.obs.Add("hub_client_backoff_seconds_total", d.Seconds())
 		c.sleep(d)
 	}
 	return fmt.Errorf("hub: %s failed after %d attempts: %w", op, pol.MaxAttempts, lastErr)
+}
+
+// attempt runs try under a panic guard: a panicking request body or
+// response handler resolves the breaker probe (as a failure) before the
+// panic propagates, so supervised panics (internal/par) cannot leave the
+// breaker stuck half-open.
+func (c *Client) attempt(op string, mkReq func() (*http.Request, error), handle func(*http.Response) error) (err error) {
+	completed := false
+	defer func() {
+		if !completed {
+			c.breaker.Failure()
+		}
+	}()
+	err = c.try(op, mkReq, handle)
+	completed = true
+	return err
+}
+
+// opKind maps an operation string ("pull coll/pepa:latest") to its
+// low-cardinality metric label ("pull").
+func opKind(op string) string {
+	if k, _, ok := strings.Cut(op, " "); ok {
+		return k
+	}
+	return op
 }
 
 // try performs a single attempt: issue the request, surface non-200

@@ -1,0 +1,35 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/goldentest"
+)
+
+// TestPrometheusGolden pins the exact text exposition bytes for a
+// deterministically driven registry: format drift (type lines, ordering,
+// escaping, bucket cumulation) fails loudly. Regenerate with -update.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistryAt(newFakeClock().Now)
+	drive(r)
+	r.Observe("latency_seconds", 0.003, L("endpoint", "GET /v1/"))
+	r.Observe("latency_seconds", 0.3, L("endpoint", "GET /v1/"))
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	goldentest.Check(t, "testdata/goldens/metrics.prom", buf.String())
+}
+
+// TestSnapshotJSONGolden pins the JSON snapshot schema consumed by
+// `repro -metrics-out` (and future BENCH_*.json trajectory entries).
+func TestSnapshotJSONGolden(t *testing.T) {
+	r := NewRegistryAt(newFakeClock().Now)
+	drive(r)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	goldentest.Check(t, "testdata/goldens/snapshot.json", buf.String())
+}

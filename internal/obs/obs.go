@@ -1,0 +1,271 @@
+// Package obs is the dependency-light observability substrate of the
+// framework: counters, gauges, fixed-bucket histograms, and hierarchical
+// spans, collected into a Registry that can render a deterministic JSON
+// snapshot (`repro -metrics-out`) or a Prometheus text exposition page
+// (`schub serve -metrics-addr`). See docs/OBSERVABILITY.md for the
+// metric catalog and span hierarchy.
+//
+// Two properties are load-bearing:
+//
+//   - Zero cost when disabled: every method is safe (and a fast no-op)
+//     on a nil *Registry and a nil *Span, so instrumented hot paths pay
+//     one pointer comparison when observability is off. Instrumentation
+//     must never change numerical output, goldens, or attempt logs.
+//   - Deterministic under an injected clock: NewRegistryAt takes the
+//     time source, so tests and chaos runs drive a fake clock and get
+//     byte-identical snapshots; all durations are monotonic deltas from
+//     the registry's start instant.
+package obs
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Label is one key=value metric dimension. Keep cardinality low: label
+// values must come from small closed sets (operation kinds, endpoint
+// classes, solver stage names), never from user input or identifiers.
+type Label struct {
+	Key, Value string
+}
+
+// L builds a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// DefBuckets are the default histogram bucket upper bounds, in seconds:
+// exponential coverage from 100µs to 10s, matching the framework's range
+// from sub-millisecond hub round trips to multi-second matrix runs.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// histogram is one labeled series with fixed bucket edges.
+type histogram struct {
+	edges  []float64 // ascending upper bounds; +Inf is implicit
+	counts []uint64  // len(edges)+1, last is the overflow bucket
+	sum    float64
+	count  uint64
+}
+
+// Registry collects all metrics and spans of one run. The zero value is
+// not used; construct with NewRegistry or NewRegistryAt. A nil *Registry
+// is the disabled mode: every method no-ops.
+type Registry struct {
+	mu       sync.Mutex
+	now      func() time.Time
+	start    time.Time
+	counters map[string]float64
+	gauges   map[string]float64
+	hists    map[string]*histogram
+	buckets  map[string][]float64 // family name -> configured edges
+	spans    []*Span              // root spans in creation order
+}
+
+// NewRegistry builds a registry on the real (monotonic) clock.
+func NewRegistry() *Registry { return NewRegistryAt(time.Now) }
+
+// NewRegistryAt builds a registry with an injected time source; tests and
+// chaos runs pass a fake clock so snapshots are byte-identical.
+func NewRegistryAt(now func() time.Time) *Registry {
+	return &Registry{
+		now:      now,
+		start:    now(),
+		counters: map[string]float64{},
+		gauges:   map[string]float64{},
+		hists:    map[string]*histogram{},
+		buckets:  map[string][]float64{},
+	}
+}
+
+// seriesKey renders "name{k1=\"v1\",k2=\"v2\"}" with labels sorted by key,
+// so the same logical series always lands in the same map slot.
+func seriesKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// family strips the label block from a series key.
+func family(key string) string {
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		return key[:i]
+	}
+	return key
+}
+
+// Add increments a counter series by v (negative deltas are ignored:
+// counters are monotone by definition).
+func (r *Registry) Add(name string, v float64, labels ...Label) {
+	if r == nil || v < 0 {
+		return
+	}
+	k := seriesKey(name, labels)
+	r.mu.Lock()
+	r.counters[k] += v
+	r.mu.Unlock()
+}
+
+// Inc increments a counter series by one.
+func (r *Registry) Inc(name string, labels ...Label) { r.Add(name, 1, labels...) }
+
+// Set records the current value of a gauge series.
+func (r *Registry) Set(name string, v float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	k := seriesKey(name, labels)
+	r.mu.Lock()
+	r.gauges[k] = v
+	r.mu.Unlock()
+}
+
+// SetBuckets fixes the bucket edges of a histogram family. It must be
+// called before the first Observe of that family; later calls (and calls
+// after observations exist) are ignored, so edges are stable for the
+// lifetime of the registry.
+func (r *Registry) SetBuckets(name string, edges []float64) {
+	if r == nil || len(edges) == 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.buckets[name]; ok {
+		return
+	}
+	e := append([]float64(nil), edges...)
+	sort.Float64s(e)
+	r.buckets[name] = e
+}
+
+// Observe records one sample into a histogram series, creating it with
+// the family's configured (or default) bucket edges on first use.
+func (r *Registry) Observe(name string, v float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	k := seriesKey(name, labels)
+	r.mu.Lock()
+	h, ok := r.hists[k]
+	if !ok {
+		edges, ok := r.buckets[family(k)]
+		if !ok {
+			edges = DefBuckets
+		}
+		h = &histogram{edges: edges, counts: make([]uint64, len(edges)+1)}
+		r.hists[k] = h
+	}
+	idx := sort.SearchFloat64s(h.edges, v) // first edge >= v
+	h.counts[idx]++
+	h.sum += v
+	h.count++
+	r.mu.Unlock()
+}
+
+// ObserveDuration records a duration sample in seconds.
+func (r *Registry) ObserveDuration(name string, d time.Duration, labels ...Label) {
+	r.Observe(name, d.Seconds(), labels...)
+}
+
+// Counter returns the current value of a counter series (0 when absent
+// or the registry is nil). Intended for tests and snapshot consumers.
+func (r *Registry) Counter(name string, labels ...Label) float64 {
+	if r == nil {
+		return 0
+	}
+	k := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[k]
+}
+
+// Gauge returns the current value of a gauge series.
+func (r *Registry) Gauge(name string, labels ...Label) float64 {
+	if r == nil {
+		return 0
+	}
+	k := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gauges[k]
+}
+
+// Span is one timed region of a run. Spans nest: children created with
+// (*Span).StartSpan attach under their parent, and the whole forest goes
+// into the snapshot. A nil *Span (from a nil registry) no-ops.
+type Span struct {
+	reg      *Registry
+	Name     string
+	start    time.Duration // offset from registry start
+	dur      time.Duration
+	ended    bool
+	children []*Span
+}
+
+// StartSpan opens a root span.
+func (r *Registry) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := &Span{reg: r, Name: name, start: r.now().Sub(r.start)}
+	r.spans = append(r.spans, s)
+	return s
+}
+
+// StartSpan opens a child span under s.
+func (s *Span) StartSpan(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	r := s.reg
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := &Span{reg: r, Name: name, start: r.now().Sub(r.start)}
+	s.children = append(s.children, c)
+	return c
+}
+
+// End closes the span, fixing its duration. Ending twice keeps the first
+// duration; a span never ended reports its duration up to snapshot time.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	r := s.reg
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s.ended {
+		return
+	}
+	s.ended = true
+	s.dur = r.now().Sub(r.start) - s.start
+}

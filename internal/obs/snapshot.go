@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// HistSnapshot is the frozen state of one histogram series.
+type HistSnapshot struct {
+	// Edges are the bucket upper bounds; the final +Inf bucket is implicit.
+	Edges []float64 `json:"edges"`
+	// Counts has len(Edges)+1 entries; the last is the overflow bucket.
+	Counts []uint64 `json:"counts"`
+	Sum    float64  `json:"sum"`
+	Count  uint64   `json:"count"`
+}
+
+// SpanSnapshot is the frozen state of one span.
+type SpanSnapshot struct {
+	Name string `json:"name"`
+	// StartNS and DurationNS are nanoseconds relative to registry start,
+	// monotonic, so a fake clock yields byte-identical snapshots.
+	StartNS    int64          `json:"start_ns"`
+	DurationNS int64          `json:"duration_ns"`
+	Open       bool           `json:"open,omitempty"` // never ended
+	Children   []SpanSnapshot `json:"children,omitempty"`
+}
+
+// Snapshot is the full, deterministic state of a registry: map keys are
+// series keys (sorted by encoding/json), spans are sorted by (start,
+// name) recursively.
+type Snapshot struct {
+	Counters   map[string]float64      `json:"counters,omitempty"`
+	Gauges     map[string]float64      `json:"gauges,omitempty"`
+	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
+	Spans      []SpanSnapshot          `json:"spans,omitempty"`
+}
+
+// Snapshot freezes the registry. Safe under concurrent mutation; returns
+// an empty snapshot for a nil registry.
+func (r *Registry) Snapshot() *Snapshot {
+	snap := &Snapshot{}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.counters) > 0 {
+		snap.Counters = make(map[string]float64, len(r.counters))
+		for k, v := range r.counters {
+			snap.Counters[k] = v
+		}
+	}
+	if len(r.gauges) > 0 {
+		snap.Gauges = make(map[string]float64, len(r.gauges))
+		for k, v := range r.gauges {
+			snap.Gauges[k] = v
+		}
+	}
+	if len(r.hists) > 0 {
+		snap.Histograms = make(map[string]HistSnapshot, len(r.hists))
+		for k, h := range r.hists {
+			snap.Histograms[k] = HistSnapshot{
+				Edges:  append([]float64(nil), h.edges...),
+				Counts: append([]uint64(nil), h.counts...),
+				Sum:    h.sum,
+				Count:  h.count,
+			}
+		}
+	}
+	now := r.now().Sub(r.start)
+	snap.Spans = snapshotSpans(r.spans, now)
+	return snap
+}
+
+// snapshotSpans freezes a span list, sorted by (start, name) so that
+// parallel stages land in a stable order.
+func snapshotSpans(spans []*Span, now time.Duration) []SpanSnapshot {
+	if len(spans) == 0 {
+		return nil
+	}
+	out := make([]SpanSnapshot, 0, len(spans))
+	for _, s := range spans {
+		ss := SpanSnapshot{Name: s.Name, StartNS: s.start.Nanoseconds()}
+		if s.ended {
+			ss.DurationNS = s.dur.Nanoseconds()
+		} else {
+			ss.DurationNS = (now - s.start).Nanoseconds()
+			ss.Open = true
+		}
+		ss.Children = snapshotSpans(s.children, now)
+		out = append(out, ss)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].StartNS != out[j].StartNS {
+			return out[i].StartNS < out[j].StartNS
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// WriteJSON writes the indented JSON form of a snapshot. encoding/json
+// sorts map keys, so the byte stream is deterministic for a fixed clock.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name, one # TYPE line each,
+// series sorted by key. Spans are not part of the exposition (they are a
+// snapshot/JSON concept); histogram series expand into _bucket/_sum/_count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	var b strings.Builder
+	writeFamily(&b, snap.Counters, "counter")
+	writeFamily(&b, snap.Gauges, "gauge")
+	writeHistFamilies(&b, snap.Histograms)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeFamily renders one flat (counter/gauge) family group.
+func writeFamily(b *strings.Builder, series map[string]float64, typ string) {
+	keys := make([]string, 0, len(series))
+	for k := range series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	seen := map[string]bool{}
+	for _, k := range keys {
+		if f := family(k); !seen[f] {
+			seen[f] = true
+			fmt.Fprintf(b, "# TYPE %s %s\n", f, typ)
+		}
+		fmt.Fprintf(b, "%s %s\n", k, formatFloat(series[k]))
+	}
+}
+
+// writeHistFamilies renders histogram series with cumulative buckets.
+func writeHistFamilies(b *strings.Builder, hists map[string]HistSnapshot) {
+	keys := make([]string, 0, len(hists))
+	for k := range hists {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	seen := map[string]bool{}
+	for _, k := range keys {
+		h := hists[k]
+		fam := family(k)
+		if !seen[fam] {
+			seen[fam] = true
+			fmt.Fprintf(b, "# TYPE %s histogram\n", fam)
+		}
+		var cum uint64
+		for i, edge := range h.Edges {
+			cum += h.Counts[i]
+			fmt.Fprintf(b, "%s %d\n", seriesWithLE(k, formatFloat(edge)), cum)
+		}
+		cum += h.Counts[len(h.Edges)]
+		fmt.Fprintf(b, "%s %d\n", seriesWithLE(k, "+Inf"), cum)
+		fmt.Fprintf(b, "%s_sum%s %s\n", fam, labelBlock(k), formatFloat(h.Sum))
+		fmt.Fprintf(b, "%s_count%s %d\n", fam, labelBlock(k), h.Count)
+	}
+}
+
+// labelBlock returns the "{...}" part of a series key, or "".
+func labelBlock(key string) string {
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		return key[i:]
+	}
+	return ""
+}
+
+// seriesWithLE renders key's family as a _bucket series with the le label
+// appended to any existing labels.
+func seriesWithLE(key, le string) string {
+	fam, lb := family(key), labelBlock(key)
+	if lb == "" {
+		return fmt.Sprintf(`%s_bucket{le="%s"}`, fam, le)
+	}
+	return fmt.Sprintf(`%s_bucket{%s,le="%s"}`, fam, lb[1:len(lb)-1], le)
+}
+
+// formatFloat renders a metric value in the shortest round-trip form.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,37 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/pepa"
+)
+
+// TestInstrumentationNeutrality: simulation results must be bit-identical
+// whether or not a metrics registry is attached — the registry observes
+// the run, it never participates in it.
+func TestInstrumentationNeutrality(t *testing.T) {
+	m := pepa.MustParse("P = (work, 2).P1; P1 = (rest, 1).P; P")
+	bare, err := RunEnsemble(m, Options{Horizon: 500, Seed: 9}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	instr, err := RunEnsemble(m, Options{Horizon: 500, Seed: 9, Obs: reg}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(bare, instr) {
+		t.Errorf("ensemble differs with instrumentation:\nbare  %+v\ninstr %+v", bare, instr)
+	}
+	if got := reg.Counter("sim_replications_total"); got != 4 {
+		t.Errorf("sim_replications_total = %g, want 4", got)
+	}
+	if got := reg.Counter("sim_runs_total"); got != 4 {
+		t.Errorf("sim_runs_total = %g, want 4", got)
+	}
+	if reg.Counter("sim_events_total") == 0 {
+		t.Error("instrumented ensemble recorded no events")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/pepa"
 	"repro/internal/pepa/derive"
@@ -30,6 +31,11 @@ type Options struct {
 	// reduced in replication order, so the ensemble is bit-identical for
 	// any worker count.
 	Workers int
+	// Obs, when non-nil, receives trajectory metrics (runs, events fired,
+	// deadlocks, replication counts). The registry is safe for the
+	// concurrent replication workers; nil costs nothing and simulation
+	// results are identical either way.
+	Obs *obs.Registry
 }
 
 // Result summarizes one trajectory.
@@ -79,6 +85,18 @@ func (r *Result) DistinctStates() int { return len(r.StateTime) }
 
 // Run simulates one trajectory of the model's system equation.
 func Run(m *pepa.Model, opt Options) (*Result, error) {
+	res, err := run(m, opt)
+	if res != nil {
+		opt.Obs.Inc("sim_runs_total")
+		opt.Obs.Add("sim_events_total", float64(res.Events))
+		if res.Deadlocked {
+			opt.Obs.Inc("sim_deadlocks_total")
+		}
+	}
+	return res, err
+}
+
+func run(m *pepa.Model, opt Options) (*Result, error) {
 	if m.System == nil {
 		return nil, fmt.Errorf("sim: model has no system equation")
 	}
@@ -188,6 +206,7 @@ func RunEnsemble(m *pepa.Model, opt Options, n int) (*Ensemble, error) {
 	if err != nil {
 		return nil, err
 	}
+	opt.Obs.Add("sim_replications_total", float64(n))
 	ens := &Ensemble{
 		Replications:   n,
 		MeanThroughput: map[string]float64{},
@@ -211,9 +230,10 @@ func RunEnsemble(m *pepa.Model, opt Options, n int) (*Ensemble, error) {
 	if n > 1 {
 		for a, mean := range ens.MeanThroughput {
 			// Sample variance from the sum of squares; clamp the tiny
-			// negative values cancellation can produce.
+			// negative values cancellation can produce. NaN (overflowed
+			// sums) clamps too — both comparisons are false for NaN.
 			v := (sumSq[a] - float64(n)*mean*mean) / float64(n-1)
-			if v < 0 {
+			if v < 0 || math.IsNaN(v) {
 				v = 0
 			}
 			ens.ThroughputStd[a] = math.Sqrt(v)

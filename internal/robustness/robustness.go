@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/ctmc"
 	"repro/internal/diagram"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/pepa"
 	"repro/internal/pepa/derive"
@@ -82,6 +83,9 @@ type Study struct {
 	RepairRate float64
 	// Seed used to generate the synthetic ETC matrix.
 	Seed uint64
+	// Obs, when non-nil, is attached to every CTMC the study solves, so
+	// passage-time runs report solver iterations and truncation depths.
+	Obs *obs.Registry
 }
 
 // NewStudy constructs the study with the deterministic synthetic ETC and
@@ -225,6 +229,7 @@ func (s *Study) FinishingCDF(mapping string, j int, times []float64) (*ctmc.Pass
 		return nil, fmt.Errorf("robustness: no completion state found for machine %d", j+1)
 	}
 	chain := ctmc.FromStateSpace(ss)
+	chain.Obs = s.Obs
 	return chain.FirstPassageCDF(chain.PointMass(0), targets, times, 1e-10)
 }
 

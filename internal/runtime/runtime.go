@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/hostenv"
 	"repro/internal/image"
+	"repro/internal/obs"
 	"repro/internal/pkgmgr"
 	"repro/internal/recipe"
 	"repro/internal/shellenv"
@@ -78,6 +79,10 @@ type Engine struct {
 	CacheDisabled bool
 	// CacheHits counts builds served from the cache.
 	CacheHits int
+
+	// Obs, when non-nil, receives engine metrics (builds by cache
+	// outcome, runs by isolation model, native runs). Nil costs nothing.
+	Obs *obs.Registry
 }
 
 // NewEngine creates an engine with the standard base images and no apps.
@@ -124,10 +129,12 @@ func (e *Engine) Build(rcp *recipe.Recipe, host *hostenv.Host, ctx BuildContext,
 		if res, ok := e.cache[cacheKey]; ok {
 			e.CacheHits++
 			e.cacheMu.Unlock()
+			e.Obs.Inc("runtime_builds_total", obs.L("cached", "true"))
 			return res, nil
 		}
 		e.cacheMu.Unlock()
 	}
+	e.Obs.Inc("runtime_builds_total", obs.L("cached", "false"))
 	base, ok := e.Bases[rcp.From]
 	if !ok {
 		return nil, fmt.Errorf("runtime: unknown base image %q (available: %s)", rcp.From, strings.Join(hostenv.BaseImageNames(), ", "))
@@ -229,6 +236,7 @@ func (e *Engine) run(img *image.Image, host *hostenv.Host, opts RunOptions) (*Ru
 	if !host.HasSingularity() {
 		return nil, fmt.Errorf("runtime: host %s has no container runtime installed", host.Name)
 	}
+	e.Obs.Inc("runtime_runs_total", obs.L("isolation", opts.Isolation.String()))
 	// Copy-on-entry: the image filesystem is never mutated by runs.
 	fs := img.FS.Clone()
 	for _, b := range opts.Binds {
@@ -327,6 +335,7 @@ func (e *Engine) NativeRun(appName string, args []string, host *hostenv.Host) (s
 	if !ok {
 		return "", fmt.Errorf("runtime: unknown app %q", appName)
 	}
+	e.Obs.Inc("runtime_native_runs_total")
 	var out bytes.Buffer
 	if err := app(args, host.FS, &out); err != nil {
 		return "", fmt.Errorf("runtime: native %s on %s: %w", appName, host.Name, err)

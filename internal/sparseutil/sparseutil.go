@@ -2,9 +2,23 @@
 // packages.
 package sparseutil
 
+import "math"
+
 // Clamp01 clamps x into [0, 1], absorbing floating-point slack at the
 // boundaries of probability computations.
+//
+// NaN clamps to 0: both ordered comparisons are false for NaN, so the
+// naive two-branch clamp would return NaN and silently poison every
+// downstream probability/CDF aggregation. A NaN here means an upstream
+// solve produced garbage (0/0 in a renormalization, Inf-Inf in a
+// residual); mapping it to 0 keeps the output a valid (sub-)probability
+// and makes the corruption visible as missing mass rather than NaN text
+// in reports. Callers that can distinguish the error case should check
+// math.IsNaN before clamping.
 func Clamp01(x float64) float64 {
+	if math.IsNaN(x) {
+		return 0
+	}
 	if x < 0 {
 		return 0
 	}
