@@ -3,7 +3,11 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-snapshot repro chaos conformance conformance-deep fuzz fuzz-smoke goldens clean
+.PHONY: all build vet test race bench bench-snapshot bench-compare bench-baseline repro chaos conformance conformance-deep fuzz fuzz-smoke goldens clean
+
+# Solve-path benchmarks watched by the regression gate (docs/PERFORMANCE.md).
+BENCH_GATED = ^(BenchmarkTransientSeries|BenchmarkTransientWorkers|BenchmarkFirstPassageCDF|BenchmarkToCSR|BenchmarkVecMulParallel)$$
+BENCH_PKGS  = ./internal/ctmc ./internal/numeric/sparse
 
 all: build vet test
 
@@ -29,6 +33,17 @@ bench-snapshot:
 	$(GO) test -bench=. -benchtime=1x ./internal/ctmc ./internal/hub ./internal/pepa/... ./internal/gpepa
 	$(GO) run ./cmd/repro -metrics-out BENCH_$$(date +%Y%m%d).json > /dev/null
 	@echo "wrote BENCH_$$(date +%Y%m%d).json"
+
+# Compare the solve-path benchmarks against the committed baseline; fails
+# when TransientSeries or ToCSR is >20% slower (docs/PERFORMANCE.md).
+bench-compare:
+	$(GO) test -run XXX -bench '$(BENCH_GATED)' -benchtime 3x -count 3 $(BENCH_PKGS) \
+		| $(GO) run ./cmd/benchcmp -baseline BENCH_baseline.json -out bench_compare.json
+
+# Re-record BENCH_baseline.json after an intentional performance change.
+bench-baseline:
+	$(GO) test -run XXX -bench '$(BENCH_GATED)' -benchtime 3x -count 3 $(BENCH_PKGS) \
+		| $(GO) run ./cmd/benchcmp -baseline BENCH_baseline.json -update -note "make bench-baseline"
 
 # Regenerate every table and figure of the paper into ./out.
 repro:

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro/internal/ctmc
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkTransientSeries/uncached-4         	      50	  22427268 ns/op
+BenchmarkTransientSeries/cached-4           	     300	   3587139 ns/op	    1024 B/op	       3 allocs/op
+BenchmarkFirstPassageCDF-4                  	     500	   2561139 ns/op
+PASS
+ok  	repro/internal/ctmc	4.2s
+pkg: repro/internal/numeric/sparse
+BenchmarkToCSR-4   	     100	  11000000 ns/op
+BenchmarkToCSR-4   	     100	  10500000 ns/op
+BenchmarkVecMulParallel/transpose-workers=2-4 	 1000	 400000 ns/op
+--- some unrelated line ---
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkTransientSeries/uncached":           22427268,
+		"BenchmarkTransientSeries/cached":             3587139,
+		"BenchmarkFirstPassageCDF":                    2561139,
+		"BenchmarkToCSR":                              10500000, // min of the two runs
+		"BenchmarkVecMulParallel/transpose-workers=2": 400000,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(got), len(want), got)
+	}
+	for name, ns := range want {
+		if got[name] != ns {
+			t.Errorf("%s = %g, want %g", name, got[name], ns)
+		}
+	}
+}
+
+func TestNormalizeName(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkToCSR-8": "BenchmarkToCSR",
+		"BenchmarkToCSR":   "BenchmarkToCSR",
+		"BenchmarkVecMulParallel/transpose-workers=2-4": "BenchmarkVecMulParallel/transpose-workers=2",
+		"BenchmarkTransientWorkers/workers=8-16":        "BenchmarkTransientWorkers/workers=8",
+	}
+	for in, want := range cases {
+		if got := normalizeName(in); got != want {
+			t.Errorf("normalizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCompareGating(t *testing.T) {
+	gate := regexp.MustCompile(`TransientSeries|ToCSR`)
+	base := map[string]float64{
+		"BenchmarkTransientSeries/cached": 100,
+		"BenchmarkToCSR":                  100,
+		"BenchmarkFirstPassageCDF":        100,
+	}
+	cases := []struct {
+		name       string
+		current    map[string]float64
+		wantFailed bool
+	}{
+		{"all flat", map[string]float64{"BenchmarkTransientSeries/cached": 100, "BenchmarkToCSR": 100, "BenchmarkFirstPassageCDF": 100}, false},
+		{"gated within threshold", map[string]float64{"BenchmarkToCSR": 119}, false},
+		{"gated beyond threshold", map[string]float64{"BenchmarkToCSR": 121}, true},
+		{"ungated regression ignored", map[string]float64{"BenchmarkFirstPassageCDF": 500}, false},
+		{"new benchmark never fails", map[string]float64{"BenchmarkTransientSeries/brandnew": 1e9}, false},
+		{"improvement never fails", map[string]float64{"BenchmarkTransientSeries/cached": 10}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := compare(tc.current, base, gate, 1.2)
+			if rep.Failed != tc.wantFailed {
+				t.Fatalf("Failed = %v, want %v (%+v)", rep.Failed, tc.wantFailed, rep.Results)
+			}
+		})
+	}
+}
+
+func TestCompareFlagsRegressedResult(t *testing.T) {
+	gate := regexp.MustCompile(`ToCSR`)
+	rep := compare(map[string]float64{"BenchmarkToCSR": 150}, map[string]float64{"BenchmarkToCSR": 100}, gate, 1.2)
+	if len(rep.Results) != 1 {
+		t.Fatalf("got %d results", len(rep.Results))
+	}
+	r := rep.Results[0]
+	if !r.Gated || !r.Regressed || r.Ratio != 1.5 || r.Baseline != 100 {
+		t.Fatalf("unexpected result: %+v", r)
+	}
+}

@@ -53,6 +53,7 @@ func run() error {
 	exportLTS := fs.String("export-lts", "", "write the transition system (CSV) to this file")
 	checkProps := fs.String("check", "", "evaluate ';'-separated CSL-style properties, e.g. 'S>=0.9[\"Proc\"]; T>=2[serve]'")
 	metricsOut := fs.String("metrics-out", "", "write a JSON solver-metrics snapshot to this file on exit")
+	workers := fs.Int("workers", 0, "goroutines for the solver's matrix kernels (0 or 1 sequential; results are bit-identical)")
 
 	args := os.Args[1:]
 	if len(args) == 0 {
@@ -191,6 +192,7 @@ func run() error {
 		}
 		chain := ctmc.FromStateSpace(ss)
 		chain.Obs = reg
+		chain.Workers = *workers
 		times := make([]float64, *n+1)
 		for i := range times {
 			times[i] = *tmax * float64(i) / float64(*n)
@@ -211,6 +213,7 @@ func run() error {
 	default:
 		chain := ctmc.FromStateSpace(ss)
 		chain.Obs = reg
+		chain.Workers = *workers
 		if dl := ss.Deadlocks(); len(dl) > 0 {
 			fmt.Printf("model has %d absorbing state(s); steady-state analysis skipped\n", len(dl))
 			return nil

@@ -109,6 +109,7 @@ func run() error {
 	outdir := flag.String("outdir", "", "also write each experiment's output to DIR/<name>.txt")
 	chaosSeed := flag.Uint64("chaos-seed", 0, "run the Fig 6 hub experiment under a seeded fault plan (0 = off)")
 	metricsOut := flag.String("metrics-out", "", "write a JSON metrics+span snapshot to this file on exit")
+	workers := flag.Int("workers", 0, "goroutines per CTMC solve in the robustness study (0 or 1 sequential; results are bit-identical)")
 	flag.Parse()
 
 	var reg *obs.Registry
@@ -119,6 +120,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	st.study.Workers = *workers
 	defer st.hubSrv.Close()
 	exps := experiments()
 	if *chaosSeed != 0 {

@@ -1,0 +1,59 @@
+package ctmc
+
+// Solve-path benchmarks gated by `make bench-compare`. The cached/uncached
+// split on BenchmarkTransientSeries quantifies the uniformization cache;
+// the workers sub-benchmarks show multi-core scaling of the transpose
+// kernel on the same grid.
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchSeriesChain(k, workers int, uncached bool) *Chain {
+	c := NewChain(k+1, benchChainRates(k))
+	c.Workers = workers
+	c.noSolveCache = uncached
+	return c
+}
+
+func runSeries(b *testing.B, c *Chain, points int, dt float64) {
+	times := cdfGrid(points, dt)
+	p0 := c.PointMass(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.TransientSeries(p0, times, 1e-9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTransientSeries(b *testing.B) {
+	const k = 2000 // 2001 states, ~6k nonzeros: Fig 3/4 scale
+	b.Run("uncached", func(b *testing.B) { runSeries(b, benchSeriesChain(k, 0, true), 40, 0.25) })
+	b.Run("cached", func(b *testing.B) { runSeries(b, benchSeriesChain(k, 0, false), 40, 0.25) })
+}
+
+func BenchmarkTransientWorkers(b *testing.B) {
+	const k = 60000 // ~180k nonzeros: above the parallel kernel threshold
+	for _, w := range []int{1, 2, 4, 8} {
+		w := w
+		// "=" keeps the worker count out of benchcmp's GOMAXPROCS-suffix
+		// normalization (which strips a trailing -N).
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			runSeries(b, benchSeriesChain(k, w, false), 8, 0.5)
+		})
+	}
+}
+
+func BenchmarkFirstPassageCDF(b *testing.B) {
+	c := NewChain(801, benchChainRates(800))
+	times := cdfGrid(30, 1)
+	p0 := c.PointMass(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.FirstPassageCDF(p0, []int{800}, times, 1e-9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,350 @@
+package ctmc
+
+// Tests of the solve-path memoization contract: cached results must be
+// bit-identical to the uncached (pre-cache) solver, replacing Q must
+// invalidate every derived operator, and Workers must never change an
+// output bit.
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/numeric/sparse"
+	"repro/internal/obs"
+)
+
+// benchChainRates builds a birth-death chain with k+1 states and slightly
+// irregular rates so no two matrix entries are equal.
+func benchChainRates(k int) map[[2]int]float64 {
+	rates := map[[2]int]float64{}
+	for i := 0; i < k; i++ {
+		rates[[2]int{i, i + 1}] = 2 + 0.01*float64(i%7)
+		rates[[2]int{i + 1, i}] = 1 + 0.03*float64(i%5)
+	}
+	return rates
+}
+
+func cdfGrid(n int, step float64) []float64 {
+	times := make([]float64, n)
+	for i := range times {
+		times[i] = float64(i) * step
+	}
+	return times
+}
+
+func TestTransientSeriesCachedMatchesUncached(t *testing.T) {
+	rates := benchChainRates(120)
+	cached := NewChain(121, rates)
+	uncached := NewChain(121, rates)
+	uncached.noSolveCache = true
+	times := cdfGrid(40, 0.5)
+	a, err := cached.TransientSeries(cached.PointMass(0), times, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := uncached.TransientSeries(uncached.PointMass(0), times, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		for s := range a[i] {
+			if a[i][s] != b[i][s] {
+				t.Fatalf("t=%g state %d: cached %g != uncached %g", times[i], s, a[i][s], b[i][s])
+			}
+		}
+	}
+	// A second series over the same grid (cache fully warm) must agree too.
+	a2, err := cached.TransientSeries(cached.PointMass(0), times, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		for s := range a[i] {
+			if a[i][s] != a2[i][s] {
+				t.Fatalf("warm cache drifted at t=%g state %d", times[i], s)
+			}
+		}
+	}
+}
+
+func TestFirstPassageCDFCachedMatchesUncached(t *testing.T) {
+	rates := benchChainRates(80)
+	cached := NewChain(81, rates)
+	uncached := NewChain(81, rates)
+	uncached.noSolveCache = true
+	times := cdfGrid(30, 1)
+	targets := []int{80}
+	a, err := cached.FirstPassageCDF(cached.PointMass(0), targets, times, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Repeat evaluation exercises the absorbing-chain memo.
+	a2, err := cached.FirstPassageCDF(cached.PointMass(0), targets, times, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := uncached.FirstPassageCDF(uncached.PointMass(0), targets, times, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Probs {
+		if a.Probs[i] != b.Probs[i] {
+			t.Fatalf("t=%g: cached %g != uncached %g", times[i], a.Probs[i], b.Probs[i])
+		}
+		if a.Probs[i] != a2.Probs[i] {
+			t.Fatalf("t=%g: memoized re-evaluation drifted", times[i])
+		}
+	}
+}
+
+func TestPassageMemoHitCounted(t *testing.T) {
+	c := NewChain(41, benchChainRates(40))
+	c.Obs = obs.NewRegistry()
+	times := cdfGrid(10, 1)
+	for i := 0; i < 3; i++ {
+		if _, err := c.FirstPassageCDF(c.PointMass(0), []int{40}, times, 1e-10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits := c.Obs.Counter("ctmc_passage_cache_total", obs.L("outcome", "hit"))
+	misses := c.Obs.Counter("ctmc_passage_cache_total", obs.L("outcome", "miss"))
+	if misses != 1 || hits != 2 {
+		t.Fatalf("passage cache counters: hits=%g misses=%g, want 2/1", hits, misses)
+	}
+	// A different target set misses and evicts.
+	if _, err := c.FirstPassageCDF(c.PointMass(0), []int{39}, times, 1e-10); err != nil {
+		t.Fatal(err)
+	}
+	if m := c.Obs.Counter("ctmc_passage_cache_total", obs.L("outcome", "miss")); m != 2 {
+		t.Fatalf("expected second miss after target change, got %g", m)
+	}
+}
+
+func TestSolveCacheInvalidatedOnQReplace(t *testing.T) {
+	fast := map[[2]int]float64{{0, 1}: 5, {1, 0}: 5}
+	slow := map[[2]int]float64{{0, 1}: 0.2, {1, 0}: 0.1}
+	c := NewChain(2, fast)
+	warm, err := c.Transient(c.PointMass(0), 1.5, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = warm
+	// Replace the generator wholesale: the cache must notice and rebuild.
+	c.Q = NewChain(2, slow).Q
+	c.ExitRate = NewChain(2, slow).ExitRate
+	got, err := c.Transient(c.PointMass(0), 1.5, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewChain(2, slow)
+	want, err := fresh.Transient(fresh.PointMass(0), 1.5, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range want {
+		if got[s] != want[s] {
+			t.Fatalf("stale cache survived Q replacement: state %d got %g want %g", s, got[s], want[s])
+		}
+	}
+}
+
+func TestInvalidateSolveCacheAfterInPlaceMutation(t *testing.T) {
+	// In-place mutation of Q.Val is documentedly unsupported without an
+	// explicit InvalidateSolveCache; with the call, results must match a
+	// fresh chain. (The nnz-preserving mutation below is exactly the kind
+	// the identity check cannot see.)
+	c := NewChain(2, map[[2]int]float64{{0, 1}: 2, {1, 0}: 1})
+	if _, err := c.Transient(c.PointMass(0), 1, 1e-10); err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range c.Q.Val {
+		c.Q.Val[k] = v * 2
+	}
+	for i := range c.ExitRate {
+		c.ExitRate[i] *= 2
+	}
+	c.InvalidateSolveCache()
+	got, err := c.Transient(c.PointMass(0), 1, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewChain(2, map[[2]int]float64{{0, 1}: 4, {1, 0}: 2})
+	want, err := fresh.Transient(fresh.PointMass(0), 1, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range want {
+		if got[s] != want[s] {
+			t.Fatalf("InvalidateSolveCache did not take effect: state %d got %g want %g", s, got[s], want[s])
+		}
+	}
+}
+
+func TestTransientWorkersBitIdentical(t *testing.T) {
+	// A chain big enough (~60k nonzeros) that Workers > 1 actually runs the
+	// transpose-backed kernel rather than the small-matrix fallback.
+	k := 20000
+	rates := benchChainRates(k)
+	seqChain := NewChain(k+1, rates)
+	seq, err := seqChain.Transient(seqChain.PointMass(0), 3, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4} {
+		c := NewChain(k+1, rates)
+		c.Workers = workers
+		got, err := c.Transient(c.PointMass(0), 3, 1e-9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := range seq {
+			if got[s] != seq[s] {
+				t.Fatalf("workers=%d: state %d: %g != %g", workers, s, got[s], seq[s])
+			}
+		}
+	}
+}
+
+func TestSteadyStateWorkersBitIdentical(t *testing.T) {
+	k := 300
+	rates := benchChainRates(k)
+	a := NewChain(k+1, rates)
+	b := NewChain(k+1, rates)
+	b.Workers = 4
+	piA, errA := a.SteadyState(SteadyStateOptions{})
+	piB, errB := b.SteadyState(SteadyStateOptions{})
+	if errA != nil || errB != nil {
+		t.Fatalf("errors: %v / %v", errA, errB)
+	}
+	for s := range piA {
+		if piA[s] != piB[s] {
+			t.Fatalf("state %d: %g != %g", s, piA[s], piB[s])
+		}
+	}
+}
+
+func TestConcurrentTransientSolvesShareCache(t *testing.T) {
+	// Hammer one chain from several goroutines: the cache accessors must be
+	// race-free (run under -race in CI) and every result identical.
+	c := NewChain(101, benchChainRates(100))
+	want, err := c.Transient(c.PointMass(0), 2, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			got, err := c.Transient(c.PointMass(0), 2, 1e-10)
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			for s := range want {
+				if got[s] != want[s] {
+					errs[g] = errMismatch
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+}
+
+var errMismatch = &mismatchError{}
+
+type mismatchError struct{}
+
+func (*mismatchError) Error() string { return "concurrent solve diverged from sequential result" }
+
+func TestFirstPassageCDFRejectsMalformedGenerator(t *testing.T) {
+	// Hand-build chains whose generators violate (or satisfy) the
+	// nonnegative off-diagonal requirement.
+	build := func(entries map[[2]int]float64, n int) *Chain {
+		coo := newCOOFromMap(entries, n)
+		exit := make([]float64, n)
+		for k, v := range entries {
+			if k[0] != k[1] && v > 0 {
+				exit[k[0]] += v
+			}
+		}
+		return &Chain{N: n, Q: coo, ExitRate: exit, ActionRate: map[string][]float64{}}
+	}
+	cases := []struct {
+		name    string
+		entries map[[2]int]float64
+		n       int
+		targets []int
+		wantErr bool
+	}{
+		{"valid generator", map[[2]int]float64{{0, 1}: 1, {1, 1}: -1, {0, 0}: -1, {1, 0}: 1}, 2, []int{1}, false},
+		{"negative off-diagonal", map[[2]int]float64{{0, 1}: -2, {0, 0}: 2, {1, 0}: 1, {1, 1}: -1}, 2, []int{1}, true},
+		{"negative rate into target from transient row", map[[2]int]float64{{0, 2}: -3, {0, 1}: 1, {0, 0}: 2, {1, 0}: 1, {1, 1}: -1}, 3, []int{2}, true},
+		{"negative entry inside target row is ignored (row is zeroed anyway)",
+			map[[2]int]float64{{0, 1}: 1, {0, 0}: -1, {1, 0}: -5, {1, 1}: 5}, 2, []int{1}, false},
+	}
+	times := []float64{0, 0.5, 1}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := build(tc.entries, tc.n)
+			_, err := c.FirstPassageCDF(c.PointMass(0), tc.targets, times, 1e-9)
+			if tc.wantErr && err == nil {
+				t.Fatal("malformed generator accepted, want error")
+			}
+			if !tc.wantErr && err != nil {
+				t.Fatalf("valid generator rejected: %v", err)
+			}
+		})
+	}
+}
+
+// newCOOFromMap assembles a CSR from a dense entry map in deterministic
+// (sorted) insertion order, bypassing NewChain's negative-rate panic so
+// malformed generators can be constructed for the rejection tests.
+func newCOOFromMap(entries map[[2]int]float64, n int) *sparse.CSR {
+	keys := make([][2]int, 0, len(entries))
+	for k := range entries {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a][0] != keys[b][0] {
+			return keys[a][0] < keys[b][0]
+		}
+		return keys[a][1] < keys[b][1]
+	})
+	coo := sparse.NewCOO(n, n, len(keys))
+	for _, k := range keys {
+		coo.Add(k[0], k[1], entries[k])
+	}
+	return coo.ToCSR()
+}
+
+func TestPoissonWeightSharingAcrossUniformGrid(t *testing.T) {
+	c := NewChain(61, benchChainRates(60))
+	c.Obs = obs.NewRegistry()
+	times := cdfGrid(50, 0.25) // uniform dt -> one weight table after t=0
+	if _, err := c.TransientSeries(c.PointMass(0), times, 1e-10); err != nil {
+		t.Fatal(err)
+	}
+	misses := c.Obs.Counter("ctmc_poisson_cache_total", obs.L("outcome", "miss"))
+	hits := c.Obs.Counter("ctmc_poisson_cache_total", obs.L("outcome", "hit"))
+	if misses != 1 {
+		t.Fatalf("uniform grid computed %g weight tables, want exactly 1", misses)
+	}
+	if hits < 40 {
+		t.Fatalf("weight table hits = %g, want ~48", hits)
+	}
+	// The uniformized matrix is assembled exactly once for the whole grid.
+	uniMisses := c.Obs.Counter("ctmc_unicache_total", obs.L("outcome", "miss"))
+	if uniMisses != 1 {
+		t.Fatalf("uniformized matrix built %g times for one series, want 1", uniMisses)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/numeric/linalg"
 	"repro/internal/numeric/poisson"
@@ -26,6 +27,11 @@ type Chain struct {
 	N int
 	// Q is the infinitesimal generator: Q[i][j] is the total rate from i to
 	// j (i != j), and Q[i][i] = -sum of the row's off-diagonal rates.
+	//
+	// The solvers memoize operators derived from Q (see solveCache).
+	// Replacing Q with a new matrix is detected automatically; mutating the
+	// stored matrix in place is not supported — call InvalidateSolveCache
+	// after doing so (see docs/PERFORMANCE.md for the full contract).
 	Q *sparse.CSR
 	// ExitRate[i] is the total outgoing rate of state i.
 	ExitRate []float64
@@ -35,14 +41,163 @@ type Chain struct {
 	// Initial is the index of the initial state (0 for derived spaces).
 	Initial int
 	// Obs, when non-nil, receives solver metrics (stage iterations,
-	// residuals, uniformization truncation depths). Nil costs nothing.
+	// residuals, uniformization truncation depths, cache hit rates).
+	// Nil costs nothing.
 	Obs *obs.Registry
+	// Workers bounds the goroutines the solve kernels use for
+	// matrix-vector products (<= 1 means sequential). Every parallel
+	// kernel is bit-identical to its sequential twin, so Workers changes
+	// wall-clock time only, never a single output bit.
+	Workers int
+
+	// mu guards cache: chains may be shared across goroutines (the
+	// makespan fan-out, conformance sweeps).
+	mu    sync.Mutex
+	cache *solveCache
+	// noSolveCache disables all memoization (tests and the cached-vs-
+	// uncached benchmarks; the zero value — caching on — is the API).
+	noSolveCache bool
+}
+
+// solveCache memoizes the operators the hot solve path derives from Q:
+// Qᵀ for the steady-state stages, the uniformized DTMC P = I + Q/q per
+// uniformization rate (plus its transpose, built lazily for the parallel
+// kernels), the truncated Poisson weight tables per (lambda, eps) — shared
+// across the uniform-dt steps of a TransientSeries grid — and the last
+// absorbing chain built by FirstPassageCDF. The cache is keyed to the
+// identity and nonzero count of Q, so swapping in a different generator
+// rebuilds everything.
+type solveCache struct {
+	q   *sparse.CSR // the generator these operators were derived from
+	nnz int
+
+	qt      *sparse.CSR
+	uni     map[float64]*sparse.CSR // uniformization rate -> P
+	uniT    map[float64]*sparse.CSR // uniformization rate -> Pᵀ
+	weights map[weightKey]*poisson.Weights
+
+	passageKey     string
+	passageChain   *Chain
+	passageTargets []bool
+}
+
+type weightKey struct{ lambda, eps float64 }
+
+// maxWeightTables bounds the Poisson weight memo: a uniform time grid needs
+// exactly one table, an irregular one needs one per distinct step, and a
+// pathological caller cycling through horizons gets the map reset instead
+// of unbounded growth.
+const maxWeightTables = 256
+
+// InvalidateSolveCache drops every memoized solve operator. Callers that
+// mutate c.Q in place (rather than replacing it, which is detected) must
+// call this before the next solve.
+func (c *Chain) InvalidateSolveCache() {
+	c.mu.Lock()
+	c.cache = nil
+	c.mu.Unlock()
+}
+
+// cacheLocked returns the live cache for the current Q, rebuilding it when
+// Q was replaced. Callers must hold c.mu.
+func (c *Chain) cacheLocked() *solveCache {
+	if c.cache == nil || c.cache.q != c.Q || c.cache.nnz != c.Q.NNZ() {
+		c.cache = &solveCache{
+			q:       c.Q,
+			nnz:     c.Q.NNZ(),
+			uni:     make(map[float64]*sparse.CSR, 2),
+			uniT:    make(map[float64]*sparse.CSR, 2),
+			weights: make(map[weightKey]*poisson.Weights),
+		}
+	}
+	return c.cache
+}
+
+// uniformizedCached returns P = I + Q/q, memoized per uniformization rate.
+func (c *Chain) uniformizedCached(q float64) *sparse.CSR {
+	if c.noSolveCache {
+		return c.uniformized(q)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sc := c.cacheLocked()
+	if p, ok := sc.uni[q]; ok {
+		c.Obs.Inc("ctmc_unicache_total", obs.L("outcome", "hit"))
+		return p
+	}
+	c.Obs.Inc("ctmc_unicache_total", obs.L("outcome", "miss"))
+	p := c.uniformized(q)
+	sc.uni[q] = p
+	return p
+}
+
+// uniformizedTransposeCached returns Pᵀ for the memoized P = I + Q/q,
+// built on first use by a Workers > 1 solve.
+func (c *Chain) uniformizedTransposeCached(q float64) *sparse.CSR {
+	if c.noSolveCache {
+		return c.uniformized(q).Transpose()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sc := c.cacheLocked()
+	if pt, ok := sc.uniT[q]; ok {
+		return pt
+	}
+	p, ok := sc.uni[q]
+	if !ok {
+		p = c.uniformized(q)
+		sc.uni[q] = p
+	}
+	pt := p.Transpose()
+	sc.uniT[q] = pt
+	return pt
+}
+
+// transposedQCached returns Qᵀ, memoized.
+func (c *Chain) transposedQCached() *sparse.CSR {
+	if c.noSolveCache {
+		return c.Q.Transpose()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sc := c.cacheLocked()
+	if sc.qt == nil {
+		sc.qt = c.Q.Transpose()
+	}
+	return sc.qt
+}
+
+// poissonCached returns the truncated Poisson(lambda) weight table,
+// memoized per (lambda, eps): every uniform-dt step of a TransientSeries
+// grid shares one table instead of recomputing it per grid point.
+func (c *Chain) poissonCached(lambda, eps float64) (*poisson.Weights, error) {
+	if c.noSolveCache {
+		return poisson.Compute(lambda, eps)
+	}
+	key := weightKey{lambda, eps}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sc := c.cacheLocked()
+	if w, ok := sc.weights[key]; ok {
+		c.Obs.Inc("ctmc_poisson_cache_total", obs.L("outcome", "hit"))
+		return w, nil
+	}
+	c.Obs.Inc("ctmc_poisson_cache_total", obs.L("outcome", "miss"))
+	w, err := poisson.Compute(lambda, eps)
+	if err != nil {
+		return nil, err
+	}
+	if len(sc.weights) >= maxWeightTables {
+		sc.weights = make(map[weightKey]*poisson.Weights)
+	}
+	sc.weights[key] = w
+	return w, nil
 }
 
 // FromStateSpace builds the CTMC of a derived PEPA state space.
 func FromStateSpace(ss *derive.StateSpace) *Chain {
 	n := ss.NumStates()
-	coo := sparse.NewCOO(n, n)
+	coo := sparse.NewCOO(n, n, ss.NumTransitions()+n)
 	exit := make([]float64, n)
 	actRate := map[string][]float64{}
 	for _, a := range ss.ActionTypes {
@@ -62,7 +217,7 @@ func FromStateSpace(ss *derive.StateSpace) *Chain {
 // NewChain builds a CTMC directly from a dense rate map (tests, synthetic
 // chains). rates[i][j] is the transition rate from i to j.
 func NewChain(n int, rates map[[2]int]float64) *Chain {
-	coo := sparse.NewCOO(n, n)
+	coo := sparse.NewCOO(n, n, len(rates)+n)
 	exit := make([]float64, n)
 	keys := make([][2]int, 0, len(rates))
 	for k := range rates {
@@ -110,6 +265,10 @@ type SteadyStateOptions struct {
 	// DenseLimit is the largest N for which the dense LU fallback is
 	// attempted (default 2000).
 	DenseLimit int
+	// Workers bounds the goroutines of the power-iteration products and
+	// residual checks (0 inherits Chain.Workers; <= 1 sequential).
+	// Bit-identical for any value.
+	Workers int
 }
 
 func (o SteadyStateOptions) withDefaults() SteadyStateOptions {
@@ -175,7 +334,10 @@ func (c *Chain) SteadyState(opt SteadyStateOptions) ([]float64, error) {
 	if c.N == 1 {
 		return []float64{1}, nil
 	}
-	qt := c.Q.Transpose()
+	if opt.Workers == 0 {
+		opt.Workers = c.Workers
+	}
+	qt := c.transposedQCached()
 	var stages []StageAttempt
 	if !opt.DenseOnly {
 		pi, att, ok := c.steadyIterative(qt, opt)
@@ -229,6 +391,18 @@ func (c *Chain) recordStage(att StageAttempt, ok bool) {
 	}
 }
 
+// residualNormInf computes the acceptance residual ||piᵀ·Q||_inf of the
+// steady-state stages, routing the product through the transpose-backed
+// parallel kernel when workers > 1 (bit-identical to the sequential path).
+func (c *Chain) residualNormInf(pi []float64, workers int) float64 {
+	if workers > 1 {
+		y := make([]float64, c.N)
+		sparse.VecMulToParallelT(c.transposedQCached(), y, pi, workers)
+		return linalg.NormInf(y)
+	}
+	return linalg.NormInf(c.Q.VecMul(pi))
+}
+
 // steadyPower runs power iteration on the uniformized DTMC
 // P = I + Q/(1.1·q): the stationary distribution of P equals that of the
 // CTMC, and the slack factor guarantees aperiodicity.
@@ -239,8 +413,12 @@ func (c *Chain) steadyPower(opt SteadyStateOptions) ([]float64, StageAttempt, bo
 		att.Err = "zero uniformization rate (no transitions)"
 		return nil, att, false
 	}
-	p := c.uniformized(q * 1.1)
-	pi, res, err := sparse.PowerIteration(p, sparse.IterOptions{MaxIter: opt.MaxIter * 5, Tol: opt.Tol})
+	p := c.uniformizedCached(q * 1.1)
+	iterOpt := sparse.IterOptions{MaxIter: opt.MaxIter * 5, Tol: opt.Tol, Workers: opt.Workers}
+	if opt.Workers > 1 {
+		iterOpt.Transposed = c.uniformizedTransposeCached(q * 1.1)
+	}
+	pi, res, err := sparse.PowerIteration(p, iterOpt)
 	att.Iterations = res.Iterations
 	if err != nil {
 		att.Err = err.Error()
@@ -251,7 +429,7 @@ func (c *Chain) steadyPower(opt SteadyStateOptions) ([]float64, StageAttempt, bo
 		return nil, att, false
 	}
 	// Verify the CTMC residual before accepting.
-	att.Residual = linalg.NormInf(c.Q.VecMul(pi))
+	att.Residual = c.residualNormInf(pi, opt.Workers)
 	if att.Residual > math.Sqrt(opt.Tol) {
 		att.Err = fmt.Sprintf("converged but residual %.3g exceeds %.3g", att.Residual, math.Sqrt(opt.Tol))
 		return nil, att, false
@@ -268,10 +446,11 @@ func (c *Chain) steadyIterative(qt *sparse.CSR, opt SteadyStateOptions) ([]float
 	for i := range pi {
 		pi[i] = 1 / float64(n)
 	}
-	diag := make([]float64, n)
-	for i := 0; i < n; i++ {
-		diag[i] = qt.At(i, i)
-		if diag[i] == 0 {
+	// One linear pass over the CSR entries instead of a per-row binary
+	// search: the diagonal is dense in any irreducible generator.
+	diag := qt.Diag()
+	for i, d := range diag {
+		if d == 0 {
 			// Absorbing state: the chain is not irreducible; Gauss–Seidel
 			// in this form cannot proceed.
 			att.Err = fmt.Sprintf("zero diagonal at state %d (absorbing state; chain not irreducible)", i)
@@ -304,7 +483,7 @@ func (c *Chain) steadyIterative(qt *sparse.CSR, opt SteadyStateOptions) ([]float
 		}
 		if delta < opt.Tol {
 			// Verify the residual ||piQ||_inf before accepting.
-			att.Residual = linalg.NormInf(c.Q.VecMul(pi))
+			att.Residual = c.residualNormInf(pi, opt.Workers)
 			if att.Residual < math.Sqrt(opt.Tol) {
 				return pi, att, true
 			}
@@ -312,7 +491,7 @@ func (c *Chain) steadyIterative(qt *sparse.CSR, opt SteadyStateOptions) ([]float
 			return nil, att, false
 		}
 	}
-	att.Residual = linalg.NormInf(c.Q.VecMul(pi))
+	att.Residual = c.residualNormInf(pi, opt.Workers)
 	att.Err = fmt.Sprintf("did not converge within %d sweeps", opt.MaxIter)
 	return nil, att, false
 }
@@ -374,15 +553,25 @@ func (c *Chain) Transient(p0 []float64, t, eps float64) ([]float64, error) {
 		out := append([]float64(nil), p0...)
 		return out, nil
 	}
-	// Uniformized DTMC P = I + Q/q as CSR.
-	p := c.uniformized(q)
-	w, err := poisson.Compute(q*t, eps)
+	// Uniformized DTMC P = I + Q/q as CSR, memoized per chain so a series
+	// of transient solves (a CDF grid) assembles and sorts it exactly once.
+	p := c.uniformizedCached(q)
+	w, err := c.poissonCached(q*t, eps)
 	if err != nil {
 		return nil, err
+	}
+	workers := c.Workers
+	var pt *sparse.CSR
+	if workers > 1 {
+		// The power loop needs xᵀ·P, whose scatter writes defeat row
+		// partitioning; the cached transpose turns each output entry into
+		// an independent dot product (bit-identical, disjoint writes).
+		pt = c.uniformizedTransposeCached(q)
 	}
 	c.Obs.Inc("ctmc_transient_solves_total")
 	c.Obs.Add("ctmc_uniformization_terms_total", float64(w.Right+1))
 	c.Obs.Set("ctmc_uniformization_truncation_depth", float64(w.Right))
+	c.Obs.Set("ctmc_solve_workers", math.Max(1, float64(workers)))
 	cur := append([]float64(nil), p0...)
 	acc := make([]float64, c.N)
 	next := make([]float64, c.N)
@@ -393,7 +582,11 @@ func (c *Chain) Transient(p0 []float64, t, eps float64) ([]float64, error) {
 		if k == w.Right {
 			break
 		}
-		p.VecMulTo(next, cur)
+		if pt != nil {
+			sparse.VecMulToParallelT(pt, next, cur, workers)
+		} else {
+			p.VecMulTo(next, cur)
+		}
 		cur, next = next, cur
 	}
 	// Renormalize the truncation slack.
@@ -435,7 +628,7 @@ func (c *Chain) TransientSeries(p0 []float64, times []float64, eps float64) ([][
 }
 
 func (c *Chain) uniformized(q float64) *sparse.CSR {
-	coo := sparse.NewCOO(c.N, c.N)
+	coo := sparse.NewCOO(c.N, c.N, c.Q.NNZ()+c.N)
 	for i := 0; i < c.N; i++ {
 		var offDiag float64
 		c.Q.Row(i, func(j int, v float64) {
@@ -497,36 +690,22 @@ type PassageCDF struct {
 
 // FirstPassageCDF evaluates P(T_target <= t) on the given ascending time
 // grid. Target states are transformed to absorbing states; if p0 already
-// places mass on a target, that mass counts as passed at t=0.
+// places mass on a target, that mass counts as passed at t=0. A generator
+// with a negative off-diagonal rate is rejected with an error (it would
+// silently lose probability mass in the absorbing transform).
 func (c *Chain) FirstPassageCDF(p0 []float64, targets []int, times []float64, eps float64) (*PassageCDF, error) {
 	if len(targets) == 0 {
 		return nil, fmt.Errorf("ctmc: empty passage target set")
 	}
-	isTarget := make([]bool, c.N)
 	for _, s := range targets {
 		if s < 0 || s >= c.N {
 			return nil, fmt.Errorf("ctmc: target state %d out of range", s)
 		}
-		isTarget[s] = true
 	}
-	// Build the absorbing chain Q~: zero out rows of target states.
-	coo := sparse.NewCOO(c.N, c.N)
-	exit := make([]float64, c.N)
-	for i := 0; i < c.N; i++ {
-		if isTarget[i] {
-			continue
-		}
-		var rowExit float64
-		c.Q.Row(i, func(j int, v float64) {
-			if j != i && v > 0 {
-				coo.Add(i, j, v)
-				rowExit += v
-			}
-		})
-		coo.Add(i, i, -rowExit)
-		exit[i] = rowExit
+	abs, isTarget, err := c.absorbingChain(targets)
+	if err != nil {
+		return nil, err
 	}
-	abs := &Chain{N: c.N, Q: coo.ToCSR(), ExitRate: exit, ActionRate: map[string][]float64{}, Obs: c.Obs}
 	cdf := &PassageCDF{Times: append([]float64(nil), times...), Probs: make([]float64, len(times))}
 	series, err := abs.TransientSeries(p0, times, eps)
 	if err != nil {
@@ -544,6 +723,81 @@ func (c *Chain) FirstPassageCDF(p0 []float64, targets []int, times []float64, ep
 		cdf.Probs[i] = sparseutil.Clamp01(mass)
 	}
 	return cdf, nil
+}
+
+// absorbingChain builds (or returns the memoized) absorbing-transformed
+// chain Q~ for the target set: target rows are zeroed so their mass can
+// only accumulate. Conformance checks and CLI sweeps evaluate the same
+// passage repeatedly, so the last target set's chain — including its own
+// solve cache of P, Pᵀ, and weight tables — is kept on the parent cache.
+func (c *Chain) absorbingChain(targets []int) (*Chain, []bool, error) {
+	key := passageKey(targets)
+	if !c.noSolveCache {
+		c.mu.Lock()
+		sc := c.cacheLocked()
+		// Workers and Obs are baked into the memoized chain at build time
+		// and never mutated afterwards (a published chain may be in use by
+		// another goroutine), so a settings change is a cache miss.
+		if sc.passageChain != nil && sc.passageKey == key &&
+			sc.passageChain.Workers == c.Workers && sc.passageChain.Obs == c.Obs {
+			abs, isTarget := sc.passageChain, sc.passageTargets
+			c.mu.Unlock()
+			c.Obs.Inc("ctmc_passage_cache_total", obs.L("outcome", "hit"))
+			return abs, isTarget, nil
+		}
+		c.mu.Unlock()
+		c.Obs.Inc("ctmc_passage_cache_total", obs.L("outcome", "miss"))
+	}
+	isTarget := make([]bool, c.N)
+	for _, s := range targets {
+		isTarget[s] = true
+	}
+	coo := sparse.NewCOO(c.N, c.N, c.Q.NNZ())
+	exit := make([]float64, c.N)
+	var malformed error
+	for i := 0; i < c.N; i++ {
+		if isTarget[i] {
+			continue
+		}
+		var rowExit float64
+		i := i
+		c.Q.Row(i, func(j int, v float64) {
+			if j == i || malformed != nil {
+				return
+			}
+			if v < 0 {
+				malformed = fmt.Errorf("ctmc: malformed generator: negative off-diagonal rate %g at (%d,%d)", v, i, j)
+				return
+			}
+			coo.Add(i, j, v)
+			rowExit += v
+		})
+		if malformed != nil {
+			return nil, nil, malformed
+		}
+		coo.Add(i, i, -rowExit)
+		exit[i] = rowExit
+	}
+	abs := &Chain{N: c.N, Q: coo.ToCSR(), ExitRate: exit, ActionRate: map[string][]float64{},
+		Obs: c.Obs, Workers: c.Workers, noSolveCache: c.noSolveCache}
+	if !c.noSolveCache {
+		c.mu.Lock()
+		sc := c.cacheLocked()
+		sc.passageKey, sc.passageChain, sc.passageTargets = key, abs, isTarget
+		c.mu.Unlock()
+	}
+	return abs, isTarget, nil
+}
+
+// passageKey fingerprints a target set order-insensitively.
+func passageKey(targets []int) string {
+	sorted := append([]int(nil), targets...)
+	sort.Ints(sorted)
+	var b strings.Builder
+	for _, s := range sorted {
+		fmt.Fprintf(&b, "%d,", s)
+	}
+	return b.String()
 }
 
 // Quantile returns the earliest grid time at which the CDF reaches p, or

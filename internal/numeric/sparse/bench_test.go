@@ -1,0 +1,74 @@
+package sparse
+
+// Tier-1 kernel benchmarks gated by `make bench-compare`: BenchmarkToCSR
+// guards the O(nnz) assembly path and BenchmarkVecMulParallel the
+// transpose-backed left-multiply that the uniformization loop runs on.
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// benchCOO builds a COO with nnz entries spread over an n×n band matrix,
+// with ~10% duplicate coordinates so the dedup-sum path is exercised.
+func benchCOO(n, nnz int) *COO {
+	c := NewCOO(n, n, nnz)
+	for e := 0; e < nnz; e++ {
+		i := (e * 2654435761) % n
+		j := (i + e%17) % n
+		c.Add(i, j, float64(e%9)+0.5)
+		if e%10 == 0 {
+			c.Add(i, j, 0.25)
+		}
+	}
+	return c
+}
+
+func BenchmarkToCSR(b *testing.B) {
+	c := benchCOO(20000, 200000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := c.ToCSR()
+		if m.NNZ() == 0 {
+			b.Fatal("empty CSR")
+		}
+	}
+}
+
+func BenchmarkVecMulParallel(b *testing.B) {
+	n := 200000
+	c := NewCOO(n, n, 3*n)
+	for i := 0; i < n; i++ {
+		c.Add(i, i, 4)
+		if i > 0 {
+			c.Add(i, i-1, -1)
+		}
+		if i < n-1 {
+			c.Add(i, i+1, -1)
+		}
+	}
+	m := c.ToCSR()
+	mt := m.Transpose()
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = math.Abs(math.Sin(float64(i)))
+	}
+	b.Run("scatter-sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m.VecMulTo(y, x)
+		}
+	})
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		// "=" keeps the worker count out of benchcmp's GOMAXPROCS-suffix
+		// normalization (which strips a trailing -N).
+		b.Run(fmt.Sprintf("transpose-workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				VecMulToParallelT(mt, y, x, workers)
+			}
+		})
+	}
+}

@@ -29,12 +29,18 @@ type COO struct {
 	entries    []Triplet
 }
 
-// NewCOO creates an empty rows×cols accumulator.
-func NewCOO(rows, cols int) *COO {
+// NewCOO creates an empty rows×cols accumulator. An optional capacity hint
+// pre-sizes the triplet slice so builders that know their entry count up
+// front (generator assembly, uniformization) avoid re-growing it.
+func NewCOO(rows, cols int, capacityHint ...int) *COO {
 	if rows < 0 || cols < 0 {
 		panic(fmt.Sprintf("sparse: negative dimension %dx%d", rows, cols))
 	}
-	return &COO{Rows: rows, Cols: cols}
+	c := &COO{Rows: rows, Cols: cols}
+	if len(capacityHint) > 0 && capacityHint[0] > 0 {
+		c.entries = make([]Triplet, 0, capacityHint[0])
+	}
+	return c
 }
 
 // Add accumulates v at (i, j). Zero values are kept (they may cancel later).
@@ -50,27 +56,51 @@ func (c *COO) NNZ() int { return len(c.entries) }
 
 // ToCSR converts the accumulator to CSR, summing duplicates and dropping
 // exact-zero results.
+//
+// Instead of a global O(nnz log nnz) comparison sort, entries are bucketed
+// with a stable two-pass counting sort by row (O(nnz + rows)) and only each
+// row's handful of entries is comparison-sorted by column. The resulting
+// permutation — and therefore every duplicate-summation order and output
+// bit — is identical to a global stable sort by (row, col).
 func (c *COO) ToCSR() *CSR {
-	ents := make([]Triplet, len(c.entries))
-	copy(ents, c.entries)
-	sort.SliceStable(ents, func(a, b int) bool {
-		if ents[a].Row != ents[b].Row {
-			return ents[a].Row < ents[b].Row
-		}
-		return ents[a].Col < ents[b].Col
-	})
-	m := &CSR{Rows: c.Rows, Cols: c.Cols, RowPtr: make([]int, c.Rows+1)}
-	for k := 0; k < len(ents); {
-		i, j := ents[k].Row, ents[k].Col
-		var v float64
-		for k < len(ents) && ents[k].Row == i && ents[k].Col == j {
-			v += ents[k].Val
-			k++
-		}
-		if v != 0 {
-			m.ColIdx = append(m.ColIdx, j)
-			m.Val = append(m.Val, v)
-			m.RowPtr[i+1]++
+	nnz := len(c.entries)
+	// Pass 1: count entries per row; prefix-sum into segment starts.
+	start := make([]int, c.Rows+1)
+	for i := range c.entries {
+		start[c.entries[i].Row+1]++
+	}
+	for i := 0; i < c.Rows; i++ {
+		start[i+1] += start[i]
+	}
+	// Pass 2: scatter into row segments, preserving insertion order.
+	ents := make([]Triplet, nnz)
+	next := make([]int, c.Rows)
+	copy(next, start[:c.Rows])
+	for _, e := range c.entries {
+		ents[next[e.Row]] = e
+		next[e.Row]++
+	}
+	m := &CSR{
+		Rows: c.Rows, Cols: c.Cols,
+		RowPtr: make([]int, c.Rows+1),
+		ColIdx: make([]int, 0, nnz),
+		Val:    make([]float64, 0, nnz),
+	}
+	for i := 0; i < c.Rows; i++ {
+		seg := ents[start[i]:start[i+1]]
+		sort.SliceStable(seg, func(a, b int) bool { return seg[a].Col < seg[b].Col })
+		for k := 0; k < len(seg); {
+			j := seg[k].Col
+			var v float64
+			for k < len(seg) && seg[k].Col == j {
+				v += seg[k].Val
+				k++
+			}
+			if v != 0 {
+				m.ColIdx = append(m.ColIdx, j)
+				m.Val = append(m.Val, v)
+				m.RowPtr[i+1]++
+			}
 		}
 	}
 	for i := 0; i < c.Rows; i++ {
@@ -128,6 +158,32 @@ func (m *CSR) MulVecTo(y, x []float64) {
 	}
 }
 
+// parallelNNZThreshold is the nonzero count below which the parallel
+// kernels fall back to their sequential twins: under ~50k entries the
+// goroutine dispatch cost dominates the product itself.
+const parallelNNZThreshold = 50_000
+
+// nnzBalancedBounds partitions rows [0, rows) into `workers` contiguous
+// blocks of roughly equal nonzero count, returning workers+1 ascending
+// boundaries. A single dense row whose entry count exceeds the per-worker
+// quota swallows several quotas at once, which legitimately yields
+// consecutive equal boundaries (empty blocks); callers must skip those.
+func nnzBalancedBounds(rowPtr []int, rows, workers int) []int {
+	bounds := make([]int, workers+1)
+	bounds[workers] = rows
+	target := rowPtr[rows] / workers
+	prev := 0
+	for w := 1; w < workers; w++ {
+		quota := w * target
+		// First row at or past the quota, searched from the previous
+		// boundary so the bounds are non-decreasing by construction.
+		row := prev + sort.SearchInts(rowPtr[prev:rows], quota)
+		bounds[w] = row
+		prev = row
+	}
+	return bounds
+}
+
 // MulVecToParallel computes y = A·x on up to `workers` goroutines
 // (workers <= 0 means GOMAXPROCS), partitioning rows into contiguous
 // blocks balanced by nonzero count. Each worker writes a disjoint slice of
@@ -139,25 +195,11 @@ func (m *CSR) MulVecToParallel(y, x []float64, workers int) {
 	if workers > m.Rows {
 		workers = m.Rows
 	}
-	// Parallelism only pays past ~50k nonzeros; below that, dispatch cost
-	// dominates.
-	if workers <= 1 || m.NNZ() < 50_000 {
+	if workers <= 1 || m.NNZ() < parallelNNZThreshold {
 		m.MulVecTo(y, x)
 		return
 	}
-	// Balance by nonzeros: choose row boundaries so each block holds about
-	// NNZ/workers entries.
-	bounds := make([]int, workers+1)
-	bounds[workers] = m.Rows
-	target := m.NNZ() / workers
-	row := 0
-	for w := 1; w < workers; w++ {
-		quota := w * target
-		for row < m.Rows && m.RowPtr[row] < quota {
-			row++
-		}
-		bounds[w] = row
-	}
+	bounds := nnzBalancedBounds(m.RowPtr, m.Rows, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo, hi := bounds[w], bounds[w+1]
@@ -205,6 +247,56 @@ func (m *CSR) VecMulTo(y, x []float64) {
 	}
 }
 
+// VecMulToParallelT computes y = xᵀ·A into y given t = Aᵀ (precomputed by
+// the caller, typically cached), on up to `workers` goroutines (<= 0 means
+// GOMAXPROCS). Each y[j] is one sequential dot product over row j of t.
+// Row j of t stores exactly the column-j entries of A in ascending row
+// order, and zero x terms are skipped, so every y[j] accumulates the same
+// nonzero terms in the same order as the sequential scatter VecMulTo —
+// the result is bit-identical for any worker count. Unlike VecMulTo, the
+// writes are disjoint per worker, which is what makes the left-multiply
+// parallelizable at all.
+func VecMulToParallelT(t *CSR, y, x []float64, workers int) {
+	if len(x) != t.Cols || len(y) != t.Rows {
+		panic(fmt.Sprintf("sparse: VecMulToParallelT dimension mismatch (%d,%d) vs %dx%d", len(y), len(x), t.Rows, t.Cols))
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > t.Rows {
+		workers = t.Rows
+	}
+	dotRows := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var s float64
+			for k := t.RowPtr[i]; k < t.RowPtr[i+1]; k++ {
+				if xv := x[t.ColIdx[k]]; xv != 0 {
+					s += xv * t.Val[k]
+				}
+			}
+			y[i] = s
+		}
+	}
+	if workers <= 1 || t.NNZ() < parallelNNZThreshold {
+		dotRows(0, t.Rows)
+		return
+	}
+	bounds := nnzBalancedBounds(t.RowPtr, t.Rows, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := bounds[w], bounds[w+1]
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			dotRows(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
 // Transpose returns Aᵀ as a new CSR matrix.
 func (m *CSR) Transpose() *CSR {
 	t := &CSR{Rows: m.Cols, Cols: m.Rows, RowPtr: make([]int, m.Cols+1)}
@@ -244,7 +336,10 @@ func (m *CSR) ToDense() [][]float64 {
 	return d
 }
 
-// Diag returns the diagonal entries of the matrix as a vector.
+// Diag returns the diagonal entries of the matrix as a vector. One linear
+// pass over the stored entries (columns within a row are ascending, so the
+// scan of each row stops at the first column past the diagonal) — O(nnz)
+// total rather than a per-row binary search.
 func (m *CSR) Diag() []float64 {
 	n := m.Rows
 	if m.Cols < n {
@@ -252,7 +347,14 @@ func (m *CSR) Diag() []float64 {
 	}
 	d := make([]float64, n)
 	for i := 0; i < n; i++ {
-		d[i] = m.At(i, i)
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			if j := m.ColIdx[k]; j >= i {
+				if j == i {
+					d[i] = m.Val[k]
+				}
+				break
+			}
+		}
 	}
 	return d
 }
@@ -261,6 +363,15 @@ func (m *CSR) Diag() []float64 {
 type IterOptions struct {
 	MaxIter int     // maximum sweeps (default 10000)
 	Tol     float64 // infinity-norm convergence tolerance (default 1e-12)
+	// Workers parallelizes the per-iteration vector-matrix product in
+	// PowerIteration (<= 1 means sequential). Results are bit-identical
+	// for any value; Gauss–Seidel and Jacobi sweeps are inherently
+	// sequential and ignore it.
+	Workers int
+	// Transposed optionally supplies the precomputed transpose of the
+	// iteration matrix for the parallel PowerIteration product. When nil
+	// and Workers > 1 the transpose is built once at solve start.
+	Transposed *CSR
 }
 
 func (o IterOptions) withDefaults() IterOptions {
@@ -287,13 +398,11 @@ func GaussSeidel(a *CSR, x, b []float64, opt IterOptions) (IterResult, error) {
 	if a.Rows != a.Cols || len(x) != a.Rows || len(b) != a.Rows {
 		return IterResult{}, fmt.Errorf("sparse: GaussSeidel dimension mismatch")
 	}
-	diag := make([]float64, a.Rows)
-	for i := 0; i < a.Rows; i++ {
-		d := a.At(i, i)
+	diag := a.Diag()
+	for i, d := range diag {
 		if d == 0 {
 			return IterResult{}, fmt.Errorf("sparse: GaussSeidel zero diagonal at row %d", i)
 		}
-		diag[i] = d
 	}
 	var res IterResult
 	for it := 0; it < opt.MaxIter; it++ {
@@ -329,13 +438,11 @@ func Jacobi(a *CSR, x, b []float64, opt IterOptions) (IterResult, error) {
 	if a.Rows != a.Cols || len(x) != a.Rows || len(b) != a.Rows {
 		return IterResult{}, fmt.Errorf("sparse: Jacobi dimension mismatch")
 	}
-	diag := make([]float64, a.Rows)
-	for i := 0; i < a.Rows; i++ {
-		d := a.At(i, i)
+	diag := a.Diag()
+	for i, d := range diag {
 		if d == 0 {
 			return IterResult{}, fmt.Errorf("sparse: Jacobi zero diagonal at row %d", i)
 		}
-		diag[i] = d
 	}
 	next := make([]float64, a.Rows)
 	var res IterResult
@@ -378,10 +485,18 @@ func PowerIteration(p *CSR, opt IterOptions) ([]float64, IterResult, error) {
 	for i := range x {
 		x[i] = 1 / float64(n)
 	}
+	pt := opt.Transposed
+	if opt.Workers > 1 && pt == nil {
+		pt = p.Transpose()
+	}
 	y := make([]float64, n)
 	var res IterResult
 	for it := 0; it < opt.MaxIter; it++ {
-		p.VecMulTo(y, x)
+		if opt.Workers > 1 {
+			VecMulToParallelT(pt, y, x, opt.Workers)
+		} else {
+			p.VecMulTo(y, x)
+		}
 		var sum float64
 		for _, v := range y {
 			sum += v

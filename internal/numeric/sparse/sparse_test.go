@@ -2,6 +2,7 @@ package sparse
 
 import (
 	"math"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -245,6 +246,255 @@ func TestMulVecToParallelSmallMatrixFallsBack(t *testing.T) {
 	for i := range want {
 		if y[i] != want[i] {
 			t.Errorf("fallback mismatch at %d", i)
+		}
+	}
+}
+
+// referenceToCSR is the pre-optimization O(nnz log nnz) conversion: one
+// global stable sort by (row, col) followed by duplicate summation in
+// insertion order. ToCSR must stay bit-identical to it.
+func referenceToCSR(c *COO) *CSR {
+	ents := make([]Triplet, len(c.entries))
+	copy(ents, c.entries)
+	sort.SliceStable(ents, func(a, b int) bool {
+		if ents[a].Row != ents[b].Row {
+			return ents[a].Row < ents[b].Row
+		}
+		return ents[a].Col < ents[b].Col
+	})
+	m := &CSR{Rows: c.Rows, Cols: c.Cols, RowPtr: make([]int, c.Rows+1)}
+	for k := 0; k < len(ents); {
+		i, j := ents[k].Row, ents[k].Col
+		var v float64
+		for k < len(ents) && ents[k].Row == i && ents[k].Col == j {
+			v += ents[k].Val
+			k++
+		}
+		if v != 0 {
+			m.ColIdx = append(m.ColIdx, j)
+			m.Val = append(m.Val, v)
+			m.RowPtr[i+1]++
+		}
+	}
+	for i := 0; i < c.Rows; i++ {
+		m.RowPtr[i+1] += m.RowPtr[i]
+	}
+	return m
+}
+
+func csrEqual(a, b *CSR) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols || a.NNZ() != b.NNZ() {
+		return false
+	}
+	for i := range a.RowPtr {
+		if a.RowPtr[i] != b.RowPtr[i] {
+			return false
+		}
+	}
+	for k := range a.Val {
+		if a.ColIdx[k] != b.ColIdx[k] || a.Val[k] != b.Val[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestToCSRMatchesStableSortReference(t *testing.T) {
+	f := func(seed int64) bool {
+		s := uint64(seed)
+		next := func() float64 {
+			s = s*6364136223846793005 + 1442695040888963407
+			return float64(s>>11) / (1 << 53)
+		}
+		rows, cols := 1+int(next()*20), 1+int(next()*20)
+		c := NewCOO(rows, cols)
+		n := int(next() * 200)
+		for e := 0; e < n; e++ {
+			i, j := int(next()*float64(rows)), int(next()*float64(cols))
+			// Duplicates (likely at this density) and exact cancellations
+			// both exercise the dedup-sum path; values with many mantissa
+			// bits make any reordering of the summation visible.
+			v := next()*4 - 2
+			if next() < 0.1 {
+				v = 0
+			}
+			c.Add(i, j, v)
+			if next() < 0.2 {
+				c.Add(i, j, -v) // cancels only if summed adjacently
+			}
+		}
+		return csrEqual(c.ToCSR(), referenceToCSR(c))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewCOOCapacityHint(t *testing.T) {
+	c := NewCOO(4, 4, 16)
+	if cap(c.entries) != 16 {
+		t.Errorf("capacity hint ignored: cap = %d, want 16", cap(c.entries))
+	}
+	c.Add(1, 2, 3)
+	if got := c.ToCSR().At(1, 2); got != 3 {
+		t.Errorf("At(1,2) = %g, want 3", got)
+	}
+	// A non-positive hint must not panic or allocate.
+	if c2 := NewCOO(2, 2, 0); c2.entries != nil {
+		t.Error("zero hint allocated entries")
+	}
+}
+
+func TestDiagSkipsMissingDiagonal(t *testing.T) {
+	// Row 0 has entries only off the diagonal; row 1 is empty; row 2 has a
+	// diagonal entry after an off-diagonal one.
+	c := NewCOO(3, 3)
+	c.Add(0, 1, 5)
+	c.Add(0, 2, 6)
+	c.Add(2, 0, -1)
+	c.Add(2, 2, 9)
+	d := c.ToCSR().Diag()
+	if d[0] != 0 || d[1] != 0 || d[2] != 9 {
+		t.Errorf("Diag = %v, want [0 0 9]", d)
+	}
+}
+
+// singleDenseRowCSR builds a matrix above the parallel threshold whose
+// first row alone exceeds every per-worker nonzero quota, so the balanced
+// partition produces consecutive equal boundaries (empty worker blocks).
+func singleDenseRowCSR(n int) *CSR {
+	c := NewCOO(n, n, 2*n)
+	for j := 0; j < n; j++ {
+		c.Add(0, j, math.Sin(float64(j))+2)
+	}
+	for i := 1; i < n; i++ {
+		c.Add(i, i, float64(i%5)+1)
+	}
+	return c.ToCSR()
+}
+
+func TestMulVecToParallelSingleDenseRow(t *testing.T) {
+	n := 60000 // ~120k nonzeros, 60k of them in row 0
+	m := singleDenseRowCSR(n)
+	if m.NNZ() < parallelNNZThreshold {
+		t.Fatalf("test matrix below parallel threshold: nnz=%d", m.NNZ())
+	}
+	for _, workers := range []int{4, 8} {
+		bounds := nnzBalancedBounds(m.RowPtr, m.Rows, workers)
+		equal := false
+		for w := 1; w < len(bounds); w++ {
+			if bounds[w] < bounds[w-1] {
+				t.Fatalf("workers=%d: bounds not monotone: %v", workers, bounds)
+			}
+			if bounds[w] == bounds[w-1] {
+				equal = true
+			}
+		}
+		if !equal {
+			t.Fatalf("workers=%d: dense row did not produce equal bounds %v; test is not exercising the regression", workers, bounds)
+		}
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Cos(float64(i))
+	}
+	seq := make([]float64, n)
+	m.MulVecTo(seq, x)
+	for _, workers := range []int{2, 4, 8, 64} {
+		got := make([]float64, n)
+		m.MulVecToParallel(got, x, workers)
+		for i := range seq {
+			if got[i] != seq[i] {
+				t.Fatalf("workers=%d: mismatch at row %d: %g vs %g", workers, i, got[i], seq[i])
+			}
+		}
+	}
+}
+
+func TestVecMulToParallelTMatchesVecMulTo(t *testing.T) {
+	// Above-threshold tridiagonal with mixed signs and zeros in x: the
+	// transpose-backed dot must reproduce the scatter kernel bit for bit.
+	n := 60000
+	c := NewCOO(n, n, 3*n)
+	for i := 0; i < n; i++ {
+		c.Add(i, i, 4)
+		if i > 0 {
+			c.Add(i, i-1, -1)
+		}
+		if i < n-1 {
+			c.Add(i, i+1, -1)
+		}
+	}
+	m := c.ToCSR()
+	mt := m.Transpose()
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(float64(i)) - 0.5
+		if i%17 == 0 {
+			x[i] = 0 // the scatter kernel skips zero terms; the dot must too
+		}
+	}
+	want := make([]float64, n)
+	m.VecMulTo(want, x)
+	for _, workers := range []int{0, 1, 2, 5, 16} {
+		got := make([]float64, n)
+		VecMulToParallelT(mt, got, x, workers)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: mismatch at col %d: %g vs %g", workers, i, got[i], want[i])
+			}
+		}
+	}
+	// The pathological dense-row shape, through the left-multiply path.
+	d := singleDenseRowCSR(n)
+	dt := d.Transpose()
+	d.VecMulTo(want, x)
+	got := make([]float64, n)
+	VecMulToParallelT(dt, got, x, 8)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dense row: mismatch at col %d: %g vs %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPowerIterationWorkersBitIdentical(t *testing.T) {
+	// A lazy random walk on a cycle, large enough to cross the parallel
+	// threshold so Workers > 1 actually takes the transpose-backed path.
+	n := 30000
+	c := NewCOO(n, n, 3*n)
+	for i := 0; i < n; i++ {
+		c.Add(i, i, 0.5)
+		c.Add(i, (i+1)%n, 0.3)
+		c.Add(i, (i+n-1)%n, 0.2)
+	}
+	p := c.ToCSR()
+	seq, resSeq, err := PowerIteration(p, IterOptions{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4} {
+		par, resPar, err := PowerIteration(p, IterOptions{Tol: 1e-10, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resPar.Iterations != resSeq.Iterations {
+			t.Fatalf("workers=%d: iteration count diverged: %d vs %d", workers, resPar.Iterations, resSeq.Iterations)
+		}
+		for i := range seq {
+			if par[i] != seq[i] {
+				t.Fatalf("workers=%d: mismatch at state %d: %g vs %g", workers, i, par[i], seq[i])
+			}
+		}
+	}
+	// Supplying the transpose up front must change nothing.
+	pre, _, err := PowerIteration(p, IterOptions{Tol: 1e-10, Workers: 4, Transposed: p.Transpose()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if pre[i] != seq[i] {
+			t.Fatalf("precomputed transpose: mismatch at state %d", i)
 		}
 	}
 }

@@ -86,6 +86,10 @@ type Study struct {
 	// Obs, when non-nil, is attached to every CTMC the study solves, so
 	// passage-time runs report solver iterations and truncation depths.
 	Obs *obs.Registry
+	// Workers bounds the goroutines each CTMC solve may use for its matrix
+	// kernels (0 or 1 means sequential). Results are bit-identical for any
+	// value; see docs/PERFORMANCE.md.
+	Workers int
 }
 
 // NewStudy constructs the study with the deterministic synthetic ETC and
@@ -230,6 +234,7 @@ func (s *Study) FinishingCDF(mapping string, j int, times []float64) (*ctmc.Pass
 	}
 	chain := ctmc.FromStateSpace(ss)
 	chain.Obs = s.Obs
+	chain.Workers = s.Workers
 	return chain.FirstPassageCDF(chain.PointMass(0), targets, times, 1e-10)
 }
 

@@ -287,3 +287,31 @@ func grid(t0, t1 float64, n int) []float64 {
 	}
 	return ts
 }
+
+func TestFinishingCDFWorkersBitIdentical(t *testing.T) {
+	// The Table I machine models are the study's hot solves; Workers must
+	// never change an output bit (the parallel kernel preserves the exact
+	// floating-point summation order).
+	times := grid(0, 120, 40)
+	for _, mapping := range []string{MappingA, MappingB} {
+		seq := NewStudy()
+		par4 := NewStudy()
+		par4.Workers = 4
+		for j := 0; j < NumMachines; j++ {
+			a, err := seq.FinishingCDF(mapping, j, times)
+			if err != nil {
+				t.Fatalf("mapping %s machine %d: %v", mapping, j+1, err)
+			}
+			b, err := par4.FinishingCDF(mapping, j, times)
+			if err != nil {
+				t.Fatalf("mapping %s machine %d (workers=4): %v", mapping, j+1, err)
+			}
+			for i := range a.Probs {
+				if a.Probs[i] != b.Probs[i] {
+					t.Fatalf("mapping %s machine %d t=%g: sequential %v != workers-4 %v",
+						mapping, j+1, times[i], a.Probs[i], b.Probs[i])
+				}
+			}
+		}
+	}
+}
