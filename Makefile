@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-snapshot bench-compare bench-baseline repro chaos conformance conformance-deep fuzz fuzz-smoke goldens clean
+.PHONY: all build vet test race bench bench-snapshot bench-compare bench-baseline repro chaos chaos-cancel conformance conformance-deep fuzz fuzz-smoke goldens clean
 
 # Solve-path benchmarks watched by the regression gate (docs/PERFORMANCE.md).
 BENCH_GATED = ^(BenchmarkTransientSeries|BenchmarkTransientWorkers|BenchmarkFirstPassageCDF|BenchmarkToCSR|BenchmarkVecMulParallel)$$
@@ -55,6 +55,15 @@ chaos:
 	$(GO) test -count=1 -run 'TestChaos|TestBreaker|TestClassify|TestValidationMatrix|TestPushAllPartial|TestFormatMatrixPartial' ./internal/hub ./internal/core ./cmd/repro
 	$(GO) test -count=1 ./internal/faultinject
 	$(GO) run ./cmd/repro -only chaos -chaos-seed 42
+
+# Cancellation/checkpoint chaos lane (docs/RESILIENCE.md): interrupt
+# studies and ensembles mid-flight, resume them from their checkpoints,
+# and drain the hub under slow in-flight requests — all under -race.
+chaos-cancel:
+	$(GO) test -race -count=1 \
+		-run 'TestStudy|TestEnsemble|TestMeanOfSim|TestShutdown|TestSave|TestLoad' \
+		./internal/robustness ./internal/pepa/sim ./internal/gpepa ./internal/hub
+	$(GO) test -race -count=1 ./internal/par ./internal/checkpoint ./internal/fsatomic ./internal/sigctx ./internal/runctx
 
 # Cross-solver conformance sweep (see docs/TESTING.md). The default slice
 # matches CI; the deep sweep widens the model window and runs the slow

@@ -13,6 +13,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -21,6 +22,8 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+
+	"repro/internal/sigctx"
 )
 
 // Baseline is the persisted benchmark snapshot (BENCH_baseline.json).
@@ -139,6 +142,11 @@ func run() error {
 	note := flag.String("note", "", "note stored in the baseline with -update")
 	flag.Parse()
 
+	// SIGINT or SIGTERM while parsing stdin cancels before any file is
+	// written; a second signal force-aborts.
+	ctx, stop := sigctx.WithSignals(context.Background())
+	defer stop()
+
 	gate, err := regexp.Compile(*gateExpr)
 	if err != nil {
 		return fmt.Errorf("benchcmp: bad -gate: %v", err)
@@ -146,6 +154,9 @@ func run() error {
 	current, err := parseBench(os.Stdin)
 	if err != nil {
 		return err
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return fmt.Errorf("benchcmp: interrupted: %w", cerr)
 	}
 	if len(current) == 0 {
 		return fmt.Errorf("benchcmp: no benchmark lines on stdin (pipe `go test -bench` output in)")

@@ -9,12 +9,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"repro/internal/biopepa"
+	"repro/internal/sigctx"
 )
 
 func main() {
@@ -32,6 +34,7 @@ func run() error {
 	seed := fs.Uint64("seed", 1, "SSA random seed")
 	reps := fs.Int("reps", 1, "SSA replications (mean reported when > 1)")
 	sbmlOut := fs.String("sbml", "", "export the model as SBML to this file and exit")
+	timeout := fs.Duration("timeout", 0, "abort the analysis after this long (0 = no deadline); SIGINT/SIGTERM also cancel, a second signal force-aborts")
 
 	args := os.Args[1:]
 	if len(args) == 0 {
@@ -40,6 +43,13 @@ func run() error {
 	path := args[0]
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
+	}
+	ctx, stop := sigctx.WithSignals(context.Background())
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 	src, err := os.ReadFile(path)
 	if err != nil {
@@ -74,7 +84,7 @@ func run() error {
 	}
 	switch *analysis {
 	case "ode":
-		res, err := m.SolveODE(*horizon, *n)
+		res, err := m.SolveODECtx(ctx, *horizon, *n)
 		if err != nil {
 			return err
 		}
@@ -90,9 +100,9 @@ func run() error {
 	case "ssa":
 		var res *biopepa.SSAResult
 		if *reps > 1 {
-			res, err = m.MeanSSA(*horizon, *n, *reps, *seed)
+			res, err = m.MeanSSACtx(ctx, *horizon, *n, *reps, *seed)
 		} else {
-			res, err = m.SimulateSSA(*horizon, *n, *seed)
+			res, err = m.SimulateSSACtx(ctx, *horizon, *n, *seed)
 		}
 		if err != nil {
 			return err
@@ -107,7 +117,7 @@ func run() error {
 			fmt.Println()
 		}
 	case "ctmc":
-		space, err := m.BuildCTMC(biopepa.CTMCOptions{})
+		space, err := m.BuildCTMCCtx(ctx, biopepa.CTMCOptions{})
 		if err != nil {
 			return err
 		}

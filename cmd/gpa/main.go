@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +19,7 @@ import (
 	"strings"
 
 	"repro/internal/gpepa"
+	"repro/internal/sigctx"
 )
 
 func main() {
@@ -38,6 +40,9 @@ func run() error {
 	sweepComponent := fs.String("sweep-component", "", "sweep: component name")
 	sweepCounts := fs.String("sweep-counts", "", "sweep: comma-separated populations")
 	sweepAction := fs.String("sweep-action", "", "sweep: action whose throughput is measured")
+	timeout := fs.Duration("timeout", 0, "abort the analysis after this long (0 = no deadline); SIGINT/SIGTERM also cancel, a second signal force-aborts")
+	ckPath := fs.String("checkpoint", "", "persist finished simulation replications to this file (crash-safe); with -resume, skip the ones already there")
+	resume := fs.Bool("resume", false, "reuse matching replications from -checkpoint instead of starting fresh")
 
 	args := os.Args[1:]
 	if len(args) == 0 {
@@ -46,6 +51,18 @@ func run() error {
 	path := args[0]
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
+	}
+	ctx, stop := sigctx.WithSignals(context.Background())
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if *ckPath != "" && !*resume {
+		if err := os.Remove(*ckPath); err != nil && !os.IsNotExist(err) {
+			return err
+		}
 	}
 	src, err := os.ReadFile(path)
 	if err != nil {
@@ -95,7 +112,7 @@ func run() error {
 	}
 	switch *analysis {
 	case "fluid":
-		res, err := sys.Solve(*horizon, *n, gpepa.SolveOptions{})
+		res, err := sys.SolveCtx(ctx, *horizon, *n, gpepa.SolveOptions{})
 		if err != nil {
 			return err
 		}
@@ -115,9 +132,9 @@ func run() error {
 	case "sim":
 		var res *gpepa.SimResult
 		if *reps > 1 {
-			res, err = sys.MeanOfSimulations(*horizon, *n, *reps, *seed)
+			res, err = sys.MeanOfSimulationsCtx(ctx, *horizon, *n, *reps, *seed, *ckPath)
 		} else {
-			res, err = sys.Simulate(*horizon, *n, *seed)
+			res, err = sys.SimulateCtx(ctx, *horizon, *n, *seed)
 		}
 		if err != nil {
 			return err

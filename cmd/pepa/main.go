@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +27,7 @@ import (
 	"repro/internal/pepa/derive"
 	"repro/internal/pepa/sim"
 	"repro/internal/query"
+	"repro/internal/sigctx"
 )
 
 func main() {
@@ -54,6 +56,9 @@ func run() error {
 	checkProps := fs.String("check", "", "evaluate ';'-separated CSL-style properties, e.g. 'S>=0.9[\"Proc\"]; T>=2[serve]'")
 	metricsOut := fs.String("metrics-out", "", "write a JSON solver-metrics snapshot to this file on exit")
 	workers := fs.Int("workers", 0, "goroutines for the solver's matrix kernels (0 or 1 sequential; results are bit-identical)")
+	timeout := fs.Duration("timeout", 0, "abort the analysis after this long (0 = no deadline); SIGINT/SIGTERM also cancel, a second signal force-aborts")
+	ckPath := fs.String("checkpoint", "", "persist finished simulation replications to this file (crash-safe); with -resume, skip the ones already there")
+	resume := fs.Bool("resume", false, "reuse matching replications from -checkpoint instead of starting fresh")
 
 	args := os.Args[1:]
 	if len(args) == 0 {
@@ -62,6 +67,18 @@ func run() error {
 	path := args[0]
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
+	}
+	ctx, stop := sigctx.WithSignals(context.Background())
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if *ckPath != "" && !*resume {
+		if err := os.Remove(*ckPath); err != nil && !os.IsNotExist(err) {
+			return err
+		}
 	}
 	// The registry stays nil (and free) unless a snapshot was requested.
 	// The snapshot is written on every exit path, including errors, so a
@@ -99,7 +116,7 @@ func run() error {
 	}
 	// Simulation and sweeps do not need (or want) the full state space.
 	if *simulate > 0 {
-		ens, err := sim.RunEnsemble(m, sim.Options{Horizon: *simulate, Seed: *simSeed, Obs: reg}, *simReps)
+		ens, err := sim.RunEnsembleCtx(ctx, m, sim.Options{Horizon: *simulate, Seed: *simSeed, Obs: reg, Checkpoint: *ckPath}, *simReps)
 		if err != nil {
 			return err
 		}
@@ -115,7 +132,7 @@ func run() error {
 		return runSweep(m, *sweep, *measure)
 	}
 	deriveSpan := reg.StartSpan("derive")
-	ss, err := derive.Explore(m, derive.Options{MaxStates: *maxStates, Aggregate: *aggregate})
+	ss, err := derive.ExploreCtx(ctx, m, derive.Options{MaxStates: *maxStates, Aggregate: *aggregate})
 	deriveSpan.End()
 	if err != nil {
 		return err
@@ -198,7 +215,7 @@ func run() error {
 			times[i] = *tmax * float64(i) / float64(*n)
 		}
 		cdfSpan := reg.StartSpan("passage_cdf")
-		cdf, err := chain.FirstPassageCDF(chain.PointMass(0), targets, times, 1e-10)
+		cdf, err := chain.FirstPassageCDFCtx(ctx, chain.PointMass(0), targets, times, 1e-10)
 		cdfSpan.End()
 		if err != nil {
 			return err
@@ -219,7 +236,7 @@ func run() error {
 			return nil
 		}
 		ssSpan := reg.StartSpan("steady_state")
-		pi, err := chain.SteadyState(ctmc.SteadyStateOptions{})
+		pi, err := chain.SteadyStateCtx(ctx, ctmc.SteadyStateOptions{})
 		ssSpan.End()
 		if err != nil {
 			return err

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +32,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/robustness"
 	"repro/internal/runtime"
+	"repro/internal/sigctx"
 )
 
 func main() {
@@ -43,7 +45,7 @@ func main() {
 type experiment struct {
 	name string
 	desc string
-	fn   func(*state) (string, error)
+	fn   func(context.Context, *state) (string, error)
 }
 
 // state carries artifacts shared between experiments (built images, hub).
@@ -58,7 +60,7 @@ type state struct {
 	obs     *obs.Registry // nil unless -metrics-out is set
 }
 
-func newState(reg *obs.Registry) (*state, error) {
+func newState(ctx context.Context, reg *obs.Registry) (*state, error) {
 	st := &state{fw: core.New(), study: robustness.NewStudy(), obs: reg}
 	st.fw.SetObs(reg)
 	st.study.Obs = reg
@@ -70,7 +72,7 @@ func newState(reg *obs.Registry) (*state, error) {
 	if err := st.builder.InstallSingularity(); err != nil {
 		return nil, err
 	}
-	st.builds, err = st.fw.BuildAll(st.builder)
+	st.builds, err = st.fw.BuildAllCtx(ctx, st.builder)
 	if err != nil {
 		return nil, err
 	}
@@ -110,24 +112,40 @@ func run() error {
 	chaosSeed := flag.Uint64("chaos-seed", 0, "run the Fig 6 hub experiment under a seeded fault plan (0 = off)")
 	metricsOut := flag.String("metrics-out", "", "write a JSON metrics+span snapshot to this file on exit")
 	workers := flag.Int("workers", 0, "goroutines per CTMC solve in the robustness study (0 or 1 sequential; results are bit-identical)")
+	timeout := flag.Duration("timeout", 0, "abort the run after this long (0 = no deadline); SIGINT/SIGTERM also cancel, a second signal force-aborts")
+	ckPath := flag.String("checkpoint", "", "persist finished robustness-study cells to this file (crash-safe); with -resume, skip the ones already there")
+	resume := flag.Bool("resume", false, "reuse matching study cells from -checkpoint instead of starting fresh")
 	flag.Parse()
 
+	ctx, stop := sigctx.WithSignals(context.Background())
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if *ckPath != "" && !*resume {
+		if err := os.Remove(*ckPath); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
 	var reg *obs.Registry
 	if *metricsOut != "" {
 		reg = obs.NewRegistry()
 	}
-	st, err := newState(reg)
+	st, err := newState(ctx, reg)
 	if err != nil {
 		return err
 	}
 	st.study.Workers = *workers
+	st.study.Checkpoint = *ckPath
 	defer st.hubSrv.Close()
 	exps := experiments()
 	if *chaosSeed != 0 {
 		seed := *chaosSeed
 		exps = append(exps, experiment{
 			"chaos", "resilience: Fig 6 hub pulls under injected faults",
-			func(st *state) (string, error) { return chaos(st, seed) },
+			func(ctx context.Context, st *state) (string, error) { return chaos(st, seed) },
 		})
 	}
 	for _, ex := range exps {
@@ -135,7 +153,7 @@ func run() error {
 			continue
 		}
 		sp := reg.StartSpan("experiment:" + ex.name)
-		out, err := ex.fn(st)
+		out, err := ex.fn(ctx, st)
 		sp.End()
 		if err != nil {
 			return fmt.Errorf("%s: %w", ex.name, err)
@@ -169,14 +187,14 @@ func run() error {
 	return nil
 }
 
-func table1(st *state) (string, error) {
+func table1(ctx context.Context, st *state) (string, error) {
 	if err := robustness.CheckTableI(); err != nil {
 		return "", err
 	}
 	return robustness.FormatTableI(), nil
 }
 
-func fig1(st *state) (string, error) {
+func fig1(ctx context.Context, st *state) (string, error) {
 	rep, err := st.fw.Validate(core.ToolPEPA, st.builder, st.builds[core.ToolPEPA].Image,
 		"simple.pepa", core.SimplePEPAModel)
 	if err != nil {
@@ -190,7 +208,7 @@ func fig1(st *state) (string, error) {
 	return b.String(), nil
 }
 
-func fig2(st *state) (string, error) {
+func fig2(ctx context.Context, st *state) (string, error) {
 	txt, err := st.study.ActivityText(robustness.MappingA, 2)
 	if err != nil {
 		return "", err
@@ -202,12 +220,12 @@ func fig2(st *state) (string, error) {
 	return txt + "\n" + dot, nil
 }
 
-func cdfFigure(st *state, mapping string) (string, error) {
+func cdfFigure(ctx context.Context, st *state, mapping string) (string, error) {
 	times := make([]float64, 61)
 	for i := range times {
 		times[i] = float64(i) * 10
 	}
-	cdf, err := st.study.FinishingCDF(mapping, 0, times)
+	cdf, err := st.study.FinishingCDFCtx(ctx, mapping, 0, times)
 	if err != nil {
 		return "", err
 	}
@@ -221,10 +239,10 @@ func cdfFigure(st *state, mapping string) (string, error) {
 	return b.String(), nil
 }
 
-func fig3(st *state) (string, error) { return cdfFigure(st, robustness.MappingA) }
-func fig4(st *state) (string, error) { return cdfFigure(st, robustness.MappingB) }
+func fig3(ctx context.Context, st *state) (string, error) { return cdfFigure(ctx, st, robustness.MappingA) }
+func fig4(ctx context.Context, st *state) (string, error) { return cdfFigure(ctx, st, robustness.MappingB) }
 
-func fig5(st *state) (string, error) {
+func fig5(ctx context.Context, st *state) (string, error) {
 	ex := core.ExampleModel(core.ToolGPA)
 	rep, err := st.fw.Validate(core.ToolGPA, st.builder, st.builds[core.ToolGPA].Image,
 		ex.Name, ex.Source, ex.Args...)
@@ -237,7 +255,7 @@ func fig5(st *state) (string, error) {
 	return b.String(), nil
 }
 
-func fig6(st *state) (string, error) {
+func fig6(ctx context.Context, st *state) (string, error) {
 	var b strings.Builder
 	colls, err := st.hubCli.Collections()
 	if err != nil {
@@ -307,15 +325,15 @@ func chaos(st *state, seed uint64) (string, error) {
 	return b.String(), nil
 }
 
-func matrix(st *state) (string, error) {
-	entries, err := st.fw.ValidationMatrix(st.hubCli)
+func matrix(ctx context.Context, st *state) (string, error) {
+	entries, err := st.fw.ValidationMatrixCtx(ctx, st.hubCli)
 	if err != nil {
 		return "", err
 	}
 	return core.FormatMatrix(entries), nil
 }
 
-func motivation(st *state) (string, error) {
+func motivation(ctx context.Context, st *state) (string, error) {
 	var b strings.Builder
 	b.WriteString("native install of each tool from the host's own repositories:\n")
 	tools := core.Tools()
@@ -347,7 +365,7 @@ func motivation(st *state) (string, error) {
 	return b.String(), nil
 }
 
-func badges(st *state) (string, error) {
+func badges(ctx context.Context, st *state) (string, error) {
 	report, err := st.fw.AssessBadges(st.hubCli)
 	if err != nil {
 		return "", err
@@ -359,8 +377,8 @@ func badges(st *state) (string, error) {
 	return b.String(), nil
 }
 
-func futurework(st *state) (string, error) {
-	build, err := st.fw.Build(core.ToolMC, st.builder)
+func futurework(ctx context.Context, st *state) (string, error) {
+	build, err := st.fw.BuildCtx(ctx, core.ToolMC, st.builder)
 	if err != nil {
 		return "", err
 	}
@@ -384,7 +402,7 @@ func mustDigest(b *runtime.BuildResult) string {
 	return b.Digest
 }
 
-func security(st *state) (string, error) {
+func security(ctx context.Context, st *state) (string, error) {
 	var b strings.Builder
 	img := st.builds[core.ToolPEPA].Image
 	for _, iso := range []runtime.Isolation{runtime.IsolationSingularity, runtime.IsolationDocker} {

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/hostenv"
 	"repro/internal/recipe"
 	"repro/internal/runtime"
+	"repro/internal/sigctx"
 )
 
 func main() {
@@ -36,6 +38,9 @@ func run() error {
 	listHosts := flag.Bool("list-hosts", false, "list host profiles and exit")
 	flag.Parse()
 
+	ctx, stop := sigctx.WithSignals(context.Background())
+	defer stop()
+
 	if *listHosts {
 		for _, h := range hostenv.Profiles() {
 			fmt.Println(h)
@@ -53,7 +58,7 @@ func run() error {
 	var res *runtime.BuildResult
 	switch {
 	case *tool != "":
-		res, err = fw.Build(core.Tool(*tool), host)
+		res, err = fw.BuildCtx(ctx, core.Tool(*tool), host)
 		if err != nil {
 			return err
 		}
@@ -66,7 +71,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		res, err = fw.Engine.Build(rcp, host, runtime.BuildContext{}, *name, *tag)
+		res, err = fw.Engine.BuildCtx(ctx, rcp, host, runtime.BuildContext{}, *name, *tag)
 		if err != nil {
 			return err
 		}

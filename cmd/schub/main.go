@@ -15,12 +15,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
-	"os/signal"
 	"time"
 
 	"repro/internal/core"
@@ -28,6 +28,7 @@ import (
 	"repro/internal/hub"
 	"repro/internal/image"
 	"repro/internal/obs"
+	"repro/internal/sigctx"
 )
 
 func main() {
@@ -60,6 +61,7 @@ func run() error {
 	faultSeed := fs.Uint64("fault-seed", 1, "serve: seed for the -fault-spec plan")
 	metricsAddr := fs.String("metrics-addr", "", "serve: also serve GET /metrics (Prometheus text) on this address")
 	pprofOn := fs.Bool("pprof", false, "serve: expose /debug/pprof on the -metrics-addr listener")
+	drain := fs.Duration("drain", 10*time.Second, "serve: how long a shutdown waits for in-flight requests before aborting them")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		return err
 	}
@@ -116,9 +118,17 @@ func run() error {
 			go http.Serve(mln, srv.MetricsHandler(*pprofOn))
 			fmt.Printf("metrics on http://%s/metrics (pprof: %v)\n", mln.Addr(), *pprofOn)
 		}
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt)
-		<-sig
+		// SIGINT or SIGTERM begins a graceful shutdown; a second signal
+		// force-aborts the process (exit 128+signum) via sigctx.
+		ctx, stopSignals := sigctx.WithSignals(context.Background())
+		defer stopSignals()
+		<-ctx.Done()
+		fmt.Printf("shutting down: draining in-flight requests for up to %s (second signal aborts immediately)\n", *drain)
+		sctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			fmt.Fprintln(os.Stderr, "schub: drain incomplete, in-flight requests aborted:", err)
+		}
 		if *statePath != "" {
 			if err := store.Save(*statePath); err != nil {
 				fmt.Fprintln(os.Stderr, "schub: saving state:", err)
@@ -126,7 +136,7 @@ func run() error {
 				fmt.Printf("registry state saved to %s\n", *statePath)
 			}
 		}
-		return srv.Close()
+		return nil
 	case "push":
 		if *imagePath == "" {
 			return fmt.Errorf("-image is required")

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/hostenv"
 	"repro/internal/image"
 	"repro/internal/runtime"
+	"repro/internal/sigctx"
 )
 
 func main() {
@@ -35,6 +37,10 @@ func run() error {
 	bind := flag.String("bind", "", "bind a real directory: <hostdir>:<containerdir>")
 	escalate := flag.Bool("escalate", false, "attempt privilege escalation and report the outcome")
 	flag.Parse()
+
+	// SIGINT or SIGTERM cancels the run; a second signal force-aborts.
+	ctx, stop := sigctx.WithSignals(context.Background())
+	defer stop()
 
 	if *imagePath == "" {
 		return fmt.Errorf("-image is required")
@@ -96,7 +102,7 @@ func run() error {
 		opts.Binds = []runtime.Bind{{HostPath: staging, ContainerPath: containerDir}}
 	}
 	fw := core.New()
-	res, err := fw.Engine.Run(img, host, opts)
+	res, err := fw.Engine.RunCtx(ctx, img, host, opts)
 	if err != nil {
 		return err
 	}

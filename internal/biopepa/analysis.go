@@ -1,6 +1,8 @@
 package biopepa
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -8,6 +10,7 @@ import (
 	"repro/internal/numeric/ode"
 	"repro/internal/par"
 	"repro/internal/rng"
+	"repro/internal/runctx"
 )
 
 // compiled caches the reaction structure with species indices resolved.
@@ -67,6 +70,14 @@ type ODEResult struct {
 // SolveODE integrates the reaction ODEs dx/dt = S·v(x) over [0, horizon]
 // with n output intervals.
 func (m *Model) SolveODE(horizon float64, n int) (*ODEResult, error) {
+	return m.SolveODECtx(context.Background(), horizon, n)
+}
+
+// SolveODECtx is SolveODE with cooperative cancellation: the integrator
+// polls ctx before every adaptive step and an interrupted integration
+// returns a *runctx.ErrCanceled whose Partial is the *ODEResult over
+// the grid prefix actually reached.
+func (m *Model) SolveODECtx(ctx context.Context, horizon float64, n int) (*ODEResult, error) {
 	if horizon <= 0 || n < 1 {
 		return nil, fmt.Errorf("biopepa: bad ODE parameters horizon=%g n=%d", horizon, n)
 	}
@@ -94,8 +105,13 @@ func (m *Model) SolveODE(horizon float64, n int) (*ODEResult, error) {
 			}
 		}
 	}
-	sol, err := ode.DormandPrince(f, m.InitialState(), ode.Grid(0, horizon, n), ode.DormandPrinceOptions{RelTol: 1e-8, AbsTol: 1e-10})
+	sol, err := ode.DormandPrince(f, m.InitialState(), ode.Grid(0, horizon, n), ode.DormandPrinceOptions{RelTol: 1e-8, AbsTol: 1e-10, Cancel: ctx.Err})
 	if err != nil {
+		if cerr := ctx.Err(); cerr != nil && errors.Is(err, cerr) {
+			ec := runctx.New("biopepa.ode", cerr, len(sol.Y), n+1, "grid points")
+			ec.Partial = &ODEResult{Model: m, Times: sol.T, X: sol.Y}
+			return nil, ec
+		}
 		return nil, err
 	}
 	if rateErr != nil {
@@ -133,6 +149,12 @@ type SSAResult struct {
 // sampling on n+1 grid points. Initial amounts are interpreted as discrete
 // counts (rounded).
 func (m *Model) SimulateSSA(horizon float64, n int, seed uint64) (*SSAResult, error) {
+	return m.SimulateSSACtx(context.Background(), horizon, n, seed)
+}
+
+// SimulateSSACtx is SimulateSSA with cooperative cancellation, polled
+// once per reaction firing.
+func (m *Model) SimulateSSACtx(ctx context.Context, horizon float64, n int, seed uint64) (*SSAResult, error) {
 	if horizon <= 0 || n < 1 {
 		return nil, fmt.Errorf("biopepa: bad SSA parameters horizon=%g n=%d", horizon, n)
 	}
@@ -157,6 +179,9 @@ func (m *Model) SimulateSSA(horizon float64, n int, seed uint64) (*SSAResult, er
 	t := 0.0
 	rates := make([]float64, len(c.reactions))
 	for {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, runctx.New("biopepa.ssa", cerr, res.Jumps, 0, "reactions")
+		}
 		if err := c.rates(x, rates); err != nil {
 			return nil, err
 		}
@@ -207,13 +232,33 @@ func (c *compiled) canFire(r int, x []float64) bool {
 // compiles its own reaction structure via SimulateSSA and owns its RNG);
 // the reduction runs in replication order for bit-stable output.
 func (m *Model) MeanSSA(horizon float64, n, k int, seed uint64) (*SSAResult, error) {
+	return m.MeanSSACtx(context.Background(), horizon, n, k, seed)
+}
+
+// MeanSSACtx is MeanSSA with cooperative cancellation: no new
+// replication starts once ctx is done and running ones stop at their
+// next reaction; the error reports the completed replication count.
+func (m *Model) MeanSSACtx(ctx context.Context, horizon float64, n, k int, seed uint64) (*SSAResult, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("biopepa: need at least one replication")
 	}
-	runs, err := par.Map(k, 0, func(rep int) (*SSAResult, error) {
-		return m.SimulateSSA(horizon, n, seed+uint64(rep)*0x9E3779B9)
+	runs, err := par.MapOpt(k, par.Options{Ctx: ctx}, func(rep int) (*SSAResult, error) {
+		return m.SimulateSSACtx(ctx, horizon, n, seed+uint64(rep)*0x9E3779B9)
 	})
 	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			done := 0
+			for _, r := range runs {
+				if r != nil {
+					done++
+				}
+			}
+			return nil, runctx.New("biopepa.mean-ssa", cerr, done, k, "replications")
+		}
+		var merr *par.MultiError
+		if errors.As(err, &merr) && len(merr.Errs) > 0 {
+			return nil, fmt.Errorf("par: %w", merr.Errs[0])
+		}
 		return nil, err
 	}
 	acc := &SSAResult{Model: m, Times: runs[0].Times, X: make([][]float64, len(runs[0].X))}
@@ -271,6 +316,12 @@ type CTMCSpace struct {
 // generator. Rates are evaluated by the kinetic laws on the discrete
 // counts.
 func (m *Model) BuildCTMC(opt CTMCOptions) (*CTMCSpace, error) {
+	return m.BuildCTMCCtx(context.Background(), opt)
+}
+
+// BuildCTMCCtx is BuildCTMC with cooperative cancellation, polled once
+// per dequeued state of the population-space BFS.
+func (m *Model) BuildCTMCCtx(ctx context.Context, opt CTMCOptions) (*CTMCSpace, error) {
 	if opt.MaxStates <= 0 {
 		opt.MaxStates = 100000
 	}
@@ -320,6 +371,9 @@ func (m *Model) BuildCTMC(opt CTMCOptions) (*CTMCSpace, error) {
 	queue := []int{startID}
 	rates := make([]float64, len(c.reactions))
 	for len(queue) > 0 {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, runctx.New("biopepa.ctmc", cerr, len(space.States), 0, "states")
+		}
 		sid := queue[0]
 		queue = queue[1:]
 		x := space.States[sid]

@@ -1,0 +1,124 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+type payload struct {
+	Reps map[int][]float64 `json:"reps"`
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	reg := obs.NewRegistry()
+	f := &File{
+		Path:        filepath.Join(t.TempDir(), "study.ckpt"),
+		Job:         "test.job",
+		Fingerprint: Fingerprint("seed=1", "rate=0.05"),
+		Obs:         reg,
+	}
+
+	var got payload
+	ok, err := f.Load(&got)
+	if err != nil || ok {
+		t.Fatalf("Load on missing file = (%v, %v), want (false, nil)", ok, err)
+	}
+	if n := reg.Counter("checkpoint_loads_total", obs.L("job", "test.job"), obs.L("outcome", "miss")); n != 1 {
+		t.Fatalf("miss count = %v", n)
+	}
+
+	// Floats must round-trip exactly: resume depends on it.
+	want := payload{Reps: map[int][]float64{
+		0: {0.1, 1.0 / 3.0, 2.220446049250313e-16},
+		3: {1e300, -7.25},
+	}}
+	if err := f.Save(want); err != nil {
+		t.Fatal(err)
+	}
+	if n := reg.Counter("checkpoint_writes_total", obs.L("job", "test.job")); n != 1 {
+		t.Fatalf("write count = %v", n)
+	}
+	ok, err = f.Load(&got)
+	if err != nil || !ok {
+		t.Fatalf("Load = (%v, %v), want (true, nil)", ok, err)
+	}
+	for k, vs := range want.Reps {
+		for i, v := range vs {
+			if got.Reps[k][i] != v {
+				t.Fatalf("rep %d[%d] = %v, want exactly %v", k, i, got.Reps[k][i], v)
+			}
+		}
+	}
+	if n := reg.Counter("checkpoint_loads_total", obs.L("job", "test.job"), obs.L("outcome", "hit")); n != 1 {
+		t.Fatalf("hit count = %v", n)
+	}
+}
+
+func TestCheckpointStaleFingerprint(t *testing.T) {
+	reg := obs.NewRegistry()
+	path := filepath.Join(t.TempDir(), "study.ckpt")
+	old := &File{Path: path, Job: "test.job", Fingerprint: Fingerprint("seed=1"), Obs: reg}
+	if err := old.Save(payload{Reps: map[int][]float64{0: {1}}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Different parameters: the stored payload must not be returned.
+	cur := &File{Path: path, Job: "test.job", Fingerprint: Fingerprint("seed=2"), Obs: reg}
+	var got payload
+	ok, err := cur.Load(&got)
+	if err != nil || ok {
+		t.Fatalf("stale Load = (%v, %v), want (false, nil)", ok, err)
+	}
+	if n := reg.Counter("checkpoint_loads_total", obs.L("job", "test.job"), obs.L("outcome", "stale")); n != 1 {
+		t.Fatalf("stale count = %v", n)
+	}
+
+	// Save under the new fingerprint replaces the stale file.
+	if err := cur.Save(payload{Reps: map[int][]float64{9: {9}}}); err != nil {
+		t.Fatal(err)
+	}
+	ok, err = cur.Load(&got)
+	if err != nil || !ok || got.Reps[9][0] != 9 {
+		t.Fatalf("reload after replace = (%v, %v, %+v)", ok, err, got)
+	}
+}
+
+func TestCheckpointWrongJob(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.ckpt")
+	a := &File{Path: path, Job: "job.a", Fingerprint: Fingerprint("p")}
+	if err := a.Save(payload{}); err != nil {
+		t.Fatal(err)
+	}
+	b := &File{Path: path, Job: "job.b", Fingerprint: Fingerprint("p")}
+	var got payload
+	if ok, err := b.Load(&got); err != nil || ok {
+		t.Fatalf("cross-job Load = (%v, %v), want (false, nil)", ok, err)
+	}
+}
+
+func TestCheckpointCorruptFileIsError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.ckpt")
+	if err := os.WriteFile(path, []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f := &File{Path: path, Job: "j", Fingerprint: Fingerprint("p")}
+	var got payload
+	if ok, err := f.Load(&got); err == nil || ok {
+		t.Fatalf("corrupt Load = (%v, %v), want error", ok, err)
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := Fingerprint("a", "b")
+	if Fingerprint("a", "b") != base {
+		t.Fatal("fingerprint not deterministic")
+	}
+	for _, other := range [][]string{{"a", "c"}, {"ab", ""}, {"a"}, {"b", "a"}} {
+		if Fingerprint(other...) == base {
+			t.Fatalf("collision with %v", other)
+		}
+	}
+}

@@ -16,6 +16,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -28,6 +30,7 @@ import (
 	"repro/internal/par"
 	"repro/internal/pkgmgr"
 	"repro/internal/recipe"
+	"repro/internal/runctx"
 	"repro/internal/runtime"
 )
 
@@ -163,30 +166,60 @@ func New() *Framework {
 
 // Build builds the container for one tool on a host.
 func (f *Framework) Build(t Tool, host *hostenv.Host) (*runtime.BuildResult, error) {
+	return f.BuildCtx(context.Background(), t, host)
+}
+
+// BuildCtx is Build with cooperative cancellation threaded into the
+// engine's stage boundaries.
+func (f *Framework) BuildCtx(ctx context.Context, t Tool, host *hostenv.Host) (*runtime.BuildResult, error) {
 	rcp, err := Recipe(t)
 	if err != nil {
 		return nil, err
 	}
-	return f.Engine.Build(rcp, host, runtime.BuildContext{}, string(t), "latest")
+	return f.Engine.BuildCtx(ctx, rcp, host, runtime.BuildContext{}, string(t), "latest")
 }
 
 // BuildAll builds the paper's three containers in parallel (the builds share only
 // read-only engine state; digests are content-addressed, so concurrency
 // cannot change the result), returning results keyed by tool.
 func (f *Framework) BuildAll(host *hostenv.Host) (map[Tool]*runtime.BuildResult, error) {
+	return f.BuildAllCtx(context.Background(), host)
+}
+
+// BuildAllCtx is BuildAll with cooperative cancellation: no new build
+// starts once ctx is done, and running builds stop at their next stage
+// boundary. An interrupted run returns a *runctx.ErrCanceled whose
+// Partial is the map of builds that did complete.
+func (f *Framework) BuildAllCtx(ctx context.Context, host *hostenv.Host) (map[Tool]*runtime.BuildResult, error) {
 	tools := Tools()
 	stage := f.Obs.StartSpan("core.build_all")
 	defer stage.End()
-	results, err := par.Map(len(tools), 0, func(i int) (*runtime.BuildResult, error) {
+	results, err := par.MapOpt(len(tools), par.Options{Ctx: ctx}, func(i int) (*runtime.BuildResult, error) {
 		sp := stage.StartSpan("build:" + string(tools[i]))
 		defer sp.End()
-		res, err := f.Build(tools[i], host)
+		res, err := f.BuildCtx(ctx, tools[i], host)
 		if err != nil {
 			return nil, fmt.Errorf("core: building %s: %w", tools[i], err)
 		}
 		return res, nil
 	})
 	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			partial := map[Tool]*runtime.BuildResult{}
+			for i, t := range tools {
+				if results[i] != nil {
+					partial[t] = results[i]
+				}
+			}
+			runctx.Record(f.Obs, "core.build-all", cerr)
+			ec := runctx.New("core.build-all", cerr, len(partial), len(tools), "builds")
+			ec.Partial = partial
+			return nil, ec
+		}
+		var merr *par.MultiError
+		if errors.As(err, &merr) && len(merr.Errs) > 0 {
+			return nil, fmt.Errorf("par: %w", merr.Errs[0])
+		}
 		return nil, err
 	}
 	out := map[Tool]*runtime.BuildResult{}
@@ -340,6 +373,10 @@ const (
 	// FailureDeterministic cells will fail identically every run
 	// (bad configuration, malformed images, panics).
 	FailureDeterministic FailureClass = "deterministic"
+	// FailureCanceled cells were never computed because the run's
+	// context was canceled or hit its deadline; a re-run with a fresh
+	// context computes them normally.
+	FailureCanceled FailureClass = "canceled"
 )
 
 // MatrixEntry is one cell of the cross-platform validation matrix.
@@ -377,6 +414,9 @@ func failCell(entry MatrixEntry, client *hub.Client, op string, err error) Matri
 	if hub.Classify(err) == hub.ClassTransient {
 		entry.FailureClass = FailureTransient
 	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		entry.FailureClass = FailureCanceled
+	}
 	if client != nil && op != "" {
 		entry.Attempts = client.AttemptsMatching(op)
 	}
@@ -395,6 +435,15 @@ func failCell(entry MatrixEntry, client *hub.Client, op string, err error) Matri
 // of the matrix completes. Only build-host setup failures — without
 // which there is nothing to compare against — abort the whole run.
 func (f *Framework) ValidationMatrix(client *hub.Client) ([]MatrixEntry, error) {
+	return f.ValidationMatrixCtx(context.Background(), client)
+}
+
+// ValidationMatrixCtx is ValidationMatrix with cooperative cancellation.
+// Cancellation mid-run degrades exactly like any other partial failure:
+// cells not yet computed are skipped, cells interrupted in flight are
+// classified FailureCanceled, and the computed rows are returned as the
+// Partial of a *runctx.ErrCanceled.
+func (f *Framework) ValidationMatrixCtx(ctx context.Context, client *hub.Client) ([]MatrixEntry, error) {
 	builder, err := hostenv.ByName(hostenv.BuildHost)
 	if err != nil {
 		return nil, err
@@ -402,7 +451,7 @@ func (f *Framework) ValidationMatrix(client *hub.Client) ([]MatrixEntry, error) 
 	if err := builder.InstallSingularity(); err != nil {
 		return nil, err
 	}
-	builds, err := f.BuildAll(builder)
+	builds, err := f.BuildAllCtx(ctx, builder)
 	if err != nil {
 		return nil, err
 	}
@@ -414,6 +463,10 @@ func (f *Framework) ValidationMatrix(client *hub.Client) ([]MatrixEntry, error) 
 	toolErr := map[Tool]error{}
 	pushSpan := matrix.StartSpan("push")
 	for _, t := range Tools() {
+		if cerr := ctx.Err(); cerr != nil {
+			toolErr[t] = fmt.Errorf("core: pushing %s: %w", t, cerr)
+			continue
+		}
 		d, err := client.Push(f.Collection, builds[t].Image)
 		if err != nil {
 			toolErr[t] = fmt.Errorf("core: pushing %s: %w", t, err)
@@ -430,6 +483,10 @@ func (f *Framework) ValidationMatrix(client *hub.Client) ([]MatrixEntry, error) 
 	}
 	for _, t := range Tools() {
 		if toolErr[t] != nil {
+			continue
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			toolErr[t] = fmt.Errorf("core: reference run of %s: %w", t, cerr)
 			continue
 		}
 		ex := ExampleModel(t)
@@ -454,7 +511,7 @@ func (f *Framework) ValidationMatrix(client *hub.Client) ([]MatrixEntry, error) 
 	// profile order. The per-host fn never returns an error: every
 	// failure lands in its cell.
 	names := hostenv.Names()
-	perHost, err := par.Map(len(names), 0, func(h int) ([]MatrixEntry, error) {
+	perHost, err := par.MapOpt(len(names), par.Options{Ctx: ctx}, func(h int) ([]MatrixEntry, error) {
 		name := names[h]
 		rows := make([]MatrixEntry, 0, len(Tools()))
 		host, herr := hostenv.ByName(name)
@@ -471,17 +528,23 @@ func (f *Framework) ValidationMatrix(client *hub.Client) ([]MatrixEntry, error) 
 			case toolErr[t] != nil:
 				rows = append(rows, failCell(entry, nil, "", toolErr[t]))
 			default:
-				rows = append(rows, f.matrixCell(matrix, client, host, name, t, digests[t], reference[t]))
+				rows = append(rows, f.matrixCell(ctx, matrix, client, host, name, t, digests[t], reference[t]))
 			}
 		}
 		return rows, nil
 	})
-	if err != nil {
-		return nil, err
-	}
 	var out []MatrixEntry
 	for _, rows := range perHost {
 		out = append(out, rows...)
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		runctx.Record(f.Obs, "core.validation-matrix", cerr)
+		ec := runctx.New("core.validation-matrix", cerr, len(out), len(names)*len(Tools()), "cells")
+		ec.Partial = out
+		return out, ec
+	}
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -489,7 +552,7 @@ func (f *Framework) ValidationMatrix(client *hub.Client) ([]MatrixEntry, error) 
 // matrixCell computes one (host, tool) cell. It is panic-supervised:
 // a panicking pull or run yields a deterministic-classified failure
 // entry instead of killing the matrix worker.
-func (f *Framework) matrixCell(parent *obs.Span, client *hub.Client, host *hostenv.Host, hostName string, t Tool, wantDigest, reference string) (entry MatrixEntry) {
+func (f *Framework) matrixCell(ctx context.Context, parent *obs.Span, client *hub.Client, host *hostenv.Host, hostName string, t Tool, wantDigest, reference string) (entry MatrixEntry) {
 	entry = MatrixEntry{Tool: t, Host: hostName}
 	sp := parent.StartSpan(fmt.Sprintf("cell:%s/%s", hostName, t))
 	defer sp.End()
@@ -499,6 +562,9 @@ func (f *Framework) matrixCell(parent *obs.Span, client *hub.Client, host *hoste
 			entry.FailureClass = FailureDeterministic
 		}
 	}()
+	if cerr := ctx.Err(); cerr != nil {
+		return failCell(entry, nil, "", fmt.Errorf("core: cell %s/%s: %w", hostName, t, cerr))
+	}
 	pkg, _ := t.Package()
 	probe := host.Clone()
 	if nerr := probe.NativeInstall(pkg); nerr != nil {

@@ -7,6 +7,8 @@
 package ctmc
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -18,6 +20,7 @@ import (
 	"repro/internal/numeric/sparse"
 	"repro/internal/obs"
 	"repro/internal/pepa/derive"
+	"repro/internal/runctx"
 	"repro/internal/sparseutil"
 )
 
@@ -327,6 +330,15 @@ func (e *ConvergenceError) Error() string {
 // fails the returned error is a *ConvergenceError carrying the full
 // escalation trace.
 func (c *Chain) SteadyState(opt SteadyStateOptions) ([]float64, error) {
+	return c.SteadyStateCtx(context.Background(), opt)
+}
+
+// SteadyStateCtx is SteadyState with cooperative cancellation: ctx is
+// polled once per Gauss–Seidel sweep and per power iteration, and an
+// interrupted solve returns a *runctx.ErrCanceled carrying the
+// iterations done and the residual at interruption. An uncancelled
+// context leaves the escalation chain bit-identical to SteadyState.
+func (c *Chain) SteadyStateCtx(ctx context.Context, opt SteadyStateOptions) ([]float64, error) {
 	opt = opt.withDefaults()
 	if c.N == 0 {
 		return nil, fmt.Errorf("ctmc: empty chain")
@@ -340,13 +352,19 @@ func (c *Chain) SteadyState(opt SteadyStateOptions) ([]float64, error) {
 	qt := c.transposedQCached()
 	var stages []StageAttempt
 	if !opt.DenseOnly {
-		pi, att, ok := c.steadyIterative(qt, opt)
+		pi, att, ok := c.steadyIterative(ctx, qt, opt)
+		if cerr := ctx.Err(); cerr != nil && !ok {
+			return nil, c.canceledStage(cerr, att)
+		}
 		c.recordStage(att, ok)
 		if ok {
 			return pi, nil
 		}
 		stages = append(stages, att)
-		pi, att, ok = c.steadyPower(opt)
+		pi, att, ok = c.steadyPower(ctx, opt)
+		if cerr := ctx.Err(); cerr != nil && !ok {
+			return nil, c.canceledStage(cerr, att)
+		}
 		c.recordStage(att, ok)
 		if ok {
 			return pi, nil
@@ -370,6 +388,16 @@ func (c *Chain) SteadyState(opt SteadyStateOptions) ([]float64, error) {
 	}
 	c.recordStage(StageAttempt{Method: "dense-lu", Residual: math.NaN()}, true)
 	return pi, nil
+}
+
+// canceledStage converts an interrupted stage attempt into the typed
+// cancellation error (and counts it), preserving the iterations done
+// and the residual at interruption for the partial report.
+func (c *Chain) canceledStage(cause error, att StageAttempt) error {
+	runctx.Record(c.Obs, "ctmc.steady-state", cause)
+	err := runctx.New("ctmc.steady-state", cause, att.Iterations, 0, "iterations")
+	err.Residual = att.Residual
+	return err
 }
 
 // recordStage publishes one escalation-chain stage to the metrics
@@ -406,7 +434,7 @@ func (c *Chain) residualNormInf(pi []float64, workers int) float64 {
 // steadyPower runs power iteration on the uniformized DTMC
 // P = I + Q/(1.1·q): the stationary distribution of P equals that of the
 // CTMC, and the slack factor guarantees aperiodicity.
-func (c *Chain) steadyPower(opt SteadyStateOptions) ([]float64, StageAttempt, bool) {
+func (c *Chain) steadyPower(ctx context.Context, opt SteadyStateOptions) ([]float64, StageAttempt, bool) {
 	att := StageAttempt{Method: "power-iteration", Residual: math.NaN()}
 	q := c.MaxExitRate()
 	if q == 0 {
@@ -414,7 +442,7 @@ func (c *Chain) steadyPower(opt SteadyStateOptions) ([]float64, StageAttempt, bo
 		return nil, att, false
 	}
 	p := c.uniformizedCached(q * 1.1)
-	iterOpt := sparse.IterOptions{MaxIter: opt.MaxIter * 5, Tol: opt.Tol, Workers: opt.Workers}
+	iterOpt := sparse.IterOptions{MaxIter: opt.MaxIter * 5, Tol: opt.Tol, Workers: opt.Workers, Cancel: ctx.Err}
 	if opt.Workers > 1 {
 		iterOpt.Transposed = c.uniformizedTransposeCached(q * 1.1)
 	}
@@ -439,7 +467,7 @@ func (c *Chain) steadyPower(opt SteadyStateOptions) ([]float64, StageAttempt, bo
 
 // steadyIterative runs Gauss–Seidel sweeps on Qᵀx = 0 with renormalization;
 // the trivial solution is avoided by the normalization step.
-func (c *Chain) steadyIterative(qt *sparse.CSR, opt SteadyStateOptions) ([]float64, StageAttempt, bool) {
+func (c *Chain) steadyIterative(ctx context.Context, qt *sparse.CSR, opt SteadyStateOptions) ([]float64, StageAttempt, bool) {
 	att := StageAttempt{Method: "gauss-seidel", Residual: math.NaN()}
 	n := c.N
 	pi := make([]float64, n)
@@ -458,6 +486,11 @@ func (c *Chain) steadyIterative(qt *sparse.CSR, opt SteadyStateOptions) ([]float
 		}
 	}
 	for it := 0; it < opt.MaxIter; it++ {
+		if cerr := ctx.Err(); cerr != nil {
+			att.Residual = c.residualNormInf(pi, opt.Workers)
+			att.Err = "canceled: " + cerr.Error()
+			return nil, att, false
+		}
 		att.Iterations = it + 1
 		var delta float64
 		for i := 0; i < n; i++ {
@@ -539,6 +572,14 @@ func (c *Chain) steadyDense(qt *sparse.CSR) ([]float64, error) {
 // with q the uniformization rate and the Poisson sum truncated to capture
 // 1-eps of the mass.
 func (c *Chain) Transient(p0 []float64, t, eps float64) ([]float64, error) {
+	return c.TransientCtx(context.Background(), p0, t, eps)
+}
+
+// TransientCtx is Transient with cooperative cancellation: ctx is
+// polled once per uniformization term (each term costs a sparse
+// matrix-vector product, so the poll is noise). An interrupted solve
+// returns a *runctx.ErrCanceled reporting the terms summed so far.
+func (c *Chain) TransientCtx(ctx context.Context, p0 []float64, t, eps float64) ([]float64, error) {
 	if len(p0) != c.N {
 		return nil, fmt.Errorf("ctmc: initial distribution length %d != %d states", len(p0), c.N)
 	}
@@ -576,6 +617,10 @@ func (c *Chain) Transient(p0 []float64, t, eps float64) ([]float64, error) {
 	acc := make([]float64, c.N)
 	next := make([]float64, c.N)
 	for k := 0; k <= w.Right; k++ {
+		if cerr := ctx.Err(); cerr != nil {
+			runctx.Record(c.Obs, "ctmc.transient", cerr)
+			return nil, runctx.New("ctmc.transient", cerr, k, w.Right+1, "uniformization terms")
+		}
 		if pw := w.Pmf(k); pw > 0 {
 			linalg.AXPY(pw, cur, acc)
 		}
@@ -601,6 +646,14 @@ func (c *Chain) Transient(p0 []float64, t, eps float64) ([]float64, error) {
 // Truncation error accumulates additively over the grid, so the per-step
 // eps is tightened by the number of steps.
 func (c *Chain) TransientSeries(p0 []float64, times []float64, eps float64) ([][]float64, error) {
+	return c.TransientSeriesCtx(context.Background(), p0, times, eps)
+}
+
+// TransientSeriesCtx is TransientSeries with cooperative cancellation.
+// An interrupted run returns a *runctx.ErrCanceled whose Partial holds
+// the prefix of grid distributions already propagated (out[:Done]),
+// chained to the inner per-term cancellation for the full trace.
+func (c *Chain) TransientSeriesCtx(ctx context.Context, p0 []float64, times []float64, eps float64) ([][]float64, error) {
 	if eps <= 0 {
 		eps = 1e-10
 	}
@@ -616,8 +669,14 @@ func (c *Chain) TransientSeries(p0 []float64, times []float64, eps float64) ([][
 		if dt < 0 {
 			return nil, fmt.Errorf("ctmc: TransientSeries needs an ascending grid (t[%d]=%g < %g)", i, t, prevT)
 		}
-		pt, err := c.Transient(cur, dt, stepEps)
+		pt, err := c.TransientCtx(ctx, cur, dt, stepEps)
 		if err != nil {
+			var inner *runctx.ErrCanceled
+			if errors.As(err, &inner) {
+				ec := runctx.New("ctmc.transient-series", err, i, len(times), "grid points")
+				ec.Partial = out[:i]
+				return nil, ec
+			}
 			return nil, fmt.Errorf("ctmc: transient step to t=%g: %w", t, err)
 		}
 		out[i] = pt
@@ -694,6 +753,14 @@ type PassageCDF struct {
 // with a negative off-diagonal rate is rejected with an error (it would
 // silently lose probability mass in the absorbing transform).
 func (c *Chain) FirstPassageCDF(p0 []float64, targets []int, times []float64, eps float64) (*PassageCDF, error) {
+	return c.FirstPassageCDFCtx(context.Background(), p0, targets, times, eps)
+}
+
+// FirstPassageCDFCtx is FirstPassageCDF with cooperative cancellation
+// (inherited from the transient-series propagation). An interrupted
+// evaluation returns a *runctx.ErrCanceled whose Partial is the
+// *PassageCDF over the grid prefix already reached.
+func (c *Chain) FirstPassageCDFCtx(ctx context.Context, p0 []float64, targets []int, times []float64, eps float64) (*PassageCDF, error) {
 	if len(targets) == 0 {
 		return nil, fmt.Errorf("ctmc: empty passage target set")
 	}
@@ -707,22 +774,39 @@ func (c *Chain) FirstPassageCDF(p0 []float64, targets []int, times []float64, ep
 		return nil, err
 	}
 	cdf := &PassageCDF{Times: append([]float64(nil), times...), Probs: make([]float64, len(times))}
-	series, err := abs.TransientSeries(p0, times, eps)
+	series, err := abs.TransientSeriesCtx(ctx, p0, times, eps)
 	if err != nil {
+		var inner *runctx.ErrCanceled
+		if errors.As(err, &inner) {
+			done, _ := inner.Partial.([][]float64)
+			partial := &PassageCDF{Times: append([]float64(nil), times[:len(done)]...), Probs: make([]float64, len(done))}
+			for i, pt := range done {
+				partial.Probs[i] = absorbedMass(pt, isTarget)
+			}
+			ec := runctx.New("ctmc.first-passage", err, len(done), len(times), "grid points")
+			ec.Partial = partial
+			return nil, ec
+		}
 		return nil, fmt.Errorf("ctmc: passage transient: %w", err)
 	}
 	for i, pt := range series {
-		var mass float64
-		for s, v := range pt {
-			if isTarget[s] {
-				mass += v
-			}
-		}
-		// Clamp01 also maps NaN to 0, so a poisoned transient solve can
-		// not leak NaN into the CDF (it shows up as missing mass instead).
-		cdf.Probs[i] = sparseutil.Clamp01(mass)
+		cdf.Probs[i] = absorbedMass(pt, isTarget)
 	}
 	return cdf, nil
+}
+
+// absorbedMass sums the probability mass sitting on target states,
+// clamped to [0,1]. Clamp01 also maps NaN to 0, so a poisoned transient
+// solve cannot leak NaN into the CDF (it shows up as missing mass
+// instead).
+func absorbedMass(pt []float64, isTarget []bool) float64 {
+	var mass float64
+	for s, v := range pt {
+		if isTarget[s] {
+			mass += v
+		}
+	}
+	return sparseutil.Clamp01(mass)
 }
 
 // absorbingChain builds (or returns the memoized) absorbing-transformed

@@ -1,0 +1,64 @@
+// Package fsatomic provides crash-safe file replacement: write to a
+// temporary file in the destination directory, fsync it, rename it over
+// the destination, then fsync the directory so the rename itself is
+// durable. After a crash at any point the destination holds either the
+// complete old contents or the complete new contents — never a torn or
+// empty file. Checkpoint files (internal/checkpoint) and the hub store
+// index (internal/hub/persist.go) are written through this package.
+package fsatomic
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with data. The temporary file is
+// created with os.CreateTemp in the same directory (same filesystem, so
+// the rename is atomic) and is removed on any failure. perm is applied
+// before the rename so the file never appears with temp-file modes.
+func WriteFile(path string, data []byte, perm os.FileMode) (err error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("fsatomic: create temp: %w", err)
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if _, err = f.Write(data); err != nil {
+		return fmt.Errorf("fsatomic: write %s: %w", tmp, err)
+	}
+	if err = f.Chmod(perm); err != nil {
+		return fmt.Errorf("fsatomic: chmod %s: %w", tmp, err)
+	}
+	if err = f.Sync(); err != nil {
+		return fmt.Errorf("fsatomic: fsync %s: %w", tmp, err)
+	}
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("fsatomic: close %s: %w", tmp, err)
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("fsatomic: rename %s -> %s: %w", tmp, path, err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-completed rename survives a
+// crash. Some filesystems refuse fsync on directories; that is reported,
+// not ignored, because the crash-safety contract depends on it.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("fsatomic: open dir %s: %w", dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("fsatomic: fsync dir %s: %w", dir, err)
+	}
+	return nil
+}

@@ -1,6 +1,8 @@
 package gpepa
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -8,6 +10,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pepa"
 	"repro/internal/pepa/derive"
+	"repro/internal/runctx"
 )
 
 // LocalState identifies one ODE variable: the count of components of a
@@ -256,6 +259,15 @@ type SolveOptions struct {
 // Solve integrates the fluid ODEs over [0, horizon] sampling n+1 evenly
 // spaced points.
 func (fs *FluidSystem) Solve(horizon float64, n int, opt SolveOptions) (*FluidResult, error) {
+	return fs.SolveCtx(context.Background(), horizon, n, opt)
+}
+
+// SolveCtx is Solve with cooperative cancellation: the integrator polls
+// ctx before every adaptive step. An interrupted integration returns a
+// *runctx.ErrCanceled whose Partial is the *FluidResult over the grid
+// prefix actually reached. An uncancelled context changes nothing about
+// the step sequence: results are bit-identical to Solve.
+func (fs *FluidSystem) SolveCtx(ctx context.Context, horizon float64, n int, opt SolveOptions) (*FluidResult, error) {
 	if horizon <= 0 {
 		return nil, fmt.Errorf("gpepa: horizon must be positive, got %g", horizon)
 	}
@@ -271,8 +283,14 @@ func (fs *FluidSystem) Solve(horizon float64, n int, opt SolveOptions) (*FluidRe
 	grid := ode.Grid(0, horizon, n)
 	sol, err := ode.DormandPrince(func(t float64, y, dst []float64) {
 		fs.Derivative(y, dst)
-	}, fs.X0, grid, ode.DormandPrinceOptions{RelTol: opt.RelTol, AbsTol: opt.AbsTol})
+	}, fs.X0, grid, ode.DormandPrinceOptions{RelTol: opt.RelTol, AbsTol: opt.AbsTol, Cancel: ctx.Err})
 	if err != nil {
+		if cerr := ctx.Err(); cerr != nil && errors.Is(err, cerr) {
+			runctx.Record(fs.Obs, "gpepa.fluid", cerr)
+			ec := runctx.New("gpepa.fluid", cerr, len(sol.Y), len(grid), "grid points")
+			ec.Partial = &FluidResult{System: fs, Times: sol.T, X: sol.Y}
+			return nil, ec
+		}
 		return nil, fmt.Errorf("gpepa: fluid integration: %w", err)
 	}
 	return &FluidResult{System: fs, Times: sol.T, X: sol.Y}, nil

@@ -1,12 +1,17 @@
 package gpepa
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
+	"sync"
 
+	"repro/internal/checkpoint"
 	"repro/internal/par"
 	"repro/internal/pepa"
 	"repro/internal/rng"
+	"repro/internal/runctx"
 )
 
 // SimResult is a stochastic trajectory of the population CTMC underlying a
@@ -24,6 +29,14 @@ type SimResult struct {
 // the min-coupled tree rate and move one component in every synchronizing
 // group; independent actions move one component in one group.
 func (fs *FluidSystem) Simulate(horizon float64, n int, seed uint64) (*SimResult, error) {
+	return fs.SimulateCtx(context.Background(), horizon, n, seed)
+}
+
+// SimulateCtx is Simulate with cooperative cancellation: ctx is polled
+// once per reaction (each reaction evaluates every action's tree rate,
+// so the poll is noise). An uncancelled context leaves the jump
+// sequence bit-identical to Simulate.
+func (fs *FluidSystem) SimulateCtx(ctx context.Context, horizon float64, n int, seed uint64) (*SimResult, error) {
 	if horizon <= 0 || n < 1 {
 		return nil, fmt.Errorf("gpepa: bad simulation parameters horizon=%g n=%d", horizon, n)
 	}
@@ -42,6 +55,10 @@ func (fs *FluidSystem) Simulate(horizon float64, n int, seed uint64) (*SimResult
 	t := 0.0
 	rates := make([]float64, len(fs.Actions))
 	for {
+		if cerr := ctx.Err(); cerr != nil {
+			runctx.Record(fs.Obs, "gpepa.sim", cerr)
+			return nil, runctx.New("gpepa.sim", cerr, res.Jumps, 0, "reactions")
+		}
 		var total float64
 		for i, a := range fs.Actions {
 			rates[i] = fs.treeRate(fs.Model.System, a, x)
@@ -123,27 +140,122 @@ func (fs *FluidSystem) fire(e GroupExpr, action string, x []float64, r *rng.Sour
 	}
 }
 
+// gpepaRep is the per-replication record persisted to the ensemble
+// checkpoint: the sampled trajectory and its reaction count. Floats
+// round-trip JSON exactly, so resumed reductions are bit-identical.
+type gpepaRep struct {
+	X     [][]float64 `json:"x"`
+	Jumps int         `json:"jumps"`
+}
+
+// gpepaRepPayload is the checkpoint payload: completed replications
+// keyed by replication index.
+type gpepaRepPayload struct {
+	Reps map[int]gpepaRep `json:"reps"`
+}
+
+// simulateReps runs k replications with independent derived seeds,
+// skipping any already present in the checkpoint at ckPath (empty =
+// no checkpointing) and persisting each completed replication
+// crash-safely. On cancellation it returns a *runctx.ErrCanceled
+// counting the completed replications.
+func (fs *FluidSystem) simulateReps(ctx context.Context, horizon float64, n, k int, seed uint64, ckPath string) (map[int]gpepaRep, error) {
+	reps := make(map[int]gpepaRep, k)
+	var (
+		ck *checkpoint.File
+		mu sync.Mutex
+	)
+	if ckPath != "" {
+		ck = &checkpoint.File{
+			Path: ckPath,
+			Job:  "gpepa.ensemble",
+			Fingerprint: checkpoint.Fingerprint("gpepa.ensemble", fs.Model.String(),
+				fmt.Sprintf("horizon=%g n=%d k=%d seed=%d", horizon, n, k, seed)),
+			Obs: fs.Obs,
+		}
+		var saved gpepaRepPayload
+		if ok, err := ck.Load(&saved); err != nil {
+			return nil, err
+		} else if ok && saved.Reps != nil {
+			reps = saved.Reps
+		}
+	}
+	err := par.ForEachOpt(k, par.Options{Ctx: ctx}, func(rep int) error {
+		mu.Lock()
+		_, done := reps[rep]
+		mu.Unlock()
+		if done {
+			return nil
+		}
+		res, err := fs.SimulateCtx(ctx, horizon, n, seed+uint64(rep)*0x9E3779B9)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		reps[rep] = gpepaRep{X: res.X, Jumps: res.Jumps}
+		if ck != nil {
+			return ck.Save(gpepaRepPayload{Reps: reps})
+		}
+		return nil
+	})
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			runctx.Record(fs.Obs, "gpepa.ensemble", cerr)
+			return nil, runctx.New("gpepa.ensemble", cerr, len(reps), k, "replications")
+		}
+		// Deterministic error selection, matching the pre-supervision
+		// contract: report the lowest-index failure.
+		var merr *par.MultiError
+		if errors.As(err, &merr) && len(merr.Errs) > 0 {
+			return nil, fmt.Errorf("par: %w", merr.Errs[0])
+		}
+		return nil, err
+	}
+	return reps, nil
+}
+
+// sampleGrid rebuilds the shared sample times of a k-replication run —
+// the same formula Simulate uses, so recomputing it for a resumed
+// reduction is bit-identical to reading it off a live trajectory.
+func sampleGrid(horizon float64, n int) []float64 {
+	times := make([]float64, n+1)
+	dt := horizon / float64(n)
+	for i := range times {
+		times[i] = float64(i) * dt
+	}
+	return times
+}
+
 // MeanOfSimulations averages k independent trajectories on the shared
 // grid, for comparing the stochastic mean against the fluid limit.
 // Replications run in parallel (the compiled system is read-only during
 // simulation); the reduction runs in replication order, so the result is
 // bit-identical regardless of scheduling.
 func (fs *FluidSystem) MeanOfSimulations(horizon float64, n int, k int, seed uint64) (*SimResult, error) {
+	return fs.MeanOfSimulationsCtx(context.Background(), horizon, n, k, seed, "")
+}
+
+// MeanOfSimulationsCtx is MeanOfSimulations with cooperative
+// cancellation and optional crash-safe checkpointing: a non-empty
+// ckPath persists each completed replication, and a rerun under the
+// same parameters recomputes only the missing ones, yielding a
+// byte-identical mean (docs/RESILIENCE.md).
+func (fs *FluidSystem) MeanOfSimulationsCtx(ctx context.Context, horizon float64, n int, k int, seed uint64, ckPath string) (*SimResult, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("gpepa: need at least one replication")
 	}
-	runs, err := par.Map(k, 0, func(rep int) (*SimResult, error) {
-		return fs.Simulate(horizon, n, seed+uint64(rep)*0x9E3779B9)
-	})
+	runs, err := fs.simulateReps(ctx, horizon, n, k, seed, ckPath)
 	if err != nil {
 		return nil, err
 	}
 	fs.Obs.Add("gpepa_sim_replications_total", float64(k))
-	acc := &SimResult{System: fs, Times: runs[0].Times, X: make([][]float64, len(runs[0].X))}
+	acc := &SimResult{System: fs, Times: sampleGrid(horizon, n), X: make([][]float64, n+1)}
 	for i := range acc.X {
-		acc.X[i] = make([]float64, len(runs[0].X[i]))
+		acc.X[i] = make([]float64, len(fs.Vars))
 	}
-	for _, res := range runs {
+	for rep := 0; rep < k; rep++ {
+		res := runs[rep]
 		for i := range res.X {
 			for j := range res.X[i] {
 				acc.X[i][j] += res.X[i][j]
@@ -178,21 +290,26 @@ type SimEnsemble struct {
 // standard deviations. Like MeanOfSimulations the result is bit-identical
 // for any worker count.
 func (fs *FluidSystem) EnsembleOfSimulations(horizon float64, n, k int, seed uint64) (*SimEnsemble, error) {
+	return fs.EnsembleOfSimulationsCtx(context.Background(), horizon, n, k, seed, "")
+}
+
+// EnsembleOfSimulationsCtx is EnsembleOfSimulations with cooperative
+// cancellation and optional crash-safe checkpointing via ckPath (empty
+// disables it); see MeanOfSimulationsCtx.
+func (fs *FluidSystem) EnsembleOfSimulationsCtx(ctx context.Context, horizon float64, n, k int, seed uint64, ckPath string) (*SimEnsemble, error) {
 	if k < 2 {
 		return nil, fmt.Errorf("gpepa: ensemble needs at least two replications, got %d", k)
 	}
-	runs, err := par.Map(k, 0, func(rep int) (*SimResult, error) {
-		return fs.Simulate(horizon, n, seed+uint64(rep)*0x9E3779B9)
-	})
+	runs, err := fs.simulateReps(ctx, horizon, n, k, seed, ckPath)
 	if err != nil {
 		return nil, err
 	}
 	fs.Obs.Add("gpepa_sim_replications_total", float64(k))
 	ens := &SimEnsemble{
 		System:       fs,
-		Times:        runs[0].Times,
-		Mean:         make([][]float64, len(runs[0].X)),
-		Std:          make([][]float64, len(runs[0].X)),
+		Times:        sampleGrid(horizon, n),
+		Mean:         make([][]float64, n+1),
+		Std:          make([][]float64, n+1),
 		Replications: k,
 	}
 	nv := len(fs.Vars)
@@ -204,7 +321,8 @@ func (fs *FluidSystem) EnsembleOfSimulations(horizon float64, n, k int, seed uin
 	for i := range sumSq {
 		sumSq[i] = make([]float64, nv)
 	}
-	for _, res := range runs {
+	for rep := 0; rep < k; rep++ {
+		res := runs[rep]
 		for i := range res.X {
 			for j, v := range res.X[i] {
 				ens.Mean[i][j] += v

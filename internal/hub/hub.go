@@ -14,6 +14,7 @@ package hub
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -24,6 +25,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/faultinject"
@@ -139,6 +141,10 @@ type Server struct {
 	builder        Builder // set by EnableAutoBuild
 	// obs is the optional server metrics registry (EnableMetrics).
 	obs *obs.Registry
+	// inflight counts requests currently being served; Shutdown reports
+	// it as the drain backlog and the gauge hub_server_inflight_requests
+	// tracks it when metrics are enabled.
+	inflight atomic.Int64
 }
 
 // NewServer creates a server over the store.
@@ -159,7 +165,19 @@ func (s *Server) EnableFaults(plan *faultinject.Plan) {
 }
 
 // Handler returns the HTTP handler (for tests via httptest).
-func (s *Server) Handler() http.Handler { return s.handler }
+func (s *Server) Handler() http.Handler { return s.track(s.handler) }
+
+// track wraps a handler with in-flight request accounting. The counter
+// is shared across wrappers, so Handler and Listen agree on the count.
+func (s *Server) track(inner http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.obs.Set("hub_server_inflight_requests", float64(s.inflight.Add(1)))
+		defer func() {
+			s.obs.Set("hub_server_inflight_requests", float64(s.inflight.Add(-1)))
+		}()
+		inner.ServeHTTP(w, r)
+	})
+}
 
 // Listen starts serving on addr ("127.0.0.1:0" for an ephemeral port) and
 // returns the bound address.
@@ -169,12 +187,31 @@ func (s *Server) Listen(addr string) (string, error) {
 		return "", err
 	}
 	s.ln = ln
-	s.srv = &http.Server{Handler: s.handler}
+	s.srv = &http.Server{Handler: s.track(s.handler)}
 	go s.srv.Serve(ln)
 	return ln.Addr().String(), nil
 }
 
-// Close stops the server.
+// Shutdown stops the server gracefully: the listener closes immediately
+// (no new connections), in-flight requests get until ctx expires to
+// finish, and only then are the stragglers aborted. The outcome is
+// recorded in hub_server_shutdowns_total{outcome="drained"|"aborted"};
+// an aborted drain returns ctx's error after force-closing.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.srv == nil {
+		return nil
+	}
+	if err := s.srv.Shutdown(ctx); err != nil {
+		s.obs.Inc("hub_server_shutdowns_total", obs.L("outcome", "aborted"))
+		s.srv.Close()
+		return err
+	}
+	s.obs.Inc("hub_server_shutdowns_total", obs.L("outcome", "drained"))
+	return nil
+}
+
+// Close stops the server abortively, cutting in-flight requests. Prefer
+// Shutdown; Close remains as the immediate-stop fallback.
 func (s *Server) Close() error {
 	if s.srv != nil {
 		return s.srv.Close()

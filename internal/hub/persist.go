@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+
+	"repro/internal/fsatomic"
 )
 
 // Persistence: the registry state saves to a directory (an index plus one
@@ -34,7 +36,7 @@ func (s *Store) Save(dir string) error {
 	for k, e := range s.meta {
 		blobName := blobFileName(s.digest[k])
 		if _, err := os.Stat(filepath.Join(dir, blobName)); err != nil {
-			if err := os.WriteFile(filepath.Join(dir, blobName), s.blobs[k], 0o644); err != nil {
+			if err := fsatomic.WriteFile(filepath.Join(dir, blobName), s.blobs[k], 0o644); err != nil {
 				return fmt.Errorf("hub: saving blob %s: %w", blobName, err)
 			}
 		}
@@ -50,11 +52,11 @@ func (s *Store) Save(dir string) error {
 	if err != nil {
 		return err
 	}
-	tmp := filepath.Join(dir, indexFile+".tmp")
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, filepath.Join(dir, indexFile))
+	// fsatomic (tmp + fsync + rename + dir sync) guarantees a crash mid-
+	// save leaves either the previous index or the new one, never a torn
+	// file — the blobs above get the same treatment, so a restored index
+	// never points at a half-written blob.
+	return fsatomic.WriteFile(filepath.Join(dir, indexFile), data, 0o644)
 }
 
 func indexLess(a, b persistedEntry) bool {

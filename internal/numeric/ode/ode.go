@@ -113,6 +113,14 @@ type DormandPrinceOptions struct {
 	MinStep  float64 // smallest permitted step (default span*1e-12)
 	MaxStep  float64 // largest permitted step (default span)
 	MaxSteps int     // step budget (default 1e6)
+	// Cancel, when non-nil, is polled before every integration step and
+	// aborts with its error when it returns non-nil. Callers pass
+	// ctx.Err so cancellation reaches the step loop without this package
+	// importing context. On cancellation the partial Solution is
+	// returned alongside the error, with T truncated to the grid points
+	// actually reached (len(T) == len(Y)). A nil Cancel leaves the float
+	// sequence untouched: runs are bit-identical.
+	Cancel func() error
 }
 
 func (o DormandPrinceOptions) withDefaults(span float64) DormandPrinceOptions {
@@ -182,6 +190,12 @@ func DormandPrince(f Func, y0 []float64, grid []float64, opt DormandPrinceOption
 	h := opt.InitStep
 	gi := 1
 	for gi < len(grid) {
+		if opt.Cancel != nil {
+			if err := opt.Cancel(); err != nil {
+				sol.T = sol.T[:len(sol.Y)]
+				return sol, err
+			}
+		}
 		if sol.Steps >= opt.MaxSteps {
 			return nil, fmt.Errorf("ode: DormandPrince exceeded %d steps at t=%g", opt.MaxSteps, t)
 		}

@@ -372,6 +372,14 @@ type IterOptions struct {
 	// iteration matrix for the parallel PowerIteration product. When nil
 	// and Workers > 1 the transpose is built once at solve start.
 	Transposed *CSR
+	// Cancel, when non-nil, is polled before every sweep/iteration and
+	// aborts the solve with its error when it returns non-nil. Callers
+	// pass ctx.Err so cancellation reaches the iteration loop without
+	// this package importing context; the partial IterResult (iterations
+	// done, last residual) and best-so-far vector are still returned
+	// alongside the error. A nil Cancel (or one returning nil) changes
+	// nothing about the float sequence: runs are bit-identical.
+	Cancel func() error
 }
 
 func (o IterOptions) withDefaults() IterOptions {
@@ -406,6 +414,11 @@ func GaussSeidel(a *CSR, x, b []float64, opt IterOptions) (IterResult, error) {
 	}
 	var res IterResult
 	for it := 0; it < opt.MaxIter; it++ {
+		if opt.Cancel != nil {
+			if err := opt.Cancel(); err != nil {
+				return res, err
+			}
+		}
 		var delta float64
 		for i := 0; i < a.Rows; i++ {
 			s := b[i]
@@ -447,6 +460,11 @@ func Jacobi(a *CSR, x, b []float64, opt IterOptions) (IterResult, error) {
 	next := make([]float64, a.Rows)
 	var res IterResult
 	for it := 0; it < opt.MaxIter; it++ {
+		if opt.Cancel != nil {
+			if err := opt.Cancel(); err != nil {
+				return res, err
+			}
+		}
 		var delta float64
 		for i := 0; i < a.Rows; i++ {
 			s := b[i]
@@ -492,6 +510,11 @@ func PowerIteration(p *CSR, opt IterOptions) ([]float64, IterResult, error) {
 	y := make([]float64, n)
 	var res IterResult
 	for it := 0; it < opt.MaxIter; it++ {
+		if opt.Cancel != nil {
+			if err := opt.Cancel(); err != nil {
+				return x, res, err
+			}
+		}
 		if opt.Workers > 1 {
 			VecMulToParallelT(pt, y, x, opt.Workers)
 		} else {

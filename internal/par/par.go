@@ -13,6 +13,7 @@
 package par
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -61,6 +62,12 @@ type Options struct {
 	// In-flight tasks still run to completion; undispatched tasks are
 	// simply skipped (their error slots stay nil).
 	FailFast bool
+	// Ctx, when non-nil, stops dispatching new tasks once the context
+	// is done; each undispatched task's error slot is set to ctx.Err()
+	// so callers can tell "skipped by cancellation" from "succeeded".
+	// In-flight tasks run to completion — they are expected to poll the
+	// same context themselves at their own boundaries.
+	Ctx context.Context
 }
 
 // safeCall runs one task with panic supervision.
@@ -100,8 +107,18 @@ func run(n int, opt Options, fn func(i int) error) []error {
 		workers = n
 	}
 	errs := make([]error, n)
+	var done <-chan struct{} // nil channel when Ctx is unset: never selected
+	if opt.Ctx != nil {
+		done = opt.Ctx.Done()
+	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if opt.Ctx != nil {
+				if err := opt.Ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+			}
 			errs[i] = safeCall(i, fn)
 			if errs[i] != nil && opt.FailFast {
 				break
@@ -134,8 +151,24 @@ func run(n int, opt Options, fn func(i int) error) []error {
 	}
 dispatch:
 	for i := 0; i < n; i++ {
+		// Deterministic pre-check: once the context is done no further
+		// task is dispatched (the select below could otherwise race a
+		// ready worker against the closed done channel).
+		if opt.Ctx != nil {
+			if err := opt.Ctx.Err(); err != nil {
+				for j := i; j < n; j++ {
+					errs[j] = err
+				}
+				break dispatch
+			}
+		}
 		select {
 		case <-stop: // nil channel when !FailFast: never selected
+			break dispatch
+		case <-done: // nil channel when Ctx is unset: never selected
+			for j := i; j < n; j++ {
+				errs[j] = opt.Ctx.Err()
+			}
 			break dispatch
 		case next <- i:
 		}

@@ -9,10 +9,12 @@
 package derive
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/pepa"
+	"repro/internal/runctx"
 )
 
 // Transition is one derivable activity of a process term.
@@ -247,6 +249,16 @@ var ErrStateSpaceTooLarge = fmt.Errorf("derive: state space exceeds configured b
 // rates (a surviving passive activity means the model is incomplete and is
 // reported as an error, matching the PEPA workbench).
 func Explore(m *pepa.Model, opt Options) (*StateSpace, error) {
+	return ExploreCtx(context.Background(), m, opt)
+}
+
+// ExploreCtx is Explore with cooperative cancellation: ctx is polled
+// once per dequeued state (each dequeue derives that state's full
+// transition fan-out, so the poll is noise). An interrupted exploration
+// returns a *runctx.ErrCanceled reporting the states discovered so far.
+// An uncancelled context leaves the BFS order — and hence the state
+// numbering — bit-identical to Explore.
+func ExploreCtx(ctx context.Context, m *pepa.Model, opt Options) (*StateSpace, error) {
 	if opt.MaxStates <= 0 {
 		opt.MaxStates = 1 << 20
 	}
@@ -287,6 +299,9 @@ func Explore(m *pepa.Model, opt Options) (*StateSpace, error) {
 	}
 	queue := []queued{{id: startID, term: start}}
 	for len(queue) > 0 {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, runctx.New("derive.explore", cerr, len(ss.States), 0, "states")
+		}
 		cur := queue[0]
 		queue = queue[1:]
 		ts, err := d.Transitions(cur.term)

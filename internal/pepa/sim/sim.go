@@ -7,15 +7,20 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
+	"repro/internal/checkpoint"
 	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/pepa"
 	"repro/internal/pepa/derive"
 	"repro/internal/rng"
+	"repro/internal/runctx"
 )
 
 // Options configures a simulation run.
@@ -36,6 +41,14 @@ type Options struct {
 	// concurrent replication workers; nil costs nothing and simulation
 	// results are identical either way.
 	Obs *obs.Registry
+	// Checkpoint, when non-empty, is the path of a crash-safe checkpoint
+	// file where RunEnsemble persists each completed replication's
+	// summary. A rerun with identical parameters resumes from it — the
+	// independent per-replication seeds make replication order
+	// irrelevant — and produces a byte-identical ensemble (see
+	// docs/RESILIENCE.md). A checkpoint from different parameters is
+	// detected by fingerprint and ignored.
+	Checkpoint string
 }
 
 // Result summarizes one trajectory.
@@ -85,7 +98,16 @@ func (r *Result) DistinctStates() int { return len(r.StateTime) }
 
 // Run simulates one trajectory of the model's system equation.
 func Run(m *pepa.Model, opt Options) (*Result, error) {
-	res, err := run(m, opt)
+	return RunCtx(context.Background(), m, opt)
+}
+
+// RunCtx is Run with cooperative cancellation: ctx is polled once per
+// event (each event derives the current state's transition fan-out, so
+// the poll is noise). An interrupted trajectory returns the partial
+// *Result covering the simulated time reached, together with a
+// *runctx.ErrCanceled wrapping it.
+func RunCtx(ctx context.Context, m *pepa.Model, opt Options) (*Result, error) {
+	res, err := run(ctx, m, opt)
 	if res != nil {
 		opt.Obs.Inc("sim_runs_total")
 		opt.Obs.Add("sim_events_total", float64(res.Events))
@@ -96,7 +118,7 @@ func Run(m *pepa.Model, opt Options) (*Result, error) {
 	return res, err
 }
 
-func run(m *pepa.Model, opt Options) (*Result, error) {
+func run(ctx context.Context, m *pepa.Model, opt Options) (*Result, error) {
 	if m.System == nil {
 		return nil, fmt.Errorf("sim: model has no system equation")
 	}
@@ -113,6 +135,14 @@ func run(m *pepa.Model, opt Options) (*Result, error) {
 	cur := m.System
 	t := 0.0
 	for {
+		if cerr := ctx.Err(); cerr != nil {
+			res.Time = t
+			res.FinalState = cur.String()
+			runctx.Record(opt.Obs, "sim.run", cerr)
+			ec := runctx.New("sim.run", cerr, res.Events, 0, "events")
+			ec.Partial = res
+			return res, ec
+		}
 		trs, err := d.Transitions(cur)
 		if err != nil {
 			return nil, err
@@ -186,34 +216,120 @@ func (e *Ensemble) ThroughputCI(action string, z float64) (mean, halfWidth float
 	return mean, halfWidth
 }
 
+// repRecord is the per-replication summary persisted to the ensemble
+// checkpoint: exactly the fields the reduction consumes. Every field
+// round-trips JSON exactly (ints, bool, shortest-decimal float64), so a
+// resumed reduction is bit-identical to an uninterrupted one.
+type repRecord struct {
+	ActionCounts map[string]int `json:"actions"`
+	Events       int            `json:"events"`
+	Time         float64        `json:"time"`
+	Deadlocked   bool           `json:"deadlocked"`
+}
+
+// ensemblePayload is the checkpoint payload: completed replications
+// keyed by replication index.
+type ensemblePayload struct {
+	Reps map[int]repRecord `json:"reps"`
+}
+
 // RunEnsemble simulates n replications, in parallel when Options.Workers
 // allows. Each replication derives its own seed and builds its own
 // Deriver, so workers share nothing; the reduction runs in replication
 // order for bit-stable results.
 func RunEnsemble(m *pepa.Model, opt Options, n int) (*Ensemble, error) {
+	return RunEnsembleCtx(context.Background(), m, opt, n)
+}
+
+// RunEnsembleCtx is RunEnsemble with cooperative cancellation and
+// optional crash-safe checkpointing (Options.Checkpoint). Cancellation
+// stops dispatching new replications and interrupts running ones at
+// their next event; the returned *runctx.ErrCanceled carries the
+// ensemble reduced over the replications completed so far. With a
+// checkpoint, completed replications are persisted as they finish and
+// a rerun under the same parameters recomputes only the missing ones.
+func RunEnsembleCtx(ctx context.Context, m *pepa.Model, opt Options, n int) (*Ensemble, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("sim: need at least one replication")
 	}
-	results, err := par.Map(n, opt.Workers, func(i int) (*Result, error) {
+	reps := make(map[int]repRecord, n)
+	var (
+		ck *checkpoint.File
+		mu sync.Mutex
+	)
+	if opt.Checkpoint != "" {
+		ck = &checkpoint.File{
+			Path: opt.Checkpoint,
+			Job:  "sim.ensemble",
+			Fingerprint: checkpoint.Fingerprint("sim.ensemble", m.String(),
+				fmt.Sprintf("horizon=%g seed=%d maxevents=%d n=%d", opt.Horizon, opt.Seed, opt.MaxEvents, n)),
+			Obs: opt.Obs,
+		}
+		var saved ensemblePayload
+		if ok, err := ck.Load(&saved); err != nil {
+			return nil, err
+		} else if ok && saved.Reps != nil {
+			reps = saved.Reps
+		}
+	}
+	err := par.ForEachOpt(n, par.Options{Workers: opt.Workers, Ctx: ctx}, func(i int) error {
+		mu.Lock()
+		_, done := reps[i]
+		mu.Unlock()
+		if done {
+			return nil
+		}
 		o := opt
 		o.Seed = opt.Seed + uint64(i)*0x9E3779B97F4A7C15
-		res, err := Run(m, o)
+		res, err := RunCtx(ctx, m, o)
 		if err != nil {
-			return nil, fmt.Errorf("sim: replication %d: %w", i, err)
+			return fmt.Errorf("sim: replication %d: %w", i, err)
 		}
-		return res, nil
+		mu.Lock()
+		defer mu.Unlock()
+		reps[i] = repRecord{ActionCounts: res.ActionCounts, Events: res.Events, Time: res.Time, Deadlocked: res.Deadlocked}
+		if ck != nil {
+			return ck.Save(ensemblePayload{Reps: reps})
+		}
+		return nil
 	})
 	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			runctx.Record(opt.Obs, "sim.ensemble", cerr)
+			ec := runctx.New("sim.ensemble", cerr, len(reps), n, "replications")
+			if len(reps) > 0 {
+				ec.Partial = reduceEnsemble(reps, n)
+			}
+			return nil, ec
+		}
+		// Deterministic error selection, matching the pre-supervision
+		// contract: report the lowest-index failure.
+		var merr *par.MultiError
+		if errors.As(err, &merr) && len(merr.Errs) > 0 {
+			return nil, fmt.Errorf("par: %w", merr.Errs[0])
+		}
 		return nil, err
 	}
 	opt.Obs.Add("sim_replications_total", float64(n))
+	return reduceEnsemble(reps, n), nil
+}
+
+// reduceEnsemble folds the per-replication records, in ascending
+// replication order, into the Ensemble aggregate. Records absent from
+// the map (cancelled before completion) are skipped and the divisor is
+// the number actually completed.
+func reduceEnsemble(reps map[int]repRecord, n int) *Ensemble {
 	ens := &Ensemble{
-		Replications:   n,
 		MeanThroughput: map[string]float64{},
 		ThroughputStd:  map[string]float64{},
 	}
 	sumSq := map[string]float64{}
-	for _, res := range results {
+	for i := 0; i < n; i++ {
+		res, ok := reps[i]
+		if !ok {
+			continue
+		}
+		ens.Replications++
 		for a, c := range res.ActionCounts {
 			x := float64(c) / res.Time
 			ens.MeanThroughput[a] += x
@@ -224,23 +340,27 @@ func RunEnsemble(m *pepa.Model, opt Options, n int) (*Ensemble, error) {
 			ens.Deadlocks++
 		}
 	}
-	for a := range ens.MeanThroughput {
-		ens.MeanThroughput[a] /= float64(n)
+	k := ens.Replications
+	if k == 0 {
+		return ens
 	}
-	if n > 1 {
+	for a := range ens.MeanThroughput {
+		ens.MeanThroughput[a] /= float64(k)
+	}
+	if k > 1 {
 		for a, mean := range ens.MeanThroughput {
 			// Sample variance from the sum of squares; clamp the tiny
 			// negative values cancellation can produce. NaN (overflowed
 			// sums) clamps too — both comparisons are false for NaN.
-			v := (sumSq[a] - float64(n)*mean*mean) / float64(n-1)
+			v := (sumSq[a] - float64(k)*mean*mean) / float64(k-1)
 			if v < 0 || math.IsNaN(v) {
 				v = 0
 			}
 			ens.ThroughputStd[a] = math.Sqrt(v)
 		}
 	}
-	ens.MeanEvents /= float64(n)
-	return ens, nil
+	ens.MeanEvents /= float64(k)
+	return ens
 }
 
 // Actions lists the actions observed by an ensemble, sorted.

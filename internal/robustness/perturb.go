@@ -39,14 +39,23 @@ func (s *Study) Perturbed(spread float64, seed uint64) (*Study, error) {
 		return nil, fmt.Errorf("robustness: spread must be in [0,1), got %g", spread)
 	}
 	r := rng.New(seed)
-	c := *s
+	// Field-wise copy: Study carries a mutex, and a perturbed copy must not
+	// share the parent's checkpoint file (its ETC differs, so the two would
+	// overwrite each other's cells under different fingerprints).
+	c := &Study{
+		FailRate:   s.FailRate,
+		RepairRate: s.RepairRate,
+		Seed:       s.Seed,
+		Obs:        s.Obs,
+		Workers:    s.Workers,
+	}
 	for i := 0; i < NumApps; i++ {
 		for j := 0; j < NumMachines; j++ {
 			factor := 1 - spread + 2*spread*r.Float64()
 			c.ETC[i][j] = s.ETC[i][j] * factor
 		}
 	}
-	return &c, nil
+	return c, nil
 }
 
 // RobustnessUnderPerturbation evaluates P(makespan <= tau) for the nominal

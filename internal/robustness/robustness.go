@@ -18,9 +18,14 @@
 package robustness
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math"
 	"strings"
+	"sync"
 
+	"repro/internal/checkpoint"
 	"repro/internal/ctmc"
 	"repro/internal/diagram"
 	"repro/internal/obs"
@@ -28,6 +33,7 @@ import (
 	"repro/internal/pepa"
 	"repro/internal/pepa/derive"
 	"repro/internal/rng"
+	"repro/internal/runctx"
 )
 
 // Counts from the study.
@@ -86,10 +92,25 @@ type Study struct {
 	// Obs, when non-nil, is attached to every CTMC the study solves, so
 	// passage-time runs report solver iterations and truncation depths.
 	Obs *obs.Registry
-	// Workers bounds the goroutines each CTMC solve may use for its matrix
-	// kernels (0 or 1 means sequential). Results are bit-identical for any
-	// value; see docs/PERFORMANCE.md.
+	// Workers bounds the goroutines the study uses: the per-machine
+	// fan-out of MakespanCDF and each CTMC solve's matrix kernels (0
+	// means GOMAXPROCS, 1 means sequential). Results are bit-identical
+	// for any value; see docs/PERFORMANCE.md.
 	Workers int
+	// Checkpoint, when non-empty, names a file where every finished
+	// per-machine passage CDF is persisted (atomically, via
+	// internal/fsatomic) as soon as it is computed. A killed or canceled
+	// study re-run with the same parameters and checkpoint path skips
+	// the machines already on disk and produces byte-identical output.
+	// The file is keyed by a fingerprint of the study parameters and the
+	// time grid; a mismatch is treated as a cache miss, never an error.
+	Checkpoint string
+
+	ckMu sync.Mutex
+	// hookCell, when non-nil, runs after each per-machine cell has been
+	// computed and checkpointed — the test seam that cancels a study at
+	// a deterministic point mid-flight.
+	hookCell func(mapping string, j int)
 }
 
 // NewStudy constructs the study with the deterministic synthetic ETC and
@@ -214,14 +235,104 @@ func (s *Study) MachineModel(mapping string, j int, cyclic bool) (*pepa.Model, e
 	return m, nil
 }
 
+// studyJob is the checkpoint job name of per-machine study cells.
+const studyJob = "robustness.study"
+
+// studyPayload is the checkpoint payload: finished per-machine CDF
+// probability rows keyed by "<mapping>/<machine index>".
+type studyPayload struct {
+	Cells map[string][]float64 `json:"cells"`
+}
+
+// fingerprint derives the checkpoint fingerprint from every parameter
+// that determines a cell's numbers: the availability rates, the seed,
+// the full ETC matrix, and the exact time grid (all hashed at full
+// float64 precision). Workers is deliberately excluded — results are
+// bit-identical for any worker count.
+func (s *Study) fingerprint(times []float64) string {
+	var etc strings.Builder
+	for i := range s.ETC {
+		for j := range s.ETC[i] {
+			fmt.Fprintf(&etc, "%x,", math.Float64bits(s.ETC[i][j]))
+		}
+	}
+	var grid strings.Builder
+	for _, t := range times {
+		fmt.Fprintf(&grid, "%x,", math.Float64bits(t))
+	}
+	return checkpoint.Fingerprint(
+		studyJob,
+		fmt.Sprintf("fail=%x repair=%x seed=%d", math.Float64bits(s.FailRate), math.Float64bits(s.RepairRate), s.Seed),
+		etc.String(),
+		grid.String(),
+	)
+}
+
+func (s *Study) ckFile(times []float64) *checkpoint.File {
+	return &checkpoint.File{Path: s.Checkpoint, Job: studyJob, Fingerprint: s.fingerprint(times), Obs: s.Obs}
+}
+
+// loadCell returns the checkpointed probability row for a cell key, if
+// the study has a checkpoint path and the file holds a matching run.
+func (s *Study) loadCell(times []float64, key string) ([]float64, bool, error) {
+	if s.Checkpoint == "" {
+		return nil, false, nil
+	}
+	s.ckMu.Lock()
+	defer s.ckMu.Unlock()
+	var pay studyPayload
+	ok, err := s.ckFile(times).Load(&pay)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	probs, ok := pay.Cells[key]
+	return probs, ok, nil
+}
+
+// saveCell merges one finished cell into the checkpoint file. The
+// read-merge-write cycle is serialized by ckMu, so parallel machine
+// workers never lose each other's cells.
+func (s *Study) saveCell(times []float64, key string, probs []float64) error {
+	if s.Checkpoint == "" {
+		return nil
+	}
+	s.ckMu.Lock()
+	defer s.ckMu.Unlock()
+	ck := s.ckFile(times)
+	var pay studyPayload
+	if _, err := ck.Load(&pay); err != nil {
+		return err
+	}
+	if pay.Cells == nil {
+		pay.Cells = map[string][]float64{}
+	}
+	pay.Cells[key] = probs
+	return ck.Save(&pay)
+}
+
 // FinishingCDF computes the CDF of the finishing time of machine j under
 // the mapping on the given time grid — the quantity plotted in Figs 3/4.
 func (s *Study) FinishingCDF(mapping string, j int, times []float64) (*ctmc.PassageCDF, error) {
+	return s.FinishingCDFCtx(context.Background(), mapping, j, times)
+}
+
+// FinishingCDFCtx is FinishingCDF with cooperative cancellation (polled
+// inside the state-space BFS and every passage-time solve) and, when
+// Study.Checkpoint is set, crash-safe per-machine persistence: a cell
+// already on disk for identical parameters is returned without solving,
+// byte-identical to a fresh computation.
+func (s *Study) FinishingCDFCtx(ctx context.Context, mapping string, j int, times []float64) (*ctmc.PassageCDF, error) {
+	key := fmt.Sprintf("%s/%d", mapping, j)
+	if probs, ok, err := s.loadCell(times, key); err != nil {
+		return nil, err
+	} else if ok {
+		return &ctmc.PassageCDF{Times: append([]float64(nil), times...), Probs: probs}, nil
+	}
 	m, err := s.MachineModel(mapping, j, false)
 	if err != nil {
 		return nil, err
 	}
-	ss, err := derive.Explore(m, derive.Options{})
+	ss, err := derive.ExploreCtx(ctx, m, derive.Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -235,7 +346,14 @@ func (s *Study) FinishingCDF(mapping string, j int, times []float64) (*ctmc.Pass
 	chain := ctmc.FromStateSpace(ss)
 	chain.Obs = s.Obs
 	chain.Workers = s.Workers
-	return chain.FirstPassageCDF(chain.PointMass(0), targets, times, 1e-10)
+	cdf, err := chain.FirstPassageCDFCtx(ctx, chain.PointMass(0), targets, times, 1e-10)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.saveCell(times, key, cdf.Probs); err != nil {
+		return nil, err
+	}
+	return cdf, nil
 }
 
 // MakespanCDF computes the CDF of the mapping's makespan (the time by
@@ -243,14 +361,43 @@ func (s *Study) FinishingCDF(mapping string, j int, times []float64) (*ctmc.Pass
 // are independent, so the makespan CDF is the product of the per-machine
 // finishing-time CDFs — computed in parallel, multiplied in machine order.
 func (s *Study) MakespanCDF(mapping string, times []float64) (*ctmc.PassageCDF, error) {
-	cdfs, err := par.Map(NumMachines, 0, func(j int) (*ctmc.PassageCDF, error) {
-		cdf, err := s.FinishingCDF(mapping, j, times)
+	return s.MakespanCDFCtx(context.Background(), mapping, times)
+}
+
+// MakespanCDFCtx is MakespanCDF with cooperative cancellation and
+// (when Study.Checkpoint is set) per-machine checkpoint/resume. An
+// interrupted run returns a *runctx.ErrCanceled counting the machines
+// that finished; those cells are already on disk, so resuming costs
+// only the unfinished machines and the final product is byte-identical
+// to an uninterrupted run.
+func (s *Study) MakespanCDFCtx(ctx context.Context, mapping string, times []float64) (*ctmc.PassageCDF, error) {
+	cdfs, err := par.MapOpt(NumMachines, par.Options{Workers: s.Workers, Ctx: ctx}, func(j int) (*ctmc.PassageCDF, error) {
+		cdf, err := s.FinishingCDFCtx(ctx, mapping, j, times)
 		if err != nil {
 			return nil, fmt.Errorf("robustness: machine %d: %w", j+1, err)
+		}
+		if s.hookCell != nil {
+			s.hookCell(mapping, j)
 		}
 		return cdf, nil
 	})
 	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			done := 0
+			for _, cdf := range cdfs {
+				if cdf != nil {
+					done++
+				}
+			}
+			runctx.Record(s.Obs, "robustness.makespan", cerr)
+			ec := runctx.New("robustness.makespan", cerr, done, NumMachines, "machines")
+			ec.Partial = cdfs
+			return nil, ec
+		}
+		var merr *par.MultiError
+		if errors.As(err, &merr) && len(merr.Errs) > 0 {
+			return nil, fmt.Errorf("par: %w", merr.Errs[0])
+		}
 		return nil, err
 	}
 	out := &ctmc.PassageCDF{Times: append([]float64(nil), times...), Probs: make([]float64, len(times))}
@@ -269,11 +416,17 @@ func (s *Study) MakespanCDF(mapping string, times []float64) (*ctmc.PassageCDF, 
 // meets the deadline despite availability variation — the study's
 // robustness metric.
 func (s *Study) Robustness(mapping string, tau float64, samples int) (float64, error) {
+	return s.RobustnessCtx(context.Background(), mapping, tau, samples)
+}
+
+// RobustnessCtx is Robustness with cooperative cancellation and
+// checkpoint/resume, inherited from MakespanCDFCtx.
+func (s *Study) RobustnessCtx(ctx context.Context, mapping string, tau float64, samples int) (float64, error) {
 	times := make([]float64, samples+1)
 	for i := range times {
 		times[i] = tau * float64(i) / float64(samples)
 	}
-	cdf, err := s.MakespanCDF(mapping, times)
+	cdf, err := s.MakespanCDFCtx(ctx, mapping, times)
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,94 @@
+// Package runctx defines the shared cancellation vocabulary for the
+// toolchain's long-running operations: a typed *ErrCanceled that carries
+// the best-so-far partial result (in the style of ctmc.ConvergenceError,
+// which carries its stage trace), and an obs hook so every cancellation
+// and deadline hit is counted uniformly.
+//
+// Contract: every Ctx-suffixed entry point (derive.ExploreCtx,
+// ctmc.SteadyStateCtx, sim.RunEnsembleCtx, ...) polls ctx at its natural
+// unit-of-work boundary — iteration, uniformization term, BFS dequeue,
+// simulation event, replication, matrix cell, build stage — and returns
+// an *ErrCanceled as soon as the context is done. Polling uses ctx.Err()
+// only, so an uncancelled run (context.Background or an unexpired
+// deadline) executes the exact same float operations as the legacy
+// entry point: cancellation support is instrumentation-neutral.
+package runctx
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/obs"
+)
+
+// ErrCanceled reports that a long-running operation was interrupted
+// cooperatively by its context. It wraps the cause (context.Canceled or
+// context.DeadlineExceeded, reachable via errors.Is) and records how far
+// the operation got so callers can report classified partial progress
+// and resume from a checkpoint.
+type ErrCanceled struct {
+	// Op names the interrupted operation, e.g. "ctmc.steady-state".
+	Op string
+	// Cause is the context error: context.Canceled or
+	// context.DeadlineExceeded.
+	Cause error
+	// Done counts completed units of work; Unit names them
+	// ("iterations", "replications", "states", "cells", ...).
+	Done int
+	// Total is the number of units the full run needed, or 0 when the
+	// total is unknown up front (e.g. BFS state-space exploration).
+	Total int
+	Unit  string
+	// Residual is the solver residual at interruption; NaN when the
+	// operation has no residual notion.
+	Residual float64
+	// Partial, when non-nil, holds the operation-specific best-so-far
+	// result (e.g. a *sim.Ensemble over the completed replications, or
+	// the transient-series prefix already computed).
+	Partial any
+}
+
+func (e *ErrCanceled) Error() string {
+	msg := fmt.Sprintf("%s: canceled after %d", e.Op, e.Done)
+	if e.Total > 0 {
+		msg += fmt.Sprintf("/%d", e.Total)
+	}
+	if e.Unit != "" {
+		msg += " " + e.Unit
+	}
+	if !math.IsNaN(e.Residual) {
+		msg += fmt.Sprintf(" (residual %.3e)", e.Residual)
+	}
+	return msg + ": " + e.Cause.Error()
+}
+
+// Unwrap exposes the context error so errors.Is(err, context.Canceled)
+// and errors.Is(err, context.DeadlineExceeded) both work.
+func (e *ErrCanceled) Unwrap() error { return e.Cause }
+
+// New builds an *ErrCanceled with Residual defaulted to NaN. Cause
+// should be ctx.Err() at the moment of interruption.
+func New(op string, cause error, done, total int, unit string) *ErrCanceled {
+	return &ErrCanceled{Op: op, Cause: cause, Done: done, Total: total, Unit: unit, Residual: math.NaN()}
+}
+
+// CauseLabel classifies a cancellation cause for the closed-set obs
+// label: "deadline" for context.DeadlineExceeded, "canceled" otherwise.
+func CauseLabel(cause error) string {
+	if errors.Is(cause, context.DeadlineExceeded) {
+		return "deadline"
+	}
+	return "canceled"
+}
+
+// Record counts one cancellation in reg (nil-safe, like all obs calls):
+//
+//	cancellations_total{op=<op>, cause=canceled|deadline}
+//
+// Every package that constructs an *ErrCanceled with an obs registry in
+// scope calls Record exactly once per interrupted operation.
+func Record(reg *obs.Registry, op string, cause error) {
+	reg.Inc("cancellations_total", obs.L("op", op), obs.L("cause", CauseLabel(cause)))
+}

@@ -1,0 +1,79 @@
+package runctx
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestErrCanceledUnwrap(t *testing.T) {
+	for _, cause := range []error{context.Canceled, context.DeadlineExceeded} {
+		err := error(New("ctmc.transient", cause, 3, 10, "terms"))
+		if !errors.Is(err, cause) {
+			t.Fatalf("errors.Is(%v, %v) = false", err, cause)
+		}
+		var ec *ErrCanceled
+		if !errors.As(err, &ec) || ec.Done != 3 || ec.Total != 10 {
+			t.Fatalf("errors.As failed or lost progress: %+v", ec)
+		}
+	}
+}
+
+func TestErrCanceledMessage(t *testing.T) {
+	err := New("sim.ensemble", context.Canceled, 7, 0, "replications")
+	msg := err.Error()
+	for _, want := range []string{"sim.ensemble", "after 7 replications", "context canceled"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("message %q missing %q", msg, want)
+		}
+	}
+	if strings.Contains(msg, "residual") {
+		t.Fatalf("NaN residual should be omitted: %q", msg)
+	}
+	if strings.Contains(msg, "7/") {
+		t.Fatalf("unknown total should be omitted: %q", msg)
+	}
+
+	withRes := New("ctmc.steady-state", context.DeadlineExceeded, 12, 500, "iterations")
+	withRes.Residual = 1e-4
+	msg = withRes.Error()
+	for _, want := range []string{"12/500 iterations", "residual 1.000e-04", "deadline exceeded"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("message %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestNewDefaultsResidualNaN(t *testing.T) {
+	if e := New("x", context.Canceled, 0, 0, ""); !math.IsNaN(e.Residual) {
+		t.Fatalf("Residual = %v, want NaN", e.Residual)
+	}
+}
+
+func TestCauseLabel(t *testing.T) {
+	if got := CauseLabel(context.DeadlineExceeded); got != "deadline" {
+		t.Fatalf("deadline label = %q", got)
+	}
+	if got := CauseLabel(context.Canceled); got != "canceled" {
+		t.Fatalf("canceled label = %q", got)
+	}
+}
+
+func TestRecord(t *testing.T) {
+	reg := obs.NewRegistry()
+	Record(reg, "derive.explore", context.Canceled)
+	Record(reg, "derive.explore", context.DeadlineExceeded)
+	Record(reg, "derive.explore", context.DeadlineExceeded)
+	if got := reg.Counter("cancellations_total", obs.L("op", "derive.explore"), obs.L("cause", "canceled")); got != 1 {
+		t.Fatalf("canceled count = %v, want 1", got)
+	}
+	if got := reg.Counter("cancellations_total", obs.L("op", "derive.explore"), obs.L("cause", "deadline")); got != 2 {
+		t.Fatalf("deadline count = %v, want 2", got)
+	}
+	// Nil registry must be a no-op, like every obs call.
+	Record(nil, "derive.explore", context.Canceled)
+}

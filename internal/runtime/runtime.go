@@ -18,6 +18,7 @@ package runtime
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -27,6 +28,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pkgmgr"
 	"repro/internal/recipe"
+	"repro/internal/runctx"
 	"repro/internal/shellenv"
 	"repro/internal/vfs"
 )
@@ -118,6 +120,29 @@ type BuildResult struct {
 // repository — the insulation from host package skew that the paper's
 // containers provide.
 func (e *Engine) Build(rcp *recipe.Recipe, host *hostenv.Host, ctx BuildContext, name, tag string) (*BuildResult, error) {
+	return e.BuildCtx(context.Background(), rcp, host, ctx, name, tag)
+}
+
+// Build stages, in execution order, used for cancellation progress
+// reporting: %files copy, %post, %test, digest.
+const buildStages = 4
+
+// BuildCtx is Build with cooperative cancellation checked at stage
+// boundaries (before %files, %post, %test, and the final digest). A
+// build interrupted between stages returns a *runctx.ErrCanceled
+// reporting the stages completed; stages themselves are atomic.
+func (e *Engine) BuildCtx(cctx context.Context, rcp *recipe.Recipe, host *hostenv.Host, ctx BuildContext, name, tag string) (*BuildResult, error) {
+	canceled := func(stage int) error {
+		cerr := cctx.Err()
+		if cerr == nil {
+			return nil
+		}
+		runctx.Record(e.Obs, "runtime.build", cerr)
+		return runctx.New("runtime.build", cerr, stage, buildStages, "stages")
+	}
+	if err := canceled(0); err != nil {
+		return nil, err
+	}
 	// Cache lookup: only context-free builds are cacheable (a build
 	// context's files are not part of the key).
 	// The host is part of the key only for provenance accuracy (BuildHost
@@ -149,6 +174,9 @@ func (e *Engine) Build(rcp *recipe.Recipe, host *hostenv.Host, ctx BuildContext,
 			return nil, fmt.Errorf("runtime: %%files %s -> %s: %w", fp.Src, fp.Dst, err)
 		}
 	}
+	if err := canceled(1); err != nil {
+		return nil, err
+	}
 	// %post: runs as root inside the build sandbox, against the base
 	// distro's repository.
 	env := shellenv.NewEnv(fs)
@@ -172,6 +200,9 @@ func (e *Engine) Build(rcp *recipe.Recipe, host *hostenv.Host, ctx BuildContext,
 		FS: fs,
 	}
 	res := &BuildResult{Image: img, PostOutput: env.Stdout.String()}
+	if err := canceled(2); err != nil {
+		return nil, err
+	}
 	// %test runs in the freshly built image under the run isolation model.
 	if rcp.Test != "" {
 		run, err := e.run(img, host, RunOptions{Script: rcp.Test})
@@ -179,6 +210,9 @@ func (e *Engine) Build(rcp *recipe.Recipe, host *hostenv.Host, ctx BuildContext,
 			return nil, fmt.Errorf("runtime: %%test failed: %w", err)
 		}
 		res.TestOutput = run.Stdout
+	}
+	if err := canceled(3); err != nil {
+		return nil, err
 	}
 	d, err := img.Digest()
 	if err != nil {
@@ -229,6 +263,16 @@ type RunResult struct {
 
 // Run executes the image's runscript on the host.
 func (e *Engine) Run(img *image.Image, host *hostenv.Host, opts RunOptions) (*RunResult, error) {
+	return e.run(img, host, opts)
+}
+
+// RunCtx is Run with cooperative cancellation: the context is checked once
+// before the container starts, so a canceled context never launches a run.
+func (e *Engine) RunCtx(cctx context.Context, img *image.Image, host *hostenv.Host, opts RunOptions) (*RunResult, error) {
+	if cerr := cctx.Err(); cerr != nil {
+		runctx.Record(e.Obs, "runtime.run", cerr)
+		return nil, runctx.New("runtime.run", cerr, 0, 1, "runs")
+	}
 	return e.run(img, host, opts)
 }
 

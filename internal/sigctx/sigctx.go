@@ -1,0 +1,52 @@
+// Package sigctx wires POSIX termination signals into context
+// cancellation for the CLIs. The first SIGINT or SIGTERM cancels the
+// returned context so long-running work unwinds cooperatively (saving
+// checkpoints, draining the hub server); a second signal force-aborts
+// the process with the conventional 128+signum exit code for operators
+// who cannot wait for the drain.
+package sigctx
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// WithSignals returns a child of parent that is canceled on the first
+// SIGINT/SIGTERM. The returned stop function releases the signal
+// handler and cancels the context; defer it in main. After the first
+// signal, a second SIGINT/SIGTERM exits the process immediately via
+// ExitCode.
+func WithSignals(parent context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(parent)
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		select {
+		case <-ch:
+			cancel()
+		case <-ctx.Done():
+			signal.Stop(ch)
+			return
+		}
+		// First signal delivered: the main goroutine is now unwinding.
+		// A second signal means "stop waiting" — abort on the spot.
+		sig := <-ch
+		os.Exit(ExitCode(sig))
+	}()
+	stop := func() {
+		signal.Stop(ch)
+		cancel()
+	}
+	return ctx, stop
+}
+
+// ExitCode maps a termination signal to the shell convention 128+signum
+// (SIGINT -> 130, SIGTERM -> 143); unknown signals map to 1.
+func ExitCode(sig os.Signal) int {
+	if s, ok := sig.(syscall.Signal); ok {
+		return 128 + int(s)
+	}
+	return 1
+}

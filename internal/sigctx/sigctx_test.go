@@ -1,0 +1,68 @@
+package sigctx
+
+import (
+	"context"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestSIGTERMCancels(t *testing.T) {
+	ctx, stop := WithSignals(context.Background())
+	defer stop()
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("context not canceled after SIGTERM")
+	}
+	if ctx.Err() != context.Canceled {
+		t.Fatalf("ctx.Err() = %v", ctx.Err())
+	}
+}
+
+func TestStopReleasesWithoutSignal(t *testing.T) {
+	ctx, stop := WithSignals(context.Background())
+	stop()
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("stop() did not cancel the context")
+	}
+	// After stop, the handler is released: a SIGTERM here would kill the
+	// test process if Notify were still routing it to a full channel (it
+	// is buffered, so this is safe either way; the real assertion is that
+	// stop returned and the goroutine exited without os.Exit).
+}
+
+func TestParentCancellationPropagates(t *testing.T) {
+	parent, cancel := context.WithCancel(context.Background())
+	ctx, stop := WithSignals(parent)
+	defer stop()
+	cancel()
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("parent cancellation did not propagate")
+	}
+}
+
+func TestExitCode(t *testing.T) {
+	if got := ExitCode(syscall.SIGINT); got != 130 {
+		t.Fatalf("SIGINT -> %d, want 130", got)
+	}
+	if got := ExitCode(syscall.SIGTERM); got != 143 {
+		t.Fatalf("SIGTERM -> %d, want 143", got)
+	}
+	if got := ExitCode(fakeSignal{}); got != 1 {
+		t.Fatalf("unknown -> %d, want 1", got)
+	}
+}
+
+type fakeSignal struct{}
+
+func (fakeSignal) String() string { return "fake" }
+func (fakeSignal) Signal()        {}
