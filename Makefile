@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-snapshot bench-compare bench-baseline repro chaos chaos-cancel conformance conformance-deep fuzz fuzz-smoke goldens clean
+.PHONY: all build vet test race bench bench-snapshot bench-compare bench-baseline repro chaos chaos-cancel chaos-hub conformance conformance-deep fuzz fuzz-smoke goldens clean
 
 # Solve-path benchmarks watched by the regression gate (docs/PERFORMANCE.md).
 BENCH_GATED = ^(BenchmarkTransientSeries|BenchmarkTransientWorkers|BenchmarkFirstPassageCDF|BenchmarkToCSR|BenchmarkVecMulParallel)$$
@@ -64,6 +64,16 @@ chaos-cancel:
 		-run 'TestStudy|TestEnsemble|TestMeanOfSim|TestShutdown|TestSave|TestLoad' \
 		./internal/robustness ./internal/pepa/sim ./internal/gpepa ./internal/hub
 	$(GO) test -race -count=1 ./internal/par ./internal/checkpoint ./internal/fsatomic ./internal/sigctx ./internal/runctx
+
+# Durability/self-healing chaos lane (docs/RESILIENCE.md): WAL crash-point
+# recovery, resumable chunked pulls under seeded truncation, scrub/
+# quarantine/repair, and admission-control shedding — all under -race.
+# Fault plans and jitter are seeded, so failures replay exactly.
+chaos-hub:
+	$(GO) test -race -count=1 \
+		-run 'TestChaos|TestWAL|TestScrub|TestRepush|TestQuarantine|TestIdempotentPut|TestLoadReplays|TestPull|TestServeBlobRange|TestParseRange|TestChunkDigests|TestAdmission|TestTokenBucket|TestClientHonorsRetryAfter|TestClientThrottleCap' \
+		./internal/hub
+	$(GO) test -race -count=1 ./internal/fsatomic ./internal/faultinject
 
 # Cross-solver conformance sweep (see docs/TESTING.md). The default slice
 # matches CI; the deep sweep widens the model window and runs the slow

@@ -61,7 +61,11 @@ func run() error {
 	faultSeed := fs.Uint64("fault-seed", 1, "serve: seed for the -fault-spec plan")
 	metricsAddr := fs.String("metrics-addr", "", "serve: also serve GET /metrics (Prometheus text) on this address")
 	pprofOn := fs.Bool("pprof", false, "serve: expose /debug/pprof on the -metrics-addr listener")
-	drain := fs.Duration("drain", 10*time.Second, "serve: how long a shutdown waits for in-flight requests before aborting them")
+	drain := fs.Duration("drain", 10*time.Second, "serve: how long a shutdown waits for in-flight requests before aborting them; the journal is flushed and compacted after the drain")
+	scrubInterval := fs.Duration("scrub-interval", 5*time.Minute, "serve: background integrity-scrub interval (0 disables)")
+	scrubSeed := fs.Uint64("scrub-seed", 1, "serve: seed for the scrub interval jitter")
+	maxInflight := fs.Int("max-inflight", 256, "serve: per-class concurrent-request cap; excess load is shed with 429 (negative disables)")
+	rateLimit := fs.Float64("rate-limit", 0, "serve: token-bucket request rate in req/s; 0 disables rate limiting")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		return err
 	}
@@ -76,12 +80,23 @@ func run() error {
 	case "serve":
 		store := hub.NewStore()
 		if *statePath != "" {
-			loaded, err := hub.LoadOrNew(*statePath)
+			// Durable mode: every mutation is journaled (fsynced WAL)
+			// before it is acknowledged, and recovery replays the journal
+			// on top of the last snapshot — a crash or torn tail loses at
+			// most the record being written.
+			loaded, report, err := hub.OpenDurable(*statePath, hub.DurableOptions{})
 			if err != nil {
 				return err
 			}
 			store = loaded
-			fmt.Printf("registry state: %s (%d collections)\n", *statePath, len(store.Collections()))
+			fmt.Printf("registry state: %s (%d collections, %d snapshot entries, %d journal records replayed)\n",
+				*statePath, len(store.Collections()), report.SnapshotEntries, report.JournalRecords)
+			if report.TornBytes > 0 {
+				fmt.Printf("recovered from torn journal tail: %d bytes truncated\n", report.TornBytes)
+			}
+			if report.Quarantined > 0 {
+				fmt.Printf("warning: %d entries quarantined during recovery (re-push to repair)\n", report.Quarantined)
+			}
 		}
 		srv := hub.NewServer(store)
 		if *faultSpec != "" {
@@ -100,10 +115,26 @@ func run() error {
 			srv.EnableAutoBuild(builder)
 			fmt.Println("auto-build enabled (build host: " + builder.Host.Name + ")")
 		}
+		var reg *obs.Registry
 		if *metricsAddr != "" {
-			// Enabled last so the middleware observes the fault injector
-			// and auto-build endpoints too.
-			srv.EnableMetrics(obs.NewRegistry())
+			reg = obs.NewRegistry()
+		}
+		if *maxInflight > 0 || *rateLimit > 0 {
+			srv.EnableAdmission(hub.AdmissionOptions{
+				MaxInflightReads:  *maxInflight,
+				MaxInflightWrites: *maxInflight,
+				RatePerSec:        *rateLimit,
+				Obs:               reg,
+			})
+		}
+		if *metricsAddr != "" {
+			// Enabled last so the middleware observes the fault injector,
+			// admission control, and auto-build endpoints too.
+			srv.EnableMetrics(reg)
+		}
+		if *scrubInterval > 0 {
+			srv.EnableScrubbing(*scrubInterval, *scrubSeed)
+			fmt.Printf("integrity scrubbing every ~%s (seed %d)\n", *scrubInterval, *scrubSeed)
 		}
 		bound, err := srv.Listen(*addr)
 		if err != nil {
@@ -130,7 +161,9 @@ func run() error {
 			fmt.Fprintln(os.Stderr, "schub: drain incomplete, in-flight requests aborted:", err)
 		}
 		if *statePath != "" {
-			if err := store.Save(*statePath); err != nil {
+			// Close flushes the journal and completes a final compaction,
+			// so the next open replays nothing.
+			if err := store.Close(); err != nil {
 				fmt.Fprintln(os.Stderr, "schub: saving state:", err)
 			} else {
 				fmt.Printf("registry state saved to %s\n", *statePath)
@@ -159,22 +192,17 @@ func run() error {
 		if *name == "" {
 			return fmt.Errorf("-name is required")
 		}
-		img, d, err := client().Pull(*collection, *name, *tag, *digest)
-		if err != nil {
-			return err
-		}
 		target := *out
 		if target == "" {
 			target = *name + ".scif"
 		}
-		blob, err := img.Marshal()
+		// PullToFile spools verified chunks next to the target, so an
+		// interrupted pull resumes from the last good offset on rerun.
+		d, err := client().PullToFile(*collection, *name, *tag, *digest, target)
 		if err != nil {
 			return err
 		}
-		if err := os.WriteFile(target, blob, 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("pulled %s (digest %s) to %s\n", img.Ref(), d, target)
+		fmt.Printf("pulled %s:%s (digest %s) to %s\n", *name, *tag, d, target)
 		return nil
 	case "build":
 		if *recipePath == "" || *name == "" {

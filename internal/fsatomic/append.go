@@ -1,0 +1,93 @@
+package fsatomic
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// AppendFile is a durable append-only file: every Append is followed by
+// an fsync, so a crash never loses an acknowledged record — at worst the
+// tail holds one partially-written (torn) record, which readers must
+// detect and discard. The hub's write-ahead journal
+// (internal/hub/wal.go) is built on this.
+type AppendFile struct {
+	f    *os.File
+	dir  string
+	path string
+}
+
+// OpenAppend opens (creating if needed) path for durable appends. A
+// newly created file is made durable immediately by fsyncing the parent
+// directory, so the journal itself cannot vanish in a crash after its
+// first record was acknowledged.
+func OpenAppend(path string) (*AppendFile, error) {
+	dir := filepath.Dir(path)
+	_, statErr := os.Stat(path)
+	created := os.IsNotExist(statErr)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("fsatomic: open append %s: %w", path, err)
+	}
+	if created {
+		if err := syncDir(dir); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return &AppendFile{f: f, dir: dir, path: path}, nil
+}
+
+// Append writes p at the end of the file and fsyncs. On return the
+// record is durable; on error the tail may be torn and the caller's
+// replay logic must tolerate that.
+func (a *AppendFile) Append(p []byte) error {
+	if _, err := a.f.Write(p); err != nil {
+		return fmt.Errorf("fsatomic: append %s: %w", a.path, err)
+	}
+	if err := a.f.Sync(); err != nil {
+		return fmt.Errorf("fsatomic: fsync %s: %w", a.path, err)
+	}
+	return nil
+}
+
+// Size returns the current file length.
+func (a *AppendFile) Size() (int64, error) {
+	fi, err := a.f.Stat()
+	if err != nil {
+		return 0, fmt.Errorf("fsatomic: stat %s: %w", a.path, err)
+	}
+	return fi.Size(), nil
+}
+
+// Truncate durably shortens the file to n bytes (discarding a torn tail
+// after replay, or resetting a journal after compaction).
+func (a *AppendFile) Truncate(n int64) error {
+	if err := a.f.Truncate(n); err != nil {
+		return fmt.Errorf("fsatomic: truncate %s: %w", a.path, err)
+	}
+	if err := a.f.Sync(); err != nil {
+		return fmt.Errorf("fsatomic: fsync %s: %w", a.path, err)
+	}
+	return nil
+}
+
+// Sync forces an fsync outside of Append (e.g. before close on drain).
+func (a *AppendFile) Sync() error {
+	if err := a.f.Sync(); err != nil {
+		return fmt.Errorf("fsatomic: fsync %s: %w", a.path, err)
+	}
+	return nil
+}
+
+// Close fsyncs and closes the file.
+func (a *AppendFile) Close() error {
+	if err := a.f.Sync(); err != nil {
+		a.f.Close()
+		return fmt.Errorf("fsatomic: fsync %s: %w", a.path, err)
+	}
+	return a.f.Close()
+}
+
+// Path returns the file's path.
+func (a *AppendFile) Path() string { return a.path }

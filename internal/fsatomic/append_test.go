@@ -1,0 +1,108 @@
+package fsatomic
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestAppendFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log")
+	f, err := OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Path() != path {
+		t.Errorf("Path() = %q, want %q", f.Path(), path)
+	}
+	for _, rec := range []string{"alpha\n", "beta\n", "gamma\n"} {
+		if err := f.Append([]byte(rec)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := f.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(len("alpha\nbeta\ngamma\n")); n != want {
+		t.Errorf("Size() = %d, want %d", n, want)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "alpha\nbeta\ngamma\n" {
+		t.Errorf("contents = %q", data)
+	}
+}
+
+func TestAppendFileReopenExtends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log")
+	f, err := OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Append([]byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopening must append after the existing bytes, never truncate.
+	f, err = OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Append([]byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	if string(data) != "onetwo" {
+		t.Errorf("contents after reopen = %q, want %q", data, "onetwo")
+	}
+}
+
+func TestAppendFileTruncate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log")
+	f, err := OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Append([]byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(4); err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Errorf("Size() after truncate = %d, want 4", n)
+	}
+	// Appends after a truncate land at the new end (O_APPEND semantics).
+	if err := f.Append([]byte("ab")); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	if string(data) != "0123ab" {
+		t.Errorf("contents = %q, want %q", data, "0123ab")
+	}
+}
+
+func TestOpenAppendMissingDir(t *testing.T) {
+	if _, err := OpenAppend(filepath.Join(t.TempDir(), "no", "such", "dir", "log")); err == nil {
+		t.Error("OpenAppend into a missing directory succeeded")
+	}
+}

@@ -1,0 +1,179 @@
+package hub
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Admission control: before a request reaches the registry handlers it
+// passes a token-bucket rate limiter and a per-endpoint-class
+// concurrency gate. Load beyond either bound is shed with 429 Too Many
+// Requests plus a Retry-After hint, which the client's retry stack
+// honors as a non-counting backoff (see resilience.go). Health and
+// metrics probes are exempt — an overloaded hub must stay observable.
+
+// AdmissionOptions tunes EnableAdmission. Zero fields use defaults.
+type AdmissionOptions struct {
+	// MaxInflightReads caps concurrently-served GET requests
+	// (default 256; negative disables the gate).
+	MaxInflightReads int
+	// MaxInflightWrites caps concurrently-served PUT/POST/DELETE
+	// requests (default 64; negative disables the gate).
+	MaxInflightWrites int
+	// RatePerSec refills the token bucket (0 disables rate limiting).
+	RatePerSec float64
+	// Burst is the bucket capacity (default 2*RatePerSec, minimum 1).
+	Burst float64
+	// RetryAfter is the hint attached to shed requests (default 1s,
+	// rounded up to whole seconds on the wire).
+	RetryAfter time.Duration
+	// Now overrides the clock (deterministic tests).
+	Now func() time.Time
+	// Obs receives hub_admission_* metrics; nil disables.
+	Obs *obs.Registry
+}
+
+func (o AdmissionOptions) withDefaults() AdmissionOptions {
+	if o.MaxInflightReads == 0 {
+		o.MaxInflightReads = 256
+	}
+	if o.MaxInflightWrites == 0 {
+		o.MaxInflightWrites = 64
+	}
+	if o.Burst <= 0 {
+		o.Burst = 2 * o.RatePerSec
+	}
+	if o.Burst < 1 && o.RatePerSec > 0 {
+		o.Burst = 1
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = time.Second
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+// tokenBucket is a mutex-guarded token bucket over an injectable clock.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+func newTokenBucket(rate, burst float64, now func() time.Time) *tokenBucket {
+	b := &tokenBucket{rate: rate, burst: burst, now: now}
+	b.tokens = burst
+	b.last = now()
+	return b
+}
+
+// take consumes one token if available; otherwise it reports how long
+// until one accrues.
+func (b *tokenBucket) take() (ok bool, wait time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	elapsed := now.Sub(b.last).Seconds()
+	if elapsed > 0 {
+		b.tokens += elapsed * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	deficit := 1 - b.tokens
+	return false, time.Duration(deficit / b.rate * float64(time.Second))
+}
+
+// admission is the state behind the middleware.
+type admission struct {
+	opts   AdmissionOptions
+	bucket *tokenBucket // nil when rate limiting is off
+	reads  chan struct{}
+	writes chan struct{}
+	reg    *obs.Registry
+}
+
+// EnableAdmission wraps the server's current handler with load shedding.
+// Call it after EnableFaults (shed requests never reach the fault
+// injector) and before EnableMetrics (shed responses are still counted).
+// Must be called before Listen/Handler use.
+func (s *Server) EnableAdmission(opts AdmissionOptions) {
+	opts = opts.withDefaults()
+	a := &admission{opts: opts, reg: opts.Obs}
+	if opts.RatePerSec > 0 {
+		a.bucket = newTokenBucket(opts.RatePerSec, opts.Burst, opts.Now)
+	}
+	if opts.MaxInflightReads > 0 {
+		a.reads = make(chan struct{}, opts.MaxInflightReads)
+	}
+	if opts.MaxInflightWrites > 0 {
+		a.writes = make(chan struct{}, opts.MaxInflightWrites)
+	}
+	next := s.handler
+	s.handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		class, gate := a.classify(r)
+		if a.bucket != nil {
+			if ok, wait := a.bucket.take(); !ok {
+				a.shed(w, r, class, "rate", wait)
+				return
+			}
+		}
+		if gate != nil {
+			select {
+			case gate <- struct{}{}:
+				defer func() { <-gate }()
+			default:
+				a.shed(w, r, class, "concurrency", a.opts.RetryAfter)
+				return
+			}
+			a.reg.Set("hub_admission_inflight", float64(len(gate)), obs.L("class", class))
+			defer func() { a.reg.Set("hub_admission_inflight", float64(len(gate)-1), obs.L("class", class)) }()
+		}
+		a.reg.Inc("hub_admission_admitted_total", obs.L("class", class))
+		next.ServeHTTP(w, r)
+	})
+}
+
+// classify maps a request to its admission class and concurrency gate.
+func (a *admission) classify(r *http.Request) (string, chan struct{}) {
+	switch r.Method {
+	case http.MethodGet, http.MethodHead:
+		return "read", a.reads
+	default:
+		return "write", a.writes
+	}
+}
+
+// shed answers a request the hub will not serve right now: 429 plus a
+// Retry-After hint in whole seconds (rounded up, minimum 1).
+func (a *admission) shed(w http.ResponseWriter, r *http.Request, class, reason string, wait time.Duration) {
+	if wait < a.opts.RetryAfter {
+		wait = a.opts.RetryAfter
+	}
+	secs := int(wait / time.Second)
+	if wait%time.Second != 0 || secs == 0 {
+		secs++
+	}
+	a.reg.Inc("hub_admission_rejections_total", obs.L("class", class), obs.L("reason", reason))
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	http.Error(w, fmt.Sprintf("hub overloaded (%s limit); retry after %ds", reason, secs), http.StatusTooManyRequests)
+}

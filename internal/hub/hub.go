@@ -42,24 +42,57 @@ type Entry struct {
 	Digest     string `json:"digest"`
 	Size       int    `json:"size"`
 	BuildHost  string `json:"buildHost,omitempty"`
+	// Quarantined marks content whose stored bytes failed digest
+	// verification (scrubber or recovery); it is served as 410 Gone
+	// until a re-push repairs it.
+	Quarantined bool `json:"quarantined,omitempty"`
 }
 
-// Store is the in-memory registry state, safe for concurrent use.
+// Store is the in-memory registry state, safe for concurrent use. A
+// store opened with OpenDurable additionally journals every mutation to
+// a write-ahead log before acknowledging it (see persist.go, wal.go).
 type Store struct {
-	mu     sync.RWMutex
-	blobs  map[string][]byte // key: coll/name:tag
-	digest map[string]string
-	meta   map[string]Entry
+	mu          sync.RWMutex
+	blobs       map[string][]byte // key: coll/name:tag
+	digest      map[string]string
+	meta        map[string]Entry
+	quarantined map[string]string // key -> quarantine reason
+
+	// pmu serializes mutations so the journal order matches the order
+	// the in-memory maps were updated in; nil wal means in-memory only.
+	pmu          sync.Mutex
+	dir          string
+	wal          *wal
+	compactEvery int
 }
 
 // NewStore creates an empty registry store.
 func NewStore() *Store {
-	return &Store{blobs: map[string][]byte{}, digest: map[string]string{}, meta: map[string]Entry{}}
+	return &Store{
+		blobs:       map[string][]byte{},
+		digest:      map[string]string{},
+		meta:        map[string]Entry{},
+		quarantined: map[string]string{},
+	}
 }
 
 func key(coll, name, tag string) string { return coll + "/" + name + ":" + tag }
 
-// Put stores an image blob, computing and recording its digest.
+// blobDigest computes the content digest of a marshalled image blob,
+// rejecting malformed payloads.
+func blobDigest(blob []byte) (string, error) {
+	img, err := image.Unmarshal(blob)
+	if err != nil {
+		return "", fmt.Errorf("hub: rejecting malformed image: %w", err)
+	}
+	return img.Digest()
+}
+
+// Put stores an image blob, computing and recording its digest. On a
+// durable store the blob file and journal record are fsynced before the
+// in-memory state changes. Re-pushing bytes whose digest matches the
+// already-stored (healthy) entry is a no-op: no copy, no blob write, no
+// journal record. Re-pushing to a quarantined entry repairs it.
 func (s *Store) Put(coll, name, tag string, blob []byte) (string, error) {
 	img, err := image.Unmarshal(blob)
 	if err != nil {
@@ -69,19 +102,64 @@ func (s *Store) Put(coll, name, tag string, blob []byte) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	k := key(coll, name, tag)
-	s.blobs[k] = append([]byte(nil), blob...)
-	s.digest[k] = d
-	s.meta[k] = Entry{
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	s.mu.RLock()
+	_, inQuarantine := s.quarantined[k]
+	identical := s.digest[k] == d && !inQuarantine
+	s.mu.RUnlock()
+	if identical {
+		// Idempotent re-push: the stored entry already holds exactly
+		// these bytes and is healthy.
+		return d, nil
+	}
+	e := Entry{
 		Collection: coll, Container: name, Tag: tag,
 		Digest: d, Size: len(blob), BuildHost: img.Meta.BuildHost,
+	}
+	stored := append([]byte(nil), blob...)
+	if s.wal != nil {
+		pe := persistedEntry{Entry: e, Blob: blobFileName(d)}
+		// Repairing quarantined content must overwrite the on-disk blob:
+		// its content-addressed file may be the corrupt copy.
+		if err := s.persistPut(pe, stored, inQuarantine); err != nil {
+			return "", err
+		}
+	}
+	s.installEntry(k, e, stored)
+	if s.wal != nil && s.compactEvery > 0 && s.wal.records >= s.compactEvery {
+		if err := s.compactLocked(); err != nil {
+			return "", err
+		}
 	}
 	return d, nil
 }
 
-// Get retrieves an image blob and its digest.
+// Delete removes an entry, journaling the removal on durable stores.
+// It reports whether the entry existed.
+func (s *Store) Delete(coll, name, tag string) (bool, error) {
+	k := key(coll, name, tag)
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	s.mu.RLock()
+	e, ok := s.meta[k]
+	s.mu.RUnlock()
+	if !ok {
+		return false, nil
+	}
+	if s.wal != nil {
+		pe := persistedEntry{Entry: e}
+		if err := s.wal.append(walDelete, pe); err != nil {
+			return false, err
+		}
+	}
+	s.removeEntry(k)
+	return true, nil
+}
+
+// Get retrieves an image blob and its digest. Quarantined entries are
+// not served.
 func (s *Store) Get(coll, name, tag string) ([]byte, string, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -90,7 +168,32 @@ func (s *Store) Get(coll, name, tag string) ([]byte, string, bool) {
 	if !ok {
 		return nil, "", false
 	}
+	if _, bad := s.quarantined[k]; bad {
+		return nil, "", false
+	}
 	return append([]byte(nil), blob...), s.digest[k], true
+}
+
+// view returns the stored blob without copying, plus its entry and
+// quarantine reason. The slice is safe to read concurrently: Put
+// replaces blobs wholesale and never mutates them in place.
+func (s *Store) view(coll, name, tag string) (blob []byte, e Entry, reason string, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	k := key(coll, name, tag)
+	e, ok = s.meta[k]
+	if !ok {
+		return nil, Entry{}, "", false
+	}
+	return s.blobs[k], e, s.quarantined[k], true
+}
+
+// QuarantineReason reports whether the entry is quarantined and why.
+func (s *Store) QuarantineReason(coll, name, tag string) (string, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	reason, ok := s.quarantined[key(coll, name, tag)]
+	return reason, ok
 }
 
 // List returns the entries of one collection, sorted by container then tag.
@@ -134,22 +237,35 @@ type Server struct {
 	// MaxUploadBytes caps PUT/POST request bodies (default 64 MiB);
 	// oversized uploads are rejected with 413.
 	MaxUploadBytes int64
-	mux            *http.ServeMux
-	handler        http.Handler
-	ln             net.Listener
-	srv            *http.Server
-	builder        Builder // set by EnableAutoBuild
+	// ChunkSize is the digest-framing granularity for blob GETs (default
+	// 64 KiB): responses advertise a per-chunk SHA-256 list so clients
+	// can verify and resume partial transfers (see stream.go).
+	ChunkSize int
+	mux       *http.ServeMux
+	handler   http.Handler
+	ln        net.Listener
+	srv       *http.Server
+	builder   Builder // set by EnableAutoBuild
 	// obs is the optional server metrics registry (EnableMetrics).
 	obs *obs.Registry
 	// inflight counts requests currently being served; Shutdown reports
 	// it as the drain backlog and the gauge hub_server_inflight_requests
 	// tracks it when metrics are enabled.
 	inflight atomic.Int64
+	// chunkMu guards chunkCache, the per-digest chunk manifest memo
+	// (content-addressed, so entries never go stale).
+	chunkMu    sync.Mutex
+	chunkCache map[string][]string
+	// scrubber is the optional background integrity scrubber.
+	scrubber *Scrubber
 }
 
 // NewServer creates a server over the store.
 func NewServer(store *Store) *Server {
-	s := &Server{Store: store, MaxUploadBytes: 64 << 20, mux: http.NewServeMux()}
+	s := &Server{
+		Store: store, MaxUploadBytes: 64 << 20, ChunkSize: DefaultChunkSize,
+		mux: http.NewServeMux(), chunkCache: map[string][]string{},
+	}
 	s.handler = s.mux
 	s.mux.HandleFunc("/v1/", s.handle)
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -198,6 +314,10 @@ func (s *Server) Listen(addr string) (string, error) {
 // recorded in hub_server_shutdowns_total{outcome="drained"|"aborted"};
 // an aborted drain returns ctx's error after force-closing.
 func (s *Server) Shutdown(ctx context.Context) error {
+	if s.scrubber != nil {
+		s.scrubber.Stop()
+		s.scrubber = nil
+	}
 	if s.srv == nil {
 		return nil
 	}
@@ -213,6 +333,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // Close stops the server abortively, cutting in-flight requests. Prefer
 // Shutdown; Close remains as the immediate-stop fallback.
 func (s *Server) Close() error {
+	if s.scrubber != nil {
+		s.scrubber.Stop()
+		s.scrubber = nil
+	}
 	if s.srv != nil {
 		return s.srv.Close()
 	}
@@ -245,15 +369,7 @@ func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
 		coll, name, tag := parts[0], parts[1], parts[2]
 		switch r.Method {
 		case http.MethodGet:
-			blob, digest, ok := s.Store.Get(coll, name, tag)
-			if !ok {
-				http.Error(w, "image not found", http.StatusNotFound)
-				return
-			}
-			w.Header().Set("Content-Type", "application/octet-stream")
-			w.Header().Set("Content-Length", strconv.Itoa(len(blob)))
-			w.Header().Set("X-Image-Digest", digest)
-			w.Write(blob)
+			s.serveBlob(w, r, coll, name, tag)
 		case http.MethodPut, http.MethodPost:
 			blob, err := readBody(w, r, s.MaxUploadBytes)
 			if err != nil {
@@ -265,6 +381,17 @@ func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			writeJSON(w, map[string]string{"digest": digest})
+		case http.MethodDelete:
+			existed, err := s.Store.Delete(coll, name, tag)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			if !existed {
+				http.Error(w, "image not found", http.StatusNotFound)
+				return
+			}
+			writeJSON(w, map[string]string{"deleted": coll + "/" + name + ":" + tag})
 		default:
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		}
@@ -424,49 +551,6 @@ func (c *Client) Push(coll string, img *image.Image) (string, error) {
 	}
 	c.obs.Add("hub_client_bytes_pushed_total", float64(len(blob)))
 	return digest, nil
-}
-
-// Pull downloads an image and verifies its digest against the server's
-// advertised value (and, when expectedDigest is non-empty, against that).
-// Corrupt or truncated payloads are re-pulled (corruption once,
-// truncation up to the attempt budget).
-func (c *Client) Pull(coll, name, tag, expectedDigest string) (*image.Image, string, error) {
-	op := fmt.Sprintf("pull %s/%s:%s", coll, name, tag)
-	url := fmt.Sprintf("%s/v1/%s/%s/%s", c.BaseURL, coll, name, tag)
-	var (
-		img        *image.Image
-		advertised string
-	)
-	err := c.do(op, func() (*http.Request, error) {
-		return http.NewRequest(http.MethodGet, url, nil)
-	}, func(resp *http.Response) error {
-		lim := io.LimitReader(resp.Body, c.MaxResponseBytes+1)
-		blob, err := io.ReadAll(lim)
-		if err != nil {
-			return err // read/truncation errors classify as transient
-		}
-		if int64(len(blob)) > c.MaxResponseBytes {
-			return fmt.Errorf("hub: response exceeds %d-byte cap", c.MaxResponseBytes)
-		}
-		got, err := image.Unmarshal(blob)
-		if err != nil {
-			return fmt.Errorf("%w: %v", ErrCorrupt, err)
-		}
-		adv := resp.Header.Get("X-Image-Digest")
-		if err := got.VerifyDigest(adv); err != nil {
-			return fmt.Errorf("%w: %v", ErrCorrupt, err)
-		}
-		if expectedDigest != "" && adv != expectedDigest {
-			return fmt.Errorf("%w: pulled digest %s != expected %s", ErrCorrupt, adv, expectedDigest)
-		}
-		c.obs.Add("hub_client_bytes_pulled_total", float64(len(blob)))
-		img, advertised = got, adv
-		return nil
-	})
-	if err != nil {
-		return nil, "", err
-	}
-	return img, advertised, nil
 }
 
 // List fetches the entries of a collection.

@@ -10,34 +10,260 @@ import (
 	"repro/internal/fsatomic"
 )
 
-// Persistence: the registry state saves to a directory (an index plus one
-// blob file per image, named by digest) and loads back, so `schub serve
-// -state DIR` survives restarts — a hub that forgets its collections on
-// redeploy would undermine the "containers stay available" premise.
+// Persistence: the registry state lives in a directory holding a
+// snapshot index (index.json), one content-addressed blob file per
+// image, and an append-only write-ahead journal (journal.wal, see
+// wal.go). A durable store (OpenDurable) journals every mutation before
+// acknowledging it and periodically compacts the journal into a fresh
+// snapshot; replay-on-open recovers from crashes and torn tails. The
+// legacy Save/Load pair remains for one-shot snapshot round trips.
 
 // indexFile is the on-disk catalogue name.
 const indexFile = "index.json"
 
 type persistedEntry struct {
 	Entry
-	Blob string `json:"blob"` // file name within the state directory
+	Blob string `json:"blob,omitempty"` // file name within the state directory
 }
 
-// Save writes the store's contents to dir (created if needed). Blobs are
-// content-addressed by digest, so repeated saves rewrite only the index
-// and any new blobs.
+// DurableOptions tunes OpenDurable. Zero fields use defaults.
+type DurableOptions struct {
+	// CompactEvery compacts the journal into a snapshot after this many
+	// records (default 128; negative disables auto-compaction).
+	CompactEvery int
+}
+
+// OpenReport summarizes what OpenDurable recovered.
+type OpenReport struct {
+	SnapshotEntries int   // entries restored from index.json
+	JournalRecords  int   // journal records replayed on top
+	TornBytes       int64 // torn journal tail bytes truncated
+	Quarantined     int   // entries quarantined during recovery
+}
+
+// OpenDurable opens (creating if needed) a durable store rooted at dir:
+// the snapshot is loaded, the journal is replayed on top (truncating any
+// torn tail), and every subsequent Put/Delete/quarantine is journaled
+// with an fsync before it is acknowledged. Blobs that fail their digest
+// check during recovery are quarantined (served as 410, repairable by
+// re-push) rather than aborting startup — a self-healing open.
+func OpenDurable(dir string, opts DurableOptions) (*Store, OpenReport, error) {
+	if opts.CompactEvery == 0 {
+		opts.CompactEvery = 128
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, OpenReport{}, err
+	}
+	var report OpenReport
+	s := NewStore()
+	if _, err := os.Stat(filepath.Join(dir, indexFile)); err == nil {
+		loaded, err := loadSnapshot(dir, false)
+		if err != nil {
+			return nil, OpenReport{}, err
+		}
+		s = loaded
+		report.SnapshotEntries = len(s.meta)
+	}
+	w, replay, err := openWAL(dir)
+	if err != nil {
+		return nil, OpenReport{}, err
+	}
+	for _, rec := range replay.Records {
+		s.applyWALRecord(dir, rec)
+	}
+	report.JournalRecords = len(replay.Records)
+	report.TornBytes = replay.TornBytes
+	report.Quarantined = len(s.quarantined)
+	s.dir = dir
+	s.wal = w
+	s.compactEvery = opts.CompactEvery
+	// A long journal at open means the last run never compacted; fold it
+	// into the snapshot now so replay stays cheap.
+	if s.compactEvery > 0 && w.records >= s.compactEvery {
+		s.pmu.Lock()
+		err := s.compactLocked()
+		s.pmu.Unlock()
+		if err != nil {
+			w.close()
+			return nil, OpenReport{}, err
+		}
+	}
+	return s, report, nil
+}
+
+// Close flushes the store's durability state: an in-progress journal is
+// compacted into a snapshot and closed. On a purely in-memory store it
+// is a no-op. Safe to call once; the store must not be mutated after.
+func (s *Store) Close() error {
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	if s.wal == nil {
+		return nil
+	}
+	compactErr := s.compactLocked()
+	closeErr := s.wal.close()
+	s.wal = nil
+	if compactErr != nil {
+		return compactErr
+	}
+	return closeErr
+}
+
+// Durable reports whether the store journals its mutations.
+func (s *Store) Durable() bool {
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	return s.wal != nil
+}
+
+// Compact folds the journal into a fresh snapshot immediately.
+func (s *Store) Compact() error {
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	if s.wal == nil {
+		return fmt.Errorf("hub: store is not durable")
+	}
+	return s.compactLocked()
+}
+
+// compactLocked writes a snapshot and resets the journal. Caller holds
+// pmu. Crash ordering: the snapshot replaces index.json atomically
+// first; a crash before the journal reset merely replays records the
+// snapshot already contains, which is idempotent.
+func (s *Store) compactLocked() error {
+	if err := s.writeSnapshot(s.dir); err != nil {
+		return err
+	}
+	if err := s.wal.reset(); err != nil {
+		return err
+	}
+	s.gcBlobs()
+	return nil
+}
+
+// gcBlobs removes content-addressed blob files no live entry references
+// (best effort — a leaked blob wastes space but harms nothing).
+func (s *Store) gcBlobs() {
+	s.mu.RLock()
+	live := make(map[string]bool, len(s.digest))
+	for _, d := range s.digest {
+		live[blobFileName(d)] = true
+	}
+	s.mu.RUnlock()
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".scif") && !live[e.Name()] {
+			os.Remove(filepath.Join(s.dir, e.Name()))
+		}
+	}
+}
+
+// persistPut makes one put durable before it is applied: the blob file
+// is written (fsynced, atomically renamed) and then the journal record
+// is appended. force rewrites the blob file even if one with that name
+// exists — required when repairing a quarantined entry whose on-disk
+// copy may be the corrupt one. Caller holds pmu.
+func (s *Store) persistPut(pe persistedEntry, blob []byte, force bool) error {
+	path := filepath.Join(s.dir, pe.Blob)
+	_, statErr := os.Stat(path)
+	if force || statErr != nil {
+		if err := fsatomic.WriteFile(path, blob, 0o644); err != nil {
+			return fmt.Errorf("hub: saving blob %s: %w", pe.Blob, err)
+		}
+	}
+	return s.wal.append(walPut, pe)
+}
+
+// applyWALRecord applies one replayed journal record to the in-memory
+// maps (no re-journaling). Put records re-verify their blob bytes; a
+// missing or digest-mismatched blob quarantines the entry instead of
+// failing the open.
+func (s *Store) applyWALRecord(dir string, rec walRecord) {
+	pe := rec.Entry
+	k := key(pe.Collection, pe.Container, pe.Tag)
+	switch rec.Op {
+	case walPut:
+		blob, err := os.ReadFile(filepath.Join(dir, pe.Blob))
+		if err == nil {
+			if d, derr := blobDigest(blob); derr == nil && d == pe.Digest {
+				s.installEntry(k, pe.Entry, blob)
+				return
+			}
+		}
+		pe.Entry.Quarantined = true
+		s.installQuarantined(k, pe.Entry, nil, "journal blob failed digest verification")
+	case walDelete:
+		s.removeEntry(k)
+	case walQuarantine:
+		s.mu.Lock()
+		if e, ok := s.meta[k]; ok {
+			e.Quarantined = true
+			s.meta[k] = e
+			s.quarantined[k] = "quarantined by scrubber"
+		}
+		s.mu.Unlock()
+	}
+}
+
+// installEntry replaces the in-memory state for k (clearing quarantine).
+func (s *Store) installEntry(k string, e Entry, blob []byte) {
+	s.mu.Lock()
+	e.Quarantined = false
+	s.blobs[k] = blob
+	s.digest[k] = e.Digest
+	s.meta[k] = e
+	delete(s.quarantined, k)
+	s.mu.Unlock()
+}
+
+// installQuarantined installs k as quarantined content: listed, but
+// served as 410 until a re-push repairs it.
+func (s *Store) installQuarantined(k string, e Entry, blob []byte, reason string) {
+	s.mu.Lock()
+	e.Quarantined = true
+	s.blobs[k] = blob
+	s.digest[k] = e.Digest
+	s.meta[k] = e
+	s.quarantined[k] = reason
+	s.mu.Unlock()
+}
+
+// removeEntry drops k from the in-memory maps.
+func (s *Store) removeEntry(k string) {
+	s.mu.Lock()
+	delete(s.blobs, k)
+	delete(s.digest, k)
+	delete(s.meta, k)
+	delete(s.quarantined, k)
+	s.mu.Unlock()
+}
+
+// Save writes a snapshot of the store's contents to dir (created if
+// needed). Blobs are content-addressed by digest, so repeated saves
+// rewrite only the index and any new blobs. On a durable store prefer
+// Compact, which also resets the journal.
 func (s *Store) Save(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
+	return s.writeSnapshot(dir)
+}
+
+// writeSnapshot writes every blob file plus the index, atomically.
+func (s *Store) writeSnapshot(dir string) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	var index []persistedEntry
 	for k, e := range s.meta {
 		blobName := blobFileName(s.digest[k])
-		if _, err := os.Stat(filepath.Join(dir, blobName)); err != nil {
-			if err := fsatomic.WriteFile(filepath.Join(dir, blobName), s.blobs[k], 0o644); err != nil {
-				return fmt.Errorf("hub: saving blob %s: %w", blobName, err)
+		if !e.Quarantined {
+			if _, err := os.Stat(filepath.Join(dir, blobName)); err != nil {
+				if err := fsatomic.WriteFile(filepath.Join(dir, blobName), s.blobs[k], 0o644); err != nil {
+					return fmt.Errorf("hub: saving blob %s: %w", blobName, err)
+				}
 			}
 		}
 		index = append(index, persistedEntry{Entry: e, Blob: blobName})
@@ -73,10 +299,10 @@ func blobFileName(digest string) string {
 	return strings.TrimPrefix(digest, "sha256:") + ".scif"
 }
 
-// Load restores a store from a directory written by Save. Every blob is
-// digest-verified on the way in; corruption is reported, not silently
-// served.
-func Load(dir string) (*Store, error) {
+// loadSnapshot restores a store from dir's index. In strict mode any
+// unreadable or digest-mismatched blob is an error; in lenient mode it
+// is quarantined and the load continues.
+func loadSnapshot(dir string, strict bool) (*Store, error) {
 	data, err := os.ReadFile(filepath.Join(dir, indexFile))
 	if err != nil {
 		return nil, fmt.Errorf("hub: reading index: %w", err)
@@ -90,30 +316,74 @@ func Load(dir string) (*Store, error) {
 		if strings.Contains(pe.Blob, "/") || strings.Contains(pe.Blob, "..") {
 			return nil, fmt.Errorf("hub: suspicious blob path %q in index", pe.Blob)
 		}
+		k := key(pe.Collection, pe.Container, pe.Tag)
+		if pe.Entry.Quarantined {
+			s.installQuarantined(k, pe.Entry, nil, "quarantined in snapshot")
+			continue
+		}
 		blob, err := os.ReadFile(filepath.Join(dir, pe.Blob))
 		if err != nil {
-			return nil, fmt.Errorf("hub: reading blob for %s/%s:%s: %w", pe.Collection, pe.Container, pe.Tag, err)
+			if strict {
+				return nil, fmt.Errorf("hub: reading blob for %s/%s:%s: %w", pe.Collection, pe.Container, pe.Tag, err)
+			}
+			s.installQuarantined(k, pe.Entry, nil, "snapshot blob unreadable")
+			continue
 		}
-		digest, err := s.Put(pe.Collection, pe.Container, pe.Tag, blob)
-		if err != nil {
-			return nil, fmt.Errorf("hub: restoring %s/%s:%s: %w", pe.Collection, pe.Container, pe.Tag, err)
+		digest, err := blobDigest(blob)
+		if err != nil || digest != pe.Digest {
+			if strict {
+				if err != nil {
+					return nil, fmt.Errorf("hub: restoring %s/%s:%s: %w", pe.Collection, pe.Container, pe.Tag, err)
+				}
+				return nil, fmt.Errorf("hub: blob for %s/%s:%s has digest %s, index says %s (corruption)",
+					pe.Collection, pe.Container, pe.Tag, digest, pe.Digest)
+			}
+			s.installQuarantined(k, pe.Entry, nil, "snapshot blob failed digest verification")
+			continue
 		}
-		if digest != pe.Digest {
-			return nil, fmt.Errorf("hub: blob for %s/%s:%s has digest %s, index says %s (corruption)",
-				pe.Collection, pe.Container, pe.Tag, digest, pe.Digest)
-		}
+		s.installEntry(k, pe.Entry, blob)
 	}
 	return s, nil
 }
 
-// LoadOrNew loads a store from dir if an index exists there, otherwise
-// returns an empty store (first run).
-func LoadOrNew(dir string) (*Store, error) {
-	if _, err := os.Stat(filepath.Join(dir, indexFile)); err != nil {
-		if os.IsNotExist(err) {
-			return NewStore(), nil
-		}
+// Load restores a store from a directory written by Save. Every blob is
+// digest-verified on the way in; corruption is reported, not silently
+// served. If a journal is present its records are replayed read-only
+// (lenient — journal corruption quarantines, never fails the load).
+func Load(dir string) (*Store, error) {
+	s, err := loadSnapshot(dir, true)
+	if err != nil {
 		return nil, err
 	}
-	return Load(dir)
+	replayInto(s, dir)
+	return s, nil
+}
+
+// replayInto applies dir's journal (if any) to s without mutating the
+// journal file — the read-only counterpart of OpenDurable's replay.
+func replayInto(s *Store, dir string) {
+	raw, err := os.ReadFile(filepath.Join(dir, walFileName))
+	if err != nil || len(raw) < len(walMagic) || string(raw[:len(walMagic)]) != string(walMagic) {
+		return
+	}
+	recs, _, _ := decodeWALRecords(raw[len(walMagic):])
+	for _, rec := range recs {
+		s.applyWALRecord(dir, rec)
+	}
+}
+
+// LoadOrNew loads a store from dir if a snapshot or journal exists
+// there, otherwise returns an empty store (first run).
+func LoadOrNew(dir string) (*Store, error) {
+	if _, err := os.Stat(filepath.Join(dir, indexFile)); err == nil {
+		return Load(dir)
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	if _, err := os.Stat(filepath.Join(dir, walFileName)); err == nil {
+		s := NewStore()
+		replayInto(s, dir)
+		return s, nil
+	}
+	return NewStore(), nil
 }

@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -32,11 +33,21 @@ var ErrCircuitOpen = errors.New("hub: circuit breaker open")
 // the stored content itself is bad.
 var ErrCorrupt = errors.New("hub: response corrupt")
 
+// ErrQuarantined marks pulls answered 410 Gone because the hub's
+// integrity scrubber quarantined the stored bytes. Retrying cannot
+// help — the fix is a re-push of the content — so it classifies as
+// deterministic.
+var ErrQuarantined = errors.New("hub: content quarantined by registry")
+
 // HTTPError is a non-200 registry response.
 type HTTPError struct {
 	Op     string // e.g. "pull coll/pepa:latest"
 	Status int
 	Msg    string // trimmed response body
+	// RetryAfter carries the server's Retry-After hint on 429 responses
+	// (zero when absent). The retry loop honors it as a non-counting
+	// backoff: the sleep does not consume the attempt budget.
+	RetryAfter time.Duration
 }
 
 func (e *HTTPError) Error() string {
@@ -95,6 +106,11 @@ func classify(err error) errClass {
 	if err == nil {
 		return classPermanent
 	}
+	if errors.Is(err, ErrQuarantined) {
+		// The registry answered coherently: its copy is known-bad and
+		// only a re-push repairs it. Deterministic, not worth retrying.
+		return classPermanent
+	}
 	if errors.Is(err, ErrCorrupt) {
 		return classCorrupt
 	}
@@ -123,6 +139,9 @@ func classify(err error) errClass {
 // attempt log: no URLs, addresses, or ports, so logs are byte-identical
 // across runs against ephemeral-port servers.
 func describe(err error) string {
+	if errors.Is(err, ErrQuarantined) {
+		return "quarantined content"
+	}
 	var he *HTTPError
 	if errors.As(err, &he) {
 		return fmt.Sprintf("HTTP %d", he.Status)
@@ -399,6 +418,12 @@ func (c *Client) do(op string, mkReq func() (*http.Request, error), handle func(
 	kind := obs.L("op", opKind(op))
 	var lastErr error
 	corruptRetried := false
+	// Admission-control pushback (429 + Retry-After) is honored as a
+	// non-counting backoff hint: the client sleeps the advertised delay
+	// without consuming its attempt budget or tripping the breaker, but
+	// at most maxThrottles times so a pathological server cannot pin it.
+	const maxThrottles = 4
+	throttled := 0
 	for attempt := 1; attempt <= pol.MaxAttempts; attempt++ {
 		ok, st := c.breaker.allow()
 		if !ok {
@@ -428,6 +453,21 @@ func (c *Client) do(op string, mkReq func() (*http.Request, error), handle func(
 			return nil
 		}
 		lastErr = err
+		var he *HTTPError
+		if errors.As(err, &he) && he.Status == http.StatusTooManyRequests && he.RetryAfter > 0 && throttled < maxThrottles {
+			// The registry is shedding load and told us when to come
+			// back. That is a coherent answer, not infrastructure
+			// weather: resolve any half-open probe as healthy, sleep the
+			// hint, and do not charge the attempt budget.
+			throttled++
+			c.breaker.ProbeHealthy()
+			c.logf("%s attempt %d/%d: throttled, retry-after %s (not counted)", op, attempt, pol.MaxAttempts, he.RetryAfter)
+			c.obs.Inc("hub_client_throttled_total", kind)
+			c.obs.Add("hub_client_throttle_seconds_total", he.RetryAfter.Seconds())
+			c.sleep(he.RetryAfter)
+			attempt--
+			continue
+		}
 		switch classify(err) {
 		case classPermanent:
 			// The infrastructure answered coherently; only the request is
@@ -505,9 +545,21 @@ func (c *Client) try(op string, mkReq func() (*http.Request, error), handle func
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
 		resp.Body.Close()
 	}()
-	if resp.StatusCode != http.StatusOK {
+	// 206 Partial Content only arises on pull resumes that sent a Range
+	// header; it is a success status for the streaming reader.
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusPartialContent {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
-		return &HTTPError{Op: op, Status: resp.StatusCode, Msg: strings.TrimSpace(string(msg))}
+		trimmed := strings.TrimSpace(string(msg))
+		if resp.StatusCode == http.StatusGone && resp.Header.Get(headerHubError) == hubErrQuarantined {
+			return fmt.Errorf("%w: %s: %s", ErrQuarantined, op, trimmed)
+		}
+		he := &HTTPError{Op: op, Status: resp.StatusCode, Msg: trimmed}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			if secs, err := strconv.Atoi(strings.TrimSpace(resp.Header.Get("Retry-After"))); err == nil && secs >= 0 {
+				he.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return he
 	}
 	return handle(resp)
 }
