@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-snapshot bench-compare bench-baseline repro chaos chaos-cancel chaos-hub conformance conformance-deep fuzz fuzz-smoke goldens clean
+.PHONY: all build vet test race bench bench-snapshot bench-compare bench-baseline bench-scaling repro chaos chaos-cancel chaos-hub conformance conformance-deep fuzz fuzz-smoke goldens clean
 
 # Solve-path benchmarks watched by the regression gate (docs/PERFORMANCE.md).
 BENCH_GATED = ^(BenchmarkTransientSeries|BenchmarkTransientWorkers|BenchmarkFirstPassageCDF|BenchmarkToCSR|BenchmarkVecMulParallel)$$
@@ -44,6 +44,14 @@ bench-compare:
 bench-baseline:
 	$(GO) test -run XXX -bench '$(BENCH_GATED)' -benchtime 3x -count 3 $(BENCH_PKGS) \
 		| $(GO) run ./cmd/benchcmp -baseline BENCH_baseline.json -update -note "make bench-baseline"
+
+# Short-mode parallel-scaling sweep: run only the workers=N families and
+# fail when any worker count is slower than workers=1 beyond the scaling
+# threshold, within this run (no committed baseline involved, so the gate
+# is portable across machines; docs/PERFORMANCE.md).
+bench-scaling:
+	$(GO) test -run XXX -bench '^BenchmarkTransientWorkers$$' -benchtime 3x -count 3 ./internal/ctmc \
+		| $(GO) run ./cmd/benchcmp -baseline BENCH_baseline.json -gate '^$$' -out bench_scaling.json
 
 # Regenerate every table and figure of the paper into ./out.
 repro:

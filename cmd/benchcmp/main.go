@@ -48,12 +48,38 @@ type Result struct {
 	Regressed bool `json:"regressed"`
 }
 
+// ScalingResult is the per-family verdict of the scaling-ratio rule: for
+// each benchmark family with `/workers=N` sub-benchmarks, every N > 1 is
+// compared against the family's own workers=1 time *within the current
+// run*. Absolute thresholds catch drift against the committed baseline;
+// this rule catches negative parallel scaling that an absolute gate would
+// miss entirely (every worker count can regress in lockstep and still
+// pass a per-name ratio check).
+type ScalingResult struct {
+	Family string `json:"family"`
+	// BaselineNs is the family's workers=1 ns/op in this run.
+	BaselineNs float64 `json:"workers1_ns_per_op"`
+	// WorstNs/WorstWorkers identify the slowest parallel variant.
+	WorstNs      float64 `json:"worst_ns_per_op"`
+	WorstWorkers int     `json:"worst_workers"`
+	// Ratio is WorstNs / BaselineNs (> 1 means parallel slower than
+	// sequential).
+	Ratio     float64 `json:"ratio"`
+	Gated     bool    `json:"gated"`
+	Regressed bool    `json:"regressed"`
+}
+
 // Report is the JSON comparison artifact written by -out.
 type Report struct {
 	Threshold float64  `json:"threshold"`
 	Gate      string   `json:"gate"`
 	Results   []Result `json:"results"`
-	Failed    bool     `json:"failed"`
+	// ScalingThreshold/ScalingGate parameterize the scaling-ratio rule;
+	// Scaling holds one entry per family with workers= sub-benchmarks.
+	ScalingThreshold float64         `json:"scaling_threshold,omitempty"`
+	ScalingGate      string          `json:"scaling_gate,omitempty"`
+	Scaling          []ScalingResult `json:"scaling,omitempty"`
+	Failed           bool            `json:"failed"`
 }
 
 // benchLine matches e.g. "BenchmarkToCSR-4   	 100	  12345678 ns/op	..."
@@ -115,6 +141,69 @@ func compare(current, base map[string]float64, gate *regexp.Regexp, threshold fl
 	return rep
 }
 
+// workersVariant splits a normalized benchmark name into its family and
+// worker count, e.g. "BenchmarkTransientWorkers/workers=8" -> family
+// "BenchmarkTransientWorkers", workers 8.
+var workersVariant = regexp.MustCompile(`^(.+)/workers=([0-9]+)$`)
+
+// scalingCompare applies the scaling-ratio rule to the current run:
+// within each `family/workers=N` group, every N > 1 is compared against
+// the family's workers=1 time, and a gated family whose worst ratio
+// exceeds the threshold is marked regressed. Families without a
+// workers=1 variant are skipped (there is nothing to normalize by).
+func scalingCompare(current map[string]float64, gate *regexp.Regexp, threshold float64) []ScalingResult {
+	type variant struct {
+		workers int
+		ns      float64
+	}
+	families := map[string][]variant{}
+	for name, ns := range current {
+		m := workersVariant.FindStringSubmatch(name)
+		if m == nil {
+			continue
+		}
+		w, err := strconv.Atoi(m[2])
+		if err != nil {
+			continue
+		}
+		families[m[1]] = append(families[m[1]], variant{workers: w, ns: ns})
+	}
+	names := make([]string, 0, len(families))
+	for f := range families {
+		names = append(names, f)
+	}
+	sort.Strings(names)
+	var out []ScalingResult
+	for _, fam := range names {
+		var base float64
+		for _, v := range families[fam] {
+			if v.workers == 1 {
+				base = v.ns
+			}
+		}
+		if base <= 0 {
+			continue
+		}
+		res := ScalingResult{Family: fam, BaselineNs: base, Gated: gate.MatchString(fam)}
+		for _, v := range families[fam] {
+			if v.workers <= 1 {
+				continue
+			}
+			if ratio := v.ns / base; ratio > res.Ratio {
+				res.Ratio = ratio
+				res.WorstNs = v.ns
+				res.WorstWorkers = v.workers
+			}
+		}
+		if res.WorstWorkers == 0 {
+			continue // only a workers=1 variant: nothing to compare
+		}
+		res.Regressed = res.Gated && res.Ratio > threshold
+		out = append(out, res)
+	}
+	return out
+}
+
 func formatReport(w io.Writer, rep Report) {
 	fmt.Fprintf(w, "%-60s %14s %14s %8s\n", "benchmark", "ns/op", "baseline", "ratio")
 	for _, r := range rep.Results {
@@ -131,6 +220,19 @@ func formatReport(w io.Writer, rep Report) {
 		}
 	}
 	fmt.Fprintln(w, "(* gated benchmark, ! gated regression beyond threshold)")
+	if len(rep.Scaling) > 0 {
+		fmt.Fprintf(w, "\n%-60s %14s %14s %8s\n", "scaling family", "workers=1", "worst", "ratio")
+		for _, s := range rep.Scaling {
+			mark := " "
+			if s.Regressed {
+				mark = "!"
+			} else if s.Gated {
+				mark = "*"
+			}
+			fmt.Fprintf(w, "%s %-58s %14.0f %14.0f %6.2fx (workers=%d)\n", mark, s.Family, s.BaselineNs, s.WorstNs, s.Ratio, s.WorstWorkers)
+		}
+		fmt.Fprintln(w, "(ratio = slowest parallel variant / workers=1, within this run)")
+	}
 }
 
 func run() error {
@@ -138,6 +240,8 @@ func run() error {
 	update := flag.Bool("update", false, "rewrite the baseline from the parsed input instead of comparing")
 	gateExpr := flag.String("gate", "TransientSeries|ToCSR", "regexp of benchmark names that may fail the run")
 	threshold := flag.Float64("threshold", 1.2, "max allowed current/baseline ns per op ratio for gated benchmarks")
+	scalingGateExpr := flag.String("scaling-gate", "Workers", "regexp of benchmark families whose workers=N variants may fail the scaling-ratio rule")
+	scalingThreshold := flag.Float64("scaling-threshold", 1.3, "max allowed workers=N / workers=1 ns per op ratio within the current run (lenient enough for single-core runners)")
 	out := flag.String("out", "", "also write the comparison report as JSON to this file")
 	note := flag.String("note", "", "note stored in the baseline with -update")
 	flag.Parse()
@@ -150,6 +254,10 @@ func run() error {
 	gate, err := regexp.Compile(*gateExpr)
 	if err != nil {
 		return fmt.Errorf("benchcmp: bad -gate: %v", err)
+	}
+	scalingGate, err := regexp.Compile(*scalingGateExpr)
+	if err != nil {
+		return fmt.Errorf("benchcmp: bad -scaling-gate: %v", err)
 	}
 	current, err := parseBench(os.Stdin)
 	if err != nil {
@@ -184,6 +292,14 @@ func run() error {
 		return fmt.Errorf("benchcmp: %s: %v", *baselinePath, err)
 	}
 	rep := compare(current, base.NsPerOp, gate, *threshold)
+	rep.ScalingThreshold = *scalingThreshold
+	rep.ScalingGate = scalingGate.String()
+	rep.Scaling = scalingCompare(current, scalingGate, *scalingThreshold)
+	for _, s := range rep.Scaling {
+		if s.Regressed {
+			rep.Failed = true
+		}
+	}
 	formatReport(os.Stdout, rep)
 	if *out != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")
@@ -195,6 +311,12 @@ func run() error {
 		}
 	}
 	if rep.Failed {
+		for _, s := range rep.Scaling {
+			if s.Regressed {
+				return fmt.Errorf("benchcmp: %s workers=%d is %.2fx slower than workers=1 (scaling threshold %.2fx)",
+					s.Family, s.WorstWorkers, s.Ratio, *scalingThreshold)
+			}
+		}
 		return fmt.Errorf("benchcmp: gated benchmark regressed beyond %.2fx", *threshold)
 	}
 	return nil

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -53,10 +54,22 @@ type Chain struct {
 	// wall-clock time only, never a single output bit.
 	Workers int
 
-	// mu guards cache: chains may be shared across goroutines (the
-	// makespan fan-out, conformance sweeps).
+	// mu guards cache and pool: chains may be shared across goroutines
+	// (the makespan fan-out, conformance sweeps).
 	mu    sync.Mutex
 	cache *solveCache
+	// pool is the persistent worker pool the parallel kernels dispatch
+	// on, created lazily by the first Workers > 1 solve (or attached via
+	// AttachPool, in which case poolOwned is false and the caller owns
+	// its lifecycle). An owned pool is shut down by InvalidateSolveCache
+	// and by the finalizer installed at creation, so dropping a chain
+	// never strands its worker goroutines.
+	pool      *sparse.Pool
+	poolOwned bool
+	// finalizerSet records that the shutdownPool finalizer is installed
+	// (SetFinalizer panics if installed twice, and pool regrowth creates
+	// a second pool over the chain's lifetime).
+	finalizerSet bool
 	// noSolveCache disables all memoization (tests and the cached-vs-
 	// uncached benchmarks; the zero value — caching on — is the API).
 	noSolveCache bool
@@ -78,6 +91,10 @@ type solveCache struct {
 	uni     map[float64]*sparse.CSR // uniformization rate -> P
 	uniT    map[float64]*sparse.CSR // uniformization rate -> Pᵀ
 	weights map[weightKey]*poisson.Weights
+	// plans memoizes the nnz-balanced row partitions of the parallel
+	// kernels per (operand matrix, workers), so the per-term dispatch
+	// costs a map lookup instead of a fresh round of binary searches.
+	plans map[planKey]*sparse.Plan
 
 	passageKey     string
 	passageChain   *Chain
@@ -86,19 +103,122 @@ type solveCache struct {
 
 type weightKey struct{ lambda, eps float64 }
 
+type planKey struct {
+	m       *sparse.CSR
+	workers int
+}
+
 // maxWeightTables bounds the Poisson weight memo: a uniform time grid needs
 // exactly one table, an irregular one needs one per distinct step, and a
 // pathological caller cycling through horizons gets the map reset instead
 // of unbounded growth.
 const maxWeightTables = 256
 
-// InvalidateSolveCache drops every memoized solve operator. Callers that
-// mutate c.Q in place (rather than replacing it, which is detected) must
-// call this before the next solve.
+// InvalidateSolveCache drops every memoized solve operator and shuts down
+// the chain's owned worker pool (goroutine counts return to baseline
+// before it returns). Callers that mutate c.Q in place (rather than
+// replacing it, which is detected) must call this before the next solve.
+// The invalidation cascades to the memoized absorbing passage chain, so
+// its operators and pool are released too.
 func (c *Chain) InvalidateSolveCache() {
 	c.mu.Lock()
+	sc := c.cache
 	c.cache = nil
+	pool, owned := c.pool, c.poolOwned
+	c.pool, c.poolOwned = nil, false
 	c.mu.Unlock()
+	if owned {
+		pool.Close()
+	}
+	if sc != nil && sc.passageChain != nil {
+		sc.passageChain.InvalidateSolveCache()
+	}
+}
+
+// shutdownPool releases the owned worker pool; it is both the tail of
+// InvalidateSolveCache's pool handling and the finalizer installed when
+// the pool is created, so a chain dropped without an explicit invalidate
+// never strands its worker goroutines.
+func (c *Chain) shutdownPool() {
+	c.mu.Lock()
+	pool, owned := c.pool, c.poolOwned
+	c.pool, c.poolOwned = nil, false
+	c.mu.Unlock()
+	if owned {
+		pool.Close()
+	}
+}
+
+// solvePool returns the chain's persistent worker pool for a solve with
+// the given worker count, creating it lazily on first use. The pool runs
+// workers-1 pinned goroutines — the solving goroutine itself executes the
+// final partition of every dispatch — and is replaced (old one closed) if
+// a later solve asks for more workers than it has. Returns nil for
+// workers <= 1: the kernels treat a nil pool as inline execution.
+func (c *Chain) solvePool(workers int) *sparse.Pool {
+	if workers <= 1 {
+		return nil
+	}
+	size := workers - 1
+	c.mu.Lock()
+	if c.pool != nil && (!c.poolOwned || c.pool.Size() >= size) {
+		p := c.pool
+		c.mu.Unlock()
+		return p
+	}
+	old := c.pool
+	p := sparse.NewPool(size)
+	c.pool = p
+	c.poolOwned = true
+	installFinalizer := !c.finalizerSet
+	c.finalizerSet = true
+	c.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	if installFinalizer {
+		runtime.SetFinalizer(c, (*Chain).shutdownPool)
+	}
+	return p
+}
+
+// AttachPool makes the chain dispatch its parallel kernels on an
+// externally-owned pool (robustness studies share one pool across their
+// per-machine chains). The caller keeps ownership: the chain never closes
+// an attached pool, and InvalidateSolveCache merely detaches it. Any
+// previously owned pool is shut down.
+func (c *Chain) AttachPool(p *sparse.Pool) {
+	c.mu.Lock()
+	old, owned := c.pool, c.poolOwned
+	c.pool = p
+	c.poolOwned = false
+	c.mu.Unlock()
+	if owned {
+		old.Close()
+	}
+}
+
+// planCached returns the memoized nnz-balanced row partition of m for the
+// given worker count, planning it on first use. Plans are cached next to
+// the operator they partition (the uniformized transpose, Qᵀ), so the
+// per-term dispatch of a transient series costs a map lookup.
+func (c *Chain) planCached(m *sparse.CSR, workers int) *sparse.Plan {
+	if c.noSolveCache {
+		return sparse.NewPlan(m, workers)
+	}
+	key := planKey{m: m, workers: workers}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sc := c.cacheLocked()
+	if pl, ok := sc.plans[key]; ok {
+		return pl
+	}
+	if sc.plans == nil {
+		sc.plans = make(map[planKey]*sparse.Plan, 2)
+	}
+	pl := sparse.NewPlan(m, workers)
+	sc.plans[key] = pl
+	return pl
 }
 
 // cacheLocked returns the live cache for the current Q, rebuilding it when
@@ -424,8 +544,9 @@ func (c *Chain) recordStage(att StageAttempt, ok bool) {
 // parallel kernel when workers > 1 (bit-identical to the sequential path).
 func (c *Chain) residualNormInf(pi []float64, workers int) float64 {
 	if workers > 1 {
+		qt := c.transposedQCached()
 		y := make([]float64, c.N)
-		sparse.VecMulToParallelT(c.transposedQCached(), y, pi, workers)
+		sparse.VecMulAccumPlanT(qt, y, pi, nil, 0, c.planCached(qt, workers), c.solvePool(workers))
 		return linalg.NormInf(y)
 	}
 	return linalg.NormInf(c.Q.VecMul(pi))
@@ -444,7 +565,10 @@ func (c *Chain) steadyPower(ctx context.Context, opt SteadyStateOptions) ([]floa
 	p := c.uniformizedCached(q * 1.1)
 	iterOpt := sparse.IterOptions{MaxIter: opt.MaxIter * 5, Tol: opt.Tol, Workers: opt.Workers, Cancel: ctx.Err}
 	if opt.Workers > 1 {
-		iterOpt.Transposed = c.uniformizedTransposeCached(q * 1.1)
+		pt := c.uniformizedTransposeCached(q * 1.1)
+		iterOpt.Transposed = pt
+		iterOpt.Plan = c.planCached(pt, opt.Workers)
+		iterOpt.Pool = c.solvePool(opt.Workers)
 	}
 	pi, res, err := sparse.PowerIteration(p, iterOpt)
 	att.Iterations = res.Iterations
@@ -602,12 +726,20 @@ func (c *Chain) TransientCtx(ctx context.Context, p0 []float64, t, eps float64) 
 		return nil, err
 	}
 	workers := c.Workers
-	var pt *sparse.CSR
-	if workers > 1 {
-		// The power loop needs xᵀ·P, whose scatter writes defeat row
-		// partitioning; the cached transpose turns each output entry into
-		// an independent dot product (bit-identical, disjoint writes).
+	var (
+		pt   *sparse.CSR
+		plan *sparse.Plan
+		pool *sparse.Pool
+	)
+	// The power loop needs xᵀ·P, whose scatter writes defeat row
+	// partitioning; the cached transpose turns each output entry into an
+	// independent dot product (bit-identical, disjoint writes). Matrices
+	// under the parallel threshold never pay for the transpose or pool.
+	parallel := workers > 1 && p.NNZ() >= sparse.ParallelNNZThreshold
+	if parallel {
 		pt = c.uniformizedTransposeCached(q)
+		plan = c.planCached(pt, workers)
+		pool = c.solvePool(workers)
 	}
 	c.Obs.Inc("ctmc_transient_solves_total")
 	c.Obs.Add("ctmc_uniformization_terms_total", float64(w.Right+1))
@@ -616,23 +748,64 @@ func (c *Chain) TransientCtx(ctx context.Context, p0 []float64, t, eps float64) 
 	cur := append([]float64(nil), p0...)
 	acc := make([]float64, c.N)
 	next := make([]float64, c.N)
+	// lo/hi is the nonzero support window of cur; dirtyLo/dirtyHi bounds
+	// what next may hold from its previous use as cur. Propagating the
+	// windows keeps a concentrated iterate (a point mass spreading one
+	// transition per term) at O(support) per term instead of O(n). All
+	// skipped work is exact zeros, so the windows change no output bit.
+	lo, hi := c.N, 0
+	for i, v := range cur {
+		if v != 0 {
+			if i < lo {
+				lo = i
+			}
+			hi = i + 1
+		}
+	}
+	if lo >= hi {
+		lo, hi = 0, 0
+	}
+	dirtyLo, dirtyHi := 0, 0
 	for k := 0; k <= w.Right; k++ {
 		if cerr := ctx.Err(); cerr != nil {
 			runctx.Record(c.Obs, "ctmc.transient", cerr)
 			return nil, runctx.New("ctmc.transient", cerr, k, w.Right+1, "uniformization terms")
 		}
-		if pw := w.Pmf(k); pw > 0 {
-			linalg.AXPY(pw, cur, acc)
+		pw := w.Pmf(k)
+		var accTerm []float64
+		if pw > 0 {
+			accTerm = acc
 		}
 		if k == w.Right {
+			if pw > 0 {
+				for i := lo; i < hi; i++ {
+					if xi := cur[i]; xi != 0 {
+						acc[i] += pw * xi
+					}
+				}
+			}
 			break
 		}
-		if pt != nil {
-			sparse.VecMulToParallelT(pt, next, cur, workers)
+		// Adaptive dispatch: the parallel transpose kernel reads every
+		// stored entry, so it only wins once the iterate's support covers
+		// enough of the matrix; a concentrated iterate runs the windowed
+		// scatter. Both paths fuse the Poisson accumulation into the pass.
+		if parallel && p.ActiveNNZ(cur, lo, hi, sparse.ParallelNNZThreshold) >= sparse.ParallelNNZThreshold {
+			sparse.VecMulAccumPlanT(pt, next, cur, accTerm, pw, plan, pool)
+			cur, next = next, cur
+			// The kernel wrote every entry of the new cur; the swapped-out
+			// buffer only held the old support window.
+			dirtyLo, dirtyHi = lo, hi
+			lo, hi = 0, c.N
 		} else {
-			p.VecMulTo(next, cur)
+			if dirtyHi > dirtyLo {
+				clear(next[dirtyLo:dirtyHi])
+			}
+			nlo, nhi := p.VecMulAccumScatter(next, cur, accTerm, pw, lo, hi)
+			cur, next = next, cur
+			dirtyLo, dirtyHi = lo, hi
+			lo, hi = nlo, nhi
 		}
-		cur, next = next, cur
 	}
 	// Renormalize the truncation slack.
 	linalg.Normalize1(acc)
@@ -686,19 +859,56 @@ func (c *Chain) TransientSeriesCtx(ctx context.Context, p0 []float64, times []fl
 	return out, nil
 }
 
+// uniformized builds P = I + Q/q directly in CSR form. Q's rows are
+// already column-sorted and duplicate-free, so the COO round-trip the
+// original implementation paid — a counting sort plus per-row column
+// sorts on every uncached build — is pure overhead; the direct build is
+// one pass over Q. Bit-identity with the COO path is preserved exactly:
+// the off-diagonal mass is accumulated in the same ascending-column
+// order, the diagonal 1-offDiag is emitted at its sorted position, and
+// exact-zero values are dropped just as ToCSR drops them.
 func (c *Chain) uniformized(q float64) *sparse.CSR {
-	coo := sparse.NewCOO(c.N, c.N, c.Q.NNZ()+c.N)
-	for i := 0; i < c.N; i++ {
-		var offDiag float64
-		c.Q.Row(i, func(j int, v float64) {
-			if j != i {
-				coo.Add(i, j, v/q)
-				offDiag += v / q
-			}
-		})
-		coo.Add(i, i, 1-offDiag)
+	n := c.N
+	m := &sparse.CSR{
+		Rows: n, Cols: n,
+		RowPtr: make([]int, n+1),
+		ColIdx: make([]int, 0, c.Q.NNZ()+n),
+		Val:    make([]float64, 0, c.Q.NNZ()+n),
 	}
-	return coo.ToCSR()
+	for i := 0; i < n; i++ {
+		s, e := c.Q.RowPtr[i], c.Q.RowPtr[i+1]
+		var offDiag float64
+		for k := s; k < e; k++ {
+			if c.Q.ColIdx[k] != i {
+				offDiag += c.Q.Val[k] / q
+			}
+		}
+		d := 1 - offDiag
+		emittedDiag := false
+		for k := s; k < e; k++ {
+			j := c.Q.ColIdx[k]
+			if j == i {
+				continue
+			}
+			if !emittedDiag && j > i {
+				if d != 0 {
+					m.ColIdx = append(m.ColIdx, i)
+					m.Val = append(m.Val, d)
+				}
+				emittedDiag = true
+			}
+			if v := c.Q.Val[k] / q; v != 0 {
+				m.ColIdx = append(m.ColIdx, j)
+				m.Val = append(m.Val, v)
+			}
+		}
+		if !emittedDiag && d != 0 {
+			m.ColIdx = append(m.ColIdx, i)
+			m.Val = append(m.Val, d)
+		}
+		m.RowPtr[i+1] = len(m.ColIdx)
+	}
+	return m
 }
 
 // PointMass returns a distribution concentrated on state s.
@@ -864,6 +1074,16 @@ func (c *Chain) absorbingChain(targets []int) (*Chain, []bool, error) {
 	}
 	abs := &Chain{N: c.N, Q: coo.ToCSR(), ExitRate: exit, ActionRate: map[string][]float64{},
 		Obs: c.Obs, Workers: c.Workers, noSolveCache: c.noSolveCache}
+	// The passage solve runs on the absorbing chain; if the parent
+	// already has a pool (owned or attached), share it instead of
+	// spinning up a second set of workers. The absorbing chain never
+	// closes a shared pool, and a pool replaced under it degrades to
+	// inline execution — never to a wrong result.
+	c.mu.Lock()
+	if c.pool != nil {
+		abs.pool, abs.poolOwned = c.pool, false
+	}
+	c.mu.Unlock()
 	if !c.noSolveCache {
 		c.mu.Lock()
 		sc := c.cacheLocked()

@@ -53,9 +53,18 @@ func cloneWithCount(m *Model, group, component string, count float64) (*Model, e
 
 // ScalabilitySweep solves the fluid model to the horizon for each
 // population count of (group, component) and records the equilibrium
-// throughput of the action. Points are independent and solve in parallel,
-// assembled in sweep order.
+// throughput of the action. Points are independent and solve in parallel
+// on up to GOMAXPROCS goroutines, assembled in sweep order.
 func ScalabilitySweep(m *Model, group, component string, counts []float64, horizon float64, action string) ([]SweepPoint, error) {
+	return ScalabilitySweepWorkers(m, group, component, counts, horizon, action, 0)
+}
+
+// ScalabilitySweepWorkers is ScalabilitySweep with an explicit bound on
+// the point fan-out (0 means GOMAXPROCS, 1 sequential), so CLI callers
+// can plumb one worker budget through both the CTMC solvers and the
+// fluid sweeps. Points are assembled in sweep order regardless, so the
+// output is identical for any worker count.
+func ScalabilitySweepWorkers(m *Model, group, component string, counts []float64, horizon float64, action string, workers int) ([]SweepPoint, error) {
 	if len(counts) == 0 {
 		return nil, fmt.Errorf("gpepa: empty sweep")
 	}
@@ -67,7 +76,7 @@ func ScalabilitySweep(m *Model, group, component string, counts []float64, horiz
 			return nil, fmt.Errorf("gpepa: negative population %g", c)
 		}
 	}
-	return par.Map(len(counts), 0, func(i int) (SweepPoint, error) {
+	return par.Map(len(counts), workers, func(i int) (SweepPoint, error) {
 		clone, err := cloneWithCount(m, group, component, counts[i])
 		if err != nil {
 			return SweepPoint{}, err

@@ -76,3 +76,28 @@ func TestSaturationEdgeCases(t *testing.T) {
 		t.Errorf("flat sweep knee = %d, want 1", got)
 	}
 }
+
+func TestScalabilitySweepWorkersBitIdentical(t *testing.T) {
+	m := MustParse(clientServerSrc)
+	counts := []float64{2, 5, 10, 20}
+	ref, err := ScalabilitySweepWorkers(m, "Servers", "Server", counts, 100, "request", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 4} {
+		got, err := ScalabilitySweepWorkers(m, "Servers", "Server", counts, 100, "request", workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref {
+			if math.Float64bits(got[i].Throughput) != math.Float64bits(ref[i].Throughput) {
+				t.Fatalf("workers=%d: throughput diverged at count=%g", workers, counts[i])
+			}
+			for j := range ref[i].Final {
+				if math.Float64bits(got[i].Final[j]) != math.Float64bits(ref[i].Final[j]) {
+					t.Fatalf("workers=%d: final populations diverged at count=%g", workers, counts[i])
+				}
+			}
+		}
+	}
+}

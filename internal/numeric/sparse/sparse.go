@@ -13,7 +13,6 @@ import (
 	"math"
 	"runtime"
 	"sort"
-	"sync"
 )
 
 // Triplet is a single (row, col, value) coordinate entry.
@@ -158,10 +157,12 @@ func (m *CSR) MulVecTo(y, x []float64) {
 	}
 }
 
-// parallelNNZThreshold is the nonzero count below which the parallel
+// ParallelNNZThreshold is the stored-entry count below which the parallel
 // kernels fall back to their sequential twins: under ~50k entries the
-// goroutine dispatch cost dominates the product itself.
-const parallelNNZThreshold = 50_000
+// dispatch cost dominates the product itself. It is a variable so tests
+// can force tiny matrices down the parallel paths; results are
+// bit-identical either way, so tuning it changes wall-clock time only.
+var ParallelNNZThreshold = 50_000
 
 // nnzBalancedBounds partitions rows [0, rows) into `workers` contiguous
 // blocks of roughly equal nonzero count, returning workers+1 ascending
@@ -195,20 +196,10 @@ func (m *CSR) MulVecToParallel(y, x []float64, workers int) {
 	if workers > m.Rows {
 		workers = m.Rows
 	}
-	if workers <= 1 || m.NNZ() < parallelNNZThreshold {
-		m.MulVecTo(y, x)
-		return
-	}
-	bounds := nnzBalancedBounds(m.RowPtr, m.Rows, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo, hi := bounds[w], bounds[w+1]
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
+	plan := NewPlan(m, workers)
+	runPlanSpawn(plan,
+		func(lo, hi int) { clear(y[lo:hi]) },
+		func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				var s float64
 				for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
@@ -216,9 +207,7 @@ func (m *CSR) MulVecToParallel(y, x []float64, workers int) {
 				}
 				y[i] = s
 			}
-		}(lo, hi)
-	}
-	wg.Wait()
+		})
 }
 
 // VecMul computes y = xᵀ·A (row vector times matrix), returning y.
@@ -266,35 +255,20 @@ func VecMulToParallelT(t *CSR, y, x []float64, workers int) {
 	if workers > t.Rows {
 		workers = t.Rows
 	}
-	dotRows := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			var s float64
-			for k := t.RowPtr[i]; k < t.RowPtr[i+1]; k++ {
-				if xv := x[t.ColIdx[k]]; xv != 0 {
-					s += xv * t.Val[k]
+	plan := NewPlan(t, workers)
+	runPlanSpawn(plan,
+		func(lo, hi int) { clear(y[lo:hi]) },
+		func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				var s float64
+				for k := t.RowPtr[i]; k < t.RowPtr[i+1]; k++ {
+					if xv := x[t.ColIdx[k]]; xv != 0 {
+						s += xv * t.Val[k]
+					}
 				}
+				y[i] = s
 			}
-			y[i] = s
-		}
-	}
-	if workers <= 1 || t.NNZ() < parallelNNZThreshold {
-		dotRows(0, t.Rows)
-		return
-	}
-	bounds := nnzBalancedBounds(t.RowPtr, t.Rows, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo, hi := bounds[w], bounds[w+1]
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			dotRows(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+		})
 }
 
 // Transpose returns Aᵀ as a new CSR matrix.
@@ -372,6 +346,16 @@ type IterOptions struct {
 	// iteration matrix for the parallel PowerIteration product. When nil
 	// and Workers > 1 the transpose is built once at solve start.
 	Transposed *CSR
+	// Plan optionally supplies the precomputed row partition of
+	// Transposed. When nil and Workers > 1 it is planned once at solve
+	// start; callers solving repeatedly (ctmc.Chain) pass their memoized
+	// plan instead.
+	Plan *Plan
+	// Pool optionally supplies a persistent worker pool for the parallel
+	// products. When nil, partitions are dispatched on freshly spawned
+	// goroutines per product (the legacy path). Results are bit-identical
+	// either way.
+	Pool *Pool
 	// Cancel, when non-nil, is polled before every sweep/iteration and
 	// aborts the solve with its error when it returns non-nil. Callers
 	// pass ctx.Err so cancellation reaches the iteration loop without
@@ -504,8 +488,14 @@ func PowerIteration(p *CSR, opt IterOptions) ([]float64, IterResult, error) {
 		x[i] = 1 / float64(n)
 	}
 	pt := opt.Transposed
-	if opt.Workers > 1 && pt == nil {
-		pt = p.Transpose()
+	plan := opt.Plan
+	if opt.Workers > 1 {
+		if pt == nil {
+			pt = p.Transpose()
+		}
+		if plan == nil {
+			plan = NewPlan(pt, opt.Workers)
+		}
 	}
 	y := make([]float64, n)
 	var res IterResult
@@ -516,7 +506,7 @@ func PowerIteration(p *CSR, opt IterOptions) ([]float64, IterResult, error) {
 			}
 		}
 		if opt.Workers > 1 {
-			VecMulToParallelT(pt, y, x, opt.Workers)
+			VecMulAccumPlanT(pt, y, x, nil, 0, plan, opt.Pool)
 		} else {
 			p.VecMulTo(y, x)
 		}

@@ -376,7 +376,7 @@ func singleDenseRowCSR(n int) *CSR {
 func TestMulVecToParallelSingleDenseRow(t *testing.T) {
 	n := 60000 // ~120k nonzeros, 60k of them in row 0
 	m := singleDenseRowCSR(n)
-	if m.NNZ() < parallelNNZThreshold {
+	if m.NNZ() < ParallelNNZThreshold {
 		t.Fatalf("test matrix below parallel threshold: nnz=%d", m.NNZ())
 	}
 	for _, workers := range []int{4, 8} {

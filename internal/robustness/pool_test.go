@@ -1,0 +1,74 @@
+package robustness
+
+// Study-level worker pool tests: one shared pool serves every machine
+// chain of a sweep, parallel results stay bit-identical to sequential,
+// and Close returns the goroutine count to baseline.
+
+import (
+	"math"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/numeric/sparse"
+)
+
+func TestStudySharedPoolBitIdenticalAndReleased(t *testing.T) {
+	saved := sparse.ParallelNNZThreshold
+	sparse.ParallelNNZThreshold = 0 // machine chains are small; force the pool path
+	defer func() { sparse.ParallelNNZThreshold = saved }()
+
+	times := grid(0, 400, 20)
+	seq := NewStudy()
+	want, err := seq.MakespanCDF(MappingA, times)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	runtime.GC()
+	base := runtime.NumGoroutine()
+	s := NewStudy()
+	s.Workers = 4
+	got, err := s.MakespanCDF(MappingA, times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Probs {
+		if math.Float64bits(got.Probs[i]) != math.Float64bits(want.Probs[i]) {
+			t.Fatalf("parallel makespan diverged at %g: %g vs %g", times[i], got.Probs[i], want.Probs[i])
+		}
+	}
+	// Every machine chain shares the study pool: its 3 workers are the
+	// only pinned goroutines allowed to outlive the sweep (the fan-out
+	// goroutines are joined by MakespanCDF itself).
+	if n := runtime.NumGoroutine(); n > base+3 {
+		t.Fatalf("%d goroutines after sweep, baseline %d + pool 3 allowed", n, base)
+	}
+	s.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine count %d never returned to baseline %d after Close", runtime.NumGoroutine(), base)
+		}
+		runtime.GC()
+		time.Sleep(10 * time.Millisecond)
+	}
+	s.Close() // idempotent
+
+	// The study stays usable after Close: a fresh pool is created lazily
+	// and the result is still bit-identical.
+	again, err := s.FinishingCDF(MappingA, 0, times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := seq.FinishingCDF(MappingA, 0, times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.Probs {
+		if math.Float64bits(again.Probs[i]) != math.Float64bits(ref.Probs[i]) {
+			t.Fatalf("post-Close finishing CDF diverged at %g", times[i])
+		}
+	}
+	s.Close()
+}

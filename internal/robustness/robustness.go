@@ -28,6 +28,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/ctmc"
 	"repro/internal/diagram"
+	"repro/internal/numeric/sparse"
 	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/pepa"
@@ -111,6 +112,40 @@ type Study struct {
 	// computed and checkpointed — the test seam that cancels a study at
 	// a deterministic point mid-flight.
 	hookCell func(mapping string, j int)
+
+	// poolMu guards pool, the worker pool shared by every per-machine
+	// chain the study solves (Workers > 1 only). One set of pinned
+	// goroutines serves the whole 30×30 sweep instead of one pool per
+	// machine chain; Close releases it.
+	poolMu sync.Mutex
+	pool   *sparse.Pool
+}
+
+// solvePool lazily creates the study-wide worker pool the per-machine
+// chains dispatch their parallel kernels on. Nil for Workers <= 1 — the
+// chains then run their sequential (bit-identical) paths.
+func (s *Study) solvePool() *sparse.Pool {
+	if s.Workers <= 1 {
+		return nil
+	}
+	s.poolMu.Lock()
+	defer s.poolMu.Unlock()
+	if s.pool == nil {
+		s.pool = sparse.NewPool(s.Workers - 1)
+	}
+	return s.pool
+}
+
+// Close shuts down the study's shared worker pool and waits for its
+// goroutines to exit. The study stays usable afterwards — the next
+// parallel solve lazily creates a fresh pool. Safe to call multiple
+// times and on a study that never solved anything.
+func (s *Study) Close() {
+	s.poolMu.Lock()
+	p := s.pool
+	s.pool = nil
+	s.poolMu.Unlock()
+	p.Close()
 }
 
 // NewStudy constructs the study with the deterministic synthetic ETC and
@@ -346,6 +381,9 @@ func (s *Study) FinishingCDFCtx(ctx context.Context, mapping string, j int, time
 	chain := ctmc.FromStateSpace(ss)
 	chain.Obs = s.Obs
 	chain.Workers = s.Workers
+	if p := s.solvePool(); p != nil {
+		chain.AttachPool(p)
+	}
 	cdf, err := chain.FirstPassageCDFCtx(ctx, chain.PointMass(0), targets, times, 1e-10)
 	if err != nil {
 		return nil, err
