@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-snapshot bench-compare bench-baseline bench-scaling repro chaos chaos-cancel chaos-hub conformance conformance-deep fuzz fuzz-smoke goldens clean
+.PHONY: all build vet test race bench bench-snapshot bench-compare bench-baseline bench-scaling bench-build repro chaos chaos-cancel chaos-hub conformance conformance-deep fuzz fuzz-smoke goldens clean
 
 # Solve-path benchmarks watched by the regression gate (docs/PERFORMANCE.md).
 BENCH_GATED = ^(BenchmarkTransientSeries|BenchmarkTransientWorkers|BenchmarkFirstPassageCDF|BenchmarkToCSR|BenchmarkVecMulParallel)$$
@@ -52,6 +52,14 @@ bench-baseline:
 bench-scaling:
 	$(GO) test -run XXX -bench '^BenchmarkTransientWorkers$$' -benchtime 3x -count 3 ./internal/ctmc \
 		| $(GO) run ./cmd/benchcmp -baseline BENCH_baseline.json -gate '^$$' -out bench_scaling.json
+
+# Staged-build benchmarks (docs/PERFORMANCE.md): cold (all stages execute)
+# vs warm (only the edited last stage executes). Informational — new
+# families are reported against the recorded baseline without gating, and
+# the warm/cold ratio itself is asserted by the benchmarks' stage counts.
+bench-build:
+	$(GO) test -run XXX -bench '^BenchmarkBuildStaged' -benchtime 3x -count 3 ./internal/runtime \
+		| $(GO) run ./cmd/benchcmp -baseline BENCH_baseline.json -gate '^$$' -out bench_build.json
 
 # Regenerate every table and figure of the paper into ./out.
 repro:

@@ -35,6 +35,7 @@ func run() error {
 	tag := flag.String("tag", "latest", "image tag")
 	hostName := flag.String("host", hostenv.BuildHost, "host profile to build on")
 	out := flag.String("o", "image.scif", "output image path")
+	format := flag.String("format", "legacy", "output format: legacy (monolithic SCIF1) or layered (SCIF2 layer chain)")
 	listHosts := flag.Bool("list-hosts", false, "list host profiles and exit")
 	flag.Parse()
 
@@ -78,7 +79,15 @@ func run() error {
 	default:
 		return fmt.Errorf("either -recipe or -tool is required")
 	}
-	blob, err := res.Image.Marshal()
+	var blob []byte
+	switch *format {
+	case "legacy":
+		blob, err = res.Image.Marshal()
+	case "layered":
+		blob, err = res.Image.MarshalLayered()
+	default:
+		return fmt.Errorf("unknown -format %q (want legacy or layered)", *format)
+	}
 	if err != nil {
 		return err
 	}
@@ -87,6 +96,12 @@ func run() error {
 	}
 	fmt.Printf("built %s on %s\n", res.Image.Ref(), host.Name)
 	fmt.Printf("digest: %s\n", res.Digest)
+	if res.StagesExecuted+res.StagesReplayed > 0 {
+		fmt.Printf("stages: %d executed, %d replayed from cache\n", res.StagesExecuted, res.StagesReplayed)
+	}
+	if *format == "layered" {
+		fmt.Printf("layers: %d\n", len(res.Image.Layers))
+	}
 	fmt.Printf("wrote %d bytes to %s\n", len(blob), *out)
 	return nil
 }

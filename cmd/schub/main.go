@@ -4,8 +4,8 @@
 // Usage:
 //
 //	schub serve -addr 127.0.0.1:7443 [-autobuild]
-//	schub push -hub http://127.0.0.1:7443 -collection pepa-containers -image pepa.scif
-//	schub pull -hub http://127.0.0.1:7443 -collection pepa-containers -name pepa -tag latest -o pepa.scif
+//	schub push -hub http://127.0.0.1:7443 -collection pepa-containers -image pepa.scif [-layered]
+//	schub pull -hub http://127.0.0.1:7443 -collection pepa-containers -name pepa -tag latest -o pepa.scif [-layered]
 //	schub list -hub http://127.0.0.1:7443 -collection pepa-containers
 //	schub build -hub http://127.0.0.1:7443 -collection pepa-containers -name pepa -tag v1 -recipe pepa.def
 //
@@ -52,6 +52,7 @@ func run() error {
 	tag := fs.String("tag", "latest", "tag")
 	out := fs.String("o", "", "output path (pull)")
 	digest := fs.String("digest", "", "expected digest (pull)")
+	layered := fs.Bool("layered", false, "push/pull: transfer by layer digest, moving only layers the other side is missing")
 	autobuild := fs.Bool("autobuild", false, "serve: build pushed recipes server-side")
 	recipePath := fs.String("recipe", "", "build: definition file to submit")
 	statePath := fs.String("state", "", "serve: persist the registry to this directory (loaded on start, saved on shutdown)")
@@ -182,11 +183,21 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		d, err := client().Push(*collection, img)
+		c := client()
+		var d string
+		if *layered {
+			d, err = c.PushLayered(*collection, img)
+		} else {
+			d, err = c.Push(*collection, img)
+		}
 		if err != nil {
 			return err
 		}
 		fmt.Printf("pushed %s to %s/%s\ndigest: %s\n", img.Ref(), *hubURL, *collection, d)
+		if *layered {
+			fmt.Printf("layers transferred: %d of %d (rest already on the hub)\n",
+				len(c.AttemptsMatching("pushlayer ")), len(img.Layers))
+		}
 		return nil
 	case "pull":
 		if *name == "" {
@@ -195,6 +206,32 @@ func run() error {
 		target := *out
 		if target == "" {
 			target = *name + ".scif"
+		}
+		if *layered {
+			// Layer-negotiated pull: only layers absent from the client's
+			// cache cross the wire; monolithic entries fall back to the
+			// legacy pull transparently.
+			c := client()
+			img, d, err := c.PullLayered(*collection, *name, *tag, *digest)
+			if err != nil {
+				return err
+			}
+			var blob []byte
+			if img.Layered() {
+				blob, err = img.MarshalLayered()
+			} else {
+				blob, err = img.Marshal()
+			}
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(target, blob, 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("pulled %s:%s (digest %s) to %s\n", *name, *tag, d, target)
+			fmt.Printf("layers transferred: %d of %d\n",
+				len(c.AttemptsMatching("pulllayer ")), len(img.Layers))
+			return nil
 		}
 		// PullToFile spools verified chunks next to the target, so an
 		// interrupted pull resumes from the last good offset on rerun.
@@ -226,7 +263,11 @@ func run() error {
 		}
 		fmt.Printf("collection %s:\n", *collection)
 		for _, e := range entries {
-			fmt.Printf("  %s:%s  %s  %d bytes  (built on %s)\n", e.Container, e.Tag, e.Digest[:19], e.Size, e.BuildHost)
+			form := ""
+			if e.Layers > 0 {
+				form = fmt.Sprintf("  %d layers", e.Layers)
+			}
+			fmt.Printf("  %s:%s  %s  %d bytes%s  (built on %s)\n", e.Container, e.Tag, e.Digest[:19], e.Size, form, e.BuildHost)
 		}
 		return nil
 	default:

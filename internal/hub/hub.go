@@ -42,6 +42,9 @@ type Entry struct {
 	Digest     string `json:"digest"`
 	Size       int    `json:"size"`
 	BuildHost  string `json:"buildHost,omitempty"`
+	// Layers counts the content-addressed layers of a layered (SCIF2)
+	// entry; 0 for monolithic (SCIF1) content.
+	Layers int `json:"layers,omitempty"`
 	// Quarantined marks content whose stored bytes failed digest
 	// verification (scrubber or recovery); it is served as 410 Gone
 	// until a re-push repairs it.
@@ -57,6 +60,10 @@ type Store struct {
 	digest      map[string]string
 	meta        map[string]Entry
 	quarantined map[string]string // key -> quarantine reason
+	// layers is the content-addressed layer index: encoded layer frames
+	// keyed by digest, learned from installed layered blobs and from
+	// PutLayer staging. A cache, not durable state (see layers.go).
+	layers map[string][]byte
 
 	// pmu serializes mutations so the journal order matches the order
 	// the in-memory maps were updated in; nil wal means in-memory only.
@@ -73,6 +80,7 @@ func NewStore() *Store {
 		digest:      map[string]string{},
 		meta:        map[string]Entry{},
 		quarantined: map[string]string{},
+		layers:      map[string][]byte{},
 	}
 }
 
@@ -117,6 +125,7 @@ func (s *Store) Put(coll, name, tag string, blob []byte) (string, error) {
 	e := Entry{
 		Collection: coll, Container: name, Tag: tag,
 		Digest: d, Size: len(blob), BuildHost: img.Meta.BuildHost,
+		Layers: len(img.Layers),
 	}
 	stored := append([]byte(nil), blob...)
 	if s.wal != nil {
@@ -343,9 +352,21 @@ func (s *Server) Close() error {
 	return nil
 }
 
-// handle routes /v1/{collection}[/{container}/{tag}].
+// handle routes /v1/{collection}[/{container}/{tag}[/manifest]] and the
+// layer-transfer endpoints under /v1/_layers/ (see layers.go).
 func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
 	parts := strings.Split(strings.Trim(strings.TrimPrefix(r.URL.Path, "/v1/"), "/"), "/")
+	switch {
+	case len(parts) == 2 && parts[0] == "_layers" && parts[1] == "missing":
+		s.handleLayerMissing(w, r)
+		return
+	case len(parts) == 2 && parts[0] == "_layers":
+		s.handleLayer(w, r, parts[1])
+		return
+	case len(parts) == 4 && parts[3] == "manifest":
+		s.handleManifest(w, r, parts[0], parts[1], parts[2])
+		return
+	}
 	switch {
 	case len(parts) == 1 && parts[0] == "":
 		// GET /v1/ — list collections.
@@ -447,8 +468,11 @@ type Client struct {
 	// (default 64 MiB).
 	MaxResponseBytes int64
 
-	breaker  *Breaker
-	jmu      sync.Mutex
+	breaker *Breaker
+	// layerCache holds layers pulled or pushed by this client so layered
+	// transfers skip layers already on hand (see layers.go).
+	layerCache *LayerCache
+	jmu        sync.Mutex
 	jitter   *rng.Source
 	logMu    sync.Mutex
 	attempts []string
@@ -474,6 +498,9 @@ type ClientOptions struct {
 	// Obs receives client metrics (attempts, retries, backoff, breaker
 	// transitions, bytes moved). Nil disables instrumentation.
 	Obs *obs.Registry
+	// LayerCache shares a layer cache between clients (nil creates a
+	// fresh per-client cache).
+	LayerCache *LayerCache
 }
 
 // NewClient creates a client for the given base URL with default
@@ -495,12 +522,16 @@ func NewClientWithOptions(baseURL string, opts ClientOptions) *Client {
 	if opts.Sleep == nil {
 		opts.Sleep = time.Sleep
 	}
+	if opts.LayerCache == nil {
+		opts.LayerCache = NewLayerCache()
+	}
 	c := &Client{
 		BaseURL:          strings.TrimRight(baseURL, "/"),
 		HTTP:             &http.Client{Timeout: opts.Timeout, Transport: opts.Transport},
 		Retry:            opts.Retry,
 		MaxResponseBytes: opts.MaxResponseBytes,
 		breaker:          NewBreaker(opts.BreakerThreshold, opts.BreakerCooldown),
+		layerCache:       opts.LayerCache,
 		jitter:           newJitter(opts.JitterSeed),
 		sleep:            opts.Sleep,
 		obs:              opts.Obs,

@@ -209,6 +209,8 @@ func (s *Store) applyWALRecord(dir string, rec walRecord) {
 }
 
 // installEntry replaces the in-memory state for k (clearing quarantine).
+// Layered blobs also feed the layer index here, so WAL replay and
+// snapshot loads rebuild it for free.
 func (s *Store) installEntry(k string, e Entry, blob []byte) {
 	s.mu.Lock()
 	e.Quarantined = false
@@ -216,6 +218,7 @@ func (s *Store) installEntry(k string, e Entry, blob []byte) {
 	s.digest[k] = e.Digest
 	s.meta[k] = e
 	delete(s.quarantined, k)
+	s.indexLayersLocked(blob)
 	s.mu.Unlock()
 }
 

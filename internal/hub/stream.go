@@ -27,6 +27,7 @@ const (
 	headerChunkList   = "X-Image-Chunk-Digests"
 	headerHubError    = "X-Hub-Error"
 	hubErrQuarantined = "quarantined"
+	hubErrNotLayered  = "not-layered"
 )
 
 // chunkDigests splits blob into chunkSize pieces and returns the hex
@@ -115,15 +116,23 @@ func (s *Server) serveBlob(w http.ResponseWriter, r *http.Request, coll, name, t
 		http.Error(w, fmt.Sprintf("content quarantined (%s); re-push to repair", reason), http.StatusGone)
 		return
 	}
+	s.serveVerified(w, r, e.Digest, blob)
+}
+
+// serveVerified streams one content-addressed blob — an image or a
+// single layer — with the digest header, chunk manifest, and Range
+// support. The chunk manifest memo is keyed by digest, so image blobs
+// and layer blobs share it safely.
+func (s *Server) serveVerified(w http.ResponseWriter, r *http.Request, digest string, blob []byte) {
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Accept-Ranges", "bytes")
-	w.Header().Set(headerDigest, e.Digest)
+	w.Header().Set(headerDigest, digest)
 	chunkSize := s.ChunkSize
 	if chunkSize <= 0 {
 		chunkSize = DefaultChunkSize
 	}
 	w.Header().Set(headerChunkSize, strconv.Itoa(chunkSize))
-	w.Header().Set(headerChunkList, strings.Join(s.manifestFor(e.Digest, blob), ","))
+	w.Header().Set(headerChunkList, strings.Join(s.manifestFor(digest, blob), ","))
 
 	start, end, ranged, satisfiable := parseRange(r.Header.Get("Range"), len(blob))
 	if !satisfiable {

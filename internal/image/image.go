@@ -42,6 +42,11 @@ type Metadata struct {
 type Image struct {
 	Meta Metadata
 	FS   *vfs.FS
+	// Layers is the content-addressed layer chain the filesystem was
+	// assembled from (nil for monolithic images). Applying the chain in
+	// order to an empty filesystem reproduces FS exactly; the chain never
+	// affects Digest, which stays a function of the flattened content.
+	Layers []*Layer
 }
 
 const magic = "SCIF1\n" // "simulated container image format"
@@ -68,13 +73,7 @@ func (img *Image) Digest() (string, error) {
 	if err != nil {
 		return "", err
 	}
-	dm := digestMeta{
-		Name: img.Meta.Name, Tag: img.Meta.Tag, BaseRef: img.Meta.BaseRef,
-		Help: img.Meta.Help, Labels: sortedLabels(img.Meta.Labels),
-		Environment: img.Meta.Environment, Runscript: img.Meta.Runscript,
-		Test: img.Meta.Test, RecipeSource: img.Meta.RecipeSource,
-	}
-	metaBytes, err := json.Marshal(dm) // Go JSON sorts map keys: deterministic
+	metaBytes, err := json.Marshal(digestMetaOf(img.Meta)) // Go JSON sorts map keys: deterministic
 	if err != nil {
 		return "", err
 	}
@@ -85,6 +84,16 @@ func (img *Image) Digest() (string, error) {
 	binary.Write(h, binary.BigEndian, uint64(len(tarBytes)))
 	h.Write(tarBytes)
 	return "sha256:" + hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// digestMetaOf projects a Metadata onto its digest-relevant subset.
+func digestMetaOf(m Metadata) digestMeta {
+	return digestMeta{
+		Name: m.Name, Tag: m.Tag, BaseRef: m.BaseRef,
+		Help: m.Help, Labels: sortedLabels(m.Labels),
+		Environment: m.Environment, Runscript: m.Runscript,
+		Test: m.Test, RecipeSource: m.RecipeSource,
+	}
 }
 
 func sortedLabels(in map[string]string) map[string]string {
@@ -123,8 +132,14 @@ func (img *Image) Marshal() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// Unmarshal reconstructs an image from Marshal's output.
+// Unmarshal reconstructs an image from Marshal's or MarshalLayered's
+// output, dispatching on the magic. Legacy SCIF1 blobs decode exactly as
+// before; layered SCIF2 blobs are digest-verified layer by layer and
+// flattened.
 func Unmarshal(data []byte) (*Image, error) {
+	if IsLayered(data) {
+		return unmarshalLayered(data)
+	}
 	if len(data) < len(magic) || string(data[:len(magic)]) != magic {
 		return nil, fmt.Errorf("image: bad magic (not a container image)")
 	}

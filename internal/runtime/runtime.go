@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/hostenv"
 	"repro/internal/image"
@@ -73,14 +74,31 @@ type Engine struct {
 	Version string
 
 	// The build cache: because builds are deterministic functions of
-	// (recipe source, base ref, name, tag), a repeated build can return
-	// the cached image. Runs clone the filesystem, so sharing is safe.
+	// (recipe source, name, tag), a repeated build can return the cached
+	// image. The key is digest-relevant inputs only — no host name — so
+	// the same recipe built on N hosts stores one image; BuildHost
+	// provenance is patched into the returned metadata per call. Runs
+	// clone the filesystem, so sharing is safe.
 	cacheMu sync.Mutex
 	cache   map[string]*BuildResult
 	// CacheDisabled turns the cache off (benchmarks of cold builds).
 	CacheDisabled bool
-	// CacheHits counts builds served from the cache.
-	CacheHits int
+	// cacheHits counts builds served whole from the cache; read it via
+	// CacheHits. It is atomic because callers poll it while concurrent
+	// builds are in flight.
+	cacheHits atomic.Int64
+
+	// The stage cache and layer store behind incremental builds: each
+	// build stage (base bootstrap, %files, each %post section) emits a
+	// content-addressed layer and caches its outcome keyed on the stage
+	// inputs plus the parent layer-chain digest, so a rebuild re-executes
+	// only the first changed stage and everything after it.
+	stageMu sync.Mutex
+	stages  map[string]*stageRec
+	layers  *LayerStore
+	// StageCacheDisabled turns stage caching and replay off (cold-build
+	// benchmarks); builds still emit layered images.
+	StageCacheDisabled bool
 
 	// Obs, when non-nil, receives engine metrics (builds by cache
 	// outcome, runs by isolation model, native runs). Nil costs nothing.
@@ -94,8 +112,18 @@ func NewEngine() *Engine {
 		Apps:    map[string]App{},
 		Version: "2.5.2", // mirrors the Singularity version used in the paper
 		cache:   map[string]*BuildResult{},
+		stages:  map[string]*stageRec{},
+		layers:  NewLayerStore(),
 	}
 }
+
+// CacheHits reports how many builds were served whole from the build
+// cache. Safe to call while builds are in flight.
+func (e *Engine) CacheHits() int64 { return e.cacheHits.Load() }
+
+// Layers exposes the engine's content-addressed layer store (for
+// inspection and hub transfers).
+func (e *Engine) Layers() *LayerStore { return e.layers }
 
 // RegisterApp installs a Go application under a name.
 func (e *Engine) RegisterApp(name string, app App) { e.Apps[name] = app }
@@ -113,6 +141,28 @@ type BuildResult struct {
 	PostOutput string
 	// TestOutput is the stdout of the %test section (empty if no %test).
 	TestOutput string
+	// StagesExecuted and StagesReplayed count how many build stages ran
+	// their script versus replaying a cached layer. A warm rebuild after
+	// editing only the last stage reports StagesExecuted == 1.
+	StagesExecuted int
+	StagesReplayed int
+}
+
+// cachedFor adapts a cached build result to the requesting host: if the
+// cached provenance already names this host the result is returned as is
+// (pointer-identical, so repeat builds on one host share the instance);
+// otherwise a shallow copy with BuildHost patched is returned — the
+// content (filesystem, layers, digest) is identical by construction, only
+// the provenance differs.
+func cachedFor(res *BuildResult, host *hostenv.Host) *BuildResult {
+	if res.Image == nil || res.Image.Meta.BuildHost == host.Name {
+		return res
+	}
+	img := *res.Image
+	img.Meta.BuildHost = host.Name
+	out := *res
+	out.Image = &img
+	return &out
 }
 
 // Build executes a recipe into an image. The build host only contributes
@@ -144,51 +194,158 @@ func (e *Engine) BuildCtx(cctx context.Context, rcp *recipe.Recipe, host *hosten
 		return nil, err
 	}
 	// Cache lookup: only context-free builds are cacheable (a build
-	// context's files are not part of the key).
-	// The host is part of the key only for provenance accuracy (BuildHost
-	// is recorded in metadata); the digest is host-independent regardless.
+	// context's files are not part of the key). The key carries only
+	// digest-relevant inputs — the host is provenance, not content — so a
+	// build by any host serves every host; the hit path patches BuildHost
+	// into a shallow copy when the requesting host differs.
 	cacheKey := ""
 	if !e.CacheDisabled && ctx.FS == nil && e.cache != nil {
-		cacheKey = rcp.Source + "\x00" + name + "\x00" + tag + "\x00" + host.Name
+		cacheKey = rcp.Source + "\x00" + name + "\x00" + tag
 		e.cacheMu.Lock()
-		if res, ok := e.cache[cacheKey]; ok {
-			e.CacheHits++
-			e.cacheMu.Unlock()
-			e.Obs.Inc("runtime_builds_total", obs.L("cached", "true"))
-			return res, nil
-		}
+		res, ok := e.cache[cacheKey]
 		e.cacheMu.Unlock()
+		if ok {
+			e.cacheHits.Add(1)
+			e.Obs.Inc("runtime_builds_total", obs.L("cached", "true"))
+			return cachedFor(res, host), nil
+		}
 	}
 	e.Obs.Inc("runtime_builds_total", obs.L("cached", "false"))
 	base, ok := e.Bases[rcp.From]
 	if !ok {
 		return nil, fmt.Errorf("runtime: unknown base image %q (available: %s)", rcp.From, strings.Join(hostenv.BaseImageNames(), ", "))
 	}
-	fs := base.FS()
-	// %files: copy from the build context.
-	for _, fp := range rcp.Files {
+
+	// The staged executor: the filesystem grows layer by layer. Each
+	// stage either replays a cached layer (applying its diff and
+	// restoring the recorded shell state) or executes for real and caches
+	// the resulting layer. The chain digest ties every stage to its exact
+	// ancestry, so an edit invalidates that stage and everything after.
+	fs := vfs.New()
+	chain := ""
+	var layers []*image.Layer
+	executed, replayed := 0, 0
+	addLayer := func(rec *stageRec) {
+		layers = append(layers, rec.layer)
+		chain = chainDigest(chain, rec.layer.Digest())
+	}
+
+	// Stage: base bootstrap.
+	{
+		key := stageKey("base", chain, rcp.From)
+		rec, ok := e.stageLookup(key)
+		if ok {
+			replayed++
+			e.Obs.Inc("runtime_build_stages_total", obs.L("outcome", "replayed"))
+		} else {
+			rec = &stageRec{}
+			layer, err := image.NewLayer(vfs.Diff(fs, base.FS()))
+			if err != nil {
+				return nil, err
+			}
+			rec.layer = e.layers.Put(layer)
+			e.stageStore(key, rec)
+			executed++
+			e.Obs.Inc("runtime_build_stages_total", obs.L("outcome", "executed"))
+		}
+		if err := rec.layer.Apply(fs); err != nil {
+			return nil, err
+		}
+		addLayer(rec)
+	}
+
+	// Stage: %files, copied from the build context. The key includes a
+	// content fingerprint of every source subtree, so edited context
+	// files invalidate the stage even though the recipe text is unchanged.
+	if len(rcp.Files) > 0 {
 		if ctx.FS == nil {
 			return nil, fmt.Errorf("runtime: %%files requested but no build context provided")
 		}
-		if err := ctx.FS.CopyInto(fs, fp.Src, fp.Dst); err != nil {
-			return nil, fmt.Errorf("runtime: %%files %s -> %s: %w", fp.Src, fp.Dst, err)
+		inputs := make([]string, 0, 3*len(rcp.Files))
+		for _, fp := range rcp.Files {
+			sub, err := ctx.FS.HashSubtree(fp.Src)
+			if err != nil {
+				return nil, fmt.Errorf("runtime: %%files %s -> %s: %w", fp.Src, fp.Dst, err)
+			}
+			inputs = append(inputs, fp.Src, fp.Dst, sub)
 		}
+		key := stageKey("files", chain, inputs...)
+		rec, ok := e.stageLookup(key)
+		if ok {
+			if err := rec.layer.Apply(fs); err != nil {
+				return nil, err
+			}
+			replayed++
+			e.Obs.Inc("runtime_build_stages_total", obs.L("outcome", "replayed"))
+		} else {
+			snap := fs.Clone()
+			for _, fp := range rcp.Files {
+				if err := ctx.FS.CopyInto(fs, fp.Src, fp.Dst); err != nil {
+					return nil, fmt.Errorf("runtime: %%files %s -> %s: %w", fp.Src, fp.Dst, err)
+				}
+			}
+			layer, err := image.NewLayer(vfs.Diff(snap, fs))
+			if err != nil {
+				return nil, err
+			}
+			rec = &stageRec{layer: e.layers.Put(layer)}
+			e.stageStore(key, rec)
+			executed++
+			e.Obs.Inc("runtime_build_stages_total", obs.L("outcome", "executed"))
+		}
+		addLayer(rec)
 	}
 	if err := canceled(1); err != nil {
 		return nil, err
 	}
-	// %post: runs as root inside the build sandbox, against the base
-	// distro's repository.
+
+	// Stages: the %post sections, each running as root inside the build
+	// sandbox against the base distro's repository. One shell session
+	// spans all sections (variables and cwd persist), so a replayed stage
+	// restores the session state the real execution would have left.
 	env := shellenv.NewEnv(fs)
 	env.User = "root"
 	env.AllowEscalation = true
 	env.Repo = base.Repo
 	env.ExecHook = e.execHook(fs)
-	if rcp.Post != "" {
-		if err := env.Run(rcp.Post); err != nil {
-			return nil, fmt.Errorf("runtime: %%post failed: %w", err)
+	for _, script := range rcp.PostStages() {
+		if strings.TrimSpace(script) == "" {
+			continue
 		}
+		key := stageKey("post", chain, script, hashSession(env.Vars, env.Cwd()))
+		rec, ok := e.stageLookup(key)
+		if ok {
+			if err := rec.layer.Apply(fs); err != nil {
+				return nil, err
+			}
+			env.Vars = copyVars(rec.vars)
+			env.SetCwd(rec.cwd)
+			env.Stdout.WriteString(rec.output)
+			replayed++
+			e.Obs.Inc("runtime_build_stages_total", obs.L("outcome", "replayed"))
+		} else {
+			snap := fs.Clone()
+			outBefore := env.Stdout.Len()
+			if err := env.Run(script); err != nil {
+				return nil, fmt.Errorf("runtime: %%post failed: %w", err)
+			}
+			layer, err := image.NewLayer(vfs.Diff(snap, fs))
+			if err != nil {
+				return nil, err
+			}
+			rec = &stageRec{
+				layer:  e.layers.Put(layer),
+				output: env.Stdout.String()[outBefore:],
+				vars:   copyVars(env.Vars),
+				cwd:    env.Cwd(),
+			}
+			e.stageStore(key, rec)
+			executed++
+			e.Obs.Inc("runtime_build_stages_total", obs.L("outcome", "executed"))
+		}
+		addLayer(rec)
 	}
+
 	img := &image.Image{
 		Meta: image.Metadata{
 			Name: name, Tag: tag, BaseRef: rcp.From,
@@ -197,9 +354,13 @@ func (e *Engine) BuildCtx(cctx context.Context, rcp *recipe.Recipe, host *hosten
 			RecipeSource: rcp.Source,
 			BuildHost:    host.Name,
 		},
-		FS: fs,
+		FS:     fs,
+		Layers: layers,
 	}
-	res := &BuildResult{Image: img, PostOutput: env.Stdout.String()}
+	res := &BuildResult{
+		Image: img, PostOutput: env.Stdout.String(),
+		StagesExecuted: executed, StagesReplayed: replayed,
+	}
 	if err := canceled(2); err != nil {
 		return nil, err
 	}
@@ -359,9 +520,15 @@ func (e *Engine) execHook(fs *vfs.FS) func(string, []string, []byte, *bytes.Buff
 	}
 }
 
-// InstallAppBinary writes an "#!app:" executable into a filesystem.
+// InstallAppBinary writes an "#!app:" executable into a filesystem. The
+// path must be absolute (contain a "/"): a bare name like "pepa" has no
+// parent directory to create and is rejected rather than guessed at.
 func InstallAppBinary(fs *vfs.FS, path, appName string) error {
-	dir := path[:strings.LastIndex(path, "/")]
+	slash := strings.LastIndex(path, "/")
+	if slash < 0 {
+		return fmt.Errorf("runtime: app binary path %q is not absolute", path)
+	}
+	dir := path[:slash]
 	if dir == "" {
 		dir = "/"
 	}

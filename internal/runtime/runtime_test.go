@@ -324,15 +324,15 @@ func TestBuildCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if e.CacheHits != 0 {
-		t.Errorf("cache hits after cold build = %d", e.CacheHits)
+	if e.CacheHits() != 0 {
+		t.Errorf("cache hits after cold build = %d", e.CacheHits())
 	}
 	second, err := e.Build(rcp, host, BuildContext{}, "hello", "latest")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if e.CacheHits != 1 {
-		t.Errorf("cache hits after warm build = %d", e.CacheHits)
+	if e.CacheHits() != 1 {
+		t.Errorf("cache hits after warm build = %d", e.CacheHits())
 	}
 	if first != second {
 		t.Error("warm build did not return the cached result")
@@ -342,10 +342,11 @@ func TestBuildCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if third == first || e.CacheHits != 1 {
+	if third == first || e.CacheHits() != 1 {
 		t.Error("different tag served from cache")
 	}
-	// A different host misses (provenance accuracy).
+	// A different host hits too — the key carries only digest-relevant
+	// inputs — but the returned provenance names the requesting host.
 	other, err := hostenv.ByName(hostenv.CentOS76)
 	if err != nil {
 		t.Fatal(err)
@@ -355,8 +356,14 @@ func TestBuildCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if e.CacheHits() != 2 {
+		t.Errorf("cross-host build did not hit the cache: hits = %d", e.CacheHits())
+	}
 	if fourth.Image.Meta.BuildHost != other.Name {
 		t.Errorf("cached provenance leaked across hosts: %q", fourth.Image.Meta.BuildHost)
+	}
+	if first.Image.Meta.BuildHost != host.Name {
+		t.Errorf("cross-host hit mutated the cached result's provenance: %q", first.Image.Meta.BuildHost)
 	}
 	if fourth.Digest != first.Digest {
 		t.Error("digest differs across hosts")
@@ -366,8 +373,8 @@ func TestBuildCache(t *testing.T) {
 	if _, err := e.Build(rcp, host, BuildContext{}, "hello", "latest"); err != nil {
 		t.Fatal(err)
 	}
-	if e.CacheHits != 1 {
-		t.Errorf("cache hit while disabled: %d", e.CacheHits)
+	if e.CacheHits() != 2 {
+		t.Errorf("cache hit while disabled: %d", e.CacheHits())
 	}
 	// Cached images remain immune to run mutation.
 	if _, err := e.Run(second.Image, host, RunOptions{}); err != nil {

@@ -54,6 +54,20 @@ func NewEnv(fs *vfs.FS) *Env {
 	return &Env{FS: fs, Vars: map[string]string{}, User: "user", cwd: "/"}
 }
 
+// Cwd returns the session's current working directory. Together with
+// SetCwd it lets a caller snapshot and restore shell session state — the
+// staged build cache uses this to replay a cached build stage without
+// re-executing its script.
+func (env *Env) Cwd() string { return env.cwd }
+
+// SetCwd restores a working directory previously observed via Cwd. An
+// empty path is ignored.
+func (env *Env) SetCwd(p string) {
+	if p != "" {
+		env.cwd = p
+	}
+}
+
 // ExitError reports a command terminating with a nonzero status.
 type ExitError struct {
 	Cmd    string

@@ -1,0 +1,238 @@
+// Layer diffing: a Changeset is the deterministic difference between a
+// parent filesystem and a child filesystem — the vfs-level substrate of
+// content-addressed image layers. Diff and Apply are exact inverses
+// (Apply(parent, Diff(parent, child)) == child), and Marshal emits a
+// canonical byte encoding so identical diffs always hash identically.
+package vfs
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Change is one added or replaced node in a Changeset.
+type Change struct {
+	Path string
+	Node *Node
+}
+
+// Changeset is the difference between a parent and a child filesystem:
+// paths present in the parent but not the child (whiteouts), and nodes
+// that are new or differ in any attribute. Both lists are sorted by path,
+// so a Changeset has exactly one canonical form.
+type Changeset struct {
+	Deleted []string
+	Upserts []Change
+}
+
+// nodesEqual compares every digest-relevant node attribute.
+func nodesEqual(a, b *Node) bool {
+	return a.Kind == b.Kind && a.Mode == b.Mode && a.UID == b.UID && a.GID == b.GID &&
+		a.Target == b.Target && bytes.Equal(a.Data, b.Data)
+}
+
+// Diff computes the canonical changeset that transforms parent into child.
+// Nodes are deep-copied, so later mutation of either filesystem does not
+// alias into the changeset.
+func Diff(parent, child *FS) *Changeset {
+	cs := &Changeset{}
+	for p, cn := range child.nodes {
+		if pn, ok := parent.nodes[p]; ok && nodesEqual(pn, cn) {
+			continue
+		}
+		cp := *cn
+		cp.Data = append([]byte(nil), cn.Data...)
+		cs.Upserts = append(cs.Upserts, Change{Path: p, Node: &cp})
+	}
+	for p := range parent.nodes {
+		if _, ok := child.nodes[p]; !ok {
+			cs.Deleted = append(cs.Deleted, p)
+		}
+	}
+	sort.Strings(cs.Deleted)
+	sort.Slice(cs.Upserts, func(i, j int) bool { return cs.Upserts[i].Path < cs.Upserts[j].Path })
+	return cs
+}
+
+// Empty reports whether the changeset is a no-op.
+func (cs *Changeset) Empty() bool { return len(cs.Deleted) == 0 && len(cs.Upserts) == 0 }
+
+// Apply mutates fs in place: deletions first, then upserts in path order.
+// Applying Diff(parent, child) to a copy of parent reproduces child
+// exactly. Deleting a path removes only that node (Diff lists every
+// removed descendant explicitly, so subtree deletes round-trip).
+func (fs *FS) Apply(cs *Changeset) error {
+	for _, p := range cs.Deleted {
+		cp, err := Clean(p)
+		if err != nil {
+			return err
+		}
+		if cp == "/" {
+			return fmt.Errorf("%w: changeset cannot delete root", ErrBadPath)
+		}
+		delete(fs.nodes, cp)
+	}
+	for _, c := range cs.Upserts {
+		cp, err := Clean(c.Path)
+		if err != nil {
+			return err
+		}
+		if c.Node == nil {
+			return fmt.Errorf("%w: changeset upsert %s has no node", ErrBadPath, cp)
+		}
+		n := *c.Node
+		n.Data = append([]byte(nil), c.Node.Data...)
+		fs.nodes[cp] = &n
+	}
+	return nil
+}
+
+// changesetHeader is the JSON frame that precedes the upsert stream. The
+// upserts themselves travel as plain JSON too (not tar): tar cannot carry
+// a symlink's permission bits, and a changeset must round-trip every node
+// attribute bit-exactly.
+type changesetHeader struct {
+	Deleted []string `json:"deleted,omitempty"`
+}
+
+// wireNode is the canonical JSON encoding of one upserted node.
+type wireNode struct {
+	Path   string `json:"path"`
+	Kind   int    `json:"kind"`
+	Mode   uint32 `json:"mode"`
+	UID    int    `json:"uid,omitempty"`
+	GID    int    `json:"gid,omitempty"`
+	Data   []byte `json:"data,omitempty"`
+	Target string `json:"target,omitempty"`
+}
+
+// Marshal encodes the changeset deterministically: a u64-length-framed
+// header (the whiteout list) followed by a u64-length-framed upsert
+// stream, both canonical JSON in sorted path order. Identical changesets
+// always produce identical bytes.
+func (cs *Changeset) Marshal() ([]byte, error) {
+	deleted := append([]string(nil), cs.Deleted...)
+	sort.Strings(deleted)
+	head, err := json.Marshal(changesetHeader{Deleted: deleted})
+	if err != nil {
+		return nil, err
+	}
+	ups := append([]Change(nil), cs.Upserts...)
+	sort.Slice(ups, func(i, j int) bool { return ups[i].Path < ups[j].Path })
+	wire := make([]wireNode, 0, len(ups))
+	for _, c := range ups {
+		if c.Node == nil {
+			return nil, fmt.Errorf("%w: changeset upsert %s has no node", ErrBadPath, c.Path)
+		}
+		wire = append(wire, wireNode{
+			Path: c.Path, Kind: int(c.Node.Kind), Mode: c.Node.Mode,
+			UID: c.Node.UID, GID: c.Node.GID, Data: c.Node.Data, Target: c.Node.Target,
+		})
+	}
+	body, err := json.Marshal(wire)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.BigEndian, uint64(len(head)))
+	buf.Write(head)
+	binary.Write(&buf, binary.BigEndian, uint64(len(body)))
+	buf.Write(body)
+	return buf.Bytes(), nil
+}
+
+// UnmarshalChangeset decodes Marshal's output.
+func UnmarshalChangeset(data []byte) (*Changeset, error) {
+	rest := data
+	readChunk := func() ([]byte, error) {
+		if len(rest) < 8 {
+			return nil, fmt.Errorf("vfs: truncated changeset")
+		}
+		n := binary.BigEndian.Uint64(rest[:8])
+		rest = rest[8:]
+		if uint64(len(rest)) < n {
+			return nil, fmt.Errorf("vfs: truncated changeset")
+		}
+		chunk := rest[:n]
+		rest = rest[n:]
+		return chunk, nil
+	}
+	head, err := readChunk()
+	if err != nil {
+		return nil, err
+	}
+	body, err := readChunk()
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("vfs: %d trailing changeset bytes", len(rest))
+	}
+	var hdr changesetHeader
+	if err := json.Unmarshal(head, &hdr); err != nil {
+		return nil, fmt.Errorf("vfs: bad changeset header: %w", err)
+	}
+	var wire []wireNode
+	if err := json.Unmarshal(body, &wire); err != nil {
+		return nil, fmt.Errorf("vfs: bad changeset body: %w", err)
+	}
+	cs := &Changeset{Deleted: hdr.Deleted}
+	for _, w := range wire {
+		cp, err := Clean(w.Path)
+		if err != nil {
+			return nil, fmt.Errorf("vfs: bad changeset path %q: %w", w.Path, err)
+		}
+		k := NodeKind(w.Kind)
+		if k != KindDir && k != KindFile && k != KindSymlink {
+			return nil, fmt.Errorf("vfs: bad changeset node kind %d for %s", w.Kind, cp)
+		}
+		cs.Upserts = append(cs.Upserts, Change{Path: cp, Node: &Node{
+			Kind: k, Mode: w.Mode, UID: w.UID, GID: w.GID, Data: w.Data, Target: w.Target,
+		}})
+	}
+	for _, d := range cs.Deleted {
+		if _, err := Clean(d); err != nil {
+			return nil, fmt.Errorf("vfs: bad changeset whiteout %q: %w", d, err)
+		}
+	}
+	return cs, nil
+}
+
+// HashSubtree returns a deterministic sha256 fingerprint of the node at p
+// and everything beneath it, keyed by path relative to p, so identical
+// subtrees rooted at different paths hash identically. Used by the staged
+// build cache to key %files stages on the actual source content.
+func (fs *FS) HashSubtree(p string) (string, error) {
+	rp, err := fs.resolve(p, true)
+	if err != nil {
+		return "", err
+	}
+	if _, ok := fs.nodes[rp]; !ok {
+		return "", fmt.Errorf("%w: %s", ErrNotExist, rp)
+	}
+	subpaths := []string{rp}
+	prefix := rp + "/"
+	if rp == "/" {
+		prefix = "/"
+	}
+	for other := range fs.nodes {
+		if other != rp && strings.HasPrefix(other, prefix) {
+			subpaths = append(subpaths, other)
+		}
+	}
+	sort.Strings(subpaths)
+	h := sha256.New()
+	for _, sp := range subpaths {
+		n := fs.nodes[sp]
+		rel := strings.TrimPrefix(sp, rp)
+		fmt.Fprintf(h, "%s\x00%d:%o:%d:%d\x00%s\x00%d\x00", rel, n.Kind, n.Mode, n.UID, n.GID, n.Target, len(n.Data))
+		h.Write(n.Data)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

@@ -1,0 +1,264 @@
+package vfs
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func mustDiffFS(t *testing.T) (*FS, *FS) {
+	t.Helper()
+	parent := New()
+	if err := parent.MkdirAll("/opt/tool", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := parent.WriteFile("/opt/tool/keep", []byte("keep"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := parent.WriteFile("/opt/tool/edit", []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := parent.WriteFile("/opt/tool/gone", []byte("gone"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := parent.Symlink("keep", "/opt/tool/link"); err != nil {
+		t.Fatal(err)
+	}
+	child := parent.Clone()
+	if err := child.WriteFile("/opt/tool/edit", []byte("new"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := child.Remove("/opt/tool/gone"); err != nil {
+		t.Fatal(err)
+	}
+	if err := child.MkdirAll("/var/log", 0o700); err != nil {
+		t.Fatal(err)
+	}
+	if err := child.WriteFile("/var/log/build", []byte("hello"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return parent, child
+}
+
+func TestDiffApplyRoundTrip(t *testing.T) {
+	parent, child := mustDiffFS(t)
+	cs := Diff(parent, child)
+	if cs.Empty() {
+		t.Fatal("expected a non-empty changeset")
+	}
+	got := parent.Clone()
+	if err := got.Apply(cs); err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(got, child) {
+		t.Fatal("Apply(parent, Diff(parent, child)) != child")
+	}
+	// The parent must be untouched by both Diff and Apply-on-a-clone.
+	if Equal(parent, child) {
+		t.Fatal("parent was mutated")
+	}
+}
+
+func TestDiffIsCanonicalAndMinimal(t *testing.T) {
+	parent, child := mustDiffFS(t)
+	cs := Diff(parent, child)
+	wantDeleted := []string{"/opt/tool/gone"}
+	if !reflect.DeepEqual(cs.Deleted, wantDeleted) {
+		t.Fatalf("Deleted = %v, want %v", cs.Deleted, wantDeleted)
+	}
+	var paths []string
+	for _, c := range cs.Upserts {
+		paths = append(paths, c.Path)
+	}
+	want := []string{"/opt/tool/edit", "/var", "/var/log", "/var/log/build"}
+	if !reflect.DeepEqual(paths, want) {
+		t.Fatalf("Upsert paths = %v, want %v", paths, want)
+	}
+}
+
+func TestDiffIdenticalIsEmpty(t *testing.T) {
+	parent, _ := mustDiffFS(t)
+	cs := Diff(parent, parent.Clone())
+	if !cs.Empty() {
+		t.Fatalf("diff of identical filesystems not empty: %+v", cs)
+	}
+	enc, err := cs.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc2, err := (&Changeset{}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, enc2) {
+		t.Fatal("empty changesets encode differently")
+	}
+}
+
+func TestChangesetMarshalRoundTrip(t *testing.T) {
+	parent, child := mustDiffFS(t)
+	cs := Diff(parent, child)
+	enc, err := cs.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := UnmarshalChangeset(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := parent.Clone()
+	if err := got.Apply(dec); err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(got, child) {
+		t.Fatal("decoded changeset does not reproduce child")
+	}
+	// Re-encoding the decoded changeset is byte-identical: the encoding
+	// is canonical, which is what makes layer digests content addresses.
+	enc2, err := dec.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, enc2) {
+		t.Fatal("changeset encoding is not canonical")
+	}
+}
+
+func TestChangesetPreservesSymlinkAttributes(t *testing.T) {
+	parent := New()
+	child := parent.Clone()
+	if err := child.Symlink("/etc/target", "/link"); err != nil {
+		t.Fatal(err)
+	}
+	// Give the symlink non-default ownership; tar-based encodings lose
+	// symlink modes, the JSON encoding must not lose anything.
+	n, err := child.Lstat("/link")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.UID, n.GID = 7, 8
+	enc, err := Diff(parent, child).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := UnmarshalChangeset(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := parent.Clone()
+	if err := got.Apply(dec); err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(got, child) {
+		t.Fatal("symlink attributes lost in changeset round trip")
+	}
+}
+
+func TestApplyRefusesRootDeletion(t *testing.T) {
+	fs := New()
+	err := fs.Apply(&Changeset{Deleted: []string{"/"}})
+	if err == nil {
+		t.Fatal("expected error deleting root via changeset")
+	}
+}
+
+func TestUnmarshalChangesetRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("short"),
+		[]byte("\x00\x00\x00\x00\x00\x00\x00\x02{}"),                                 // missing body frame
+		[]byte("\x00\x00\x00\x00\x00\x00\x00\x02{}\x00\x00\x00\x00\x00\x00\x00\xff"), // body overruns
+	}
+	for i, c := range cases {
+		if _, err := UnmarshalChangeset(c); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+// randomFS builds a small random filesystem from a seed — shared shape
+// with the quick.Check property below.
+func randomFS(rnd *rand.Rand) *FS {
+	fs := New()
+	dirs := []string{"/", "/a", "/a/b", "/c"}
+	for _, d := range dirs[1:] {
+		fs.MkdirAll(d, uint32(0o700+rnd.Intn(0o77)))
+	}
+	for i := 0; i < rnd.Intn(8); i++ {
+		d := dirs[rnd.Intn(len(dirs))]
+		name := string(rune('f' + rnd.Intn(10)))
+		data := make([]byte, rnd.Intn(64))
+		rnd.Read(data)
+		fs.WriteFile(d+"/"+name, data, uint32(0o600+rnd.Intn(0o177)))
+	}
+	if rnd.Intn(2) == 0 {
+		fs.Symlink("/a", "/c/ln"+string(rune('0'+rnd.Intn(5))))
+	}
+	return fs
+}
+
+func TestQuickDiffApplyIdentity(t *testing.T) {
+	prop := func(seedA, seedB int64) bool {
+		parent := randomFS(rand.New(rand.NewSource(seedA)))
+		child := randomFS(rand.New(rand.NewSource(seedB)))
+		cs := Diff(parent, child)
+		enc, err := cs.Marshal()
+		if err != nil {
+			return false
+		}
+		dec, err := UnmarshalChangeset(enc)
+		if err != nil {
+			return false
+		}
+		got := parent.Clone()
+		if err := got.Apply(dec); err != nil {
+			return false
+		}
+		return Equal(got, child)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashSubtree(t *testing.T) {
+	fs := New()
+	if err := fs.MkdirAll("/a/sub", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/a/sub/f", []byte("data"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.MkdirAll("/b/sub", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/b/sub/f", []byte("data"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ha, err := fs.HashSubtree("/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := fs.HashSubtree("/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha != hb {
+		t.Fatal("identical subtrees at different roots must hash identically")
+	}
+	if err := fs.WriteFile("/b/sub/f", []byte("data2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	hb2, err := fs.HashSubtree("/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hb2 == hb {
+		t.Fatal("content edit did not change subtree hash")
+	}
+	if _, err := fs.HashSubtree("/missing"); err == nil {
+		t.Fatal("expected error hashing a missing subtree")
+	}
+}
