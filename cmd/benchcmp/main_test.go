@@ -23,7 +23,7 @@ BenchmarkVecMulParallel/transpose-workers=2-4 	 1000	 400000 ns/op
 `
 
 func TestParseBench(t *testing.T) {
-	got, err := parseBench(strings.NewReader(sampleOutput))
+	got, allocs, err := parseBench(strings.NewReader(sampleOutput))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,6 +41,28 @@ func TestParseBench(t *testing.T) {
 		if got[name] != ns {
 			t.Errorf("%s = %g, want %g", name, got[name], ns)
 		}
+	}
+	// Only the cached line carries the -benchmem columns.
+	wantAllocs := map[string]float64{"BenchmarkTransientSeries/cached": 3}
+	if len(allocs) != len(wantAllocs) {
+		t.Fatalf("parsed %d allocs entries, want %d: %v", len(allocs), len(wantAllocs), allocs)
+	}
+	if allocs["BenchmarkTransientSeries/cached"] != 3 {
+		t.Errorf("cached allocs = %g, want 3", allocs["BenchmarkTransientSeries/cached"])
+	}
+}
+
+func TestParseBenchAllocsMinOverRepeats(t *testing.T) {
+	out := `
+BenchmarkFoo-4   10  5000000 ns/op  2048 B/op  7 allocs/op
+BenchmarkFoo-4   10  4000000 ns/op  2048 B/op  5 allocs/op
+`
+	ns, allocs, err := parseBench(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns["BenchmarkFoo"] != 4000000 || allocs["BenchmarkFoo"] != 5 {
+		t.Fatalf("min not kept: ns=%g allocs=%g", ns["BenchmarkFoo"], allocs["BenchmarkFoo"])
 	}
 }
 
@@ -79,7 +101,7 @@ func TestCompareGating(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			rep := compare(tc.current, base, gate, 1.2)
+			rep := compare(tc.current, nil, base, nil, gate, 1.2, 1.25)
 			if rep.Failed != tc.wantFailed {
 				t.Fatalf("Failed = %v, want %v (%+v)", rep.Failed, tc.wantFailed, rep.Results)
 			}
@@ -89,13 +111,43 @@ func TestCompareGating(t *testing.T) {
 
 func TestCompareFlagsRegressedResult(t *testing.T) {
 	gate := regexp.MustCompile(`ToCSR`)
-	rep := compare(map[string]float64{"BenchmarkToCSR": 150}, map[string]float64{"BenchmarkToCSR": 100}, gate, 1.2)
+	rep := compare(map[string]float64{"BenchmarkToCSR": 150}, nil, map[string]float64{"BenchmarkToCSR": 100}, nil, gate, 1.2, 1.25)
 	if len(rep.Results) != 1 {
 		t.Fatalf("got %d results", len(rep.Results))
 	}
 	r := rep.Results[0]
 	if !r.Gated || !r.Regressed || r.Ratio != 1.5 || r.Baseline != 100 {
 		t.Fatalf("unexpected result: %+v", r)
+	}
+}
+
+func TestCompareAllocsGating(t *testing.T) {
+	gate := regexp.MustCompile(`ToCSR`)
+	baseNs := map[string]float64{"BenchmarkToCSR": 100, "BenchmarkFirstPassageCDF": 100}
+	baseAllocs := map[string]float64{"BenchmarkToCSR": 10, "BenchmarkFirstPassageCDF": 10}
+	cases := []struct {
+		name       string
+		ns, allocs map[string]float64
+		wantFailed bool
+	}{
+		{"time flat, allocs flat", map[string]float64{"BenchmarkToCSR": 100}, map[string]float64{"BenchmarkToCSR": 10}, false},
+		{"time flat, allocs within threshold", map[string]float64{"BenchmarkToCSR": 100}, map[string]float64{"BenchmarkToCSR": 12}, false},
+		{"time flat, allocs beyond threshold", map[string]float64{"BenchmarkToCSR": 100}, map[string]float64{"BenchmarkToCSR": 13}, true},
+		{"ungated allocs regression ignored", map[string]float64{"BenchmarkFirstPassageCDF": 100}, map[string]float64{"BenchmarkFirstPassageCDF": 100}, false},
+		{"no current allocs: time-only gate", map[string]float64{"BenchmarkToCSR": 100}, nil, false},
+		{"no baseline allocs: time-only gate", map[string]float64{"BenchmarkToCSR": 100}, map[string]float64{"BenchmarkToCSR": 1000}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ba := baseAllocs
+			if tc.name == "no baseline allocs: time-only gate" {
+				ba = nil
+			}
+			rep := compare(tc.ns, tc.allocs, baseNs, ba, gate, 1.2, 1.25)
+			if rep.Failed != tc.wantFailed {
+				t.Fatalf("Failed = %v, want %v (%+v)", rep.Failed, tc.wantFailed, rep.Results)
+			}
+		})
 	}
 }
 
@@ -145,7 +197,7 @@ BenchmarkTransientWorkers/workers=1-4   3  20000000 ns/op
 BenchmarkTransientWorkers/workers=1-4   3  18000000 ns/op
 BenchmarkTransientWorkers/workers=8-4   3  54000000 ns/op
 `
-	current, err := parseBench(strings.NewReader(out))
+	current, _, err := parseBench(strings.NewReader(out))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,5 +210,41 @@ BenchmarkTransientWorkers/workers=8-4   3  54000000 ns/op
 	}
 	if got[0].Ratio != 3.0 {
 		t.Fatalf("ratio = %g, want 3.0", got[0].Ratio)
+	}
+}
+
+func TestScalingComparePlateauWarnOnly(t *testing.T) {
+	// A family where no parallel variant beats workers=1 is flagged as a
+	// plateau but never regressed on that basis alone — a GOMAXPROCS=1
+	// runner produces exactly this shape for a healthy kernel.
+	cases := []struct {
+		name        string
+		current     map[string]float64
+		wantPlateau bool
+	}{
+		{"flat", map[string]float64{
+			"BenchmarkTransientWorkers/workers=1": 10_000_000,
+			"BenchmarkTransientWorkers/workers=2": 10_000_000,
+			"BenchmarkTransientWorkers/workers=4": 11_000_000,
+		}, true},
+		{"scaling", map[string]float64{
+			"BenchmarkTransientWorkers/workers=1": 10_000_000,
+			"BenchmarkTransientWorkers/workers=2": 6_000_000,
+			"BenchmarkTransientWorkers/workers=4": 4_000_000,
+		}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := scalingCompare(tc.current, regexp.MustCompile(`Workers`), 1.3)
+			if len(got) != 1 {
+				t.Fatalf("want 1 family, got %+v", got)
+			}
+			if got[0].Plateau != tc.wantPlateau {
+				t.Fatalf("Plateau = %v, want %v (%+v)", got[0].Plateau, tc.wantPlateau, got[0])
+			}
+			if got[0].Regressed {
+				t.Fatalf("plateau/within-threshold family must not regress: %+v", got[0])
+			}
+		})
 	}
 }

@@ -18,8 +18,9 @@ func ring(n int) *Chain {
 }
 
 // TestConvergenceErrorTrace starves every stage — one Gauss–Seidel
-// sweep, a handful of power iterations, a dense limit below n — and
-// asserts the structured escalation trace names all three.
+// sweep, a handful of power iterations, one Krylov iteration, a dense
+// limit below n — and asserts the structured escalation trace names all
+// four.
 func TestConvergenceErrorTrace(t *testing.T) {
 	c := ring(10)
 	_, err := c.SteadyState(SteadyStateOptions{MaxIter: 1, DenseLimit: 5})
@@ -30,10 +31,10 @@ func TestConvergenceErrorTrace(t *testing.T) {
 	if !errors.As(err, &ce) {
 		t.Fatalf("err = %T %v, want *ConvergenceError", err, err)
 	}
-	if ce.N != 10 || len(ce.Stages) != 3 {
-		t.Fatalf("trace = {N: %d, stages: %d}, want 10 and 3", ce.N, len(ce.Stages))
+	if ce.N != 10 || len(ce.Stages) != 4 {
+		t.Fatalf("trace = {N: %d, stages: %d}, want 10 and 4", ce.N, len(ce.Stages))
 	}
-	wantMethods := []string{"gauss-seidel", "power-iteration", "dense-lu"}
+	wantMethods := []string{"gauss-seidel", "power-iteration", "bicgstab", "dense-lu"}
 	for i, s := range ce.Stages {
 		if s.Method != wantMethods[i] {
 			t.Errorf("stage %d = %q, want %q", i, s.Method, wantMethods[i])
@@ -48,11 +49,14 @@ func TestConvergenceErrorTrace(t *testing.T) {
 	if ce.Stages[1].Iterations == 0 {
 		t.Error("power-iteration stage reports no work done")
 	}
-	if !strings.Contains(ce.Stages[2].Err, "exceeds dense fallback limit 5") {
-		t.Errorf("dense-lu reason = %q", ce.Stages[2].Err)
+	if ce.Stages[2].Iterations == 0 {
+		t.Error("bicgstab stage reports no work done")
+	}
+	if !strings.Contains(ce.Stages[3].Err, "exceeds dense fallback limit 5") {
+		t.Errorf("dense-lu reason = %q", ce.Stages[3].Err)
 	}
 	msg := ce.Error()
-	if !strings.Contains(msg, "steady-state failed on all 3 stages (n=10)") {
+	if !strings.Contains(msg, "steady-state failed on all 4 stages (n=10)") {
 		t.Errorf("message = %q", msg)
 	}
 	for _, m := range wantMethods {

@@ -73,6 +73,12 @@ type Chain struct {
 	// noSolveCache disables all memoization (tests and the cached-vs-
 	// uncached benchmarks; the zero value — caching on — is the API).
 	noSolveCache bool
+	// family, when non-nil, is the ChainFamily this chain was assembled
+	// by. Members route Poisson weight lookups and absorbing-transform
+	// assembly through the family's shared caches (both are exact to
+	// share: weights depend only on (lambda, eps), and the absorbing
+	// plan is pattern-validated per member).
+	family *ChainFamily
 }
 
 // solveCache memoizes the operators the hot solve path derives from Q:
@@ -305,6 +311,13 @@ func (c *Chain) poissonCached(lambda, eps float64) (*poisson.Weights, error) {
 		c.Obs.Inc("ctmc_poisson_cache_total", obs.L("outcome", "hit"))
 		return w, nil
 	}
+	if c.family != nil {
+		if w, ok := c.family.poisson(key); ok {
+			c.Obs.Inc("ctmc_poisson_cache_total", obs.L("outcome", "family-hit"))
+			sc.weights[key] = w
+			return w, nil
+		}
+	}
 	c.Obs.Inc("ctmc_poisson_cache_total", obs.L("outcome", "miss"))
 	w, err := poisson.Compute(lambda, eps)
 	if err != nil {
@@ -314,6 +327,9 @@ func (c *Chain) poissonCached(lambda, eps float64) (*poisson.Weights, error) {
 		sc.weights = make(map[weightKey]*poisson.Weights)
 	}
 	sc.weights[key] = w
+	if c.family != nil {
+		c.family.storePoisson(key, w)
+	}
 	return w, nil
 }
 
@@ -408,10 +424,10 @@ func (o SteadyStateOptions) withDefaults() SteadyStateOptions {
 }
 
 // StageAttempt records one stage of the steady-state escalation chain
-// (Gauss–Seidel -> power iteration -> dense LU) for diagnosis when the
-// whole chain fails.
+// (Gauss–Seidel -> power iteration -> BiCGStab -> dense LU) for diagnosis
+// when the whole chain fails.
 type StageAttempt struct {
-	Method     string  // "gauss-seidel", "power-iteration", "dense-lu"
+	Method     string  // "gauss-seidel", "power-iteration", "bicgstab", "dense-lu"
 	Iterations int     // iterations spent (0 when the stage never ran)
 	Residual   float64 // final ||pi·Q||_inf (NaN when unavailable)
 	Err        string  // why the stage was rejected
@@ -445,10 +461,12 @@ func (e *ConvergenceError) Error() string {
 // SteadyState solves pi·Q = 0, sum(pi) = 1 for an irreducible chain. It
 // first runs normalized Gauss–Seidel on Qᵀ·piᵀ = 0, then power iteration
 // on the uniformized DTMC (which handles chains too large or too stiff
-// for Gauss–Seidel), and finally falls back to a dense LU solve with the
-// normalization condition replacing one equation. When every stage
-// fails the returned error is a *ConvergenceError carrying the full
-// escalation trace.
+// for Gauss–Seidel), then Jacobi-preconditioned BiCGStab on the
+// normalized system (a Krylov method whose iteration count does not
+// scale with the stiffness ratio the way the stationary iterations do),
+// and finally falls back to a dense LU solve with the normalization
+// condition replacing one equation. When every stage fails the returned
+// error is a *ConvergenceError carrying the full escalation trace.
 func (c *Chain) SteadyState(opt SteadyStateOptions) ([]float64, error) {
 	return c.SteadyStateCtx(context.Background(), opt)
 }
@@ -470,9 +488,14 @@ func (c *Chain) SteadyStateCtx(ctx context.Context, opt SteadyStateOptions) ([]f
 		opt.Workers = c.Workers
 	}
 	qt := c.transposedQCached()
+	// One scratch arena serves the whole ladder: a rejected stage's work
+	// vectors are recycled by the next stage's retry instead of growing
+	// the heap per escalation. Scoped to this call (Scratch is not
+	// concurrency-safe; chains are shared across goroutines).
+	scratch := &sparse.Scratch{}
 	var stages []StageAttempt
 	if !opt.DenseOnly {
-		pi, att, ok := c.steadyIterative(ctx, qt, opt)
+		pi, att, ok := c.steadyIterative(ctx, qt, opt, scratch)
 		if cerr := ctx.Err(); cerr != nil && !ok {
 			return nil, c.canceledStage(cerr, att)
 		}
@@ -481,7 +504,16 @@ func (c *Chain) SteadyStateCtx(ctx context.Context, opt SteadyStateOptions) ([]f
 			return pi, nil
 		}
 		stages = append(stages, att)
-		pi, att, ok = c.steadyPower(ctx, opt)
+		pi, att, ok = c.steadyPower(ctx, opt, scratch)
+		if cerr := ctx.Err(); cerr != nil && !ok {
+			return nil, c.canceledStage(cerr, att)
+		}
+		c.recordStage(att, ok)
+		if ok {
+			return pi, nil
+		}
+		stages = append(stages, att)
+		pi, att, ok = c.steadyKrylov(ctx, qt, opt, scratch)
 		if cerr := ctx.Err(); cerr != nil && !ok {
 			return nil, c.canceledStage(cerr, att)
 		}
@@ -533,6 +565,10 @@ func (c *Chain) recordStage(att StageAttempt, ok bool) {
 	}
 	method := obs.L("method", att.Method)
 	c.Obs.Inc("ctmc_steady_stages_total", method, obs.L("outcome", outcome))
+	// Per-stage outcome counter keyed by stage name, so dashboards can
+	// watch how often each ladder rung (notably the Krylov stage) fires
+	// and whether it accepts, without parsing the combined trace.
+	c.Obs.Inc("ctmc_solve_stage_total", obs.L("stage", att.Method), obs.L("outcome", outcome))
 	c.Obs.Add("ctmc_steady_iterations_total", float64(att.Iterations), method)
 	if !math.IsNaN(att.Residual) {
 		c.Obs.Set("ctmc_steady_residual", att.Residual, method)
@@ -555,7 +591,7 @@ func (c *Chain) residualNormInf(pi []float64, workers int) float64 {
 // steadyPower runs power iteration on the uniformized DTMC
 // P = I + Q/(1.1·q): the stationary distribution of P equals that of the
 // CTMC, and the slack factor guarantees aperiodicity.
-func (c *Chain) steadyPower(ctx context.Context, opt SteadyStateOptions) ([]float64, StageAttempt, bool) {
+func (c *Chain) steadyPower(ctx context.Context, opt SteadyStateOptions, scratch *sparse.Scratch) ([]float64, StageAttempt, bool) {
 	att := StageAttempt{Method: "power-iteration", Residual: math.NaN()}
 	q := c.MaxExitRate()
 	if q == 0 {
@@ -563,7 +599,7 @@ func (c *Chain) steadyPower(ctx context.Context, opt SteadyStateOptions) ([]floa
 		return nil, att, false
 	}
 	p := c.uniformizedCached(q * 1.1)
-	iterOpt := sparse.IterOptions{MaxIter: opt.MaxIter * 5, Tol: opt.Tol, Workers: opt.Workers, Cancel: ctx.Err}
+	iterOpt := sparse.IterOptions{MaxIter: opt.MaxIter * 5, Tol: opt.Tol, Workers: opt.Workers, Cancel: ctx.Err, Scratch: scratch}
 	if opt.Workers > 1 {
 		pt := c.uniformizedTransposeCached(q * 1.1)
 		iterOpt.Transposed = pt
@@ -591,7 +627,7 @@ func (c *Chain) steadyPower(ctx context.Context, opt SteadyStateOptions) ([]floa
 
 // steadyIterative runs Gauss–Seidel sweeps on Qᵀx = 0 with renormalization;
 // the trivial solution is avoided by the normalization step.
-func (c *Chain) steadyIterative(ctx context.Context, qt *sparse.CSR, opt SteadyStateOptions) ([]float64, StageAttempt, bool) {
+func (c *Chain) steadyIterative(ctx context.Context, qt *sparse.CSR, opt SteadyStateOptions, scratch *sparse.Scratch) ([]float64, StageAttempt, bool) {
 	att := StageAttempt{Method: "gauss-seidel", Residual: math.NaN()}
 	n := c.N
 	pi := make([]float64, n)
@@ -600,7 +636,9 @@ func (c *Chain) steadyIterative(ctx context.Context, qt *sparse.CSR, opt SteadyS
 	}
 	// One linear pass over the CSR entries instead of a per-row binary
 	// search: the diagonal is dense in any irreducible generator.
-	diag := qt.Diag()
+	diag := scratch.Get(n)
+	defer scratch.Put(diag)
+	qt.DiagInto(diag)
 	for i, d := range diag {
 		if d == 0 {
 			// Absorbing state: the chain is not irreducible; Gauss–Seidel
@@ -651,6 +689,93 @@ func (c *Chain) steadyIterative(ctx context.Context, qt *sparse.CSR, opt SteadyS
 	att.Residual = c.residualNormInf(pi, opt.Workers)
 	att.Err = fmt.Sprintf("did not converge within %d sweeps", opt.MaxIter)
 	return nil, att, false
+}
+
+// steadyKrylov runs Jacobi-preconditioned BiCGStab on the normalized
+// steady-state system A·piᵀ = e_n, where A is Qᵀ with its last row
+// replaced by the all-ones normalization row (the same system steadyDense
+// factorizes, but matrix-free and sparse): the product y = A·x is the
+// cached Qᵀ product — routed through the plan/pool kernel when workers
+// allow, bit-identical to the sequential path — with y[n-1] overwritten
+// by sum(x). A Krylov method's iteration count is governed by the
+// spectrum, not the stiffness ratio, so this rung catches generators
+// whose rate spreads starve both stationary iterations while n is far
+// beyond the dense fallback limit.
+func (c *Chain) steadyKrylov(ctx context.Context, qt *sparse.CSR, opt SteadyStateOptions, scratch *sparse.Scratch) ([]float64, StageAttempt, bool) {
+	att := StageAttempt{Method: "bicgstab", Residual: math.NaN()}
+	n := c.N
+	workers := opt.Workers
+	var (
+		plan *sparse.Plan
+		pool *sparse.Pool
+	)
+	if workers > 1 && qt.NNZ() >= sparse.ParallelNNZThreshold {
+		plan = c.planCached(qt, workers)
+		pool = c.solvePool(workers)
+	} else {
+		workers = 1
+	}
+	apply := func(y, x []float64) {
+		if workers > 1 {
+			sparse.VecMulAccumPlanT(qt, y, x, nil, 0, plan, pool)
+		} else {
+			qt.MulVecTo(y, x)
+		}
+		var sum float64
+		for _, v := range x {
+			sum += v
+		}
+		y[n-1] = sum
+	}
+	diag := scratch.Get(n)
+	defer scratch.Put(diag)
+	qt.DiagInto(diag)
+	// The normalization row's diagonal entry is 1; generator diagonals are
+	// negative exit rates, which Jacobi handles sign and all.
+	diag[n-1] = 1
+	b := scratch.Get(n)
+	defer scratch.Put(b)
+	clear(b)
+	b[n-1] = 1
+	pi := make([]float64, n)
+	res, err := sparse.BiCGStab(apply, pi, b, diag, sparse.IterOptions{
+		Tol: opt.Tol, MaxIter: opt.MaxIter, Cancel: ctx.Err, Scratch: scratch,
+	})
+	att.Iterations = res.Iterations
+	att.Residual = res.Residual
+	if err != nil {
+		att.Err = err.Error()
+		return nil, att, false
+	}
+	if !res.Converged {
+		att.Err = fmt.Sprintf("did not converge within %d iterations", opt.MaxIter)
+		return nil, att, false
+	}
+	// Post-process exactly like the dense stage: reject NaN and genuinely
+	// negative mass, forgive LU-scale negative roundoff, renormalize.
+	for i, v := range pi {
+		if math.IsNaN(v) {
+			att.Err = fmt.Sprintf("produced NaN at state %d (singular system?)", i)
+			return nil, att, false
+		}
+		if v < 0 && v > -1e-9 {
+			pi[i] = 0
+		} else if v < 0 {
+			att.Err = fmt.Sprintf("produced negative probability %g at state %d (chain reducible?)", v, i)
+			return nil, att, false
+		}
+	}
+	if sum := linalg.Normalize1(pi); sum == 0 {
+		att.Err = "solution collapsed to the zero vector"
+		return nil, att, false
+	}
+	// Verify the CTMC residual before accepting, like every other rung.
+	att.Residual = c.residualNormInf(pi, opt.Workers)
+	if att.Residual > math.Sqrt(opt.Tol) {
+		att.Err = fmt.Sprintf("converged but residual %.3g exceeds %.3g", att.Residual, math.Sqrt(opt.Tol))
+		return nil, att, false
+	}
+	return pi, att, true
 }
 
 // steadyDense solves the dense system Qᵀ·piᵀ = 0 with the last equation
@@ -704,6 +829,17 @@ func (c *Chain) Transient(p0 []float64, t, eps float64) ([]float64, error) {
 // matrix-vector product, so the poll is noise). An interrupted solve
 // returns a *runctx.ErrCanceled reporting the terms summed so far.
 func (c *Chain) TransientCtx(ctx context.Context, p0 []float64, t, eps float64) ([]float64, error) {
+	return c.transientCtx(ctx, p0, t, eps, nil, nil)
+}
+
+// transientCtx is TransientCtx with an optional scratch arena for the
+// propagation buffers (cur/next) and an optional output buffer: when out
+// is non-nil the result is accumulated into it (cleared first) instead
+// of a fresh allocation, so a grid whose caller reduces each point to a
+// scalar (FirstPassageCDF) allocates no per-point distribution at all.
+// Results are bit-identical in every combination (all buffers are fully
+// initialized before use).
+func (c *Chain) transientCtx(ctx context.Context, p0 []float64, t, eps float64, scratch *sparse.Scratch, out []float64) ([]float64, error) {
 	if len(p0) != c.N {
 		return nil, fmt.Errorf("ctmc: initial distribution length %d != %d states", len(p0), c.N)
 	}
@@ -715,7 +851,10 @@ func (c *Chain) TransientCtx(ctx context.Context, p0 []float64, t, eps float64) 
 	}
 	q := c.MaxExitRate()
 	if q == 0 || t == 0 {
-		out := append([]float64(nil), p0...)
+		if out == nil {
+			out = make([]float64, c.N)
+		}
+		copy(out, p0)
 		return out, nil
 	}
 	// Uniformized DTMC P = I + Q/q as CSR, memoized per chain so a series
@@ -745,9 +884,23 @@ func (c *Chain) TransientCtx(ctx context.Context, p0 []float64, t, eps float64) 
 	c.Obs.Add("ctmc_uniformization_terms_total", float64(w.Right+1))
 	c.Obs.Set("ctmc_uniformization_truncation_depth", float64(w.Right))
 	c.Obs.Set("ctmc_solve_workers", math.Max(1, float64(workers)))
-	cur := append([]float64(nil), p0...)
-	acc := make([]float64, c.N)
-	next := make([]float64, c.N)
+	// acc is returned, so without a caller-provided buffer it is a fresh
+	// allocation; the two propagation buffers come from the scratch arena
+	// when one is provided. Recycled buffers must start zeroed — acc is
+	// pure accumulation, and the windowed scatter relies on everything
+	// outside next's dirty window being exact zero.
+	cur := scratch.Get(c.N)
+	defer scratch.Put(cur)
+	copy(cur, p0)
+	acc := out
+	if acc == nil {
+		acc = make([]float64, c.N)
+	} else {
+		clear(acc)
+	}
+	next := scratch.Get(c.N)
+	defer scratch.Put(next)
+	clear(next)
 	// lo/hi is the nonzero support window of cur; dirtyLo/dirtyHi bounds
 	// what next may hold from its previous use as cur. Propagating the
 	// windows keeps a concentrated iterate (a point mass spreading one
@@ -837,12 +990,15 @@ func (c *Chain) TransientSeriesCtx(ctx context.Context, p0 []float64, times []fl
 	stepEps := eps / float64(len(times))
 	cur := append([]float64(nil), p0...)
 	prevT := 0.0
+	// One scratch arena serves every grid point's propagation buffers;
+	// only the per-point output distributions are fresh allocations.
+	scratch := &sparse.Scratch{}
 	for i, t := range times {
 		dt := t - prevT
 		if dt < 0 {
 			return nil, fmt.Errorf("ctmc: TransientSeries needs an ascending grid (t[%d]=%g < %g)", i, t, prevT)
 		}
-		pt, err := c.TransientCtx(ctx, cur, dt, stepEps)
+		pt, err := c.transientCtx(ctx, cur, dt, stepEps, scratch, nil)
 		if err != nil {
 			var inner *runctx.ErrCanceled
 			if errors.As(err, &inner) {
@@ -984,23 +1140,43 @@ func (c *Chain) FirstPassageCDFCtx(ctx context.Context, p0 []float64, targets []
 		return nil, err
 	}
 	cdf := &PassageCDF{Times: append([]float64(nil), times...), Probs: make([]float64, len(times))}
-	series, err := abs.TransientSeriesCtx(ctx, p0, times, eps)
-	if err != nil {
-		var inner *runctx.ErrCanceled
-		if errors.As(err, &inner) {
-			done, _ := inner.Partial.([][]float64)
-			partial := &PassageCDF{Times: append([]float64(nil), times[:len(done)]...), Probs: make([]float64, len(done))}
-			for i, pt := range done {
-				partial.Probs[i] = absorbedMass(pt, isTarget)
-			}
-			ec := runctx.New("ctmc.first-passage", err, len(done), len(times), "grid points")
-			ec.Partial = partial
-			return nil, ec
-		}
-		return nil, fmt.Errorf("ctmc: passage transient: %w", err)
+	if len(times) == 0 {
+		return cdf, nil
 	}
-	for i, pt := range series {
+	// Stream the grid instead of materializing the full distribution
+	// series: each point is propagated incrementally like
+	// TransientSeriesCtx (same grid math, bit-identical probabilities)
+	// but reduced to its absorbed-mass scalar on the spot, with the
+	// distribution buffers recycled through one scratch arena — a CDF
+	// grid allocates no per-point distributions at all.
+	if eps <= 0 {
+		eps = 1e-10
+	}
+	stepEps := eps / float64(len(times))
+	scratch := &sparse.Scratch{}
+	cur := scratch.Get(c.N)
+	copy(cur, p0)
+	acc := scratch.Get(c.N)
+	prevT := 0.0
+	for i, t := range times {
+		dt := t - prevT
+		if dt < 0 {
+			return nil, fmt.Errorf("ctmc: FirstPassageCDF needs an ascending grid (t[%d]=%g < %g)", i, t, prevT)
+		}
+		pt, err := abs.transientCtx(ctx, cur, dt, stepEps, scratch, acc)
+		if err != nil {
+			var inner *runctx.ErrCanceled
+			if errors.As(err, &inner) {
+				partial := &PassageCDF{Times: append([]float64(nil), times[:i]...), Probs: append([]float64(nil), cdf.Probs[:i]...)}
+				ec := runctx.New("ctmc.first-passage", err, i, len(times), "grid points")
+				ec.Partial = partial
+				return nil, ec
+			}
+			return nil, fmt.Errorf("ctmc: passage transient step to t=%g: %w", t, err)
+		}
 		cdf.Probs[i] = absorbedMass(pt, isTarget)
+		copy(cur, pt)
+		prevT = t
 	}
 	return cdf, nil
 }
@@ -1046,34 +1222,64 @@ func (c *Chain) absorbingChain(targets []int) (*Chain, []bool, error) {
 	for _, s := range targets {
 		isTarget[s] = true
 	}
-	coo := sparse.NewCOO(c.N, c.N, c.Q.NNZ())
+	// Direct CSR→CSR build. Q's rows are column-sorted and duplicate-free,
+	// so each non-target row of the absorbing matrix is its off-diagonals
+	// copied in order with the diagonal -exit spliced at its sorted
+	// position; a row with no exit gets no diagonal (its sum is exactly
+	// zero, which ToCSR dropped). Bit-identical to the COO round-trip the
+	// original implementation paid — same values accumulated in the same
+	// ascending-column order — without the O(nnz) entry buffer or the
+	// counting sort, which matters because a chain-family sweep builds one
+	// absorbing chain per re-rated member.
 	exit := make([]float64, c.N)
-	var malformed error
+	qabs := &sparse.CSR{
+		Rows: c.N, Cols: c.N,
+		RowPtr: make([]int, c.N+1),
+		ColIdx: make([]int, 0, c.Q.NNZ()),
+		Val:    make([]float64, 0, c.Q.NNZ()),
+	}
 	for i := 0; i < c.N; i++ {
 		if isTarget[i] {
+			qabs.RowPtr[i+1] = len(qabs.Val)
 			continue
 		}
+		lo, hi := c.Q.RowPtr[i], c.Q.RowPtr[i+1]
 		var rowExit float64
-		i := i
-		c.Q.Row(i, func(j int, v float64) {
-			if j == i || malformed != nil {
-				return
+		for k := lo; k < hi; k++ {
+			if j := c.Q.ColIdx[k]; j != i {
+				v := c.Q.Val[k]
+				if v < 0 {
+					return nil, nil, fmt.Errorf("ctmc: malformed generator: negative off-diagonal rate %g at (%d,%d)", v, i, j)
+				}
+				rowExit += v
 			}
-			if v < 0 {
-				malformed = fmt.Errorf("ctmc: malformed generator: negative off-diagonal rate %g at (%d,%d)", v, i, j)
-				return
-			}
-			coo.Add(i, j, v)
-			rowExit += v
-		})
-		if malformed != nil {
-			return nil, nil, malformed
 		}
-		coo.Add(i, i, -rowExit)
+		diagDone := rowExit == 0
+		for k := lo; k < hi; k++ {
+			j := c.Q.ColIdx[k]
+			if j == i {
+				continue
+			}
+			if !diagDone && j > i {
+				qabs.ColIdx = append(qabs.ColIdx, i)
+				qabs.Val = append(qabs.Val, -rowExit)
+				diagDone = true
+			}
+			qabs.ColIdx = append(qabs.ColIdx, j)
+			qabs.Val = append(qabs.Val, c.Q.Val[k])
+		}
+		if !diagDone {
+			qabs.ColIdx = append(qabs.ColIdx, i)
+			qabs.Val = append(qabs.Val, -rowExit)
+		}
 		exit[i] = rowExit
+		qabs.RowPtr[i+1] = len(qabs.Val)
 	}
-	abs := &Chain{N: c.N, Q: coo.ToCSR(), ExitRate: exit, ActionRate: map[string][]float64{},
-		Obs: c.Obs, Workers: c.Workers, noSolveCache: c.noSolveCache}
+	// The weight tables of the absorbing solve are shared through the
+	// family (abs keeps the pointer), so a sweep's members compute each
+	// Poisson table once between them.
+	abs := &Chain{N: c.N, Q: qabs, ExitRate: exit, ActionRate: map[string][]float64{},
+		Obs: c.Obs, Workers: c.Workers, noSolveCache: c.noSolveCache, family: c.family}
 	// The passage solve runs on the absorbing chain; if the parent
 	// already has a pool (owned or attached), share it instead of
 	// spinning up a second set of workers. The absorbing chain never

@@ -136,6 +136,49 @@ func Compile(m *Model) (*FluidSystem, error) {
 	return fs, nil
 }
 
+// WithCounts returns a copy of the compiled system with the seed count
+// of (group, component) replaced, recompiling nothing: seed counts enter
+// the fluid structure only through the initial population vector, so the
+// derived variables, transitions, and action set are shared with the
+// receiver and only the group seeds and X0 are rebuilt. A scalability
+// sweep compiles once and stamps out its population points through this
+// (the per-point BFS derivations the compile-per-point path paid were
+// pure overhead). Model still names the prototype; it is not cloned.
+// Errors when the group has no such seed.
+func (fs *FluidSystem) WithCounts(group, component string, count float64) (*FluidSystem, error) {
+	if count < 0 {
+		return nil, fmt.Errorf("gpepa: negative population %g", count)
+	}
+	found := false
+	groups := make([]*Group, len(fs.groups))
+	for gi, g := range fs.groups {
+		ng := &Group{Label: g.Label, Seeds: append([]Seed(nil), g.Seeds...)}
+		if ng.Label == group {
+			for i := range ng.Seeds {
+				if ng.Seeds[i].Component == component {
+					ng.Seeds[i].Count = count
+					found = true
+				}
+			}
+		}
+		groups[gi] = ng
+	}
+	if !found {
+		return nil, fmt.Errorf("gpepa: no seed %s[...] in group %q", component, group)
+	}
+	out := &FluidSystem{
+		Model: fs.Model, Vars: fs.Vars, Index: fs.Index, Actions: fs.Actions,
+		Obs: fs.Obs, groups: groups, transByGrp: fs.transByGrp, groupVars: fs.groupVars,
+	}
+	out.X0 = make([]float64, len(fs.Vars))
+	for _, g := range groups {
+		for _, s := range g.Seeds {
+			out.X0[fs.Index[LocalState{Group: g.Label, State: s.Component}]] += s.Count
+		}
+	}
+	return out, nil
+}
+
 // apparentInGroup computes A_G(a)(x) = sum over local a-transitions of
 // x_from * rate.
 func (fs *FluidSystem) apparentInGroup(label, action string, x []float64) float64 {

@@ -20,37 +20,6 @@ type SweepPoint struct {
 	Final []float64
 }
 
-// cloneWithCount deep-copies the system tree, replacing the seed count of
-// (group, component). The sequential definitions are shared (immutable).
-func cloneWithCount(m *Model, group, component string, count float64) (*Model, error) {
-	found := false
-	var cloneExpr func(e GroupExpr) GroupExpr
-	cloneExpr = func(e GroupExpr) GroupExpr {
-		switch t := e.(type) {
-		case *Group:
-			g := &Group{Label: t.Label, Seeds: append([]Seed(nil), t.Seeds...)}
-			if g.Label == group {
-				for i := range g.Seeds {
-					if g.Seeds[i].Component == component {
-						g.Seeds[i].Count = count
-						found = true
-					}
-				}
-			}
-			return g
-		case *GroupCoop:
-			return &GroupCoop{Left: cloneExpr(t.Left), Right: cloneExpr(t.Right), Set: t.Set}
-		default:
-			panic(fmt.Sprintf("gpepa: unknown group expr %T", e))
-		}
-	}
-	clone := &Model{Defs: m.Defs, System: cloneExpr(m.System)}
-	if !found {
-		return nil, fmt.Errorf("gpepa: no seed %s[...] in group %q", component, group)
-	}
-	return clone, nil
-}
-
 // ScalabilitySweep solves the fluid model to the horizon for each
 // population count of (group, component) and records the equilibrium
 // throughput of the action. Points are independent and solve in parallel
@@ -76,14 +45,18 @@ func ScalabilitySweepWorkers(m *Model, group, component string, counts []float64
 			return nil, fmt.Errorf("gpepa: negative population %g", c)
 		}
 	}
+	// Compile once: the sweep varies only a seed population, which enters
+	// the fluid structure only through X0, so every point shares the
+	// prototype's derived variables and transitions via WithCounts
+	// instead of paying a BFS derivation per point.
+	proto, err := Compile(m)
+	if err != nil {
+		return nil, err
+	}
 	return par.Map(len(counts), workers, func(i int) (SweepPoint, error) {
-		clone, err := cloneWithCount(m, group, component, counts[i])
+		sys, err := proto.WithCounts(group, component, counts[i])
 		if err != nil {
 			return SweepPoint{}, err
-		}
-		sys, err := Compile(clone)
-		if err != nil {
-			return SweepPoint{}, fmt.Errorf("gpepa: count=%g: %w", counts[i], err)
 		}
 		res, err := sys.Solve(horizon, 50, SolveOptions{})
 		if err != nil {

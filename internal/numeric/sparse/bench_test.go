@@ -37,6 +37,46 @@ func BenchmarkToCSR(b *testing.B) {
 	}
 }
 
+// BenchmarkAssemblyReuse guards the symbolic/numeric assembly split on
+// the same matrix as BenchmarkToCSR: `cold` re-runs the full counting
+// sort per assembly, `planned` replays the memoized permutation
+// (Reassemble validates the pattern; Gather skips even that). The
+// acceptance bar is planned ≥ 5× faster than cold (docs/PERFORMANCE.md).
+func BenchmarkAssemblyReuse(b *testing.B) {
+	c := benchCOO(20000, 200000)
+	plan := c.Plan()
+	vals := make([]float64, c.NNZ())
+	for i := range vals {
+		vals[i] = float64(i%13) + 0.25
+	}
+	want := c.ToCSR().NNZ()
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if c.ToCSR().NNZ() != want {
+				b.Fatal("bad assembly")
+			}
+		}
+	})
+	b.Run("planned", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m, err := plan.Reassemble(c)
+			if err != nil || m.NNZ() != want {
+				b.Fatalf("bad reassembly: %v", err)
+			}
+		}
+	})
+	b.Run("gather", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if plan.Gather(vals).NNZ() == 0 {
+				b.Fatal("bad gather")
+			}
+		}
+	})
+}
+
 func BenchmarkVecMulParallel(b *testing.B) {
 	n := 200000
 	c := NewCOO(n, n, 3*n)

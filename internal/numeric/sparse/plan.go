@@ -26,14 +26,41 @@ type Plan struct {
 	// zero are the [lo, hi) row blocks containing only empty rows; the
 	// kernels handle them inline.
 	zero [][2]int
+	// tiles, when non-nil, holds each part's entries regrouped into
+	// column bands of TileCols columns (band-major, rows ascending within
+	// a band), so the fused transpose product touches x one L2-resident
+	// band at a time instead of streaming the whole vector per row. See
+	// Plan.tile for the bit-identity argument.
+	tiles [][]tileSeg
 }
+
+// tileSeg is one row's contiguous entry run [kLo, kHi) inside a column
+// band. int32 keeps a segment at 12 bytes; matrices beyond 2^31 stored
+// entries are far past what this solver stack addresses.
+type tileSeg struct {
+	row, kLo, kHi int32
+}
+
+// TileCols is the column-band width of the cache-blocked transpose
+// kernel: each band of x spans at most TileCols float64s (32 KiB at the
+// 4096 default — half a typical L2 per way, leaving room for y and the
+// CSR streams). Plans tile only when the matrix is wide enough for at
+// least two bands and parallel dispatch is in play; it is a variable so
+// tests can force tiny matrices through the tiled path. Tiling changes
+// memory access order only — outputs are bit-identical either way.
+var TileCols = 4096
 
 // NewPlan partitions m's rows into at most workers nnz-balanced blocks.
 // Below ParallelNNZThreshold stored entries (or for workers <= 1) the
 // plan is a single block, which the kernels execute inline — dispatch
-// overhead would dominate the product itself.
+// overhead would dominate the product itself. Wide parallel plans are
+// additionally cache-blocked into column bands (see TileCols).
 func NewPlan(m *CSR, workers int) *Plan {
-	return newPlan(m.RowPtr, m.Rows, workers, ParallelNNZThreshold)
+	pl := newPlan(m.RowPtr, m.Rows, workers, ParallelNNZThreshold)
+	if workers > 1 && m.Cols >= 2*TileCols && m.NNZ() >= ParallelNNZThreshold {
+		pl.tile(m, TileCols)
+	}
+	return pl
 }
 
 func newPlan(rowPtr []int, rows, workers, minNNZ int) *Plan {
@@ -59,9 +86,65 @@ func newPlan(rowPtr []int, rows, workers, minNNZ int) *Plan {
 	return pl
 }
 
+// tile regroups each part's entries into column bands of tc columns.
+// Within a part the segments are band-major with rows ascending inside a
+// band, and a row's runs across bands concatenate in ascending entry
+// order — so the tiled kernel accumulates exactly the same terms into
+// each y[i] in exactly the same order as the untiled row dot (partial
+// sums pass through y[i] between bands, which is exact for float64), and
+// the output is bit-identical. Only the order x is *read* in changes:
+// one ≤tc-column band at a time, which stays L2-resident across all the
+// part's rows instead of being streamed end-to-end per row.
+func (pl *Plan) tile(m *CSR, tc int) {
+	nBands := (m.Cols + tc - 1) / tc
+	if nBands < 2 {
+		return
+	}
+	pl.tiles = make([][]tileSeg, len(pl.parts))
+	counts := make([]int, nBands+1)
+	for p, part := range pl.parts {
+		clear(counts)
+		// Pass 1: count each band's segments (maximal same-band entry runs).
+		for i := part[0]; i < part[1]; i++ {
+			for k := m.RowPtr[i]; k < m.RowPtr[i+1]; {
+				band := m.ColIdx[k] / tc
+				edge := (band + 1) * tc
+				for k < m.RowPtr[i+1] && m.ColIdx[k] < edge {
+					k++
+				}
+				counts[band+1]++
+			}
+		}
+		for b := 0; b < nBands; b++ {
+			counts[b+1] += counts[b]
+		}
+		segs := make([]tileSeg, counts[nBands])
+		next := make([]int, nBands)
+		copy(next, counts[:nBands])
+		// Pass 2: place segments band-major; rows are visited ascending, so
+		// each band's segment list is row-ascending by construction.
+		for i := part[0]; i < part[1]; i++ {
+			for k := m.RowPtr[i]; k < m.RowPtr[i+1]; {
+				band := m.ColIdx[k] / tc
+				edge := (band + 1) * tc
+				kLo := k
+				for k < m.RowPtr[i+1] && m.ColIdx[k] < edge {
+					k++
+				}
+				segs[next[band]] = tileSeg{row: int32(i), kLo: int32(kLo), kHi: int32(k)}
+				next[band]++
+			}
+		}
+		pl.tiles[p] = segs
+	}
+}
+
 // NumParts returns the number of row blocks the plan dispatches to
 // workers (empty-row blocks excluded).
 func (pl *Plan) NumParts() int { return len(pl.parts) }
+
+// Tiled reports whether the plan carries cache-blocked column bands.
+func (pl *Plan) Tiled() bool { return pl.tiles != nil }
 
 // sequential reports whether the plan degenerates to one inline block.
 func (pl *Plan) sequential() bool { return len(pl.parts) <= 1 && len(pl.zero) == 0 }
@@ -110,6 +193,37 @@ func VecMulAccumPlanT(t *CSR, y, x, acc []float64, pw float64, plan *Plan, pool 
 			y[i] = s
 		}
 	}
+	// Cache-blocked twin: same terms, same per-row order (bands ascending,
+	// k ascending within a band, partial sums staged through y), but x is
+	// read one column band at a time. Bit-identical to dot — pinned by the
+	// Float64bits property battery in pool_test.go.
+	dotTiled := func(part int) {
+		lo, hi := plan.parts[part][0], plan.parts[part][1]
+		if fuse {
+			for i := lo; i < hi; i++ {
+				if xi := x[i]; xi != 0 {
+					acc[i] += pw * xi
+				}
+			}
+		}
+		clear(y[lo:hi])
+		for _, sg := range plan.tiles[part] {
+			s := y[sg.row]
+			for k := sg.kLo; k < sg.kHi; k++ {
+				if xv := x[t.ColIdx[k]]; xv != 0 {
+					s += xv * t.Val[k]
+				}
+			}
+			y[sg.row] = s
+		}
+	}
+	runPart := func(w int) {
+		if plan.tiles != nil {
+			dotTiled(w)
+			return
+		}
+		dot(plan.parts[w][0], plan.parts[w][1])
+	}
 	// Empty-row blocks: a memset plus the fused accumulation, inline —
 	// never worth a worker wakeup.
 	for _, z := range plan.zero {
@@ -123,12 +237,10 @@ func VecMulAccumPlanT(t *CSR, y, x, acc []float64, pw float64, plan *Plan, pool 
 		}
 	}
 	if len(plan.parts) == 1 {
-		dot(plan.parts[0][0], plan.parts[0][1])
+		runPart(0)
 		return
 	}
-	pool.Run(len(plan.parts), func(w int) {
-		dot(plan.parts[w][0], plan.parts[w][1])
-	})
+	pool.Run(len(plan.parts), runPart)
 }
 
 // VecMulAccumScatter is the sequential twin of VecMulAccumPlanT for

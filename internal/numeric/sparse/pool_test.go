@@ -203,6 +203,8 @@ func TestVecMulAccumPlanTBitIdenticalProperty(t *testing.T) {
 	saved := ParallelNNZThreshold
 	ParallelNNZThreshold = 0 // force tiny matrices down the parallel paths
 	defer func() { ParallelNNZThreshold = saved }()
+	savedTile := TileCols
+	defer func() { TileCols = savedTile }()
 
 	pool := NewPool(4)
 	defer pool.Close()
@@ -236,27 +238,39 @@ func TestVecMulAccumPlanTBitIdenticalProperty(t *testing.T) {
 		}
 
 		for _, workers := range []int{1, 2, 4, 8} {
-			plan := NewPlan(mt, workers)
-			for _, pl := range []*Pool{nil, pool} { // direct spawn vs pooled
-				got := make([]float64, n)
-				acc := append([]float64(nil), acc0...)
-				VecMulAccumPlanT(mt, got, x, acc, pw, plan, pl)
-				for i := range want {
-					if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
-						t.Logf("workers=%d pooled=%v: y[%d] %x vs %x", workers, pl != nil, i, math.Float64bits(got[i]), math.Float64bits(want[i]))
-						return false
+			// Untiled and cache-blocked plans must agree bit for bit; a
+			// 3-column band forces multiple tiles on these tiny matrices.
+			TileCols = 1 << 30
+			planFlat := NewPlan(mt, workers)
+			TileCols = 3
+			planTiled := NewPlan(mt, workers)
+			TileCols = savedTile
+			if workers > 1 && n >= 6 && !planTiled.Tiled() {
+				t.Logf("n=%d workers=%d: expected a tiled plan", n, workers)
+				return false
+			}
+			for _, plan := range []*Plan{planFlat, planTiled} {
+				for _, pl := range []*Pool{nil, pool} { // direct spawn vs pooled
+					got := make([]float64, n)
+					acc := append([]float64(nil), acc0...)
+					VecMulAccumPlanT(mt, got, x, acc, pw, plan, pl)
+					for i := range want {
+						if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+							t.Logf("workers=%d pooled=%v: y[%d] %x vs %x", workers, pl != nil, i, math.Float64bits(got[i]), math.Float64bits(want[i]))
+							return false
+						}
+						if math.Float64bits(acc[i]) != math.Float64bits(wantAcc[i]) {
+							t.Logf("workers=%d pooled=%v: acc[%d] %x vs %x", workers, pl != nil, i, math.Float64bits(acc[i]), math.Float64bits(wantAcc[i]))
+							return false
+						}
 					}
-					if math.Float64bits(acc[i]) != math.Float64bits(wantAcc[i]) {
-						t.Logf("workers=%d pooled=%v: acc[%d] %x vs %x", workers, pl != nil, i, math.Float64bits(acc[i]), math.Float64bits(wantAcc[i]))
-						return false
-					}
-				}
-				// Unfused: acc untouched, y identical.
-				got2 := make([]float64, n)
-				VecMulAccumPlanT(mt, got2, x, nil, 0, plan, pl)
-				for i := range want {
-					if math.Float64bits(got2[i]) != math.Float64bits(want[i]) {
-						return false
+					// Unfused: acc untouched, y identical.
+					got2 := make([]float64, n)
+					VecMulAccumPlanT(mt, got2, x, nil, 0, plan, pl)
+					for i := range want {
+						if math.Float64bits(got2[i]) != math.Float64bits(want[i]) {
+							return false
+						}
 					}
 				}
 			}

@@ -1,0 +1,40 @@
+package sparse
+
+// Scratch recycles the work vectors the iterative solvers would otherwise
+// allocate per call. The steady-state escalation ladder retries the same
+// system through several solvers (Gauss–Seidel, power iteration, BiCGStab);
+// with a shared Scratch each stage reuses the vectors the previous stage
+// released instead of growing the heap on every retry.
+//
+// Get returns a vector with unspecified contents — callers must initialize
+// it. A Scratch is not safe for concurrent use; it is meant to live for one
+// solve (or one ladder of solves) on one goroutine. A nil *Scratch is
+// valid and degrades to plain allocation.
+type Scratch struct {
+	free [][]float64
+}
+
+// Get returns a length-n float vector with arbitrary contents, reusing a
+// released one when any is large enough.
+func (s *Scratch) Get(n int) []float64 {
+	if s != nil {
+		for i := len(s.free) - 1; i >= 0; i-- {
+			if cap(s.free[i]) >= n {
+				v := s.free[i][:n]
+				s.free[i] = s.free[len(s.free)-1]
+				s.free = s.free[:len(s.free)-1]
+				return v
+			}
+		}
+	}
+	return make([]float64, n)
+}
+
+// Put releases v for reuse by a later Get. The caller must not touch v
+// afterwards.
+func (s *Scratch) Put(v []float64) {
+	if s == nil || v == nil {
+		return
+	}
+	s.free = append(s.free, v)
+}

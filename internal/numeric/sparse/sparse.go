@@ -320,7 +320,16 @@ func (m *CSR) Diag() []float64 {
 		n = m.Cols
 	}
 	d := make([]float64, n)
-	for i := 0; i < n; i++ {
+	m.DiagInto(d)
+	return d
+}
+
+// DiagInto fills d (length min(Rows, Cols)) with the diagonal entries,
+// zeroing positions with no stored diagonal. The allocation-free twin of
+// Diag for callers recycling scratch vectors.
+func (m *CSR) DiagInto(d []float64) {
+	clear(d)
+	for i := range d {
 		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
 			if j := m.ColIdx[k]; j >= i {
 				if j == i {
@@ -330,7 +339,6 @@ func (m *CSR) Diag() []float64 {
 			}
 		}
 	}
-	return d
 }
 
 // IterOptions configures the iterative solvers.
@@ -356,6 +364,12 @@ type IterOptions struct {
 	// goroutines per product (the legacy path). Results are bit-identical
 	// either way.
 	Pool *Pool
+	// Scratch optionally recycles the solver's internal work vectors
+	// (Jacobi's next sweep, PowerIteration's product buffer, BiCGStab's
+	// Krylov vectors). Vectors a solver returns to its caller are always
+	// freshly allocated, never scratch-owned. Nil means plain allocation;
+	// contents and iteration counts are identical either way.
+	Scratch *Scratch
 	// Cancel, when non-nil, is polled before every sweep/iteration and
 	// aborts the solve with its error when it returns non-nil. Callers
 	// pass ctx.Err so cancellation reaches the iteration loop without
@@ -390,7 +404,9 @@ func GaussSeidel(a *CSR, x, b []float64, opt IterOptions) (IterResult, error) {
 	if a.Rows != a.Cols || len(x) != a.Rows || len(b) != a.Rows {
 		return IterResult{}, fmt.Errorf("sparse: GaussSeidel dimension mismatch")
 	}
-	diag := a.Diag()
+	diag := opt.Scratch.Get(a.Rows)
+	defer opt.Scratch.Put(diag)
+	a.DiagInto(diag)
 	for i, d := range diag {
 		if d == 0 {
 			return IterResult{}, fmt.Errorf("sparse: GaussSeidel zero diagonal at row %d", i)
@@ -435,13 +451,16 @@ func Jacobi(a *CSR, x, b []float64, opt IterOptions) (IterResult, error) {
 	if a.Rows != a.Cols || len(x) != a.Rows || len(b) != a.Rows {
 		return IterResult{}, fmt.Errorf("sparse: Jacobi dimension mismatch")
 	}
-	diag := a.Diag()
+	diag := opt.Scratch.Get(a.Rows)
+	defer opt.Scratch.Put(diag)
+	a.DiagInto(diag)
 	for i, d := range diag {
 		if d == 0 {
 			return IterResult{}, fmt.Errorf("sparse: Jacobi zero diagonal at row %d", i)
 		}
 	}
-	next := make([]float64, a.Rows)
+	next := opt.Scratch.Get(a.Rows)
+	defer opt.Scratch.Put(next)
 	var res IterResult
 	for it := 0; it < opt.MaxIter; it++ {
 		if opt.Cancel != nil {
@@ -497,7 +516,8 @@ func PowerIteration(p *CSR, opt IterOptions) ([]float64, IterResult, error) {
 			plan = NewPlan(pt, opt.Workers)
 		}
 	}
-	y := make([]float64, n)
+	y := opt.Scratch.Get(n)
+	defer opt.Scratch.Put(y)
 	var res IterResult
 	for it := 0; it < opt.MaxIter; it++ {
 		if opt.Cancel != nil {

@@ -17,11 +17,36 @@ import (
 	"repro/internal/runctx"
 )
 
+// RateSrc records how a transition's numeric rate derives from the
+// model's rate constants, so a family of models differing only in rate
+// values can be re-rated without re-deriving the state space
+// (ctmc.ChainFamily). Exactness matters: re-rated chains must be
+// byte-identical to freshly derived ones, so a source is only recorded
+// when the derivation provably reproduces the constant's value bit for
+// bit — a single active transition synchronized with a single passive
+// one keeps exactly the active rate (the apparent-rate ratios are x/x,
+// which pepa.Rate.Ratio evaluates to exactly 1, and scaling by 1 is
+// exact). Anything else — both-active synchronization, multi-transition
+// apparent rates, rate arithmetic — is left opaque and blocks repricing.
+type RateSrc struct {
+	// Const names the rate constant whose value the rate equals exactly
+	// ("" when the rate is not a plain constant reference).
+	Const string
+	// Fixed marks a rate independent of the rate environment (literal or
+	// passive weight): repricing keeps the derived value.
+	Fixed bool
+}
+
+// Reratable reports whether the rate can be recomputed for a new rate
+// environment without re-deriving.
+func (s RateSrc) Reratable() bool { return s.Fixed || s.Const != "" }
+
 // Transition is one derivable activity of a process term.
 type Transition struct {
 	Action string
 	Rate   pepa.Rate
 	Target pepa.Process
+	Src    RateSrc
 }
 
 // Deriver computes transitions of process terms under a model's
@@ -65,7 +90,16 @@ func (d *Deriver) derive(p pepa.Process) ([]Transition, error) {
 		if err != nil {
 			return nil, err
 		}
-		return []Transition{{Action: t.Action, Rate: r, Target: t.Cont}}, nil
+		var src RateSrc
+		switch rx := t.Rate.(type) {
+		case *pepa.RateRef:
+			src = RateSrc{Const: rx.Name}
+		case *pepa.RateLit, *pepa.RatePassive:
+			src = RateSrc{Fixed: true}
+			// RateBin stays opaque: arithmetic over constants would need
+			// re-evaluation, not a plain lookup.
+		}
+		return []Transition{{Action: t.Action, Rate: r, Target: t.Cont, Src: src}}, nil
 
 	case *pepa.Choice:
 		left, err := d.Transitions(t.Left)
@@ -105,7 +139,7 @@ func (d *Deriver) derive(p pepa.Process) ([]Transition, error) {
 			if pepa.Contains(t.Set, action) {
 				action = pepa.Tau
 			}
-			out[i] = Transition{Action: action, Rate: tr.Rate, Target: pepa.NewHide(tr.Target, t.Set)}
+			out[i] = Transition{Action: action, Rate: tr.Rate, Target: pepa.NewHide(tr.Target, t.Set), Src: tr.Src}
 		}
 		return out, nil
 
@@ -136,6 +170,7 @@ func (d *Deriver) deriveCoop(c *pepa.Coop) ([]Transition, error) {
 			Action: tr.Action,
 			Rate:   tr.Rate,
 			Target: pepa.NewCoop(tr.Target, c.Right, c.Set),
+			Src:    tr.Src,
 		})
 	}
 	for _, tr := range right {
@@ -146,6 +181,7 @@ func (d *Deriver) deriveCoop(c *pepa.Coop) ([]Transition, error) {
 			Action: tr.Action,
 			Rate:   tr.Rate,
 			Target: pepa.NewCoop(c.Left, tr.Target, c.Set),
+			Src:    tr.Src,
 		})
 	}
 	// Shared moves: the cooperation rate law over apparent rates.
@@ -164,6 +200,24 @@ func (d *Deriver) deriveCoop(c *pepa.Coop) ([]Transition, error) {
 		if raL.Passive && raR.Passive {
 			return nil, fmt.Errorf("derive: action %q is passive on both sides of a cooperation; the model never resolves its rate", action)
 		}
+		// Provenance for the single-active/single-passive shape: with one
+		// transition per side the apparent-rate ratios are x/x (exactly 1),
+		// the min picks the active side, and the cooperation rate equals the
+		// active transition's rate bit for bit — so its source carries over.
+		// The singleton condition is structural (transition counts), never a
+		// value comparison: r + ε == r for small ε would fool a value check.
+		countL, countR := 0, 0
+		for _, tl := range left {
+			if tl.Action == action {
+				countL++
+			}
+		}
+		for _, tr := range right {
+			if tr.Action == action {
+				countR++
+			}
+		}
+		singleton := countL == 1 && countR == 1
 		for _, tl := range left {
 			if tl.Action != action {
 				continue
@@ -173,10 +227,18 @@ func (d *Deriver) deriveCoop(c *pepa.Coop) ([]Transition, error) {
 					continue
 				}
 				rate := pepa.CoopRate(tl.Rate, raL, tr.Rate, raR)
+				var src RateSrc
+				switch {
+				case singleton && raR.Passive && !raL.Passive:
+					src = tl.Src
+				case singleton && raL.Passive && !raR.Passive:
+					src = tr.Src
+				}
 				out = append(out, Transition{
 					Action: action,
 					Rate:   rate,
 					Target: pepa.NewCoop(tl.Target, tr.Target, c.Set),
+					Src:    src,
 				})
 			}
 		}
@@ -217,6 +279,9 @@ type Activity struct {
 	Rate   float64 // always active once the full system derives
 	From   int
 	To     int
+	// Src is the rate's provenance for re-rating without re-deriving
+	// (see RateSrc); the zero value means opaque.
+	Src RateSrc
 }
 
 // StateSpace is the derivation graph of a model's system equation.
@@ -325,7 +390,7 @@ func ExploreCtx(ctx context.Context, m *pepa.Model, opt Options) (*StateSpace, e
 				queue = append(queue, queued{id: to, term: target})
 			}
 			ss.Trans[cur.id] = append(ss.Trans[cur.id], Activity{
-				Action: tr.Action, Rate: tr.Rate.Value, From: cur.id, To: to,
+				Action: tr.Action, Rate: tr.Rate.Value, From: cur.id, To: to, Src: tr.Src,
 			})
 			actionSet[tr.Action] = true
 		}

@@ -1,0 +1,112 @@
+package robustness
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestFamilyPathByteIdentical pins the sweep optimization's exactness:
+// with and without the chain-family cache, every per-machine CDF — for
+// the nominal study and for a perturbed copy — must be byte-identical.
+func TestFamilyPathByteIdentical(t *testing.T) {
+	times := []float64{10, 20, 40, 80}
+	for _, mapping := range []string{MappingA, MappingB} {
+		fresh := NewStudy()
+		fresh.NoFamily = true
+		fam := NewStudy()
+		pFresh, err := fresh.Perturbed(0.3, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pFresh.NoFamily = true
+		pFam, err := fam.Perturbed(0.3, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < NumMachines; j++ {
+			a, err := fresh.FinishingCDF(mapping, j, times)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := fam.FinishingCDF(mapping, j, times)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range a.Probs {
+				if math.Float64bits(a.Probs[i]) != math.Float64bits(b.Probs[i]) {
+					t.Fatalf("%s/M%d nominal: Probs[%d] = %x vs %x", mapping, j+1, i,
+						math.Float64bits(b.Probs[i]), math.Float64bits(a.Probs[i]))
+				}
+			}
+			a, err = pFresh.FinishingCDF(mapping, j, times)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err = pFam.FinishingCDF(mapping, j, times)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range a.Probs {
+				if math.Float64bits(a.Probs[i]) != math.Float64bits(b.Probs[i]) {
+					t.Fatalf("%s/M%d perturbed: Probs[%d] = %x vs %x", mapping, j+1, i,
+						math.Float64bits(b.Probs[i]), math.Float64bits(a.Probs[i]))
+				}
+			}
+		}
+	}
+}
+
+// TestFamilySharedAcrossPerturbedCopies: the derive-once contract — a
+// parent and its perturbed copies serve every machine solve from the
+// family cache (all reuse, no fallback), and the cache holds exactly one
+// entry per touched machine cell.
+func TestFamilySharedAcrossPerturbedCopies(t *testing.T) {
+	s := NewStudy()
+	s.Obs = obs.NewRegistry()
+	times := []float64{10, 40}
+	if _, err := s.FinishingCDF(MappingA, 0, times); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 3; k++ {
+		p, err := s.Perturbed(0.3, 7+k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.FinishingCDF(MappingA, 0, times); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Obs.Counter("robustness_family_total", obs.L("outcome", "reuse")); got != 4 {
+		t.Errorf("reuse = %g, want 4", got)
+	}
+	if got := s.Obs.Counter("robustness_family_total", obs.L("outcome", "fallback")); got != 0 {
+		t.Errorf("fallback = %g, want 0", got)
+	}
+	s.famMu.Lock()
+	entries := len(s.families.m)
+	s.famMu.Unlock()
+	if entries != 1 {
+		t.Errorf("family cache holds %d entries, want 1 (one per touched cell)", entries)
+	}
+}
+
+// BenchmarkPerturbationSweep is the acceptance benchmark for the family
+// path: a 16-sample perturbation sweep (plus the nominal evaluation),
+// cold (re-derive every sample) versus family-backed. `make bench-sweep`
+// tracks both; docs/PERFORMANCE.md records the measured ratio.
+func BenchmarkPerturbationSweep(b *testing.B) {
+	run := func(b *testing.B, noFamily bool) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := NewStudy()
+			s.NoFamily = noFamily
+			if _, err := s.RobustnessUnderPerturbation(MappingA, 60, 0.3, 16, 7, 40); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("cold", func(b *testing.B) { run(b, true) })
+	b.Run("family", func(b *testing.B) { run(b, false) })
+}

@@ -41,13 +41,18 @@ func (s *Study) Perturbed(spread float64, seed uint64) (*Study, error) {
 	r := rng.New(seed)
 	// Field-wise copy: Study carries a mutex, and a perturbed copy must not
 	// share the parent's checkpoint file (its ETC differs, so the two would
-	// overwrite each other's cells under different fingerprints).
+	// overwrite each other's cells under different fingerprints). The
+	// chain-family cache IS shared: perturbed models differ only in rate
+	// values, so every copy re-rates the parent's derived prototypes
+	// instead of re-deriving (see ctmc.ChainFamily).
 	c := &Study{
 		FailRate:   s.FailRate,
 		RepairRate: s.RepairRate,
 		Seed:       s.Seed,
 		Obs:        s.Obs,
 		Workers:    s.Workers,
+		NoFamily:   s.NoFamily,
+		families:   s.familySetRef(),
 	}
 	for i := 0; i < NumApps; i++ {
 		for j := 0; j < NumMachines; j++ {

@@ -106,6 +106,12 @@ type Study struct {
 	// The file is keyed by a fingerprint of the study parameters and the
 	// time grid; a mismatch is treated as a cache miss, never an error.
 	Checkpoint string
+	// NoFamily disables the derive-once chain-family cache: every
+	// per-machine solve re-derives its state space and reassembles its
+	// generator from scratch. Results are byte-identical either way (the
+	// family path is exact; see ctmc.ChainFamily) — this knob exists for
+	// A/B benchmarks and as an escape hatch.
+	NoFamily bool
 
 	ckMu sync.Mutex
 	// hookCell, when non-nil, runs after each per-machine cell has been
@@ -119,6 +125,63 @@ type Study struct {
 	// machine chain; Close releases it.
 	poolMu sync.Mutex
 	pool   *sparse.Pool
+
+	// famMu guards families, the per-machine chain-family cache. The
+	// pointer is shared into every Perturbed copy, so an entire
+	// perturbation sweep derives each machine's state space exactly once
+	// and re-rates it per sample (see ctmc.ChainFamily).
+	famMu    sync.Mutex
+	families *familySet
+}
+
+// familySet memoizes one chain family (and its passage-target set) per
+// machine cell, shared across a study and all its perturbed copies.
+type familySet struct {
+	mu sync.Mutex
+	m  map[string]*familyEntry
+}
+
+type familyEntry struct {
+	mu      sync.Mutex
+	done    bool
+	fam     *ctmc.ChainFamily
+	targets []int
+	err     error
+}
+
+func (fs *familySet) entry(key string) *familyEntry {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	e := fs.m[key]
+	if e == nil {
+		e = &familyEntry{}
+		fs.m[key] = e
+	}
+	return e
+}
+
+// get memoizes a successful build. Failures — including cancellations,
+// which must not poison the cell for later runs — are returned but not
+// cached, so the next caller retries.
+func (e *familyEntry) get(build func() (*ctmc.ChainFamily, []int, error)) (*ctmc.ChainFamily, []int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.done {
+		e.fam, e.targets, e.err = build()
+		e.done = e.err == nil
+	}
+	return e.fam, e.targets, e.err
+}
+
+// familySetRef lazily creates the shared family cache; Perturbed copies
+// inherit the same pointer.
+func (s *Study) familySetRef() *familySet {
+	s.famMu.Lock()
+	defer s.famMu.Unlock()
+	if s.families == nil {
+		s.families = &familySet{m: map[string]*familyEntry{}}
+	}
+	return s.families
 }
 
 // solvePool lazily creates the study-wide worker pool the per-machine
@@ -363,26 +426,9 @@ func (s *Study) FinishingCDFCtx(ctx context.Context, mapping string, j int, time
 	} else if ok {
 		return &ctmc.PassageCDF{Times: append([]float64(nil), times...), Probs: probs}, nil
 	}
-	m, err := s.MachineModel(mapping, j, false)
+	chain, targets, err := s.machineChain(ctx, mapping, j)
 	if err != nil {
 		return nil, err
-	}
-	ss, err := derive.ExploreCtx(ctx, m, derive.Options{})
-	if err != nil {
-		return nil, err
-	}
-	done := fmt.Sprintf("Done%d", j+1)
-	targets := ss.StatesMatching(func(term string) bool {
-		return strings.Contains(term, done)
-	})
-	if len(targets) == 0 {
-		return nil, fmt.Errorf("robustness: no completion state found for machine %d", j+1)
-	}
-	chain := ctmc.FromStateSpace(ss)
-	chain.Obs = s.Obs
-	chain.Workers = s.Workers
-	if p := s.solvePool(); p != nil {
-		chain.AttachPool(p)
 	}
 	cdf, err := chain.FirstPassageCDFCtx(ctx, chain.PointMass(0), targets, times, 1e-10)
 	if err != nil {
@@ -392,6 +438,135 @@ func (s *Study) FinishingCDFCtx(ctx context.Context, mapping string, j int, time
 		return nil, err
 	}
 	return cdf, nil
+}
+
+// machineChain returns the ready-to-solve chain and passage-target set of
+// machine j: family-backed unless NoFamily is set — the machine's state
+// space is derived once per cell (shared across the study and every
+// Perturbed copy) and each request re-rates it with an O(nnz) gather —
+// falling back to a fresh derivation when the family path cannot serve
+// the request. Both paths yield byte-identical chains.
+func (s *Study) machineChain(ctx context.Context, mapping string, j int) (*ctmc.Chain, []int, error) {
+	if !s.NoFamily {
+		chain, targets, err := s.familyChain(ctx, mapping, j)
+		if err == nil {
+			s.Obs.Inc("robustness_family_total", obs.L("outcome", "reuse"))
+			return chain, targets, nil
+		}
+		if ctx.Err() != nil {
+			// A canceled build is not a family deficiency; the fresh path
+			// would be canceled identically.
+			return nil, nil, err
+		}
+		s.Obs.Inc("robustness_family_total", obs.L("outcome", "fallback"))
+	}
+	return s.freshChain(ctx, mapping, j)
+}
+
+// familyChain serves machine j through the shared chain-family cache.
+func (s *Study) familyChain(ctx context.Context, mapping string, j int) (*ctmc.Chain, []int, error) {
+	key := fmt.Sprintf("%s/%d", mapping, j)
+	fam, targets, err := s.familySetRef().entry(key).get(func() (*ctmc.ChainFamily, []int, error) {
+		m, err := s.MachineModel(mapping, j, false)
+		if err != nil {
+			return nil, nil, err
+		}
+		ss, err := derive.ExploreCtx(ctx, m, derive.Options{})
+		if err != nil {
+			return nil, nil, err
+		}
+		fam, err := ctmc.NewChainFamily(ss)
+		if err != nil {
+			return nil, nil, err
+		}
+		targets, err := completionTargets(ss, j)
+		if err != nil {
+			return nil, nil, err
+		}
+		return fam, targets, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	env, err := s.rateEnv(mapping, j)
+	if err != nil {
+		return nil, nil, err
+	}
+	chain, err := fam.ChainForRates(env)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.configureChain(chain)
+	return chain, targets, nil
+}
+
+// freshChain is the non-family path: derive this study's model and build
+// the chain cold.
+func (s *Study) freshChain(ctx context.Context, mapping string, j int) (*ctmc.Chain, []int, error) {
+	m, err := s.MachineModel(mapping, j, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	ss, err := derive.ExploreCtx(ctx, m, derive.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	targets, err := completionTargets(ss, j)
+	if err != nil {
+		return nil, nil, err
+	}
+	chain := ctmc.FromStateSpace(ss)
+	s.configureChain(chain)
+	return chain, targets, nil
+}
+
+// completionTargets finds machine j's "all applications done" states —
+// the passage target of Figs 3/4. State numbering is identical for every
+// member of a machine's family (derivation is structure-driven), so the
+// target set computed from the prototype is valid for all of them.
+func completionTargets(ss *derive.StateSpace, j int) ([]int, error) {
+	done := fmt.Sprintf("Done%d", j+1)
+	targets := ss.StatesMatching(func(term string) bool {
+		return strings.Contains(term, done)
+	})
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("robustness: no completion state found for machine %d", j+1)
+	}
+	return targets, nil
+}
+
+// configureChain applies the study's observability, worker, and pool
+// settings to a freshly built chain.
+func (s *Study) configureChain(chain *ctmc.Chain) {
+	chain.Obs = s.Obs
+	chain.Workers = s.Workers
+	if p := s.solvePool(); p != nil {
+		chain.AttachPool(p)
+	}
+}
+
+// rateEnv returns the rate-constant environment for machine j at this
+// study's parameters. It MUST mirror MachineModel's DefineRate calls —
+// same names, same values — because the family path substitutes these
+// into the derived prototype in place of a fresh derivation (the
+// byte-identity test in perturb_test.go pins the two paths together).
+func (s *Study) rateEnv(mapping string, j int) (map[string]float64, error) {
+	tab, err := TableI(mapping)
+	if err != nil {
+		return nil, err
+	}
+	if j < 0 || j >= NumMachines {
+		return nil, fmt.Errorf("robustness: machine index %d out of range", j)
+	}
+	env := map[string]float64{
+		"fail":      s.FailRate,
+		"repair":    s.RepairRate,
+		"done_rate": 1e-9,
+	}
+	for _, app := range tab[j] {
+		env[fmt.Sprintf("r_a%d", app)] = s.Rate(app, j)
+	}
+	return env, nil
 }
 
 // MakespanCDF computes the CDF of the mapping's makespan (the time by
