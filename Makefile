@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-snapshot bench-compare bench-baseline bench-scaling bench-sweep bench-build repro chaos chaos-cancel chaos-hub conformance conformance-deep fuzz fuzz-smoke goldens clean
+.PHONY: all build vet test race bench bench-snapshot bench-compare bench-baseline bench-scaling bench-sweep bench-build repro chaos chaos-cancel chaos-hub chaos-cluster conformance conformance-deep fuzz fuzz-smoke goldens clean
 
 # Solve-path benchmarks recorded in BENCH_baseline.json (docs/PERFORMANCE.md).
 # Which of them benchcmp actually gates is its -gate regex; the rest are
@@ -111,6 +111,18 @@ chaos-hub:
 		./internal/hub
 	$(GO) test -race -count=1 ./internal/fsatomic ./internal/faultinject
 
+# Replicated-cluster chaos lane (docs/RESILIENCE.md): rendezvous
+# placement, per-peer failover, hinted handoff, read repair after
+# bit-rot, rebalancing on join/leave, per-host breaker scoping, and the
+# hinted-handoff journal fuzz seeds — all under -race. Fault plans are
+# seeded, so failures replay exactly.
+chaos-cluster:
+	$(GO) test -race -count=1 ./internal/hub/cluster
+	$(GO) test -race -count=1 \
+		-run 'TestBreakerForScopedPerHost|TestBreakerChaosFailingPeerDoesNotRejectHealthyPeer|TestThrottleFailover|TestHint|FuzzHintJournalRecords' \
+		./internal/hub
+	$(GO) test -race -count=1 -run 'TestCluster|TestServePeerFaultTargeting' ./cmd/schub
+
 # Cross-solver conformance sweep (see docs/TESTING.md). The default slice
 # matches CI; the deep sweep widens the model window and runs the slow
 # fluid-vs-SSA ensemble on every model index.
@@ -129,6 +141,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzRun -fuzztime=30s ./internal/shellenv
 	$(GO) test -fuzz=FuzzUnmarshalTar -fuzztime=30s ./internal/vfs
 	$(GO) test -fuzz=FuzzUnmarshal -fuzztime=30s ./internal/image
+	$(GO) test -fuzz=FuzzHintJournalRecords -fuzztime=30s ./internal/hub
 
 # CI smoke lane: a few seconds per target over the checked-in seed corpora,
 # enough to catch freshly introduced panics without stalling the pipeline.
@@ -136,6 +149,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzParse -fuzztime=5s ./internal/pepa
 	$(GO) test -fuzz=FuzzParse -fuzztime=5s ./internal/gpepa
 	$(GO) test -fuzz=FuzzUnmarshalTar -fuzztime=5s ./internal/vfs
+	$(GO) test -fuzz=FuzzHintJournalRecords -fuzztime=5s ./internal/hub
 
 # Rewrite the golden experiment outputs after an intentional change.
 goldens:

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/hub"
+)
+
+// startPeers spins n named hub servers and returns the -peers spec plus
+// the per-peer stores for direct assertions.
+func startPeers(t *testing.T, names ...string) (string, map[string]*hub.Store) {
+	t.Helper()
+	stores := map[string]*hub.Store{}
+	var clauses []string
+	for _, n := range names {
+		store := hub.NewStore()
+		srv := hub.NewServer(store)
+		srv.PeerName = n
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		stores[n] = store
+		clauses = append(clauses, fmt.Sprintf("%s=http://%s", n, addr))
+	}
+	return strings.Join(clauses, ","), stores
+}
+
+func TestClusterPushPullCLI(t *testing.T) {
+	peers, stores := startPeers(t, "a", "b", "c")
+	img := buildImageFile(t)
+
+	out, err := runCmd(t, "push", "-peers", peers, "-replication", "2", "-collection", "cc", "-image", img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "digest: sha256:") || !strings.Contains(out, "R=2") {
+		t.Errorf("clustered push output:\n%s", out)
+	}
+	replicas := 0
+	for _, s := range stores {
+		replicas += s.EntryCount()
+	}
+	if replicas != 2 {
+		t.Errorf("push landed on %d replicas, want 2", replicas)
+	}
+
+	target := filepath.Join(t.TempDir(), "pulled.scif")
+	out, err = runCmd(t, "pull", "-peers", peers, "-replication", "2", "-collection", "cc", "-name", "pepa", "-o", target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "pulled pepa:latest") {
+		t.Errorf("clustered pull output:\n%s", out)
+	}
+	if _, err := os.Stat(target); err != nil {
+		t.Errorf("pulled file missing: %v", err)
+	}
+}
+
+func TestClusterStatusCLI(t *testing.T) {
+	peers, _ := startPeers(t, "a", "b")
+	out, err := runCmd(t, "cluster", "status", "-peers", peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "cluster of 2 peers, replication 2") {
+		t.Errorf("status header:\n%s", out)
+	}
+	for _, want := range []string{"a", "b"} {
+		if !strings.Contains(out, want) || !strings.Contains(out, "up") {
+			t.Errorf("status misses peer %s:\n%s", want, out)
+		}
+	}
+	// A dead peer shows DOWN with a stable error class, not an address.
+	out, err = runCmd(t, "cluster", "status", "-peers", peers+",ghost=http://127.0.0.1:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "ghost") || !strings.Contains(out, "DOWN") {
+		t.Errorf("status misses the dead peer:\n%s", out)
+	}
+}
+
+func TestClusterRebalanceAndDeliverCLI(t *testing.T) {
+	peers, stores := startPeers(t, "a", "b")
+	img := buildImageFile(t)
+	if _, err := runCmd(t, "push", "-peers", peers, "-replication", "1", "-collection", "cc", "-image", img); err != nil {
+		t.Fatal(err)
+	}
+	// Raising R and rebalancing copies the entry onto the second owner.
+	out, err := runCmd(t, "cluster", "rebalance", "-peers", peers, "-replication", "2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "1 transferred") {
+		t.Errorf("rebalance output:\n%s", out)
+	}
+	for n, s := range stores {
+		if s.EntryCount() != 1 {
+			t.Errorf("peer %s holds %d entries after rebalance, want 1", n, s.EntryCount())
+		}
+	}
+
+	// deliver with nothing journaled is a clean no-op drive.
+	out, err = runCmd(t, "cluster", "deliver", "-peers", peers, "-peer", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "0 hints") {
+		t.Errorf("deliver output:\n%s", out)
+	}
+	if _, err := runCmd(t, "cluster", "deliver", "-peers", peers); err == nil {
+		t.Error("deliver without -peer accepted")
+	}
+	if _, err := runCmd(t, "cluster", "frobnicate", "-peers", peers); err == nil {
+		t.Error("unknown cluster subcommand accepted")
+	}
+	if _, err := runCmd(t, "cluster"); err == nil {
+		t.Error("bare cluster command accepted")
+	}
+	if _, err := runCmd(t, "cluster", "status", "-peers", "badspec"); err == nil {
+		t.Error("malformed -peers accepted")
+	}
+}
+
+// TestServePeerFaultTargeting: a %peer clause in a -fault-spec plan
+// shared by several servers (each started with its own -peer-name)
+// fires only on the server carrying that name.
+func TestServePeerFaultTargeting(t *testing.T) {
+	rules, err := faultinject.ParseSpec("conn:1000@GET%b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := faultinject.NewPlan(1, rules...)
+	mkServer := func(name string) string {
+		srv := hub.NewServer(hub.NewStore())
+		srv.PeerName = name // before EnableFaults, as serve does
+		srv.EnableFaults(plan)
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		return "http://" + addr
+	}
+	urlA, urlB := mkServer("a"), mkServer("b")
+	copts := hub.ClientOptions{Retry: hub.RetryPolicy{MaxAttempts: 2}, Sleep: func(time.Duration) {}}
+	if _, err := hub.NewClientWithOptions(urlA, copts).NodeStatus(); err != nil {
+		t.Errorf("peer a (untargeted) faulted: %v", err)
+	}
+	if _, err := hub.NewClientWithOptions(urlB, copts).NodeStatus(); err == nil {
+		t.Error("peer b (targeted by the peer-scoped clause) served despite conn faults")
+	}
+}

@@ -8,10 +8,19 @@
 //	schub pull -hub http://127.0.0.1:7443 -collection pepa-containers -name pepa -tag latest -o pepa.scif [-layered]
 //	schub list -hub http://127.0.0.1:7443 -collection pepa-containers
 //	schub build -hub http://127.0.0.1:7443 -collection pepa-containers -name pepa -tag v1 -recipe pepa.def
+//	schub cluster status -peers a=http://h1:7443,b=http://h2:7443
+//	schub cluster rebalance -peers ... [-replication 2]
+//	schub cluster deliver -peers ... -peer b
 //
 // With -autobuild the server builds pushed recipes itself on the CentOS
 // build-host profile (Singularity-Hub's model); the build subcommand is
 // the matching client.
+//
+// With -peers, push and pull route through the replicated-cluster layer
+// (internal/hub/cluster): a push fans out to the R rendezvous owners of
+// the content digest (degrading to journaled hinted handoff when an
+// owner is down) and a pull fails over between replicas, repairing any
+// found missing or quarantined. See docs/RESILIENCE.md.
 package main
 
 import (
@@ -26,6 +35,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/hub"
+	"repro/internal/hub/cluster"
 	"repro/internal/image"
 	"repro/internal/obs"
 	"repro/internal/sigctx"
@@ -40,9 +50,18 @@ func main() {
 
 func run() error {
 	if len(os.Args) < 2 {
-		return fmt.Errorf("usage: schub serve|push|pull|list [flags]")
+		return fmt.Errorf("usage: schub serve|push|pull|list|build|cluster [flags]")
 	}
 	cmd := os.Args[1]
+	args := os.Args[2:]
+	sub := ""
+	if cmd == "cluster" {
+		if len(os.Args) < 3 {
+			return fmt.Errorf("usage: schub cluster status|rebalance|deliver -peers name=url,... [flags]")
+		}
+		sub = os.Args[2]
+		args = os.Args[3:]
+	}
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:7443", "serve address")
 	hubURL := fs.String("hub", "http://127.0.0.1:7443", "hub base URL")
@@ -67,13 +86,31 @@ func run() error {
 	scrubSeed := fs.Uint64("scrub-seed", 1, "serve: seed for the scrub interval jitter")
 	maxInflight := fs.Int("max-inflight", 256, "serve: per-class concurrent-request cap; excess load is shed with 429 (negative disables)")
 	rateLimit := fs.Float64("rate-limit", 0, "serve: token-bucket request rate in req/s; 0 disables rate limiting")
-	if err := fs.Parse(os.Args[2:]); err != nil {
+	peerName := fs.String("peer-name", "", "serve: this hub's stable cluster peer name (reported by /v1/_cluster/status and used for %peer fault targeting)")
+	peersSpec := fs.String("peers", "", "cluster membership as comma-separated name=url pairs; push/pull route through the replicated cluster when set")
+	replication := fs.Int("replication", 2, "cluster: replicas per content digest (capped at the peer count)")
+	targetPeer := fs.String("peer", "", "cluster deliver: peer to stream journaled hints back to")
+	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	client := func() *hub.Client {
 		return hub.NewClientWithOptions(*hubURL, hub.ClientOptions{
 			Timeout: *timeout,
 			Retry:   hub.RetryPolicy{MaxAttempts: *retries},
+		})
+	}
+	clusterClient := func() (*cluster.Cluster, error) {
+		peers, err := cluster.ParsePeers(*peersSpec)
+		if err != nil {
+			return nil, err
+		}
+		return cluster.New(cluster.Options{
+			Peers:       peers,
+			Replication: *replication,
+			Client: hub.ClientOptions{
+				Timeout: *timeout,
+				Retry:   hub.RetryPolicy{MaxAttempts: *retries},
+			},
 		})
 	}
 
@@ -100,6 +137,12 @@ func run() error {
 			}
 		}
 		srv := hub.NewServer(store)
+		// PeerName before EnableFaults: the fault plan is consulted on
+		// this peer's behalf, so %peer spec clauses can target it.
+		srv.PeerName = *peerName
+		if *peerName != "" {
+			fmt.Printf("cluster peer name: %s\n", *peerName)
+		}
 		if *faultSpec != "" {
 			rules, err := faultinject.ParseSpec(*faultSpec)
 			if err != nil {
@@ -183,6 +226,19 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		if *peersSpec != "" {
+			cl, err := clusterClient()
+			if err != nil {
+				return err
+			}
+			d, err := cl.Push(*collection, img)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("pushed %s to %d of %d peers (R=%d)\ndigest: %s\n",
+				img.Ref(), cl.Replication(), len(cl.PeerNames()), cl.Replication(), d)
+			return nil
+		}
 		c := client()
 		var d string
 		if *layered {
@@ -206,6 +262,30 @@ func run() error {
 		target := *out
 		if target == "" {
 			target = *name + ".scif"
+		}
+		if *peersSpec != "" {
+			cl, err := clusterClient()
+			if err != nil {
+				return err
+			}
+			img, d, err := cl.Pull(*collection, *name, *tag, *digest)
+			if err != nil {
+				return err
+			}
+			var blob []byte
+			if img.Layered() {
+				blob, err = img.MarshalLayered()
+			} else {
+				blob, err = img.Marshal()
+			}
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(target, blob, 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("pulled %s:%s (digest %s) to %s\n", *name, *tag, d, target)
+			return nil
 		}
 		if *layered {
 			// Layer-negotiated pull: only layers absent from the client's
@@ -270,6 +350,53 @@ func run() error {
 			fmt.Printf("  %s:%s  %s  %d bytes%s  (built on %s)\n", e.Container, e.Tag, e.Digest[:19], e.Size, form, e.BuildHost)
 		}
 		return nil
+	case "cluster":
+		cl, err := clusterClient()
+		if err != nil {
+			return err
+		}
+		switch sub {
+		case "status":
+			fmt.Printf("cluster of %d peers, replication %d:\n", len(cl.PeerNames()), cl.Replication())
+			for _, st := range cl.ProbeOnce() {
+				if !st.Up {
+					fmt.Printf("  %-12s DOWN  %s  (%s)\n", st.Peer.Name, st.Peer.URL, st.Err)
+					continue
+				}
+				durable := ""
+				if st.Node.Durable {
+					durable = "  durable"
+				}
+				fmt.Printf("  %-12s up    %s  %d entries, %d layers, %d hints, %d quarantined%s\n",
+					st.Peer.Name, st.Peer.URL, st.Node.Entries, st.Node.Layers,
+					st.Node.Hints, st.Node.Quarantined, durable)
+			}
+			return nil
+		case "rebalance":
+			rep := cl.RebalanceOnce()
+			fmt.Printf("rebalance: %d refs, %d transferred, %d already placed, %d failed\n",
+				rep.Refs, rep.Transferred, rep.Skipped, rep.Failed)
+			if rep.Failed > 0 {
+				return fmt.Errorf("%d placements failed; rerun after the affected peers recover", rep.Failed)
+			}
+			return nil
+		case "deliver":
+			if *targetPeer == "" {
+				return fmt.Errorf("-peer is required (the rejoined peer to stream hints to)")
+			}
+			rep, err := cl.DeliverHints(*targetPeer)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("handoff to %s: %d hints, %d delivered, %d acked, %d failed\n",
+				*targetPeer, rep.Hints, rep.Delivered, rep.Acked, rep.Failed)
+			if rep.Failed > 0 {
+				return fmt.Errorf("%d hints undeliverable; they stay journaled for the next drive", rep.Failed)
+			}
+			return nil
+		default:
+			return fmt.Errorf("unknown cluster subcommand %q (want status, rebalance, or deliver)", sub)
+		}
 	default:
 		return fmt.Errorf("unknown subcommand %q", cmd)
 	}

@@ -71,6 +71,12 @@ type Rule struct {
 	// Match is a substring matched against the op name (for HTTP ops,
 	// "METHOD /path"). Empty matches every op.
 	Match string
+	// Peer restricts the rule to operations consulted on behalf of the
+	// named peer (Plan.NextFor, MiddlewareFor, TransportFor). Empty
+	// matches every peer, including the anonymous one; a named rule never
+	// fires for a different (or anonymous) peer, so one shared plan can
+	// crash exactly one member of a cluster.
+	Peer string
 	// Kind is the fault to inject when the rule fires.
 	Kind Kind
 	// Status is the HTTP status for KindStatus (default 503).
@@ -144,12 +150,27 @@ func NewPlan(seed uint64, rules ...Rule) *Plan {
 func (p *Plan) Seed() uint64 { return p.seed }
 
 // Next decides the fault for one named operation and appends the
-// decision to the plan log.
-func (p *Plan) Next(op string) Fault {
+// decision to the plan log. Rules targeting a specific peer never fire
+// here; use NextFor to consult the plan on a peer's behalf.
+func (p *Plan) Next(op string) Fault { return p.NextFor("", op) }
+
+// NextFor decides the fault for one operation consulted on behalf of the
+// named peer: rules with a Peer fire only when it matches, rules without
+// one fire for everybody. Peer names (never addresses or ports) appear
+// in the decision log, so logs stay byte-identical across runs against
+// ephemeral-port cluster servers.
+func (p *Plan) NextFor(peer, op string) Fault {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.ops++
+	logOp := op
+	if peer != "" {
+		logOp = "[" + peer + "] " + op
+	}
 	for i, r := range p.rules {
+		if r.Peer != "" && r.Peer != peer {
+			continue
+		}
 		if r.Match != "" && !strings.Contains(op, r.Match) {
 			continue
 		}
@@ -166,10 +187,10 @@ func (p *Plan) Next(op string) Fault {
 		}
 		p.hits[i]++
 		p.log = append(p.log, fmt.Sprintf("op %03d %s -> inject %s (rule %d, hit %d)",
-			p.ops, op, r.describe(), i, p.hits[i]))
+			p.ops, logOp, r.describe(), i, p.hits[i]))
 		return Fault{Kind: r.Kind, Status: r.Status, Rule: i}
 	}
-	p.log = append(p.log, fmt.Sprintf("op %03d %s -> pass", p.ops, op))
+	p.log = append(p.log, fmt.Sprintf("op %03d %s -> pass", p.ops, logOp))
 	return Fault{Kind: KindNone, Rule: -1}
 }
 
@@ -207,18 +228,21 @@ func (p *Plan) Ops() int {
 // ParseSpec parses a compact fault-plan spec: comma-separated clauses
 // of the form
 //
-//	kind[:count][@match]     script mode: fail the first count matches
-//	kind[:p<prob>][@match]   chaos mode: fail each match with probability prob
+//	kind[:count][@match][%peer]     script mode: fail the first count matches
+//	kind[:p<prob>][@match][%peer]   chaos mode: fail each match with probability prob
 //
 // where kind is conn, timeout, truncate, corrupt, or a numeric HTTP
 // status; count is the First schedule (default 1); p<prob> (a float in
 // (0, 1]) makes the rule probabilistic, drawn from the plan's seeded
-// generator; and match restricts the rule to ops containing the
-// substring. Examples:
+// generator; match restricts the rule to ops containing the substring;
+// and %peer (last in the clause) restricts the rule to operations
+// consulted on behalf of that named peer (Plan.NextFor) — the clause for
+// chaos-testing one member of a replicated cluster. Examples:
 //
 //	"503:2"                      fail the first two ops with HTTP 503
 //	"conn,corrupt@/v1/pepa"      one conn error, one bit flip on /v1/pepa
 //	"timeout:p0.25"              time out a quarter of all ops, seeded
+//	"conn:99@GET%b"              kill every GET served by peer b
 func ParseSpec(spec string) ([]Rule, error) {
 	var rules []Rule
 	for _, clause := range strings.Split(spec, ",") {
@@ -227,7 +251,17 @@ func ParseSpec(spec string) ([]Rule, error) {
 			continue
 		}
 		rest := clause
-		var match string
+		var match, peer string
+		if pc := strings.LastIndex(rest, "%"); pc >= 0 {
+			peer = rest[pc+1:]
+			rest = rest[:pc]
+			if peer == "" {
+				return nil, fmt.Errorf("faultinject: empty peer after %q in clause %q (drop the %% to match every peer)", "%", clause)
+			}
+			if strings.Contains(peer, "@") {
+				return nil, fmt.Errorf("faultinject: %q after %q in clause %q (the %%peer clause must come last)", "@", "%", clause)
+			}
+		}
 		if at := strings.Index(rest, "@"); at >= 0 {
 			match = rest[at+1:]
 			rest = rest[:at]
@@ -259,7 +293,7 @@ func ParseSpec(spec string) ([]Rule, error) {
 				count = n
 			}
 		}
-		r := Rule{Match: match, First: count, Prob: prob}
+		r := Rule{Match: match, Peer: peer, First: count, Prob: prob}
 		switch kindStr {
 		case "conn":
 			r.Kind = KindConn

@@ -24,19 +24,27 @@ func (e *injectedError) Temporary() bool { return true }
 // Transport wraps an http.RoundTripper with the plan: each request is
 // one op named "METHOD /path". base == nil uses http.DefaultTransport.
 func (p *Plan) Transport(base http.RoundTripper) http.RoundTripper {
+	return p.TransportFor("", base)
+}
+
+// TransportFor is Transport with requests consulted on behalf of the
+// named peer, so %peer rules can target the traffic of exactly one
+// cluster member sharing the plan.
+func (p *Plan) TransportFor(peer string, base http.RoundTripper) http.RoundTripper {
 	if base == nil {
 		base = http.DefaultTransport
 	}
-	return &transport{plan: p, base: base}
+	return &transport{plan: p, peer: peer, base: base}
 }
 
 type transport struct {
 	plan *Plan
+	peer string
 	base http.RoundTripper
 }
 
 func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
-	f := t.plan.Next(req.Method + " " + req.URL.Path)
+	f := t.plan.NextFor(t.peer, req.Method+" "+req.URL.Path)
 	switch f.Kind {
 	case KindConn:
 		return nil, &injectedError{msg: "faultinject: injected connection error"}
@@ -95,8 +103,17 @@ func (errReader) Read([]byte) (int, error) { return 0, io.ErrUnexpectedEOF }
 // abort the in-flight response (the client sees a closed connection),
 // and truncate/corrupt faults mutate the real response body.
 func (p *Plan) Middleware(next http.Handler) http.Handler {
+	return p.MiddlewareFor("", next)
+}
+
+// MiddlewareFor is Middleware with every request consulted on behalf of
+// the named peer: several cluster members can share one plan, and %peer
+// rules crash exactly one of them while the others keep serving. Peer
+// names (not addresses) land in the decision log, keeping it
+// byte-identical across ephemeral-port test servers.
+func (p *Plan) MiddlewareFor(peer string, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		f := p.Next(r.Method + " " + r.URL.Path)
+		f := p.NextFor(peer, r.Method+" "+r.URL.Path)
 		switch f.Kind {
 		case KindNone:
 			next.ServeHTTP(w, r)

@@ -1,0 +1,129 @@
+package faultinject
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// Per-peer fault targeting: one plan shared by several cluster members,
+// with %peer rules firing only for the member they name.
+
+func TestNextForPeerScoping(t *testing.T) {
+	p := NewPlan(3,
+		Rule{Peer: "b", Kind: KindConn, First: 2},
+		Rule{Match: "/v1/", Kind: KindStatus, Status: 503, First: 1},
+	)
+	// Peer a misses the b-only rule but hits the shared one.
+	if f := p.NextFor("a", "GET /v1/x"); f.Kind != KindStatus {
+		t.Errorf("peer a first op = %v, want status", f.Kind)
+	}
+	// Peer b hits its dedicated rule (consulted first).
+	if f := p.NextFor("b", "GET /v1/x"); f.Kind != KindConn {
+		t.Errorf("peer b first op = %v, want conn", f.Kind)
+	}
+	// The anonymous peer (plain Next) never matches a named rule.
+	if f := p.Next("GET /v1/x"); f.Active() {
+		t.Errorf("anonymous op after shared rule exhausted = %v, want pass", f.Kind)
+	}
+	// Peer b's rule still has one scheduled hit left.
+	if f := p.NextFor("b", "GET /v1/y"); f.Kind != KindConn {
+		t.Errorf("peer b second op = %v, want conn", f.Kind)
+	}
+	if f := p.NextFor("b", "GET /v1/z"); f.Active() {
+		t.Errorf("peer b third op = %v, want pass (schedule exhausted)", f.Kind)
+	}
+}
+
+func TestNextForLogNamesPeersNotAddresses(t *testing.T) {
+	p := NewPlan(1, Rule{Peer: "b", Kind: KindConn, First: 1})
+	p.NextFor("a", "GET /v1/x")
+	p.NextFor("b", "GET /v1/x")
+	log := p.FormatLog()
+	if !strings.Contains(log, "[a] GET /v1/x -> pass") {
+		t.Errorf("log missing peer-a pass line:\n%s", log)
+	}
+	if !strings.Contains(log, "[b] GET /v1/x -> inject conn-error") {
+		t.Errorf("log missing peer-b inject line:\n%s", log)
+	}
+}
+
+func TestParseSpecPeerClause(t *testing.T) {
+	rules, err := ParseSpec("conn:99@GET%b,503:2%c,timeout:p0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Rule{
+		{Match: "GET", Peer: "b", Kind: KindConn, First: 99},
+		{Peer: "c", Kind: KindStatus, Status: 503, First: 2},
+		{Kind: KindTimeout, Prob: 0.5},
+	}
+	if !reflect.DeepEqual(rules, want) {
+		t.Errorf("rules = %+v, want %+v", rules, want)
+	}
+
+	bad := []struct{ spec, wantErr string }{
+		{"conn%", `empty peer after "%"`},
+		{"conn%b@x", `the %peer clause must come last`},
+	}
+	for _, tc := range bad {
+		_, err := ParseSpec(tc.spec)
+		if err == nil {
+			t.Errorf("spec %q accepted", tc.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("spec %q: error %q, want substring %q", tc.spec, err, tc.wantErr)
+		}
+	}
+}
+
+// TestMiddlewareForIsolatesPeers runs two servers off one plan: the
+// %-targeted peer dies on every request while its sibling keeps serving.
+func TestMiddlewareForIsolatesPeers(t *testing.T) {
+	rules, err := ParseSpec("conn:99%b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPlan(11, rules...)
+	ok := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("alive"))
+	})
+	tsA := httptest.NewServer(p.MiddlewareFor("a", ok))
+	defer tsA.Close()
+	tsB := httptest.NewServer(p.MiddlewareFor("b", ok))
+	defer tsB.Close()
+
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(tsA.URL + "/v1/x")
+		if err != nil {
+			t.Fatalf("healthy peer a request %d failed: %v", i, err)
+		}
+		resp.Body.Close()
+		if _, err := http.Get(tsB.URL + "/v1/x"); err == nil {
+			t.Fatalf("targeted peer b request %d succeeded", i)
+		}
+	}
+}
+
+// TestTransportForScopesFaultsToOnePeer: two clients share a plan via
+// TransportFor; only the named peer's traffic is faulted.
+func TestTransportForScopesFaultsToOnePeer(t *testing.T) {
+	p := NewPlan(5, Rule{Peer: "b", Kind: KindTimeout, First: 99})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("alive"))
+	}))
+	defer ts.Close()
+	clientA := &http.Client{Transport: p.TransportFor("a", nil)}
+	clientB := &http.Client{Transport: p.TransportFor("b", nil)}
+	if resp, err := clientA.Get(ts.URL); err != nil {
+		t.Fatalf("peer a transport faulted: %v", err)
+	} else {
+		resp.Body.Close()
+	}
+	if _, err := clientB.Get(ts.URL); err == nil {
+		t.Fatal("peer b transport not faulted")
+	}
+}

@@ -1,0 +1,146 @@
+package hub
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// Satellite regression: breakers are scoped per destination host, so a
+// single failing peer cannot open the breaker against healthy ones.
+
+func TestBreakerForScopedPerHost(t *testing.T) {
+	c := NewClientWithOptions("http://hub-a:9000", ClientOptions{BreakerThreshold: 1, BreakerCooldown: 1})
+	tests := []struct {
+		name   string
+		hostA  string
+		hostB  string
+		shared bool
+	}{
+		{"distinct hosts get distinct breakers", "hub-a:9000", "hub-b:9000", false},
+		{"same host same port is one breaker", "hub-a:9000", "hub-a:9000", true},
+		{"same host different port is two breakers", "hub-a:9000", "hub-a:9001", false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			a, b := c.breakerFor(tc.hostA), c.breakerFor(tc.hostB)
+			if (a == b) != tc.shared {
+				t.Errorf("breakerFor(%q) == breakerFor(%q) is %v, want %v", tc.hostA, tc.hostB, a == b, tc.shared)
+			}
+		})
+	}
+
+	// Tripping one host's breaker leaves the other closed.
+	c.breakerFor("hub-a:9000").Failure()
+	if st := c.breakerFor("hub-a:9000").State(); st != BreakerOpen {
+		t.Errorf("hub-a breaker = %v, want open", st)
+	}
+	if st := c.breakerFor("hub-b:9000").State(); st != BreakerClosed {
+		t.Errorf("hub-b breaker = %v, want closed", st)
+	}
+	// Breaker() follows the configured BaseURL host.
+	if c.Breaker() != c.breakerFor("hub-a:9000") {
+		t.Error("Breaker() is not the BaseURL host's breaker")
+	}
+}
+
+// TestBreakerChaosFailingPeerDoesNotRejectHealthyPeer is the chaos
+// regression for the shared-breaker bug: a dead peer trips its own
+// breaker open, and the same client repointed at a healthy peer serves
+// the pull on the first attempt — no breaker rejection.
+func TestBreakerChaosFailingPeerDoesNotRejectHealthyPeer(t *testing.T) {
+	store := NewStore()
+	img := testImage("pepa", "latest", "replica-payload")
+
+	healthy := httptest.NewServer(NewServer(store).Handler())
+	defer healthy.Close()
+
+	plan := faultinject.NewPlan(3, faultinject.Rule{Kind: faultinject.KindConn, First: 99})
+	deadSrv := NewServer(store)
+	deadSrv.EnableFaults(plan)
+	dead := httptest.NewServer(deadSrv.Handler())
+	defer dead.Close()
+
+	opts := chaosOptions(4)
+	opts.BreakerThreshold = 2
+	c := NewClientWithOptions(healthy.URL, opts)
+	digest, err := c.Push("chaos", img)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Exhaust the attempt budget against the dead peer: its breaker opens.
+	c.BaseURL = strings.TrimRight(dead.URL, "/")
+	if _, _, err := c.Pull("chaos", "pepa", "latest", digest); err == nil {
+		t.Fatal("pull from dead peer succeeded")
+	}
+	if st := c.Breaker().State(); st != BreakerOpen {
+		t.Fatalf("dead peer breaker = %v, want open", st)
+	}
+
+	// Repointed at the healthy peer, the very first attempt must flow:
+	// with one shared breaker this pull was rejected with ErrCircuitOpen.
+	c.BaseURL = strings.TrimRight(healthy.URL, "/")
+	c.ResetAttemptLog()
+	pulled, gotDigest, err := c.Pull("chaos", "pepa", "latest", digest)
+	if err != nil {
+		t.Fatalf("pull from healthy peer: %v", err)
+	}
+	if gotDigest != digest {
+		t.Errorf("digest = %s, want %s", gotDigest, digest)
+	}
+	if data, _ := pulled.FS.ReadFile("/payload"); string(data) != "replica-payload" {
+		t.Errorf("payload = %q", data)
+	}
+	for _, line := range c.AttemptLog() {
+		if strings.Contains(line, "rejected") {
+			t.Errorf("healthy peer attempt rejected by breaker: %s", line)
+		}
+	}
+	if st := c.Breaker().State(); st != BreakerClosed {
+		t.Errorf("healthy peer breaker = %v, want closed", st)
+	}
+}
+
+// TestThrottleFailoverReturns429Immediately: with ThrottleFailover set,
+// a 429 + Retry-After surfaces as an *HTTPError without sleeping, so a
+// clustered caller can try the next replica at once.
+func TestThrottleFailoverReturns429Immediately(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "3")
+		http.Error(w, "shed", http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	var slept []time.Duration
+	opts := chaosOptions(4)
+	opts.ThrottleFailover = true
+	opts.Sleep = func(d time.Duration) { slept = append(slept, d) }
+	c := NewClientWithOptions(ts.URL, opts)
+
+	_, _, err := c.Pull("coll", "pepa", "latest", "")
+	var he *HTTPError
+	if !errors.As(err, &he) || he.Status != http.StatusTooManyRequests {
+		t.Fatalf("err = %v, want HTTP 429", err)
+	}
+	if he.RetryAfter != 3*time.Second {
+		t.Errorf("RetryAfter = %v, want 3s", he.RetryAfter)
+	}
+	if len(slept) != 0 {
+		t.Errorf("client slept %v; throttle failover must not sleep", slept)
+	}
+	var found bool
+	for _, line := range c.AttemptLog() {
+		if strings.Contains(line, "throttled, failing over") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("attempt log missing failover line:\n%s", strings.Join(c.AttemptLog(), "\n"))
+	}
+}

@@ -1,0 +1,58 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+)
+
+// Placement by rendezvous (highest-random-weight) hashing: every peer is
+// scored against a content key by hashing (peer, key) and the replicas
+// of that key are the R highest-scoring peers. The ranking depends only
+// on the peer names and the key — never on list order or map iteration —
+// so every cluster member (and every test run, on every Go release)
+// computes the same owners, and adding or removing one peer reshuffles
+// only the keys that peer gains or loses (minimal movement, the property
+// rebalancing relies on).
+
+// rendezvousWeight scores one peer for one key: the first 8 bytes of
+// sha256(peer || NUL || key) as a big-endian uint64. The NUL separator
+// keeps ("ab","c") and ("a","bc") from colliding.
+func rendezvousWeight(peer, key string) uint64 {
+	h := sha256.New()
+	h.Write([]byte(peer))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	var sum [sha256.Size]byte
+	return binary.BigEndian.Uint64(h.Sum(sum[:0])[:8])
+}
+
+// Rank orders peer names by descending rendezvous weight for key, ties
+// broken by name so the order is total and deterministic.
+func Rank(peers []string, key string) []string {
+	ranked := append([]string(nil), peers...)
+	sort.Slice(ranked, func(i, j int) bool {
+		wi, wj := rendezvousWeight(ranked[i], key), rendezvousWeight(ranked[j], key)
+		if wi != wj {
+			return wi > wj
+		}
+		return ranked[i] < ranked[j]
+	})
+	return ranked
+}
+
+// Owners returns the first r peers of the ranking for key (all peers
+// when r exceeds the peer count).
+func Owners(peers []string, key string, r int) []string {
+	ranked := Rank(peers, key)
+	if r > len(ranked) {
+		r = len(ranked)
+	}
+	if r < 1 {
+		r = 1
+		if len(ranked) == 0 {
+			return nil
+		}
+	}
+	return ranked[:r]
+}

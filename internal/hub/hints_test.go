@@ -1,0 +1,169 @@
+package hub
+
+import (
+	"net/http/httptest"
+	"reflect"
+	"testing"
+)
+
+func hint(target, coll, name, tag, digest string) Hint {
+	return Hint{Target: target, Collection: coll, Container: name, Tag: tag, Digest: digest}
+}
+
+func TestHintAddAckRoundTrip(t *testing.T) {
+	s := NewStore()
+	h := hint("b", "coll", "pepa", "latest", "sha256:aaa")
+	if err := s.AddHint(h); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent re-add, then a newer digest replaces the slot.
+	if err := s.AddHint(h); err != nil {
+		t.Fatal(err)
+	}
+	h2 := hint("b", "coll", "pepa", "latest", "sha256:bbb")
+	if err := s.AddHint(h2); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Hints("b"); !reflect.DeepEqual(got, []Hint{h2}) {
+		t.Fatalf("hints = %+v, want the replaced slot only", got)
+	}
+	// A stale ack (old digest) must not drop the newer hint.
+	if acked, err := s.AckHint(h); err != nil || acked {
+		t.Fatalf("stale ack = (%v, %v), want (false, nil)", acked, err)
+	}
+	if s.HintCount() != 1 {
+		t.Fatalf("hint count = %d after stale ack, want 1", s.HintCount())
+	}
+	if acked, err := s.AckHint(h2); err != nil || !acked {
+		t.Fatalf("ack = (%v, %v), want (true, nil)", acked, err)
+	}
+	if s.HintCount() != 0 {
+		t.Errorf("hint count = %d after ack, want 0", s.HintCount())
+	}
+	// Incomplete hints are rejected.
+	if err := s.AddHint(hint("", "c", "n", "t", "d")); err == nil {
+		t.Error("hint without target accepted")
+	}
+}
+
+func TestHintsDeterministicOrder(t *testing.T) {
+	s := NewStore()
+	hints := []Hint{
+		hint("c", "coll", "app", "v1", "sha256:3"),
+		hint("a", "coll", "app", "v1", "sha256:1"),
+		hint("a", "coll", "app", "v2", "sha256:2"),
+	}
+	for _, h := range hints {
+		if err := s.AddHint(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []Hint{hints[1], hints[2], hints[0]}
+	if got := s.Hints(""); !reflect.DeepEqual(got, want) {
+		t.Errorf("Hints() = %+v, want sorted %+v", got, want)
+	}
+	if got := s.Hints("a"); !reflect.DeepEqual(got, []Hint{hints[1], hints[2]}) {
+		t.Errorf("Hints(a) = %+v", got)
+	}
+}
+
+// TestHintsSurviveRestart: hints are journaled like puts — a crash after
+// the hint is acknowledged must not lose it, and an acked hint must not
+// resurrect on replay.
+func TestHintsSurviveRestart(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := OpenDurable(dir, DurableOptions{CompactEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := hint("b", "coll", "pepa", "latest", "sha256:keep")
+	acked := hint("c", "coll", "gpa", "v2", "sha256:gone")
+	if err := s.AddHint(kept); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddHint(acked); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := s.AckHint(acked); err != nil || !ok {
+		t.Fatalf("ack = (%v, %v)", ok, err)
+	}
+
+	// Crash-style restart: replay the journal without a clean close.
+	crashed := copyStateDir(t, dir, 1<<30)
+	rec, report, err := OpenDurable(crashed, DurableOptions{CompactEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if report.JournalRecords != 3 {
+		t.Errorf("journal records = %d, want 3 (two adds + one ack)", report.JournalRecords)
+	}
+	if got := rec.Hints(""); !reflect.DeepEqual(got, []Hint{kept}) {
+		t.Errorf("recovered hints = %+v, want %+v", got, []Hint{kept})
+	}
+
+	// Clean close compacts the journal into hints.json; a fresh open must
+	// still see the hint with zero journal records to replay.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reopened, report2, err := OpenDurable(dir, DurableOptions{CompactEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	if report2.JournalRecords != 0 {
+		t.Errorf("journal records after compaction = %d, want 0", report2.JournalRecords)
+	}
+	if got := reopened.Hints(""); !reflect.DeepEqual(got, []Hint{kept}) {
+		t.Errorf("hints after compaction = %+v, want %+v", got, []Hint{kept})
+	}
+}
+
+// TestHintEndpoints drives the /v1/_cluster API through the client.
+func TestHintEndpoints(t *testing.T) {
+	store := NewStore()
+	srv := NewServer(store)
+	srv.PeerName = "a"
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := NewClientWithOptions(ts.URL, chaosOptions(2))
+
+	h := hint("b", "coll", "pepa", "latest", "sha256:abc")
+	if err := c.AddHint(h); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Hints("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []Hint{h}) {
+		t.Fatalf("hints = %+v, want %+v", got, []Hint{h})
+	}
+	if other, err := c.Hints("zzz"); err != nil || len(other) != 0 {
+		t.Fatalf("hints for unknown target = (%v, %v), want none", other, err)
+	}
+
+	st, err := c.NodeStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Peer != "a" || st.Hints != 1 || st.Durable {
+		t.Errorf("status = %+v, want peer a with one hint, not durable", st)
+	}
+
+	if acked, err := c.AckHint(h); err != nil || !acked {
+		t.Fatalf("ack = (%v, %v)", acked, err)
+	}
+	if acked, err := c.AckHint(h); err != nil || acked {
+		t.Fatalf("double ack = (%v, %v), want (false, nil)", acked, err)
+	}
+	if store.HintCount() != 0 {
+		t.Errorf("store still holds %d hints", store.HintCount())
+	}
+
+	// Malformed hint bodies are rejected without mutating state.
+	if err := c.AddHint(Hint{Target: "b"}); err == nil {
+		t.Error("incomplete hint accepted by server")
+	}
+}

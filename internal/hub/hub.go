@@ -64,6 +64,9 @@ type Store struct {
 	// keyed by digest, learned from installed layered blobs and from
 	// PutLayer staging. A cache, not durable state (see layers.go).
 	layers map[string][]byte
+	// hints holds journaled hinted-handoff records, keyed by
+	// (target, ref) — writes owed to down peers (see hints.go).
+	hints map[string]Hint
 
 	// pmu serializes mutations so the journal order matches the order
 	// the in-memory maps were updated in; nil wal means in-memory only.
@@ -81,6 +84,7 @@ func NewStore() *Store {
 		meta:        map[string]Entry{},
 		quarantined: map[string]string{},
 		layers:      map[string][]byte{},
+		hints:       map[string]Hint{},
 	}
 }
 
@@ -243,6 +247,9 @@ func (s *Store) Collections() []string {
 // Server wraps a Store with the HTTP API.
 type Server struct {
 	Store *Store
+	// PeerName is this server's stable cluster peer name, reported by
+	// GET /v1/_cluster/status (empty for a standalone hub).
+	PeerName string
 	// MaxUploadBytes caps PUT/POST request bodies (default 64 MiB);
 	// oversized uploads are rejected with 413.
 	MaxUploadBytes int64
@@ -284,9 +291,12 @@ func NewServer(store *Store) *Server {
 }
 
 // EnableFaults wraps the server's handler with a deterministic fault
-// plan (chaos testing). Must be called before Listen/Handler use.
+// plan (chaos testing). The plan is consulted on behalf of the server's
+// PeerName, so a spec with %peer clauses can crash exactly this member
+// of a cluster sharing one spec; set PeerName before calling. Must be
+// called before Listen/Handler use.
 func (s *Server) EnableFaults(plan *faultinject.Plan) {
-	s.handler = plan.Middleware(s.mux)
+	s.handler = plan.MiddlewareFor(s.PeerName, s.mux)
 }
 
 // Handler returns the HTTP handler (for tests via httptest).
@@ -362,6 +372,9 @@ func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
 		return
 	case len(parts) == 2 && parts[0] == "_layers":
 		s.handleLayer(w, r, parts[1])
+		return
+	case len(parts) >= 2 && parts[0] == "_cluster":
+		s.handleCluster(w, r, parts)
 		return
 	case len(parts) == 4 && parts[3] == "manifest":
 		s.handleManifest(w, r, parts[0], parts[1], parts[2])
@@ -468,7 +481,20 @@ type Client struct {
 	// (default 64 MiB).
 	MaxResponseBytes int64
 
-	breaker *Breaker
+	// breakers holds one circuit breaker per destination host, created
+	// lazily as requests are routed (see breakerFor): a failing peer
+	// trips only its own breaker, so a client whose BaseURL moves
+	// between hub replicas never rejects requests to healthy ones.
+	bmu            sync.Mutex
+	breakers       map[string]*Breaker
+	brThreshold    int
+	brCooldown     int
+	onBrTransition func(from, to BreakerState)
+	// throttleFailover makes 429+Retry-After responses return
+	// immediately (as *HTTPError) instead of sleeping out the hint, so a
+	// clustered caller can try the next replica at once. Single-hub
+	// clients leave it off and keep the uncounted-pass behavior.
+	throttleFailover bool
 	// layerCache holds layers pulled or pushed by this client so layered
 	// transfers skip layers already on hand (see layers.go).
 	layerCache *LayerCache
@@ -501,6 +527,16 @@ type ClientOptions struct {
 	// LayerCache shares a layer cache between clients (nil creates a
 	// fresh per-client cache).
 	LayerCache *LayerCache
+	// ThrottleFailover makes admission-control pushback (429 +
+	// Retry-After) surface immediately as *HTTPError instead of being
+	// slept out, so a clustered caller can fail over to another replica
+	// at once (see internal/hub/cluster). Leave unset for single-hub
+	// clients: they keep the capped uncounted-pass backoff.
+	ThrottleFailover bool
+	// PeerName labels this client's breaker metrics with {peer=...} —
+	// stable cluster peer names, never addresses. Empty emits the
+	// legacy unlabeled series.
+	PeerName string
 }
 
 // NewClient creates a client for the given base URL with default
@@ -530,18 +566,29 @@ func NewClientWithOptions(baseURL string, opts ClientOptions) *Client {
 		HTTP:             &http.Client{Timeout: opts.Timeout, Transport: opts.Transport},
 		Retry:            opts.Retry,
 		MaxResponseBytes: opts.MaxResponseBytes,
-		breaker:          NewBreaker(opts.BreakerThreshold, opts.BreakerCooldown),
+		breakers:         map[string]*Breaker{},
+		brThreshold:      opts.BreakerThreshold,
+		brCooldown:       opts.BreakerCooldown,
+		throttleFailover: opts.ThrottleFailover,
 		layerCache:       opts.LayerCache,
 		jitter:           newJitter(opts.JitterSeed),
 		sleep:            opts.Sleep,
 		obs:              opts.Obs,
 	}
 	if reg := opts.Obs; reg != nil {
-		reg.Set("hub_breaker_state", float64(BreakerClosed))
-		c.breaker.onTransition = func(from, to BreakerState) {
+		// The transition hook is shared by every per-host breaker. With a
+		// PeerName the series carries a stable {peer} label; without one
+		// it is the legacy unlabeled gauge (single-host clients only ever
+		// create one breaker, so the aggregate is exact).
+		var labels []obs.Label
+		if opts.PeerName != "" {
+			labels = []obs.Label{obs.L("peer", opts.PeerName)}
+		}
+		reg.Set("hub_breaker_state", float64(BreakerClosed), labels...)
+		c.onBrTransition = func(from, to BreakerState) {
 			reg.Inc("hub_breaker_transitions_total",
-				obs.L("from", from.String()), obs.L("to", to.String()))
-			reg.Set("hub_breaker_state", float64(to))
+				append([]obs.Label{obs.L("from", from.String()), obs.L("to", to.String())}, labels...)...)
+			reg.Set("hub_breaker_state", float64(to), labels...)
 		}
 	}
 	return c

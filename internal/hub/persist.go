@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/fsatomic"
@@ -20,6 +21,10 @@ import (
 
 // indexFile is the on-disk catalogue name.
 const indexFile = "index.json"
+
+// hintsFile persists hinted-handoff records across journal compactions
+// (see hints.go); like the index it is rewritten atomically.
+const hintsFile = "hints.json"
 
 type persistedEntry struct {
 	Entry
@@ -205,6 +210,20 @@ func (s *Store) applyWALRecord(dir string, rec walRecord) {
 			s.quarantined[k] = "quarantined by scrubber"
 		}
 		s.mu.Unlock()
+	case walHintAdd:
+		if rec.Hint != nil && rec.Hint.validate() == nil {
+			s.mu.Lock()
+			s.hints[rec.Hint.hintKey()] = *rec.Hint
+			s.mu.Unlock()
+		}
+	case walHintAck:
+		if rec.Hint != nil {
+			s.mu.Lock()
+			if existing, ok := s.hints[rec.Hint.hintKey()]; ok && existing.Digest == rec.Hint.Digest {
+				delete(s.hints, rec.Hint.hintKey())
+			}
+			s.mu.Unlock()
+		}
 	}
 }
 
@@ -281,6 +300,20 @@ func (s *Store) writeSnapshot(dir string) error {
 	if err != nil {
 		return err
 	}
+	// Hints are durable state too: compaction erases their journal
+	// records, so the snapshot must carry them. Sorted for determinism.
+	hints := make([]Hint, 0, len(s.hints))
+	for _, h := range s.hints {
+		hints = append(hints, h)
+	}
+	sort.Slice(hints, func(i, j int) bool { return hints[i].hintKey() < hints[j].hintKey() })
+	hintData, err := json.MarshalIndent(hints, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := fsatomic.WriteFile(filepath.Join(dir, hintsFile), hintData, 0o644); err != nil {
+		return err
+	}
 	// fsatomic (tmp + fsync + rename + dir sync) guarantees a crash mid-
 	// save leaves either the previous index or the new one, never a torn
 	// file — the blobs above get the same treatment, so a restored index
@@ -346,7 +379,29 @@ func loadSnapshot(dir string, strict bool) (*Store, error) {
 		}
 		s.installEntry(k, pe.Entry, blob)
 	}
+	loadHints(s, dir)
 	return s, nil
+}
+
+// loadHints restores hints.json into the store (lenient in every mode:
+// hints are recoverable metadata — a peer re-detecting a down owner
+// recreates them — so an unreadable file never fails a load).
+func loadHints(s *Store, dir string) {
+	raw, err := os.ReadFile(filepath.Join(dir, hintsFile))
+	if err != nil {
+		return
+	}
+	var hints []Hint
+	if err := json.Unmarshal(raw, &hints); err != nil {
+		return
+	}
+	s.mu.Lock()
+	for _, h := range hints {
+		if h.validate() == nil {
+			s.hints[h.hintKey()] = h
+		}
+	}
+	s.mu.Unlock()
 }
 
 // Load restores a store from a directory written by Save. Every blob is

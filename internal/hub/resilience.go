@@ -404,9 +404,37 @@ func (c *Client) ResetAttemptLog() {
 	c.logMu.Unlock()
 }
 
-// Breaker exposes the client's circuit breaker (state inspection and
-// manual reset).
-func (c *Client) Breaker() *Breaker { return c.breaker }
+// Breaker exposes the circuit breaker guarding the client's configured
+// BaseURL host (state inspection and manual reset). Breakers are scoped
+// per destination host — see breakerFor — so this is the breaker every
+// request of a single-hub client flows through.
+func (c *Client) Breaker() *Breaker { return c.breakerFor(hostOf(c.BaseURL)) }
+
+// hostOf extracts the host[:port] a base URL routes to, the key the
+// per-host breaker map is scoped by.
+func hostOf(baseURL string) string {
+	if u, err := url.Parse(baseURL); err == nil && u.Host != "" {
+		return u.Host
+	}
+	return baseURL
+}
+
+// breakerFor returns the circuit breaker for one destination host,
+// creating it closed on first use. Scoping breakers per host keeps a
+// failing peer from opening the breaker against healthy ones: a client
+// whose BaseURL is repointed between hub replicas (or whose requests
+// are routed by the cluster layer) trips only the sick host's breaker.
+func (c *Client) breakerFor(host string) *Breaker {
+	c.bmu.Lock()
+	defer c.bmu.Unlock()
+	b, ok := c.breakers[host]
+	if !ok {
+		b = NewBreaker(c.brThreshold, c.brCooldown)
+		b.onTransition = c.onBrTransition
+		c.breakers[host] = b
+	}
+	return b
+}
 
 // do runs one logical operation through the breaker and retry loop.
 // mkReq builds a fresh request per attempt (bodies cannot be replayed);
@@ -425,7 +453,16 @@ func (c *Client) do(op string, mkReq func() (*http.Request, error), handle func(
 	const maxThrottles = 4
 	throttled := 0
 	for attempt := 1; attempt <= pol.MaxAttempts; attempt++ {
-		ok, st := c.breaker.allow()
+		req, err := mkReq()
+		if err != nil {
+			// A request that cannot be built will never build: no breaker
+			// event, no retry.
+			c.logf("%s attempt %d/%d: bad request (deterministic; giving up)", op, attempt, pol.MaxAttempts)
+			c.obs.Inc("hub_client_outcomes_total", obs.L("class", "deterministic"))
+			return err
+		}
+		br := c.breakerFor(req.URL.Host)
+		ok, st := br.allow()
 		if !ok {
 			reason := "breaker open"
 			if st == BreakerHalfOpen {
@@ -445,28 +482,40 @@ func (c *Client) do(op string, mkReq func() (*http.Request, error), handle func(
 		if attempt > 1 {
 			c.obs.Inc("hub_client_retries_total", kind)
 		}
-		err := c.attempt(op, mkReq, handle)
+		err = c.attempt(br, op, req, handle)
 		if err == nil {
-			c.breaker.Success()
+			br.Success()
 			c.logf("%s attempt %d/%d: ok", op, attempt, pol.MaxAttempts)
 			c.obs.Inc("hub_client_outcomes_total", obs.L("class", "ok"))
 			return nil
 		}
 		lastErr = err
 		var he *HTTPError
-		if errors.As(err, &he) && he.Status == http.StatusTooManyRequests && he.RetryAfter > 0 && throttled < maxThrottles {
-			// The registry is shedding load and told us when to come
-			// back. That is a coherent answer, not infrastructure
-			// weather: resolve any half-open probe as healthy, sleep the
-			// hint, and do not charge the attempt budget.
-			throttled++
-			c.breaker.ProbeHealthy()
-			c.logf("%s attempt %d/%d: throttled, retry-after %s (not counted)", op, attempt, pol.MaxAttempts, he.RetryAfter)
-			c.obs.Inc("hub_client_throttled_total", kind)
-			c.obs.Add("hub_client_throttle_seconds_total", he.RetryAfter.Seconds())
-			c.sleep(he.RetryAfter)
-			attempt--
-			continue
+		if errors.As(err, &he) && he.Status == http.StatusTooManyRequests && he.RetryAfter > 0 {
+			if c.throttleFailover {
+				// A clustered caller has other replicas to try: surface the
+				// throttle immediately instead of sleeping out the hint. The
+				// registry answered coherently, so any half-open probe
+				// resolves as healthy.
+				br.ProbeHealthy()
+				c.logf("%s attempt %d/%d: throttled, failing over (retry-after %s)", op, attempt, pol.MaxAttempts, he.RetryAfter)
+				c.obs.Inc("hub_client_throttled_total", kind)
+				return err
+			}
+			if throttled < maxThrottles {
+				// The registry is shedding load and told us when to come
+				// back. That is a coherent answer, not infrastructure
+				// weather: resolve any half-open probe as healthy, sleep the
+				// hint, and do not charge the attempt budget.
+				throttled++
+				br.ProbeHealthy()
+				c.logf("%s attempt %d/%d: throttled, retry-after %s (not counted)", op, attempt, pol.MaxAttempts, he.RetryAfter)
+				c.obs.Inc("hub_client_throttled_total", kind)
+				c.obs.Add("hub_client_throttle_seconds_total", he.RetryAfter.Seconds())
+				c.sleep(he.RetryAfter)
+				attempt--
+				continue
+			}
 		}
 		switch classify(err) {
 		case classPermanent:
@@ -474,12 +523,12 @@ func (c *Client) do(op string, mkReq func() (*http.Request, error), handle func(
 			// doomed. Not a breaker event in the closed state — but an
 			// in-flight half-open probe is resolved (as healthy), so the
 			// breaker can never be left stuck half-open.
-			c.breaker.ProbeHealthy()
+			br.ProbeHealthy()
 			c.logf("%s attempt %d/%d: %s (deterministic; giving up)", op, attempt, pol.MaxAttempts, describe(err))
 			c.obs.Inc("hub_client_outcomes_total", obs.L("class", "deterministic"))
 			return err
 		case classCorrupt:
-			c.breaker.Failure()
+			br.Failure()
 			c.obs.Inc("hub_client_outcomes_total", obs.L("class", "corrupt"))
 			if corruptRetried {
 				c.logf("%s attempt %d/%d: %s (corrupt again; giving up)", op, attempt, pol.MaxAttempts, describe(err))
@@ -488,7 +537,7 @@ func (c *Client) do(op string, mkReq func() (*http.Request, error), handle func(
 			corruptRetried = true
 			c.logf("%s attempt %d/%d: %s (re-pulling once)", op, attempt, pol.MaxAttempts, describe(err))
 		default: // transient
-			c.breaker.Failure()
+			br.Failure()
 			c.logf("%s attempt %d/%d: %s (transient)", op, attempt, pol.MaxAttempts, describe(err))
 			c.obs.Inc("hub_client_outcomes_total", obs.L("class", "transient"))
 		}
@@ -508,14 +557,14 @@ func (c *Client) do(op string, mkReq func() (*http.Request, error), handle func(
 // response handler resolves the breaker probe (as a failure) before the
 // panic propagates, so supervised panics (internal/par) cannot leave the
 // breaker stuck half-open.
-func (c *Client) attempt(op string, mkReq func() (*http.Request, error), handle func(*http.Response) error) (err error) {
+func (c *Client) attempt(br *Breaker, op string, req *http.Request, handle func(*http.Response) error) (err error) {
 	completed := false
 	defer func() {
 		if !completed {
-			c.breaker.Failure()
+			br.Failure()
 		}
 	}()
-	err = c.try(op, mkReq, handle)
+	err = c.try(op, req, handle)
 	completed = true
 	return err
 }
@@ -529,14 +578,10 @@ func opKind(op string) string {
 	return op
 }
 
-// try performs a single attempt: issue the request, surface non-200
-// statuses as HTTPError, and always drain and close the body so the
-// connection can be reused.
-func (c *Client) try(op string, mkReq func() (*http.Request, error), handle func(*http.Response) error) error {
-	req, err := mkReq()
-	if err != nil {
-		return err
-	}
+// try performs a single attempt: issue the (pre-built) request, surface
+// non-200 statuses as HTTPError, and always drain and close the body so
+// the connection can be reused.
+func (c *Client) try(op string, req *http.Request, handle func(*http.Response) error) error {
 	resp, err := c.HTTP.Do(req)
 	if err != nil {
 		return err

@@ -73,6 +73,34 @@ func (s *Store) ScrubOnce(reg *obs.Registry) ScrubReport {
 	return report
 }
 
+// FlipBit flips one bit of the stored blob for (coll, name, tag) in
+// place — the storage-side analogue of faultinject's wire-level
+// corruption, for chaos tests that simulate bit-rot the scrubber must
+// catch. The bit index wraps around the blob length, so any value picks
+// a valid bit deterministically. Like real rot, the mutation is
+// invisible until the next scrub or digest-verified read; it bypasses
+// the journal on durable stores (rot is not a mutation the WAL saw).
+// Returns false for an unknown or empty entry.
+func (s *Store) FlipBit(coll, name, tag string, bit int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := key(coll, name, tag)
+	blob, ok := s.blobs[k]
+	if !ok || len(blob) == 0 {
+		return false
+	}
+	// Mutate a copy: layer-index frames alias the original blob, and
+	// real rot on a blob file would not rewrite them either.
+	mutated := append([]byte(nil), blob...)
+	bit %= len(mutated) * 8
+	if bit < 0 {
+		bit += len(mutated) * 8
+	}
+	mutated[bit/8] ^= 1 << (bit % 8)
+	s.blobs[k] = mutated
+	return true
+}
+
 // quarantine marks k as known-bad, journaling the transition on durable
 // stores so it survives restarts. The corrupt bytes are kept in memory
 // for forensics; they are never served.

@@ -38,15 +38,21 @@ const (
 	walPut        walOp = "put"
 	walDelete     walOp = "delete"
 	walQuarantine walOp = "quarantine"
+	// walHintAdd / walHintAck journal hinted-handoff records: a write
+	// owed to a down peer, and its removal once delivered (see hints.go).
+	walHintAdd walOp = "hint-add"
+	walHintAck walOp = "hint-ack"
 )
 
 // walRecord is one journal entry. Put records reference the
 // content-addressed blob file (written and fsynced before the record),
-// so replay can re-verify the bytes they acknowledge.
+// so replay can re-verify the bytes they acknowledge. Hint records carry
+// the hint instead of an entry.
 type walRecord struct {
 	Seq   uint64         `json:"seq"`
 	Op    walOp          `json:"op"`
 	Entry persistedEntry `json:"entry"`
+	Hint  *Hint          `json:"hint,omitempty"`
 }
 
 // encodeWALRecord frames a record as
@@ -168,8 +174,18 @@ func openWAL(dir string) (*wal, walReplay, error) {
 
 // append journals one record durably.
 func (w *wal) append(op walOp, pe persistedEntry) error {
+	return w.appendRecord(walRecord{Op: op, Entry: pe})
+}
+
+// appendHint journals one hinted-handoff mutation durably.
+func (w *wal) appendHint(op walOp, h Hint) error {
+	return w.appendRecord(walRecord{Op: op, Hint: &h})
+}
+
+func (w *wal) appendRecord(rec walRecord) error {
 	w.seq++
-	buf, err := encodeWALRecord(walRecord{Seq: w.seq, Op: op, Entry: pe})
+	rec.Seq = w.seq
+	buf, err := encodeWALRecord(rec)
 	if err != nil {
 		return err
 	}
